@@ -1,0 +1,66 @@
+"""Section 7.3.1: AES instruction latencies across generations.
+
+Paper result for AESDEC XMM1, XMM2:
+
+    Westmere:     3 µops, lat(XMM1->XMM1) = lat(XMM2->XMM1) = 6
+    Sandy Bridge: 2 µops, lat(XMM1->XMM1) = 8, lat(XMM2->XMM1) ~ 1
+    Ivy Bridge:   same as Sandy Bridge
+    Haswell:      1 µop,  lat = 7 for both pairs
+
+and for the memory variant on Sandy Bridge: register pair still 8 cycles,
+memory pair an upper bound of ~7 — NOT the 13 cycles IACA/LLVM report by
+adding a load latency.
+"""
+
+import pytest
+
+from repro.analysis.casestudies import aes_latency_study
+from repro.core.latency import LatencyMeasurer
+from repro.iaca import IacaBackend
+from repro.refdata import AES_LATENCY
+from repro.uarch.configs import get_uarch
+
+from conftest import hardware_backend
+
+
+def test_aes_case_study(db, benchmark, emit):
+    result = benchmark.pedantic(
+        aes_latency_study, args=(db,), rounds=1, iterations=1
+    )
+    emit("aes_latency.txt", result.render())
+    assert result.passed, result.render()
+
+
+def test_aes_memory_variant_upper_bound(db, benchmark, emit):
+    measurer = LatencyMeasurer(db, hardware_backend("SNB"))
+
+    def run():
+        return measurer.infer(db.by_uid("AESDEC_XMM_M128"))
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    reg_pair = latency.pairs[("op1", "op1")]
+    mem_pair = latency.pairs[("mem", "op1")]
+    iaca_value = 13  # load latency naively added to the register latency
+    report = (
+        "AESDEC XMM1, [mem] on Sandy Bridge (Section 7.3.1):\n"
+        f"  measured lat(XMM1->XMM1) = {reg_pair}\n"
+        f"  measured lat(mem->XMM1)  = {mem_pair} (upper bound)\n"
+        f"  IACA 2.1 / LLVM          = {iaca_value}\n"
+    )
+    emit("aes_memory_latency.txt", report)
+    assert reg_pair.cycles == pytest.approx(8, abs=0.5)
+    assert mem_pair.cycles < iaca_value - 3
+
+
+def test_aes_iaca_reports_seven_on_sandy_bridge(db, benchmark):
+    backend = IacaBackend(get_uarch("SNB"), "2.1")
+
+    def run():
+        return backend.scalar_latency(db.by_uid("AESDEC_XMM_XMM"))
+
+    value = benchmark.pedantic(run, rounds=1, iterations=1)
+    published = AES_LATENCY["SNB"]
+    assert value == pytest.approx(published["iaca_2.1"])
+    # Intel's manual / Fog / AIDA64 say 8; the per-pair measurement
+    # explains both numbers (8 through STATE, ~1 through the round key).
+    assert published["intel"] == 8

@@ -1,0 +1,66 @@
+"""Future-work extension: decoder-class characterization.
+
+The paper's conclusions list "whether instructions use the simple decoder,
+the complex decoder, or the Microcode-ROM" as future work.  This benchmark
+runs the implemented characterization over a representative instruction
+mix and regenerates the classification table.
+"""
+
+import pytest
+
+from repro.core.decoder import (
+    DECODER_COMPLEX,
+    DECODER_MSROM,
+    DECODER_SIMPLE,
+    decoder_report,
+)
+from repro.uarch.configs import get_uarch
+
+PROBES = (
+    ("ADD_R64_R64", DECODER_SIMPLE),
+    ("NOP", DECODER_SIMPLE),
+    ("IMUL_R64_R64", DECODER_SIMPLE),
+    ("PSHUFD_XMM_XMM_I8", DECODER_SIMPLE),
+    ("MOV_R64_M64", DECODER_SIMPLE),
+    ("MOV_M64_R64", DECODER_COMPLEX),
+    ("ADD_R64_M64", DECODER_COMPLEX),
+    ("XCHG_R64_R64", DECODER_COMPLEX),
+    ("ADD_M64_R64", DECODER_COMPLEX),
+    ("RDTSC", DECODER_MSROM),
+    ("XADD_M64_R64", DECODER_MSROM),
+    ("REP MOVSB", None),  # resolved below; variable-µop MSROM case
+)
+
+
+def test_decoder_classification(db, benchmark, emit):
+    uids = [uid for uid, _ in PROBES if uid in db]
+    rep = db.forms_for_mnemonic("REP MOVSB")
+    if rep:
+        uids.append(rep[0].uid)
+
+    def run():
+        return decoder_report(db, get_uarch("SKL"), uids)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Decoder-class characterization (Skylake; future work of the "
+        "paper's conclusions):",
+        "",
+        f"{'form':22s} {'µops':>5s} {'penalty':>8s} {'decoder':>8s}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.form_uid:22s} {result.uop_count:5d} "
+            f"{result.decode_penalty:8.2f} {result.decoder_class:>8s}"
+        )
+    emit("decoders.txt", "\n".join(lines))
+
+    classes = {r.form_uid: r.decoder_class for r in results}
+    for uid, expected in PROBES:
+        if expected is None or uid not in classes:
+            continue
+        assert classes[uid] == expected, uid
+    # Simple-decoder instructions pay no decode penalty; MSROM ones do.
+    for result in results:
+        if result.decoder_class == DECODER_SIMPLE:
+            assert result.decode_penalty == pytest.approx(0.0, abs=0.15)

@@ -1,0 +1,85 @@
+"""Figure 1: the pipeline of Intel Core CPUs.
+
+The figure is structural, so this benchmark regenerates and validates the
+per-generation port/functional-unit layout: every generation's ports, the
+units attached to them, and a behavioural check that each port accepts at
+most one µop per cycle while fully pipelined units accept a new µop every
+cycle (Section 3.1).
+"""
+
+import pytest
+
+from repro.core.codegen import independent_sequence
+from repro.pipeline import simulate
+from repro.uarch.configs import ALL_UARCHES, get_uarch
+
+from conftest import hardware_backend
+
+
+def _port_layout_report() -> str:
+    lines = ["Figure 1: execution-port layout per generation", ""]
+    for uarch in ALL_UARCHES:
+        lines.append(
+            f"{uarch.name} ({uarch.full_name}, {uarch.processor}): "
+            f"{len(uarch.ports)} ports"
+        )
+        by_port = {p: [] for p in uarch.ports}
+        for unit, ports in sorted(uarch.fu_map.items()):
+            for p in ports:
+                by_port[p].append(unit)
+        for p in uarch.ports:
+            lines.append(f"  port {p}: {', '.join(sorted(by_port[p]))}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def test_fig1_port_layout(benchmark, emit):
+    report = benchmark.pedantic(
+        _port_layout_report, rounds=1, iterations=1
+    )
+    emit("fig1_pipeline.txt", report)
+    assert "port 7" in report  # eight-port generations present
+    # Six-port generations end at port 5.
+    assert "NHM" in report
+
+
+@pytest.mark.parametrize("uarch_name", ["NHM", "SKL"])
+def test_fig1_one_uop_per_port_per_cycle(db, uarch_name, benchmark):
+    """A port accepts at most one µop per cycle: saturating the single
+    Skylake shuffle port with shuffles gives exactly 1 cycle/µop."""
+    form = db.by_uid("PSHUFD_XMM_XMM_I8")
+    code = independent_sequence(form, 8) * 8
+
+    def run():
+        return simulate(code, get_uarch(uarch_name))
+
+    counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    shuffle_ports = get_uarch(uarch_name).fu_ports("vec_shuffle")
+    per_instr = counters.cycles / len(code)
+    assert per_instr == pytest.approx(1.0 / len(shuffle_ports), abs=0.1)
+
+
+def test_fig1_divider_not_fully_pipelined(db, benchmark):
+    """Section 3.1: the divider is the exception to full pipelining."""
+    div = independent_sequence(db.by_uid("DIVPS_XMM_XMM"), 8) * 4
+    mul = independent_sequence(db.by_uid("MULPS_XMM_XMM"), 8) * 4
+
+    def run():
+        return (
+            simulate(div, get_uarch("SKL")).cycles / 32,
+            simulate(mul, get_uarch("SKL")).cycles / 32,
+        )
+
+    div_tp, mul_tp = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert div_tp > 2 * mul_tp
+
+
+def test_fig1_front_end_width(db, benchmark):
+    """The front end issues 4-6 µops per cycle (we model 4)."""
+    code = independent_sequence(db.by_uid("NOP"), 8) * 10
+
+    def run():
+        return simulate(code, get_uarch("SKL"))
+
+    counters = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counters.cycles == pytest.approx(len(code) / 4, abs=3)

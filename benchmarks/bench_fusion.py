@@ -1,0 +1,70 @@
+"""Future-work extension: micro- and macro-fusion characterization.
+
+The paper's conclusions list fusion among the pipeline aspects to
+characterize next; this benchmark runs the implemented characterization:
+the macro-fusion matrix per generation (Nehalem fuses only CMP/TEST with
+branches, Sandy Bridge extends the set to ADD/SUB/AND/INC/DEC) and
+micro-fusion counts for memory-operand instructions.
+"""
+
+import pytest
+
+from repro.core.fusion import (
+    fusion_backend,
+    macro_fusion_matrix,
+    measure_micro_fusion,
+)
+from repro.uarch.configs import get_uarch
+
+from conftest import hardware_backend
+
+MICRO_CASES = (
+    ("ADD_R64_M64", 2, 1),
+    ("ADD_M64_R64", 4, 2),
+    ("MOV_M64_R64", 2, 1),
+    ("MOV_R64_M64", 1, 1),
+    ("PADDB_XMM_M128", 2, 1),
+    ("ADD_R64_R64", 1, 1),
+)
+
+
+def test_micro_fusion_counts(db, benchmark, emit):
+    backend = hardware_backend("SKL")
+
+    def run():
+        return [
+            measure_micro_fusion(db.by_uid(uid), backend)
+            for uid, _, _ in MICRO_CASES
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Micro-fusion characterization (Skylake):",
+        "",
+        f"{'form':22s} {'unfused':>8s} {'fused':>6s} {'pairs':>6s}",
+    ]
+    for result in results:
+        lines.append(
+            f"{result.form_uid:22s} {result.unfused_uops:8d} "
+            f"{result.fused_uops:6d} {result.fused_pairs:6d}"
+        )
+    emit("fusion_micro.txt", "\n".join(lines))
+    for result, (_uid, unfused, fused) in zip(results, MICRO_CASES):
+        assert result.unfused_uops == unfused, result.form_uid
+        assert result.fused_uops == fused, result.form_uid
+
+
+def test_macro_fusion_matrix(db, benchmark, emit):
+    def run():
+        return {
+            name: macro_fusion_matrix(db, fusion_backend(get_uarch(name)))
+            for name in ("NHM", "SNB", "SKL")
+        }
+
+    matrices = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = "\n\n".join(m.render() for m in matrices.values())
+    emit("fusion_macro.txt", report)
+    assert set(matrices["NHM"].fusible_writers()) == {"CMP", "TEST"}
+    assert "ADD" in matrices["SNB"].fusible_writers()
+    assert "ADD" in matrices["SKL"].fusible_writers()
+    assert "OR" not in matrices["SKL"].fusible_writers()

@@ -1,0 +1,57 @@
+"""Section 7.3.5: instructions with multiple latencies.
+
+The paper lists the non-memory instructions whose operand pairs have
+different latencies: ADC, CMOV(N)BE, (I)MUL, PSHUFB, ROL, ROR, SAR, SBB,
+SHL, SHR, (V)MPSADBW, VPBLENDV(B/PD/PS), (V)PSLL/(V)PSRA/(V)PSRL, XADD,
+and XCHG.  The tool must rediscover pair-dependent latencies for these,
+and memory-operand instructions trivially exhibit them as well.
+"""
+
+import pytest
+
+from repro.analysis.casestudies import multi_latency_study
+from repro.core.latency import LatencyMeasurer
+
+from conftest import hardware_backend
+
+
+def test_multi_latency_discovery(db, benchmark, emit):
+    result = benchmark.pedantic(
+        multi_latency_study, args=("SKL", db), rounds=1, iterations=1
+    )
+    emit("multi_latency.txt", result.render())
+    assert result.passed, result.render()
+
+
+@pytest.mark.parametrize(
+    "uid,fast_pair,slow_pair",
+    [
+        ("IMUL_R64_R64", ("op1", "op1"), ("op2", "op1")),
+        ("PSHUFB_XMM_XMM", ("op1", "op1"), ("op2", "op1")),
+        ("MPSADBW_XMM_XMM_I8", ("op1", "op1"), ("op2", "op1")),
+        ("XCHG_R64_R64", ("op2", "op1"), ("op1", "op2")),
+    ],
+)
+def test_specific_pairs(db, benchmark, uid, fast_pair, slow_pair):
+    measurer = LatencyMeasurer(db, hardware_backend("SKL"))
+
+    def run():
+        return measurer.infer(db.by_uid(uid))
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    fast = latency.pairs[fast_pair]
+    slow = latency.pairs[slow_pair]
+    assert slow.cycles > fast.cycles, (uid, fast, slow)
+
+
+def test_variable_vector_shifts(db, benchmark):
+    """(V)PSLLD etc.: the count operand arrives later than the data."""
+    measurer = LatencyMeasurer(db, hardware_backend("SKL"))
+
+    def run():
+        return measurer.infer(db.by_uid("PSLLD_XMM_XMM"))
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    data = latency.pairs[("op1", "op1")]
+    count = latency.pairs[("op2", "op1")]
+    assert count.cycles > data.cycles

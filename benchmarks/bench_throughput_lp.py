@@ -1,0 +1,119 @@
+"""Section 5.3.2: computing Intel-style throughput from the port usage.
+
+For instructions whose only bottleneck is the issue ports (no implicit
+dependencies, no divider), the LP-computed throughput must match the
+measured one; for instructions with implicit read+write operands the two
+definitions legitimately diverge (CMC: 1 cycle measured vs 0.25 computed),
+which is exactly the Definition 1 vs Definition 2 discussion of
+Section 4.2.
+"""
+
+import pytest
+
+from repro.core.port_usage import infer_port_usage
+from repro.core.throughput import (
+    compute_throughput_from_port_usage,
+    measure_throughput,
+)
+
+from conftest import blocking_for, hardware_backend
+
+#: Port-bound instructions: computed == measured.
+PORT_BOUND = (
+    "PADDB_XMM_XMM",
+    "PSHUFD_XMM_XMM_I8",
+    "MULPS_XMM_XMM",
+    "IMUL_R64_R64_I8",
+    "ADD_R64_I8",
+    "MOV_R64_M64",
+    "AESDEC_XMM_XMM",
+    "VHADDPD_XMM_XMM_XMM",
+)
+
+#: Instructions with implicit read+write operands: Fog-style same-kind
+#: throughput exceeds the Intel-style port bound.
+IMPLICIT_DEP = ("CMC", "STC_PLACEHOLDER",)
+
+
+def test_lp_matches_measurement_for_port_bound(db, benchmark, emit):
+    backend = hardware_backend("SKL")
+    blocking = blocking_for("SKL", db)
+
+    def run():
+        rows = []
+        for uid in PORT_BOUND:
+            form = db.by_uid(uid)
+            usage = infer_port_usage(form, backend, blocking)
+            computed = compute_throughput_from_port_usage(
+                usage, backend.uarch.ports
+            )
+            measured = measure_throughput(form, backend, db).measured
+            rows.append((uid, usage.notation(), computed, measured))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Throughput from port usage (Section 5.3.2), Skylake:",
+        "",
+        f"{'form':26s} {'port usage':22s} {'LP':>6s} {'meas':>6s}",
+    ]
+    for uid, usage, computed, measured in rows:
+        lines.append(
+            f"{uid:26s} {usage:22s} {computed:6.2f} {measured:6.2f}"
+        )
+    emit("throughput_lp.txt", "\n".join(lines))
+    for uid, _usage, computed, measured in rows:
+        assert computed == pytest.approx(measured, abs=0.15), uid
+
+
+def test_definitions_diverge_for_implicit_deps(db, benchmark, emit):
+    """Definition 1 vs Definition 2 (Section 4.2): for CMC the port-based
+    throughput is 4x better than anything achievable in practice."""
+    backend = hardware_backend("SKL")
+    blocking = blocking_for("SKL", db)
+    form = db.by_uid("CMC")
+
+    def run():
+        usage = infer_port_usage(form, backend, blocking)
+        computed = compute_throughput_from_port_usage(
+            usage, backend.uarch.ports
+        )
+        result = measure_throughput(form, backend, db)
+        return computed, result
+
+    computed, result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "throughput_definitions.txt",
+        "CMC (Section 4.2, Definition 1 vs Definition 2):\n"
+        f"  Intel-style (from ports): {computed:.2f} cycles\n"
+        f"  Fog-style (same kind):    "
+        f"{result.measured_same_kind:.2f} cycles\n"
+        f"  with dependency breaking: {result.measured:.2f} cycles\n",
+    )
+    assert computed == pytest.approx(0.25, abs=0.02)
+    assert result.measured_same_kind == pytest.approx(1.0, abs=0.1)
+
+
+def test_one_uop_throughput_is_inverse_port_count(db, benchmark):
+    """Section 5.3.2: for 1-µop instructions the throughput is 1/|P|."""
+    backend = hardware_backend("SKL")
+    blocking = blocking_for("SKL", db)
+
+    def run():
+        rows = {}
+        for uid in ("ADD_R64_I8", "IMUL_R64_R64_I8",
+                    "PSHUFD_XMM_XMM_I8"):
+            form = db.by_uid(uid)
+            usage = infer_port_usage(form, backend, blocking)
+            rows[uid] = (
+                usage,
+                compute_throughput_from_port_usage(
+                    usage, backend.uarch.ports
+                ),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for uid, (usage, computed) in rows.items():
+        ports = next(iter(usage.counts))
+        assert computed == pytest.approx(1.0 / len(ports), abs=0.01), uid

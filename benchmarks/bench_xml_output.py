@@ -1,0 +1,96 @@
+"""Section 6.4: the machine-readable XML results file.
+
+Characterizes a representative instruction set on two generations (with
+IACA results for the generations that support it) and regenerates the XML
+document, validating the structure the paper describes: results for all
+tested microarchitectures, both as measured on the hardware and as obtained
+from running the microbenchmarks on top of IACA.
+"""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.codegen import measure_isolated
+from repro.core.runner import CharacterizationRunner
+from repro.core.xml_output import results_to_xml, write_xml
+from repro.iaca import IacaBackend
+from repro.uarch.configs import get_uarch
+
+from conftest import RESULTS_DIR, hardware_backend
+
+FORMS = (
+    "ADD_R64_R64",
+    "AESDEC_XMM_XMM",
+    "SHLD_R64_R64_I8",
+    "MOVQ2DQ_XMM_MM",
+    "DIV_R64",
+    "MOV_R64_M64",
+    "MOV_M64_R64",
+    "PBLENDVB_XMM_XMM",
+)
+GENERATIONS = ("SNB", "SKL")
+
+
+def _build_document(db):
+    results = {}
+    iaca_results = {}
+    for name in GENERATIONS:
+        backend = hardware_backend(name)
+        runner = CharacterizationRunner(backend, db)
+        forms = [db.by_uid(uid) for uid in FORMS
+                 if backend.supports(db.by_uid(uid))]
+        results[name] = runner.characterize_all(forms)
+        uarch = get_uarch(name)
+        iaca_results[name] = {}
+        for version in uarch.iaca_versions:
+            iaca_backend = IacaBackend(uarch, version)
+            per_form = {}
+            for form in forms:
+                if not iaca_backend.supports(form):
+                    continue
+                counters = measure_isolated(form, iaca_backend)
+                per_form[form.uid] = {"uops": round(counters.uops)}
+            iaca_results[name][version] = per_form
+    return results_to_xml(results, db, iaca_results)
+
+
+def test_xml_results_document(db, benchmark, emit):
+    root = benchmark.pedantic(
+        _build_document, args=(db,), rounds=1, iterations=1
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "instructions.xml"
+    write_xml(root, str(path))
+
+    reparsed = ET.parse(str(path)).getroot()
+    instructions = reparsed.findall("instruction")
+    assert len(instructions) == len(FORMS)
+
+    aesdec = next(
+        i for i in instructions if i.get("string") == "AESDEC_XMM_XMM"
+    )
+    architectures = aesdec.findall("architecture")
+    assert {a.get("name") for a in architectures} == set(GENERATIONS)
+
+    snb = next(a for a in architectures if a.get("name") == "SNB")
+    measurement = snb.find("measurement")
+    assert measurement.get("uops") == "2"
+    pairs = {
+        (l.get("start_op"), l.get("target_op")): l.get("cycles")
+        for l in measurement.findall("latency")
+        if l.get("same_reg") is None and l.get("value_class") is None
+    }
+    assert pairs[("op1", "op1")] == "8"
+    assert float(pairs[("op2", "op1")]) <= 2
+
+    # IACA elements present for generations/versions that support them.
+    assert snb.findall("iaca")
+
+    emit(
+        "xml_output.txt",
+        f"Machine-readable XML written to {path} "
+        f"({len(instructions)} instructions, "
+        f"{sum(len(i.findall('architecture')) for i in instructions)} "
+        "architecture entries)",
+    )

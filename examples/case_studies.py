@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce every Section 7.3 case study and print the comparisons
+against previously published data (Intel's manual, Agner Fog, IACA, the
+LLVM models, Granlund, AIDA64).
+
+Run with::
+
+    python examples/case_studies.py
+"""
+
+from repro.analysis.casestudies import (
+    aes_latency_study,
+    movq2dq_port_study,
+    multi_latency_study,
+    shld_latency_study,
+    zero_idiom_study,
+)
+
+
+def main() -> None:
+    studies = (
+        aes_latency_study,
+        shld_latency_study,
+        movq2dq_port_study,
+        multi_latency_study,
+        zero_idiom_study,
+    )
+    failed = 0
+    for study in studies:
+        result = study()
+        print(result.render())
+        print()
+        if not result.passed:
+            failed += 1
+    if failed:
+        raise SystemExit(f"{failed} case studies FAILED")
+    print("all case studies reproduce the paper's findings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Hardware vs IACA (Sections 6.3 and 7.2).
+
+Run with::
+
+    python examples/compare_iaca.py [uarch] [sample-size]
+
+Runs the same microbenchmarks on the hardware backend and on every IACA
+version supporting the generation, prints the agreement percentages (one
+row of Table 1), and lists the disagreeing instruction variants — the kind
+of output that uncovered the IACA errors described in the paper.
+"""
+
+import sys
+
+from repro import HardwareBackend, get_uarch
+from repro.analysis.compare import compute_agreement
+from repro.analysis.sampling import stratified_sample
+from repro.core.runner import CharacterizationRunner
+from repro.isa.database import load_default_database
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "HSW"
+    sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    uarch = get_uarch(name)
+    if not uarch.iaca_versions:
+        print(f"{uarch.full_name} is not supported by any IACA version "
+              "(see Table 1)")
+        return
+
+    database = load_default_database()
+    backend = HardwareBackend(uarch)
+    runner = CharacterizationRunner(backend, database)
+    supported = runner.supported_forms()
+    sample = stratified_sample(supported, sample_size)
+    print(
+        f"comparing {len(sample)} variants on {uarch.full_name} against "
+        f"IACA {', '.join(uarch.iaca_versions)}\n"
+    )
+    row = compute_agreement(
+        uarch, database, sample, backend, n_variants=len(supported)
+    )
+    print(f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
+          f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}")
+    print(row.format())
+    print()
+    if row.disagreements:
+        print("disagreeing variants:")
+        for entry in row.disagreements:
+            print(f"  {entry}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The paper's main workflow: characterize the instruction set on one (or
+every) generation and emit the machine-readable XML results file
+(Section 6.4).
+
+Run with::
+
+    python examples/full_characterization.py [uarch|all] [sample-size]
+
+The default characterizes a 60-variant stratified sample on Skylake and
+writes ``characterization.xml``; pass a larger sample size (or ``0`` for
+the complete catalog) for fuller runs.
+"""
+
+import sys
+import time
+
+from repro import CharacterizationRunner, HardwareBackend, get_uarch
+from repro.analysis.sampling import stratified_sample
+from repro.core.xml_output import results_to_xml, write_xml
+from repro.isa.database import load_default_database
+from repro.uarch.configs import ALL_UARCHES
+
+
+def characterize_generation(name, database, sample_size):
+    backend = HardwareBackend(get_uarch(name))
+    runner = CharacterizationRunner(backend, database)
+    supported = runner.supported_forms()
+    forms = (
+        supported
+        if sample_size == 0
+        else stratified_sample(supported, sample_size)
+    )
+    print(
+        f"{name}: {len(supported)} supported variants, "
+        f"characterizing {len(forms)}"
+    )
+    started = time.perf_counter()
+    results = runner.characterize_all(forms)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{name}: {len(results)} characterized in {elapsed:.1f}s "
+        f"({elapsed / max(len(results), 1):.2f}s/variant)"
+    )
+    return results
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else "SKL"
+    sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    database = load_default_database()
+
+    names = (
+        [u.name for u in ALL_UARCHES] if target == "all" else [target]
+    )
+    results = {
+        name: characterize_generation(name, database, sample_size)
+        for name in names
+    }
+    root = results_to_xml(results, database)
+    output = "characterization.xml"
+    write_xml(root, output)
+    total = sum(len(r) for r in results.values())
+    print(f"\nwrote {total} characterizations to {output}")
+
+
+if __name__ == "__main__":
+    main()

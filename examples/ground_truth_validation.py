@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Deep validation: run Algorithm 1 and the latency inference over (a
+sample of / the whole) instruction set and compare every result against
+the simulator's hidden ground truth.
+
+This is the strongest end-to-end check the reproduction offers: the
+inference pipeline, observing only performance counters, must reconstruct
+the tables the simulator executes from — port usage exactly, per-pair
+latencies to within one cycle of the analytical DAG value (structural
+hazards between an instruction's own µops account for the slack).
+
+Run with::
+
+    python examples/ground_truth_validation.py [uarch] [sample-size]
+
+(sample-size 0 sweeps the full catalog, ~10-25 minutes per generation.)
+"""
+
+import sys
+import time
+
+from repro import HardwareBackend, get_uarch
+from repro.analysis.latency_truth import expected_latency
+from repro.analysis.sampling import stratified_sample
+from repro.core.blocking import find_blocking_instructions
+from repro.core.latency import LatencyMeasurer
+from repro.core.port_usage import infer_port_usage
+from repro.core.result import PortUsage
+from repro.core.runner import CharacterizationRunner
+from repro.isa.database import load_default_database
+from repro.isa.operands import OperandKind
+from repro.uarch.tables import build_entry
+
+
+def _slot_for_label(form, label):
+    if label == "flags":
+        return "flags"
+    for index in range(len(form.operands)):
+        if form.operand_label(index) == label:
+            return index
+    return None
+
+
+def check_latency(form, measurer, uarch, mismatches) -> int:
+    """Compare exact register/flags latency pairs; returns #checked."""
+    if form.has_memory_operand or form.category in (
+        "div", "vec_fp_div", "vec_fp_sqrt"
+    ):
+        return 0
+    result = measurer.infer(form)
+    checked = 0
+    for (src_label, dst_label), value in result.pairs.items():
+        if value.kind != "exact":
+            continue
+        src = _slot_for_label(form, src_label)
+        dst = _slot_for_label(form, dst_label)
+        if src is None or dst is None:
+            continue
+        for slot in (src, dst):
+            if slot != "flags" and form.operands[slot].kind not in (
+                OperandKind.GPR, OperandKind.VEC, OperandKind.MMX
+            ):
+                return checked
+        expected = expected_latency(form, uarch, src, dst)
+        if expected is None:
+            continue
+        checked += 1
+        if abs(value.cycles - expected) > 1.1:
+            mismatches.append(
+                (f"lat {form.uid} {src_label}->{dst_label}",
+                 f"{value.cycles:g}", f"{expected:g}")
+            )
+    return checked
+
+
+def main() -> None:
+    uarch_name = sys.argv[1] if len(sys.argv) > 1 else "SKL"
+    sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 200
+    database = load_default_database()
+    backend = HardwareBackend(get_uarch(uarch_name))
+    runner = CharacterizationRunner(backend, database)
+
+    candidates = [
+        form
+        for form in runner.supported_forms()
+        if not any(
+            form.has_attribute(a)
+            for a in ("system", "serializing", "rep", "control_flow")
+        )
+    ]
+    forms = (
+        candidates
+        if sample_size == 0
+        else stratified_sample(candidates, sample_size)
+    )
+    print(
+        f"validating Algorithm 1 against ground truth on "
+        f"{backend.uarch.full_name}: {len(forms)} variants"
+    )
+    blocking = find_blocking_instructions(database, backend)
+    measurer = LatencyMeasurer(database, backend)
+    started = time.perf_counter()
+    mismatches = []
+    checked = 0
+    latency_pairs = 0
+    for index, form in enumerate(forms, start=1):
+        entry = build_entry(form, backend.uarch)
+        truth = PortUsage(entry.port_usage())
+        inferred = infer_port_usage(
+            form, backend, blocking, max_latency=entry.max_latency()
+        )
+        checked += 1
+        if inferred != truth:
+            mismatches.append(
+                (f"ports {form.uid}", inferred.notation(),
+                 truth.notation())
+            )
+        latency_pairs += check_latency(
+            form, measurer, backend.uarch, mismatches
+        )
+        if index % 50 == 0:
+            elapsed = time.perf_counter() - started
+            print(
+                f"  {index}/{len(forms)} "
+                f"({elapsed / index:.2f}s/variant, "
+                f"{len(mismatches)} mismatches)",
+                flush=True,
+            )
+    elapsed = time.perf_counter() - started
+    print(
+        f"\nchecked {checked} port usages and {latency_pairs} latency "
+        f"pairs in {elapsed:.0f}s: {len(mismatches)} mismatches"
+    )
+    for what, inferred, truth in mismatches:
+        print(f"  {what}: inferred {inferred}, truth {truth}")
+    if mismatches:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Trace how an instruction's implementation evolved across all nine
+generations — the per-instruction view the uops.info site offers.
+
+Run with::
+
+    python examples/instruction_evolution.py [form-uid]
+
+The default, ``AESDEC_XMM_XMM``, walks through the paper's Section 7.3.1
+story: 3 µops / 6 cycles on Westmere, 2 µops with the 8-vs-1 split pair
+latencies on Sandy/Ivy Bridge, a single 7-cycle µop from Haswell on (port
+5 there, port 0 from Skylake).
+"""
+
+import sys
+
+from repro import CharacterizationRunner, HardwareBackend
+from repro.isa.database import load_default_database
+from repro.uarch.configs import ALL_UARCHES
+
+
+def main() -> None:
+    uid = sys.argv[1] if len(sys.argv) > 1 else "AESDEC_XMM_XMM"
+    database = load_default_database()
+    form = database.by_uid(uid)
+    print(f"{uid} across the Intel Core generations:\n")
+    header = (
+        f"{'arch':5s} {'µops':>4s} {'ports':22s} {'TP':>5s}  latency"
+    )
+    print(header)
+    print("-" * len(header))
+    for uarch in ALL_UARCHES:
+        backend = HardwareBackend(uarch)
+        runner = CharacterizationRunner(backend, database)
+        if not runner.can_measure(form):
+            print(f"{uarch.name:5s}    - (not supported)")
+            continue
+        outcome = runner.characterize(form)
+        ports = (
+            outcome.port_usage.notation()
+            if outcome.port_usage is not None
+            else "-"
+        )
+        throughput = (
+            f"{outcome.throughput.measured:.2f}"
+            if outcome.throughput is not None
+            else "-"
+        )
+        pairs = ""
+        if outcome.latency is not None and outcome.latency.pairs:
+            pairs = ", ".join(
+                f"{src}->{dst}: {value}"
+                for (src, dst), value in sorted(
+                    outcome.latency.pairs.items()
+                )
+            )
+        print(
+            f"{uarch.name:5s} {outcome.uop_count:4.0f} {ports:22s} "
+            f"{throughput:>5s}  {pairs}"
+        )
+
+
+if __name__ == "__main__":
+    main()

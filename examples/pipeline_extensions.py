@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The future-work extensions from the paper's conclusions, end to end:
+micro/macro-fusion and decoder-class characterization.
+
+Run with::
+
+    python examples/pipeline_extensions.py [uarch]
+"""
+
+import sys
+
+from repro.core.decoder import decoder_report
+from repro.core.fusion import (
+    fusion_backend,
+    macro_fusion_matrix,
+    measure_micro_fusion,
+)
+from repro.isa.database import load_default_database
+from repro.measure.backend import HardwareBackend
+from repro.uarch.configs import get_uarch
+
+MICRO_PROBES = (
+    "ADD_R64_R64", "ADD_R64_M64", "ADD_M64_R64", "MOV_M64_R64",
+    "PADDB_XMM_M128",
+)
+DECODER_PROBES = (
+    "ADD_R64_R64", "MOV_M64_R64", "XCHG_R64_R64", "RDTSC",
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "SKL"
+    uarch = get_uarch(name)
+    database = load_default_database()
+
+    print(f"== macro-fusion matrix ({uarch.full_name}) ==")
+    matrix = macro_fusion_matrix(database, fusion_backend(uarch))
+    print(matrix.render())
+    print()
+
+    print(f"== micro-fusion counts ({uarch.full_name}) ==")
+    backend = HardwareBackend(uarch)
+    for uid in MICRO_PROBES:
+        form = database.by_uid(uid)
+        if not backend.supports(form):
+            continue
+        result = measure_micro_fusion(form, backend)
+        print(
+            f"  {result.form_uid:20s} unfused={result.unfused_uops} "
+            f"fused={result.fused_uops} "
+            f"({result.fused_pairs} micro-fused pair(s))"
+        )
+    print()
+
+    print(f"== decoder classes ({uarch.full_name}) ==")
+    for result in decoder_report(database, uarch, list(DECODER_PROBES)):
+        print(f"  {result}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a few instructions on Skylake.
+
+Run with::
+
+    python examples/quickstart.py [uarch]
+
+This is the smallest end-to-end use of the public API: pick a generation,
+characterize some instruction variants, and read off the port usage, the
+per-operand-pair latencies, and the throughput.
+"""
+
+import sys
+
+from repro import characterize
+
+INSTRUCTIONS = (
+    "ADD_R64_R64",       # plain ALU: 1 µop, latency 1
+    "IMUL_R64_R64",      # multiplier: port 1, pair-dependent latency
+    "AESDEC_XMM_XMM",    # the Section 7.3.1 case study
+    "MOV_R64_M64",       # a load
+    "DIV_R64",           # value-dependent divider latency
+)
+
+
+def main() -> None:
+    uarch = sys.argv[1] if len(sys.argv) > 1 else "SKL"
+    print(f"Characterizing {len(INSTRUCTIONS)} instruction variants on "
+          f"{uarch}\n")
+    for uid in INSTRUCTIONS:
+        result = characterize(uid, uarch)
+        print(result.summary())
+        throughput = result.throughput
+        if throughput is not None and \
+                throughput.computed_from_ports is not None:
+            print(
+                f"    measured throughput {throughput.measured:.2f}, "
+                f"computed from port usage "
+                f"{throughput.computed_from_ports:.2f}"
+            )
+        if result.latency and result.latency.fast_values:
+            fast = ", ".join(
+                f"{s}->{d}: {v}"
+                for (s, d), v in result.latency.fast_values.items()
+            )
+            print(f"    with low-latency operand values: {fast}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

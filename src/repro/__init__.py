@@ -1,0 +1,58 @@
+"""uops.info reproduction: characterizing latency, throughput, and port
+usage of x86 instructions on Intel Core microarchitectures.
+
+Reproduction of Abel & Reineke, "uops.info: Characterizing Latency,
+Throughput, and Port Usage of Instructions on Intel Microarchitectures"
+(ASPLOS 2019).  The physical processors are replaced by a cycle-accurate
+out-of-order pipeline simulator observed exclusively through performance
+counters; everything else — the instruction-set description, the
+microbenchmark generators, Algorithm 1, the per-operand-pair latency
+chains, the throughput LP, the IACA comparison, the XML output — is
+implemented as described in the paper.
+
+Quick start::
+
+    from repro import characterize
+
+    result = characterize("ADD_R64_R64", "SKL")
+    print(result.summary())
+"""
+
+from repro.core.result import InstructionCharacterization
+from repro.core.runner import CharacterizationRunner
+from repro.isa.database import load_default_database
+from repro.measure.backend import HardwareBackend, MeasurementConfig
+from repro.uarch.configs import ALL_UARCHES, get_uarch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_UARCHES",
+    "CharacterizationRunner",
+    "HardwareBackend",
+    "InstructionCharacterization",
+    "MeasurementConfig",
+    "characterize",
+    "get_uarch",
+    "load_default_database",
+]
+
+
+def characterize(
+    form_uid: str, uarch_name: str
+) -> InstructionCharacterization:
+    """Characterize one instruction variant on one generation.
+
+    Args:
+        form_uid: e.g. ``"ADD_R64_R64"`` or ``"AESDEC_XMM_XMM"``.
+        uarch_name: e.g. ``"SKL"`` or ``"Skylake"``.
+    """
+    database = load_default_database()
+    backend = HardwareBackend(get_uarch(uarch_name))
+    runner = CharacterizationRunner(backend, database)
+    outcome = runner.characterize(database.by_uid(form_uid))
+    if outcome is None:
+        raise ValueError(
+            f"{form_uid} cannot be measured on {uarch_name}"
+        )
+    return outcome

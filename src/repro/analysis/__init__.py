@@ -1,0 +1,7 @@
+"""Evaluation machinery: hardware-vs-IACA agreement (Table 1) and the
+Section 7.3 case studies."""
+
+from repro.analysis.compare import AgreementRow, compute_agreement
+from repro.analysis.sampling import stratified_sample
+
+__all__ = ["AgreementRow", "compute_agreement", "stratified_sample"]

@@ -1,0 +1,155 @@
+"""Hardware-vs-IACA agreement, reproducing the comparison of Section 7.2
+and the last three columns of Table 1.
+
+For every instruction variant supported by both substrates, the same
+microbenchmarks are run on the hardware backend and on every IACA version
+supporting the generation; the µop counts are compared first (a variant
+agrees if *at least one* IACA version reports the hardware's count), and
+among the variants with matching counts, the inferred port usages are
+compared.  REP- and LOCK-prefixed instructions are excluded from the
+percentages, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.blocking import find_blocking_instructions
+from repro.core.codegen import measure_isolated
+from repro.core.port_usage import infer_port_usage
+from repro.core.result import PortUsage
+from repro.iaca.analyzer import IacaBackend
+from repro.isa.database import InstructionDatabase
+from repro.isa.instruction import (
+    ATTR_LOCK,
+    ATTR_REP,
+    ATTR_SERIALIZING,
+    ATTR_SYSTEM,
+    InstructionForm,
+)
+from repro.measure.backend import HardwareBackend
+from repro.uarch.model import UarchConfig
+
+
+@dataclass
+class AgreementRow:
+    """One row of Table 1."""
+
+    uarch_name: str
+    processor: str
+    n_variants: int
+    iaca_versions: Tuple[str, ...]
+    compared: int = 0
+    uops_same: int = 0
+    uops_same_filtered: int = 0  # excluding REP/LOCK
+    filtered_total: int = 0
+    ports_compared: int = 0
+    ports_same: int = 0
+    disagreements: List[str] = field(default_factory=list)
+
+    @property
+    def uops_percentage(self) -> float:
+        """µop agreement excluding REP/LOCK (Table 1, column 5)."""
+        if not self.filtered_total:
+            return 0.0
+        return 100.0 * self.uops_same_filtered / self.filtered_total
+
+    @property
+    def uops_percentage_raw(self) -> float:
+        if not self.compared:
+            return 0.0
+        return 100.0 * self.uops_same / self.compared
+
+    @property
+    def ports_percentage(self) -> float:
+        """Port agreement among same-µop variants (Table 1, column 6)."""
+        if not self.ports_compared:
+            return 0.0
+        return 100.0 * self.ports_same / self.ports_compared
+
+    def format(self) -> str:
+        versions = (
+            f"{self.iaca_versions[0]}–{self.iaca_versions[-1]}"
+            if self.iaca_versions
+            else "-"
+        )
+        uops = f"{self.uops_percentage:.2f}%" if self.iaca_versions else "-"
+        ports = f"{self.ports_percentage:.2f}%" if self.iaca_versions \
+            else "-"
+        return (
+            f"{self.uarch_name:4s} {self.processor:18s} "
+            f"{self.n_variants:5d}  {versions:8s} {uops:>8s} {ports:>8s}"
+        )
+
+
+def compute_agreement(
+    uarch: UarchConfig,
+    database: InstructionDatabase,
+    forms: Iterable[InstructionForm],
+    hardware: Optional[HardwareBackend] = None,
+    n_variants: Optional[int] = None,
+) -> AgreementRow:
+    """Compare hardware and IACA characterizations over *forms*."""
+    hardware = hardware or HardwareBackend(uarch)
+    row = AgreementRow(
+        uarch_name=uarch.name,
+        processor=uarch.processor,
+        n_variants=n_variants if n_variants is not None else 0,
+        iaca_versions=tuple(uarch.iaca_versions),
+    )
+    if not uarch.iaca_versions:
+        return row
+
+    iaca_backends = [
+        IacaBackend(uarch, version) for version in uarch.iaca_versions
+    ]
+    hw_blocking = find_blocking_instructions(database, hardware)
+    iaca_blocking = {
+        backend.version: find_blocking_instructions(database, backend)
+        for backend in iaca_backends
+    }
+
+    for form in forms:
+        if not hardware.supports(form):
+            continue
+        supporting = [b for b in iaca_backends if b.supports(form)]
+        if not supporting:
+            continue
+        row.compared += 1
+        filtered = not (
+            form.has_attribute(ATTR_REP) or form.has_attribute(ATTR_LOCK)
+        )
+        if filtered:
+            row.filtered_total += 1
+
+        hw_uops = round(measure_isolated(form, hardware).uops)
+        matching = [
+            b
+            for b in supporting
+            if round(measure_isolated(form, b).uops) == hw_uops
+        ]
+        if matching:
+            row.uops_same += 1
+            if filtered:
+                row.uops_same_filtered += 1
+        else:
+            row.disagreements.append(f"uops: {form.uid}")
+            continue
+
+        if not filtered:
+            continue
+        if form.has_attribute(ATTR_SYSTEM) or \
+                form.has_attribute(ATTR_SERIALIZING):
+            continue  # port usage is not measured for these (Section 8)
+        row.ports_compared += 1
+        hw_usage = infer_port_usage(form, hardware, hw_blocking)
+        same = any(
+            infer_port_usage(form, b, iaca_blocking[b.version]) == hw_usage
+            for b in matching
+        )
+        if same:
+            row.ports_same += 1
+        else:
+            row.disagreements.append(f"ports: {form.uid}")
+    return row

@@ -1,0 +1,98 @@
+"""Analytical per-pair latencies from the ground-truth µop DAG.
+
+For validation only: computes the paper's ``lat(s, d)`` directly from a
+:class:`~repro.uarch.uops.UarchEntry` — the time from source operand ``s``
+becoming ready to destination ``d`` being produced, assuming every *other*
+dependency is off the critical path (exactly the Section 4.1 definition).
+The integration tests compare the latency *inference* (which only sees
+performance counters) against these values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.isa.instruction import InstructionForm
+from repro.isa.operands import OperandKind
+from repro.uarch.model import UarchConfig
+from repro.uarch.tables import build_entry
+
+_NEG_INF = float("-inf")
+
+
+def expected_latency(
+    form: InstructionForm,
+    uarch: UarchConfig,
+    source: Union[int, str],
+    destination: Union[int, str],
+) -> Optional[float]:
+    """``lat(source, destination)`` from the ground-truth µop DAG.
+
+    Args:
+        source: operand slot index, or ``"flags"``.
+        destination: operand slot index, or ``"flags"``.
+
+    Returns:
+        The latency in cycles, or ``None`` if the destination does not
+        depend on the source.
+    """
+    entry = build_entry(form, uarch)
+    if entry is None:
+        return None
+
+    def ref_is_source(ref) -> bool:
+        if source == "flags":
+            return ref == ("flags",)
+        if ref == ("op", source):
+            return True
+        # A memory slot as source means its *address registers* become
+        # ready (Section 5.2.2); the loaded data then flows through the
+        # load µop's ("ld", slot) output.
+        if (
+            isinstance(source, int)
+            and form.operands[source].kind == OperandKind.MEM
+            and ref == ("addr", source)
+        ):
+            return True
+        return False
+
+    # Ready time of each µop result relative to the source (−inf when the
+    # µop does not transitively depend on it).
+    uop_time: Dict[int, float] = {}
+    output_time: Dict[Tuple, float] = {}
+
+    for index, uop in enumerate(entry.uops):
+        dispatch = _NEG_INF
+        for ref in uop.inputs:
+            delay = uop.input_delay(ref)
+            if ref_is_source(ref):
+                dispatch = max(dispatch, 0.0 + delay)
+            elif ref[0] == "uop":
+                producer_time = uop_time.get(ref[1], _NEG_INF)
+                if producer_time > _NEG_INF:
+                    dispatch = max(dispatch, producer_time + delay)
+            elif ref[0] in ("ld", "staddr", "mem") and ref in output_time:
+                # Intra-instruction memory temps flow between µops;
+                # ("op", i) and ("flags",) inputs always read the
+                # instruction's *external* operands, never a sibling
+                # µop's output.
+                producer_time = output_time[ref]
+                if producer_time > _NEG_INF:
+                    dispatch = max(dispatch, producer_time + delay)
+        uop_time[index] = (
+            dispatch + uop.latency if dispatch > _NEG_INF else _NEG_INF
+        )
+        for out in uop.outputs:
+            if dispatch > _NEG_INF:
+                output_time[out] = dispatch + uop.output_latency(out)
+            else:
+                output_time.setdefault(out, _NEG_INF)
+
+    if destination == "flags":
+        value = output_time.get(("flags",), _NEG_INF)
+    else:
+        value = output_time.get(("op", destination), _NEG_INF)
+        if value == _NEG_INF and isinstance(destination, int) and \
+                form.operands[destination].kind == OperandKind.MEM:
+            value = output_time.get(("mem", destination), _NEG_INF)
+    return None if value == _NEG_INF else value

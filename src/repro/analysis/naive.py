@@ -1,0 +1,58 @@
+"""The naive, isolation-based port-usage inference the paper improves on.
+
+Section 5.1 describes the prior approach (Agner Fog's): run the instruction
+repeatedly in isolation, read the average per-port µop counts, and guess a
+port usage from them.  The reconstruction groups ports by their fractional
+utilization — e.g. counts of 1.0 on port 0 plus 0.5 on ports 1 and 5 are
+read as ``1*p0 + 1*p15``.  The paper's two counterexamples show why this is
+unsound: ``2*p05`` produces exactly the same isolation counts as
+``1*p0 + 1*p5``, and ``1*p0156 + 1*p06`` the same as ``2*p0156``.
+
+This module implements that naive reconstruction so the ablation benchmark
+can measure how often it errs across the whole instruction set, relative to
+Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.codegen import measure_isolated
+from repro.core.result import PortUsage
+from repro.isa.instruction import InstructionForm
+
+
+def naive_port_usage(
+    form: InstructionForm, backend, threshold: float = 0.05
+) -> PortUsage:
+    """Fog-style port usage from an isolation run only."""
+    counters = measure_isolated(form, backend)
+    usage: Dict[FrozenSet[int], int] = {}
+    fractional: Dict[int, float] = {}
+    for port, count in counters.port_uops.items():
+        if count <= threshold:
+            continue
+        whole = int(count + 0.1)
+        if whole > 0:
+            # A port averaging ~n µops/instr is read as n dedicated µops
+            # on that port (this is how 2*p05 becomes "1*p0 + 1*p5").
+            key = frozenset({port})
+            usage[key] = usage.get(key, 0) + whole
+        fraction = count - whole
+        if fraction > threshold:
+            fractional[port] = fraction
+    # Ports with (nearly) equal fractional utilization are grouped into
+    # one combination executing round(sum) µops (this is how
+    # 1*p0156 + 1*p06 becomes "2*p0156").
+    while fractional:
+        _, anchor = max(
+            fractional.items(), key=lambda item: (item[1], -item[0])
+        )
+        group = [
+            p for p, c in fractional.items() if abs(c - anchor) <= 0.12
+        ]
+        total = sum(fractional.pop(p) for p in group)
+        uops = max(1, round(total))
+        key = frozenset(group)
+        usage[key] = usage.get(key, 0) + uops
+    return PortUsage(usage)

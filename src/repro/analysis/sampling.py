@@ -1,0 +1,52 @@
+"""Deterministic stratified sampling of instruction forms.
+
+Characterizing every variant on every generation takes the paper's tool
+50-110 minutes on real hardware; on the pure-Python simulator a full run is
+correspondingly slower, so the benchmark harness defaults to a stratified
+sample (one form out of every *k*, spread across categories) and offers
+``REPRO_FULL=1`` for complete runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.isa.database import InstructionDatabase
+from repro.isa.instruction import InstructionForm
+
+
+def full_run_requested() -> bool:
+    return os.environ.get("REPRO_FULL", "") not in ("", "0")
+
+
+def stratified_sample(
+    forms: List[InstructionForm],
+    target: int,
+) -> List[InstructionForm]:
+    """About *target* forms, covering every category proportionally."""
+    if target <= 0 or target >= len(forms):
+        return list(forms)
+    by_category: Dict[str, List[InstructionForm]] = {}
+    for form in sorted(forms, key=lambda f: f.uid):
+        by_category.setdefault(form.category, []).append(form)
+    fraction = target / len(forms)
+    sample: List[InstructionForm] = []
+    for category in sorted(by_category):
+        members = by_category[category]
+        take = max(1, round(len(members) * fraction))
+        stride = max(1, len(members) // take)
+        sample.extend(members[::stride][:take])
+    return sample
+
+
+def default_sample(
+    database: InstructionDatabase,
+    predicate,
+    target: Optional[int] = None,
+) -> List[InstructionForm]:
+    """The benchmark harness's working set for one generation."""
+    forms = [f for f in database if predicate(f)]
+    if full_run_requested():
+        return forms
+    return stratified_sample(forms, target or 120)

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands mirror the workflows of the paper:
+
+* ``characterize FORM [UARCH]``    — one variant, full report,
+* ``sweep [UARCH] [--sample N]``   — many variants → XML (Section 6.4),
+* ``table1 [--sample N]``          — regenerate Table 1,
+* ``case-studies``                 — all Section 7.3 case studies,
+* ``list [MNEMONIC]``              — catalog queries,
+* ``analyze FILE [UARCH]``         — predict a loop kernel's performance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_characterize(args) -> int:
+    from repro import characterize
+
+    result = characterize(args.form, args.uarch)
+    print(result.summary())
+    if result.latency is not None:
+        for (src, dst), value in sorted(result.latency.pairs.items()):
+            chain = f" (chain: {value.chain})" if value.chain else ""
+            print(f"  lat({src} -> {dst}) = {value}{chain}")
+        for (src, dst), value in sorted(
+            result.latency.same_register.items()
+        ):
+            print(f"  lat({src} -> {dst}) [same register] = {value}")
+        for (src, dst), value in sorted(
+            result.latency.fast_values.items()
+        ):
+            print(f"  lat({src} -> {dst}) [fast values] = {value}")
+    if result.throughput is not None:
+        throughput = result.throughput
+        print(f"  throughput (measured) = {throughput.measured:.2f}")
+        if throughput.computed_from_ports is not None:
+            print(
+                "  throughput (from port usage) = "
+                f"{throughput.computed_from_ports:.2f}"
+            )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro import CharacterizationRunner, HardwareBackend, get_uarch
+    from repro.analysis.sampling import stratified_sample
+    from repro.core.xml_output import results_to_xml, write_xml
+    from repro.isa.database import load_default_database
+
+    database = load_default_database()
+    backend = HardwareBackend(get_uarch(args.uarch))
+    runner = CharacterizationRunner(backend, database)
+    supported = runner.supported_forms()
+    forms = (
+        supported if args.sample == 0
+        else stratified_sample(supported, args.sample)
+    )
+    print(f"characterizing {len(forms)} of {len(supported)} variants on "
+          f"{backend.uarch.full_name}", file=sys.stderr)
+    results = runner.characterize_all(
+        forms,
+        progress=(lambda line: print(line, file=sys.stderr))
+        if args.verbose else None,
+    )
+    root = results_to_xml({backend.uarch.name: results}, database)
+    write_xml(root, args.output)
+    print(f"wrote {len(results)} characterizations to {args.output}")
+    if args.html:
+        from repro.core.html_output import write_html
+
+        write_html({backend.uarch.name: results}, args.html, database)
+        print(f"wrote HTML report to {args.html}")
+    if args.llvm:
+        from repro.core.llvm_export import write_tablegen
+
+        write_tablegen(results, backend.uarch, args.llvm)
+        print(f"wrote LLVM-style scheduling model to {args.llvm}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro import CharacterizationRunner, HardwareBackend
+    from repro.analysis.compare import compute_agreement
+    from repro.analysis.sampling import stratified_sample
+    from repro.uarch.configs import ALL_UARCHES
+
+    print(f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
+          f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}")
+    for uarch in ALL_UARCHES:
+        backend = HardwareBackend(uarch)
+        runner = CharacterizationRunner(backend)
+        supported = runner.supported_forms()
+        sample = (
+            supported if args.sample == 0
+            else stratified_sample(supported, args.sample)
+        )
+        row = compute_agreement(
+            uarch, runner.database, sample, backend,
+            n_variants=len(supported),
+        )
+        print(row.format())
+    return 0
+
+
+def _cmd_case_studies(args) -> int:
+    from repro.analysis.casestudies import (
+        aes_latency_study,
+        movq2dq_port_study,
+        multi_latency_study,
+        shld_latency_study,
+        zero_idiom_study,
+    )
+
+    failed = 0
+    for study in (aes_latency_study, shld_latency_study,
+                  movq2dq_port_study, multi_latency_study,
+                  zero_idiom_study):
+        result = study()
+        print(result.render())
+        print()
+        failed += 0 if result.passed else 1
+    return 1 if failed else 0
+
+
+def _cmd_list(args) -> int:
+    from repro.isa.database import load_default_database
+
+    database = load_default_database()
+    if args.mnemonic:
+        forms = database.forms_for_mnemonic(args.mnemonic)
+        if not forms:
+            print(f"no forms for mnemonic {args.mnemonic!r}",
+                  file=sys.stderr)
+            return 1
+        for form in forms:
+            print(f"{form.uid:40s} {form.extension:10s} {form.category}")
+    else:
+        print(f"{len(database)} instruction variants, "
+              f"{len(database.mnemonics())} mnemonics, extensions: "
+              f"{', '.join(database.extensions())}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro import CharacterizationRunner, HardwareBackend, get_uarch
+    from repro.isa.assembler import parse_sequence
+    from repro.isa.database import load_default_database
+    from repro.predictor import LoopAnalyzer
+
+    database = load_default_database()
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            text = handle.read()
+    code = parse_sequence(text, database)
+    uarch = get_uarch(args.uarch)
+    if args.model:
+        from repro.core.xml_input import load_results
+
+        results = load_results(args.model).get(uarch.name, {})
+        missing = [
+            instr.form.uid for instr in code
+            if instr.form.uid not in results
+        ]
+        if missing:
+            print(
+                f"model file lacks characterizations for: "
+                f"{', '.join(sorted(set(missing)))}",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        backend = HardwareBackend(uarch)
+        runner = CharacterizationRunner(backend, database)
+        results = runner.characterize_all(
+            dict.fromkeys(instr.form for instr in code)
+        )
+    analyzer = LoopAnalyzer(results, uarch)
+    analysis = analyzer.analyze(code)
+    print(f"loop body: {len(code)} instructions on {uarch.full_name}")
+    print(analysis.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="uops.info reproduction: characterize x86 "
+        "instructions on simulated Intel Core generations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="characterize one variant")
+    p.add_argument("form", help="form uid, e.g. ADD_R64_R64")
+    p.add_argument("uarch", nargs="?", default="SKL")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("sweep", help="characterize many variants -> XML")
+    p.add_argument("uarch", nargs="?", default="SKL")
+    p.add_argument("--sample", type=int, default=60,
+                   help="stratified sample size (0 = full catalog)")
+    p.add_argument("--output", default="characterization.xml")
+    p.add_argument("--html", default=None,
+                   help="also write an HTML report (uops.info-style)")
+    p.add_argument("--llvm", default=None,
+                   help="also write an LLVM-style scheduling model (.td)")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--sample", type=int, default=45)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("case-studies",
+                       help="run all Section 7.3 case studies")
+    p.set_defaults(func=_cmd_case_studies)
+
+    p = sub.add_parser("list", help="query the instruction catalog")
+    p.add_argument("mnemonic", nargs="?")
+    p.set_defaults(func=_cmd_list)
+
+    p = sub.add_parser("analyze",
+                       help="predict a loop kernel's performance")
+    p.add_argument("file", help="assembly file ('-' for stdin)")
+    p.add_argument("uarch", nargs="?", default="SKL")
+    p.add_argument("--model", default=None,
+                   help="use characterizations from a results XML "
+                        "instead of measuring")
+    p.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""The paper's primary contribution: inference of port usage, latency, and
+throughput from automatically generated microbenchmarks.
+
+The algorithms observe the machine only through the
+:class:`~repro.measure.backend.MeasurementBackend` protocol (cycle counter
+and per-port µop counters), never through the ground-truth tables — exactly
+the black-box setting of the paper.
+
+* :mod:`repro.core.blocking` — Section 5.1.1, finding blocking instructions.
+* :mod:`repro.core.port_usage` — Algorithm 1.
+* :mod:`repro.core.latency` — Section 5.2, per-operand-pair latencies.
+* :mod:`repro.core.throughput` — Section 5.3, measured and LP-computed.
+* :mod:`repro.core.runner` — full characterization of an ISA on one
+  generation.
+* :mod:`repro.core.xml_output` — the machine-readable results file
+  (Section 6.4).
+"""
+
+from repro.core.result import (
+    InstructionCharacterization,
+    LatencyResult,
+    LatencyValue,
+    PortUsage,
+    ThroughputResult,
+)
+from repro.core.blocking import BlockingInstructions, find_blocking_instructions
+from repro.core.port_usage import infer_port_usage
+from repro.core.latency import infer_latency
+from repro.core.throughput import (
+    compute_throughput_from_port_usage,
+    measure_throughput,
+)
+from repro.core.runner import CharacterizationRunner
+
+__all__ = [
+    "InstructionCharacterization",
+    "LatencyResult",
+    "LatencyValue",
+    "PortUsage",
+    "ThroughputResult",
+    "BlockingInstructions",
+    "find_blocking_instructions",
+    "infer_port_usage",
+    "infer_latency",
+    "compute_throughput_from_port_usage",
+    "measure_throughput",
+    "CharacterizationRunner",
+]

@@ -1,0 +1,210 @@
+"""Finding blocking instructions (Section 5.1.1).
+
+A blocking instruction for a set of ports ``P`` is an instruction whose µops
+can use all ports in ``P`` but no other port with the same functional unit.
+The discovery is measurement-driven: all 1-µop instructions are grouped by
+the ports they use when run in isolation, and the highest-throughput member
+of each group is selected.  System, serializing, zero-latency instructions,
+``PAUSE``, and control-flow instructions are excluded, and SSE and AVX get
+separate blocking sets to avoid transition penalties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.isa.database import InstructionDatabase
+from repro.isa.instruction import (
+    ATTR_CONTROL_FLOW,
+    ATTR_MOVE,
+    ATTR_PAUSE,
+    ATTR_SERIALIZING,
+    ATTR_SYSTEM,
+    ATTR_UNSUPPORTED,
+    ATTR_ZERO_IDIOM,
+    Instruction,
+    InstructionForm,
+)
+from repro.core.codegen import (
+    independent_sequence,
+    instantiate,
+    measure_isolated,
+    used_ports,
+)
+
+#: Vector-context keys for the two blocking sets (Section 5.1.1: "for SSE
+#: instructions, the blocking instructions should not contain AVX
+#: instructions, and vice versa").
+CONTEXT_SSE = "sse"
+CONTEXT_AVX = "avx"
+
+
+@dataclass
+class BlockingInstructions:
+    """The chosen blocking instruction per port combination, per context."""
+
+    by_combination: Dict[str, Dict[FrozenSet[int], InstructionForm]] = field(
+        default_factory=dict
+    )
+    store_combinations: Tuple[FrozenSet[int], ...] = ()
+    store_blocker: Optional[InstructionForm] = None
+
+    def combinations(self, context: str) -> List[FrozenSet[int]]:
+        combos = list(self.by_combination.get(context, {}))
+        combos.extend(self.store_combinations)
+        return combos
+
+    def blocker(
+        self, context: str, combination: FrozenSet[int]
+    ) -> Optional[InstructionForm]:
+        if combination in self.store_combinations:
+            return self.store_blocker
+        return self.by_combination.get(context, {}).get(combination)
+
+    def context_for(self, form: InstructionForm) -> str:
+        return CONTEXT_AVX if form.is_avx else CONTEXT_SSE
+
+
+_EXCLUDED_ATTRS = (
+    ATTR_SYSTEM,
+    ATTR_SERIALIZING,
+    ATTR_CONTROL_FLOW,
+    ATTR_PAUSE,
+    ATTR_UNSUPPORTED,
+    ATTR_MOVE,  # potentially zero-latency via move elimination
+    ATTR_ZERO_IDIOM,  # potentially zero-latency when operands coincide
+)
+
+
+def _is_candidate(form: InstructionForm) -> bool:
+    if any(form.has_attribute(a) for a in _EXCLUDED_ATTRS):
+        return False
+    if form.writes_memory:
+        return False  # stores are handled by the dedicated MOV blocker
+    if form.reads_memory and form.category not in ("load", "vec_load"):
+        # Loads are needed to block the load ports; other memory-reading
+        # instructions only complicate operand independence.
+        return False
+    if form.category in ("div", "vec_fp_div", "vec_fp_sqrt"):
+        # Not fully pipelined: cannot saturate a port every cycle.
+        return False
+    # Implicit read+write operands would create dependent chains inside the
+    # blocking sequence; keep allocation simple by requiring explicit regs.
+    for spec in form.operands:
+        if spec.implicit and spec.written:
+            return False
+    return True
+
+
+def find_blocking_instructions(
+    database: InstructionDatabase,
+    backend,
+) -> BlockingInstructions:
+    """Discover blocking instructions for every port combination.
+
+    Purely measurement-driven: µop counts and port sets come from isolation
+    runs on *backend*, never from the ground-truth tables.
+    """
+    groups: Dict[Tuple[str, FrozenSet[int]], List] = {}
+    for form in database:
+        if not _is_candidate(form):
+            continue
+        if not backend.supports(form):
+            continue
+        counters = measure_isolated(form, backend)
+        uops = counters.uops
+        if not 0.9 < uops < 1.1:
+            continue
+        ports = used_ports(counters)
+        if not ports:
+            continue
+        throughput = counters.cycles
+        contexts = [CONTEXT_AVX] if form.is_avx else (
+            [CONTEXT_SSE] if form.is_sse
+            else [CONTEXT_SSE, CONTEXT_AVX]
+        )
+        # MMX instructions are legacy-safe in both contexts.
+        if form.extension == "MMX":
+            contexts = [CONTEXT_SSE, CONTEXT_AVX]
+        for context in contexts:
+            groups.setdefault((context, ports), []).append(
+                (throughput, form.uid, form)
+            )
+
+    result = BlockingInstructions()
+    for (context, ports), members in groups.items():
+        # Highest throughput = lowest cycles per instruction; the uid
+        # tie-break keeps the selection deterministic.
+        members.sort(key=lambda item: (item[0], item[1]))
+        result.by_combination.setdefault(context, {})[ports] = \
+            members[0][2]
+
+    # Store ports cannot be blocked by a 1-µop instruction; the paper uses
+    # MOV from a general-purpose register to memory (2 µops: store data +
+    # store address).
+    store_form = _find_store_blocker(database, backend)
+    if store_form is not None:
+        result.store_blocker = store_form
+        # The port combinations of the store-address and store-data units
+        # come from the documented port layout (Figure 1); the paper
+        # likewise treats the store units specially rather than inferring
+        # them from 1-µop groups (Section 5.1.1).
+        result.store_combinations = (
+            backend.uarch.fu_ports("store_addr"),
+            backend.uarch.fu_ports("store_data"),
+        )
+    return result
+
+
+def _find_store_blocker(database, backend) -> Optional[InstructionForm]:
+    for form in database.forms_for_mnemonic("MOV"):
+        if form.category == "store" and not form.has_attribute("lock"):
+            specs = form.explicit_operands
+            if (
+                len(specs) == 2
+                and specs[0].width == 64
+                and specs[1].kind.name == "GPR"
+            ):
+                return form
+    return None
+
+
+def _store_port_combinations(
+    database, backend, store_form
+) -> Tuple[FrozenSet[int], ...]:
+    """Identify the store-address and store-data port sets by measurement.
+
+    The store µops are the ports used by ``MOV [mem], reg`` beyond those
+    used by a pure load (``MOV reg, [mem]``), with the store-data port
+    distinguished by comparing against a load-free ALU baseline.
+    """
+    counters = measure_isolated(store_form, backend)
+    store_ports = used_ports(counters)
+    load_form = next(
+        (
+            f
+            for f in database.forms_for_mnemonic("MOV")
+            if f.category == "load" and f.explicit_operands[0].width == 64
+        ),
+        None,
+    )
+    load_ports: FrozenSet[int] = frozenset()
+    if load_form is not None and backend.supports(load_form):
+        load_ports = used_ports(measure_isolated(load_form, backend))
+    # Heuristic split: ports used by stores but never by loads that carry
+    # ~1 µop per store are the store-data ports; the rest (address
+    # generation) may overlap with the load ports.
+    data_ports = frozenset(
+        p
+        for p in store_ports
+        if p not in load_ports
+        and counters.port_uops.get(p, 0) > 0.9
+    )
+    addr_ports = frozenset(p for p in store_ports if p not in data_ports)
+    combos = []
+    if addr_ports:
+        combos.append(addr_ports)
+    if data_ports:
+        combos.append(data_ports)
+    return tuple(combos)

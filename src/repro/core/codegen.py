@@ -1,0 +1,164 @@
+"""Concrete operand assignment for generated microbenchmarks.
+
+The generators of Section 5 need registers "chosen such that no additional
+dependencies are introduced".  :class:`RegisterAllocator` hands out distinct
+canonical registers per register file, excluding any register the form pins
+implicitly (``CL``, ``RAX``, ...), the stack pointer, and registers the
+caller reserves (the paper likewise reserves two registers for the
+measurement harness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.isa.instruction import Instruction, InstructionForm
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    Operand,
+    OperandKind,
+    OperandSpec,
+)
+from repro.isa.operands import RegisterOperand
+from repro.isa.registers import Register, register_by_name, sized_view
+from repro.pipeline.core import CounterValues
+from repro.pipeline.state import SCRATCH_BASE
+
+#: Allocation order for general-purpose registers.  RAX/RDX/RCX come last
+#: (they are the most common implicit operands), RSP/RBP are never used.
+_GPR_ORDER = (
+    "R8 R9 R10 R11 R12 R13 R14 R15 RBX RSI RDI RCX RDX RAX".split()
+)
+_VEC_ORDER = [f"YMM{i}" for i in range(15, -1, -1)]
+_MMX_ORDER = [f"MM{i}" for i in range(7, -1, -1)]
+
+
+def form_fixed_canonicals(form: InstructionForm) -> Set[str]:
+    """Canonical registers pinned by fixed/implicit operands."""
+    pinned: Set[str] = set()
+    for spec in form.operands:
+        if spec.fixed is not None:
+            pinned.add(register_by_name(spec.fixed).canonical)
+    return pinned
+
+
+class RegisterAllocator:
+    """Hands out distinct registers, avoiding the excluded canonicals."""
+
+    def __init__(self, exclude: Iterable[str] = ()):
+        self._exclude = set(exclude)
+        self._used: Set[str] = set()
+
+    def exclude(self, canonical: str) -> None:
+        self._exclude.add(canonical)
+
+    def reserved(self) -> Set[str]:
+        """Canonical registers this allocator has handed out or avoids."""
+        return set(self._used) | set(self._exclude)
+
+    def _take(self, order: Sequence[str], width: int,
+              cls_name: str) -> Register:
+        for name in order:
+            reg = register_by_name(name)
+            if reg.canonical in self._exclude or reg.canonical in self._used:
+                continue
+            self._used.add(reg.canonical)
+            if cls_name == "vec":
+                return sized_view(reg, width)
+            if cls_name == "gpr":
+                return sized_view(reg, width)
+            return reg
+        raise RuntimeError(f"out of {cls_name} registers")
+
+    def gpr(self, width: int = 64) -> Register:
+        return self._take(_GPR_ORDER, width, "gpr")
+
+    def vec(self, width: int = 128) -> Register:
+        return self._take(_VEC_ORDER, width, "vec")
+
+    def mmx(self) -> Register:
+        return self._take(_MMX_ORDER, 64, "mmx")
+
+    def for_spec(self, spec: OperandSpec) -> Register:
+        if spec.kind == OperandKind.GPR:
+            return self.gpr(spec.width)
+        if spec.kind == OperandKind.VEC:
+            return self.vec(spec.width)
+        if spec.kind == OperandKind.MMX:
+            return self.mmx()
+        raise ValueError(f"not a register spec: {spec}")
+
+
+def default_immediate(form: InstructionForm, spec: OperandSpec) -> int:
+    """A benign immediate: shift counts of 2, selector/offset 0 elsewhere."""
+    if form.category in ("shift", "rotate", "rotate_carry", "shld",
+                         "vec_shift_imm"):
+        return 2
+    if form.category in ("imul",):
+        return 3
+    return 0
+
+
+def instantiate(
+    form: InstructionForm,
+    allocator: Optional[RegisterAllocator] = None,
+) -> Instruction:
+    """A concrete instance with distinct, dependency-free operands."""
+    allocator = allocator or RegisterAllocator(form_fixed_canonicals(form))
+    operands: List[Operand] = []
+    for spec in form.explicit_operands:
+        if spec.fixed is not None:
+            operands.append(RegisterOperand(register_by_name(spec.fixed)))
+        elif spec.is_register:
+            operands.append(RegisterOperand(allocator.for_spec(spec)))
+        elif spec.kind in (OperandKind.MEM, OperandKind.AGEN):
+            operands.append(Memory(allocator.gpr(64), spec.width))
+        elif spec.kind == OperandKind.IMM:
+            operands.append(
+                Immediate(default_immediate(form, spec), spec.width)
+            )
+        else:  # pragma: no cover
+            raise AssertionError(spec)
+    return form.instantiate(*operands)
+
+
+def independent_sequence(
+    form: InstructionForm, length: int
+) -> List[Instruction]:
+    """``length`` instances avoiding read-after-write dependencies.
+
+    Registers and memory locations are selected so that nothing written by
+    one instance is read by a later one (Section 5.3.1).  Implicit operands
+    that are both read and written cannot be decoupled, exactly as the
+    paper notes.
+    """
+    allocator = RegisterAllocator(form_fixed_canonicals(form))
+    instructions = []
+    for _ in range(length):
+        try:
+            instructions.append(instantiate(form, allocator))
+        except RuntimeError:
+            # Register file exhausted: reuse the pattern from the start.
+            allocator = RegisterAllocator(form_fixed_canonicals(form))
+            instructions.append(instantiate(form, allocator))
+    return instructions
+
+
+def measure_isolated(
+    form: InstructionForm,
+    backend,
+    length: int = 4,
+    init=None,
+) -> CounterValues:
+    """Per-instruction counters for the form run in isolation."""
+    code = independent_sequence(form, length)
+    per_copy = backend.measure(code, init)
+    return per_copy.scaled(len(code))
+
+
+def used_ports(counters: CounterValues, threshold: float = 0.05):
+    """Ports with non-negligible µop counts in an isolation run."""
+    return frozenset(
+        p for p, count in counters.port_uops.items() if count > threshold
+    )

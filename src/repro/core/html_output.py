@@ -1,0 +1,126 @@
+"""HTML results table — the www.uops.info presentation of the data.
+
+The paper publishes its characterizations as a website with one row per
+instruction variant and one column group per microarchitecture, showing
+µops, port usage, latency, and throughput.  :func:`results_to_html`
+renders the same structure from in-memory results (a static, dependency-
+free HTML page).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Mapping, Optional, Sequence
+
+from repro.core.result import InstructionCharacterization
+from repro.isa.database import InstructionDatabase
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; }
+table { border-collapse: collapse; font-size: 13px; }
+th, td { border: 1px solid #ccc; padding: 3px 8px; text-align: left; }
+th { background: #f0f0f0; position: sticky; top: 0; }
+tr:nth-child(even) { background: #fafafa; }
+td.num { text-align: right; }
+caption { font-weight: bold; margin-bottom: 0.5em; text-align: left; }
+.lat { color: #444; font-size: 12px; }
+"""
+
+
+def _latency_cell(outcome: InstructionCharacterization) -> str:
+    if outcome.latency is None or not outcome.latency.pairs:
+        return ""
+    parts = []
+    for (src, dst), value in sorted(outcome.latency.pairs.items()):
+        parts.append(f"{src}&rarr;{dst}: {html.escape(str(value))}")
+    for (src, dst), value in sorted(
+        outcome.latency.same_register.items()
+    ):
+        parts.append(
+            f"{src}&rarr;{dst} (same reg): {html.escape(str(value))}"
+        )
+    return "<br>".join(parts)
+
+
+def results_to_html(
+    results_by_uarch: Mapping[
+        str, Mapping[str, InstructionCharacterization]
+    ],
+    database: Optional[InstructionDatabase] = None,
+    title: str = "Instruction characterizations",
+) -> str:
+    """Render results as a standalone HTML page."""
+    uarch_names = sorted(results_by_uarch)
+    all_uids = sorted(
+        {uid for results in results_by_uarch.values() for uid in results}
+    )
+    rows = []
+    for uid in all_uids:
+        extension = ""
+        if database is not None and uid in database:
+            extension = database.by_uid(uid).extension
+        cells = [
+            f"<td>{html.escape(uid)}</td>",
+            f"<td>{html.escape(extension)}</td>",
+        ]
+        for name in uarch_names:
+            outcome = results_by_uarch[name].get(uid)
+            if outcome is None:
+                cells.append('<td colspan="4">-</td>')
+                continue
+            ports = (
+                outcome.port_usage.notation()
+                if outcome.port_usage is not None
+                else ""
+            )
+            throughput = (
+                f"{outcome.throughput.measured:.2f}"
+                if outcome.throughput is not None
+                else ""
+            )
+            cells.append(f'<td class="num">{outcome.uop_count:g}</td>')
+            cells.append(f"<td>{html.escape(ports)}</td>")
+            cells.append(f'<td class="num">{throughput}</td>')
+            cells.append(f'<td class="lat">{_latency_cell(outcome)}</td>')
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+
+    header_groups = "".join(
+        f'<th colspan="4">{html.escape(name)}</th>' for name in uarch_names
+    )
+    header_cols = "".join(
+        "<th>µops</th><th>ports</th><th>TP</th><th>latency</th>"
+        for _ in uarch_names
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{html.escape(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<table>
+<caption>{html.escape(title)} &mdash; {len(all_uids)} instruction
+variants on {len(uarch_names)} microarchitecture(s)</caption>
+<thead>
+<tr><th rowspan="2">Instruction</th><th rowspan="2">Extension</th>
+{header_groups}</tr>
+<tr>{header_cols}</tr>
+</thead>
+<tbody>
+{chr(10).join(rows)}
+</tbody>
+</table>
+</body>
+</html>
+"""
+
+
+def write_html(
+    results_by_uarch,
+    path: str,
+    database: Optional[InstructionDatabase] = None,
+    title: str = "Instruction characterizations",
+) -> None:
+    with open(path, "w") as handle:
+        handle.write(results_to_html(results_by_uarch, database, title))

@@ -1,0 +1,869 @@
+"""Latency inference for every (source, destination) operand pair
+(Section 5.2).
+
+For each pair, a dependency chain from the destination back to the source is
+constructed automatically:
+
+* GPR -> GPR via ``MOVSX`` (never ``MOV``/``MOVZX``, which may be eliminated
+  by the rename stage; ``MOVSX`` also sidesteps partial-register stalls),
+* SIMD -> SIMD via shuffles, once with an integer shuffle (``PSHUFD``) and
+  once with a floating-point shuffle (``SHUFPS``) to expose bypass delays,
+* cross-register-file pairs via compositions with the small set of
+  transfer instructions, reported as upper bounds,
+* memory -> register via the double-``XOR`` trick on the base register,
+* status flags -> register via ``TEST R, R``,
+* register -> flags via ``SETcc`` + ``MOVZX``,
+* register -> memory via a store/load round trip (store-to-load forwarding
+  makes this a distinct quantity, reported as such),
+* divider instructions with operand values pinned through
+  ``AND R, Rc; OR R, Rc``, measured once with high-latency and once with
+  low-latency values.
+
+Unwanted additional dependencies (implicit operands, flags that are both
+read and written) are broken with dependency-breaking instructions that
+write without reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.codegen import (
+    RegisterAllocator,
+    form_fixed_canonicals,
+    instantiate,
+)
+from repro.core.result import (
+    LAT_EXACT,
+    LAT_STORE_LOAD,
+    LAT_UPPER_BOUND,
+    LatencyResult,
+    LatencyValue,
+)
+from repro.isa.database import InstructionDatabase
+from repro.isa.instruction import (
+    ATTR_CONTROL_FLOW,
+    ATTR_REP,
+    ATTR_SERIALIZING,
+    ATTR_SYSTEM,
+    ATTR_UNSUPPORTED,
+    Instruction,
+    InstructionForm,
+)
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    OperandKind,
+    RegisterOperand,
+)
+from repro.isa.registers import Register, register_by_name, sized_view
+
+#: Pseudo-operand labels.
+FLAGS = "flags"
+MEM = "mem"
+
+#: Divider operand values (Section 5.2.5): one set leading to high latency,
+#: one to low latency (the roles the values from Agner Fog's scripts play).
+SLOW_DIVIDER_VALUE = (1 << 62) + 12345
+FAST_DIVIDER_VALUE = 100
+DIVISOR_VALUE = 3
+
+
+@dataclass
+class _Pair:
+    src_slot: Union[int, str]  # operand index, FLAGS, or MEM
+    dst_slot: Union[int, str]
+    src_label: str
+    dst_label: str
+
+
+class ChainError(RuntimeError):
+    """No dependency chain could be constructed for a pair."""
+
+
+def _skip_form(form: InstructionForm) -> bool:
+    return any(
+        form.has_attribute(a)
+        for a in (
+            ATTR_CONTROL_FLOW,
+            ATTR_SYSTEM,
+            ATTR_SERIALIZING,
+            ATTR_UNSUPPORTED,
+            ATTR_REP,
+        )
+    )
+
+
+class LatencyMeasurer:
+    """Measures per-pair latencies of instruction forms on one backend."""
+
+    def __init__(self, database: InstructionDatabase, backend):
+        self._db = database
+        self._backend = backend
+        self._chain_latency_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Chain-instruction latencies (measured in isolation, cached)
+    # ------------------------------------------------------------------
+
+    def _self_chain_latency(self, key: str,
+                            code: Sequence[Instruction]) -> float:
+        if key not in self._chain_latency_cache:
+            counters = self._backend.measure(list(code))
+            self._chain_latency_cache[key] = counters.cycles / len(code)
+        return self._chain_latency_cache[key]
+
+    def _movsx_latency(self) -> float:
+        form = self._db.by_uid("MOVSX_R64_R16")
+        r8 = register_by_name("R8")
+        instr = form.instantiate(
+            RegisterOperand(r8), RegisterOperand(sized_view(r8, 16))
+        )
+        return self._self_chain_latency("movsx", [instr])
+
+    def _xor_latency(self) -> float:
+        form = self._db.by_uid("XOR_R64_R64")
+        instr = form.instantiate(
+            RegisterOperand(register_by_name("R8")),
+            RegisterOperand(register_by_name("R9")),
+        )
+        return self._self_chain_latency("xor", [instr])
+
+    def _shuffle_latency(self, uid: str) -> float:
+        form = self._db.by_uid(uid)
+        x1 = register_by_name("XMM1")
+        operands = [
+            Immediate(0, 8)
+            if s.kind == OperandKind.IMM
+            else RegisterOperand(x1)
+            for s in form.explicit_operands
+        ]
+        instr = form.instantiate(*operands)
+        return self._self_chain_latency(uid, [instr])
+
+    def _mmx_move_latency(self) -> float:
+        form = self._db.by_uid("MOVQ_MM_MM")
+        mm1 = register_by_name("MM1")
+        instr = form.instantiate(RegisterOperand(mm1), RegisterOperand(mm1))
+        return self._self_chain_latency("movq_mm", [instr])
+
+    # ------------------------------------------------------------------
+    # Pair enumeration
+    # ------------------------------------------------------------------
+
+    def _pairs(self, form: InstructionForm) -> List[_Pair]:
+        sources: List[Tuple[Union[int, str], str]] = []
+        dests: List[Tuple[Union[int, str], str]] = []
+        for i, spec in enumerate(form.operands):
+            label = form.operand_label(i)
+            if spec.kind == OperandKind.IMM:
+                continue
+            if spec.kind == OperandKind.MEM:
+                if spec.read:
+                    sources.append((i, MEM))
+                if spec.written:
+                    dests.append((i, MEM))
+                continue
+            if spec.kind == OperandKind.AGEN:
+                sources.append((i, label))
+                continue
+            if spec.read:
+                sources.append((i, label))
+            if spec.written:
+                dests.append((i, label))
+        if form.flags_read:
+            sources.append((FLAGS, FLAGS))
+        if form.flags_written:
+            dests.append((FLAGS, FLAGS))
+        return [
+            _Pair(s_slot, d_slot, s_label, d_label)
+            for s_slot, s_label in sources
+            for d_slot, d_label in dests
+        ]
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def infer(self, form: InstructionForm) -> LatencyResult:
+        result = LatencyResult()
+        if _skip_form(form) or not self._backend.supports(form):
+            return result
+        if form.category in ("div", "vec_fp_div", "vec_fp_sqrt"):
+            self._measure_divider(form, result)
+            return result
+        for pair in self._pairs(form):
+            try:
+                value = self._measure_pair(form, pair)
+            except (ChainError, KeyError, RuntimeError):
+                continue
+            if value is not None:
+                result.pairs[(pair.src_label, pair.dst_label)] = value
+        self._measure_same_register(form, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Pair measurement dispatch
+    # ------------------------------------------------------------------
+
+    def _measure_pair(
+        self, form: InstructionForm, pair: _Pair
+    ) -> Optional[LatencyValue]:
+        src, dst = pair.src_slot, pair.dst_slot
+        if dst == FLAGS and src == FLAGS:
+            return self._flags_to_flags(form)
+        if src == FLAGS:
+            return self._flags_to_reg(form, dst)
+        if dst == FLAGS:
+            return self._reg_to_flags(form, src)
+        src_spec = form.operands[src]
+        dst_spec = form.operands[dst]
+        if src_spec.kind == OperandKind.MEM:
+            if dst_spec.kind == OperandKind.MEM:
+                return None
+            return self._mem_to_reg(form, src, dst)
+        if dst_spec.kind == OperandKind.MEM:
+            return self._reg_to_mem(form, src, dst)
+        return self._reg_to_reg(form, src, dst)
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _measure_chain(
+        self,
+        code: Sequence[Instruction],
+        init: Optional[Dict[str, int]] = None,
+    ) -> float:
+        counters = self._backend.measure(list(code), init)
+        return counters.cycles
+
+    def _breakers(
+        self,
+        form: InstructionForm,
+        instr: Instruction,
+        exclude_slots: Sequence[Union[int, str]],
+        allocator: RegisterAllocator,
+        avx: bool,
+    ) -> List[Instruction]:
+        """Dependency-breaking instructions for unwanted read+write
+        operands and flags (Section 5.2)."""
+        breakers: List[Instruction] = []
+        for i, spec in enumerate(form.operands):
+            if i in exclude_slots:
+                continue
+            if not (spec.read and spec.written and spec.is_register):
+                continue
+            operand = instr.operands[i]
+            if not isinstance(operand, RegisterOperand):
+                continue
+            reg = operand.register
+            if spec.kind == OperandKind.GPR:
+                mov = self._db.by_uid("MOV_R64_I32")
+                breakers.append(
+                    mov.instantiate(
+                        RegisterOperand(sized_view(reg, 64)),
+                        Immediate(7, 32),
+                    )
+                )
+            elif spec.kind == OperandKind.VEC:
+                uid = "VPXOR_XMM_XMM_XMM" if avx else "PXOR_XMM_XMM"
+                pxor = self._db.by_uid(uid)
+                view = sized_view(reg, 128)
+                ops = [RegisterOperand(view)] * (
+                    3 if avx else 2
+                )
+                breakers.append(pxor.instantiate(*ops))
+            elif spec.kind == OperandKind.MMX:
+                pxor = self._db.by_uid("PXOR_MM_MM")
+                breakers.append(
+                    pxor.instantiate(
+                        RegisterOperand(reg), RegisterOperand(reg)
+                    )
+                )
+        if (
+            form.flags_read
+            and form.flags_written
+            and FLAGS not in exclude_slots
+        ):
+            breakers.extend(self._flag_breakers(form, allocator))
+        return breakers
+
+    def _flag_breakers(self, form, allocator) -> List[Instruction]:
+        """TEST (all flags but AF) plus SAHF when AF is read."""
+        breakers = []
+        test = self._db.by_uid("TEST_R64_R64")
+        reg = allocator.gpr(64)
+        breakers.append(
+            test.instantiate(RegisterOperand(reg), RegisterOperand(reg))
+        )
+        if "AF" in form.flags_read:
+            sahf = self._db.by_uid("SAHF")
+            breakers.append(sahf.instantiate())
+        return breakers
+
+    def _allocator_for(self, form: InstructionForm) -> RegisterAllocator:
+        exclude = form_fixed_canonicals(form)
+        # SAHF-based flag breaking reads AH; keep RAX free of chains.
+        if "AF" in form.flags_read and form.flags_written:
+            exclude.add("RAX")
+        return RegisterAllocator(exclude)
+
+    # ------------------------------------------------------------------
+    # Register -> register
+    # ------------------------------------------------------------------
+
+    def _reg_to_reg(
+        self, form: InstructionForm, src: int, dst: int
+    ) -> Optional[LatencyValue]:
+        src_spec = form.operands[src]
+        dst_spec = form.operands[dst]
+        if src == dst:
+            return self._self_chain(form, src)
+        kinds = (src_spec.kind, dst_spec.kind)
+        if kinds == (OperandKind.GPR, OperandKind.GPR) or (
+            src_spec.kind == OperandKind.AGEN
+            and dst_spec.kind == OperandKind.GPR
+        ):
+            return self._gpr_chain(form, src, dst)
+        if kinds == (OperandKind.VEC, OperandKind.VEC):
+            return self._vec_chain(form, src, dst)
+        if kinds == (OperandKind.MMX, OperandKind.MMX):
+            return self._mmx_chain(form, src, dst)
+        return self._cross_file_chain(form, src, dst)
+
+    def _self_chain(self, form, slot) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        breakers = self._breakers(form, instr, [slot], allocator,
+                                  form.is_avx)
+        code = [instr] + breakers
+        cycles = self._measure_chain(code)
+        overhead = 0.0  # breakers are off the critical path
+        return LatencyValue(max(cycles - overhead, 0.0), LAT_EXACT, None)
+
+    def _operand_register(self, instr, slot) -> Register:
+        operand = instr.operands[slot]
+        if isinstance(operand, RegisterOperand):
+            return operand.register
+        if isinstance(operand, Memory) and operand.base is not None:
+            return operand.base
+        raise ChainError(f"operand {slot} has no register")
+
+    def _gpr_chain(self, form, src, dst) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = self._operand_register(instr, src)
+        dst_reg = self._operand_register(instr, dst)
+        chain = self._movsx_chain(src_reg, dst_reg)
+        # Break the destination's own read dependency (if any), but never
+        # the source: the chain must feed it (Section 5.2).
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        code = [instr, chain] + breakers
+        cycles = self._measure_chain(code)
+        latency = cycles - self._movsx_latency()
+        return LatencyValue(max(latency, 0.0), LAT_EXACT, "MOVSX")
+
+    def _movsx_chain(self, src_reg: Register,
+                     dst_reg: Register) -> Instruction:
+        """``MOVSX src64, dst16``: a dependency from dst back to src."""
+        form = self._db.by_uid("MOVSX_R64_R16")
+        return form.instantiate(
+            RegisterOperand(sized_view(src_reg, 64)),
+            RegisterOperand(sized_view(dst_reg, 16)),
+        )
+
+    def _vec_chain(self, form, src, dst) -> Optional[LatencyValue]:
+        """Both an integer and a floating-point shuffle chain, keeping the
+        smaller result (bypass delays make them differ)."""
+        best: Optional[LatencyValue] = None
+        avx = form.is_avx
+        shuffles = (
+            ("VPSHUFD_XMM_XMM_I8", "VPSHUFD") if avx
+            else ("PSHUFD_XMM_XMM_I8", "PSHUFD"),
+            ("VSHUFPS_XMM_XMM_XMM_I8", "VSHUFPS") if avx
+            else ("SHUFPS_XMM_XMM_I8", "SHUFPS"),
+        )
+        for uid, name in shuffles:
+            try:
+                chain_form = self._db.by_uid(uid)
+            except KeyError:
+                continue
+            if not self._backend.supports(chain_form):
+                continue
+            value = self._vec_chain_with(form, src, dst, chain_form, name)
+            if value is not None and (best is None
+                                      or value.cycles < best.cycles):
+                best = value
+        return best
+
+    def _vec_chain_with(
+        self, form, src, dst, chain_form, chain_name
+    ) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = sized_view(self._operand_register(instr, src), 128)
+        dst_reg = sized_view(self._operand_register(instr, dst), 128)
+        specs = chain_form.explicit_operands
+        operands = [RegisterOperand(src_reg)]
+        operands.extend(
+            RegisterOperand(dst_reg)
+            for s in specs[1:]
+            if s.kind == OperandKind.VEC
+        )
+        operands.append(Immediate(0, 8))
+        chain = chain_form.instantiate(*operands)
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        code = [instr, chain] + breakers
+        cycles = self._measure_chain(code)
+        chain_lat = self._shuffle_latency(
+            chain_form.uid
+            if not chain_form.mnemonic.startswith("V")
+            else chain_form.uid
+        )
+        return LatencyValue(
+            max(cycles - chain_lat, 0.0), LAT_EXACT, chain_name
+        )
+
+    def _mmx_chain(self, form, src, dst) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = self._operand_register(instr, src)
+        dst_reg = self._operand_register(instr, dst)
+        move = self._db.by_uid("MOVQ_MM_MM")
+        chain = move.instantiate(
+            RegisterOperand(src_reg), RegisterOperand(dst_reg)
+        )
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        code = [instr, chain] + breakers
+        cycles = self._measure_chain(code)
+        return LatencyValue(
+            max(cycles - self._mmx_move_latency(), 0.0), LAT_EXACT,
+            "MOVQ",
+        )
+
+    #: Transfer instructions for cross-register-file chains, by
+    #: (source file of the chain instruction, destination file).
+    _TRANSFERS = {
+        (OperandKind.VEC, OperandKind.GPR): (
+            "MOVQ_R64_XMM", "MOVD_R32_XMM", "PEXTRQ_R64_XMM_I8",
+        ),
+        (OperandKind.GPR, OperandKind.VEC): (
+            "MOVQ_XMM_R64", "MOVD_XMM_R32", "PINSRQ_XMM_R64_I8",
+        ),
+        (OperandKind.VEC, OperandKind.MMX): ("MOVDQ2Q_MM_XMM",),
+        (OperandKind.MMX, OperandKind.VEC): ("MOVQ2DQ_XMM_MM",),
+        (OperandKind.GPR, OperandKind.MMX): ("MOVQ_MM_R64",),
+        (OperandKind.MMX, OperandKind.GPR): ("MOVQ_R64_MM",),
+    }
+
+    def _cross_file_chain(self, form, src, dst) -> Optional[LatencyValue]:
+        """Compositions with all suitable transfer instructions; the
+        minimum, minus one, upper-bounds the latency (Section 5.2.1)."""
+        src_spec = form.operands[src]
+        dst_spec = form.operands[dst]
+        key = (dst_spec.kind, src_spec.kind)  # chain: dst -> src
+        candidates = self._TRANSFERS.get(key, ())
+        best: Optional[float] = None
+        chain_used = None
+        for uid in candidates:
+            try:
+                chain_form = self._db.by_uid(uid)
+            except KeyError:
+                continue
+            if not self._backend.supports(chain_form):
+                continue
+            cycles = self._composition_cycles(form, src, dst, chain_form)
+            if cycles is None:
+                continue
+            if best is None or cycles < best:
+                best = cycles
+                chain_used = chain_form.mnemonic
+        if best is None:
+            return None
+        return LatencyValue(max(best - 1.0, 0.0), LAT_UPPER_BOUND,
+                            chain_used)
+
+    def _composition_cycles(
+        self, form, src, dst, chain_form
+    ) -> Optional[float]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = self._operand_register(instr, src)
+        dst_reg = self._operand_register(instr, dst)
+        operands = []
+        for spec in chain_form.explicit_operands:
+            if spec.kind == OperandKind.IMM:
+                operands.append(Immediate(0, 8))
+            elif spec.written and not spec.read:
+                operands.append(
+                    RegisterOperand(self._match_width(src_reg, spec))
+                )
+            elif spec.written and spec.read:
+                operands.append(
+                    RegisterOperand(self._match_width(src_reg, spec))
+                )
+            else:
+                operands.append(
+                    RegisterOperand(self._match_width(dst_reg, spec))
+                )
+        try:
+            chain = chain_form.instantiate(*operands)
+        except (ValueError, KeyError):
+            return None
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        return self._measure_chain([instr, chain] + breakers)
+
+    @staticmethod
+    def _match_width(reg: Register, spec) -> Register:
+        if spec.kind == OperandKind.MMX:
+            return reg
+        return sized_view(reg, spec.width)
+
+    # ------------------------------------------------------------------
+    # Memory -> register (Section 5.2.2)
+    # ------------------------------------------------------------------
+
+    def _mem_to_reg(self, form, src, dst) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        base = self._operand_register(instr, src)
+        dst_spec = form.operands[dst]
+        dst_reg = self._operand_register(instr, dst)
+        code: List[Instruction] = [instr]
+        overhead = 0.0
+        kind = LAT_EXACT
+        if dst_spec.kind == OperandKind.GPR:
+            feed = dst_reg
+            if dst_spec.width < 32:
+                movsx = self._db.by_uid(
+                    f"MOVSX_R64_R{dst_spec.width}"
+                )
+                temp = allocator.gpr(64)
+                code.append(
+                    movsx.instantiate(
+                        RegisterOperand(temp), RegisterOperand(dst_reg)
+                    )
+                )
+                feed = temp
+                overhead += self._movsx_latency()
+            feed64 = sized_view(feed, 64)
+        else:
+            # Combine the double XOR with a transfer to a GPR.
+            transfer_uid = {
+                OperandKind.VEC: "MOVQ_R64_XMM",
+                OperandKind.MMX: "MOVQ_R64_MM",
+            }.get(dst_spec.kind)
+            if transfer_uid is None:
+                return None
+            transfer = self._db.by_uid(transfer_uid)
+            if not self._backend.supports(transfer):
+                return None
+            temp = allocator.gpr(64)
+            code.append(
+                transfer.instantiate(
+                    RegisterOperand(temp),
+                    RegisterOperand(
+                        sized_view(dst_reg, 128)
+                        if dst_spec.kind == OperandKind.VEC
+                        else dst_reg
+                    ),
+                )
+            )
+            feed64 = temp
+            overhead += 1.0
+            kind = LAT_UPPER_BOUND
+        xor = self._db.by_uid("XOR_R64_R64")
+        base64 = sized_view(base, 64)
+        double_xor = [
+            xor.instantiate(
+                RegisterOperand(base64), RegisterOperand(feed64)
+            ),
+            xor.instantiate(
+                RegisterOperand(base64), RegisterOperand(feed64)
+            ),
+        ]
+        code.extend(double_xor)
+        overhead += 2 * self._xor_latency()
+        # Flags breaker: XOR modifies the status flags (Section 5.2.2).
+        code.extend(self._flag_breakers(form, allocator))
+        breakers = self._breakers(form, instr, [src, FLAGS],
+                                  allocator, form.is_avx)
+        code.extend(breakers)
+        cycles = self._measure_chain(code)
+        return LatencyValue(max(cycles - overhead, 0.0), kind, "2xXOR")
+
+    # ------------------------------------------------------------------
+    # Register -> memory (Section 5.2.4)
+    # ------------------------------------------------------------------
+
+    def _reg_to_mem(self, form, src, dst) -> Optional[LatencyValue]:
+        src_spec = form.operands[src]
+        dst_spec = form.operands[dst]
+        if src_spec.kind != OperandKind.GPR:
+            return None
+        if dst_spec.width > 64:
+            return None
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = self._operand_register(instr, src)
+        mem_operand = instr.operands[dst]
+        try:
+            load = self._db.by_uid(f"MOV_R{dst_spec.width}_M"
+                                   f"{dst_spec.width}")
+        except KeyError:
+            return None
+        temp = allocator.gpr(dst_spec.width)
+        load_instr = load.instantiate(RegisterOperand(temp), mem_operand)
+        # Chain the loaded value back into the stored source register.
+        movsx = self._db.by_uid("MOVSX_R64_R16")
+        chain = movsx.instantiate(
+            RegisterOperand(sized_view(src_reg, 64)),
+            RegisterOperand(sized_view(temp, 16))
+            if dst_spec.width >= 16
+            else RegisterOperand(sized_view(temp, 16)),
+        )
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        code = [instr, load_instr, chain] + breakers
+        cycles = self._measure_chain(code)
+        return LatencyValue(
+            max(cycles - self._movsx_latency(), 0.0),
+            LAT_STORE_LOAD,
+            "store/load",
+        )
+
+    # ------------------------------------------------------------------
+    # Flags (Section 5.2.3)
+    # ------------------------------------------------------------------
+
+    def _flags_to_flags(self, form) -> Optional[LatencyValue]:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        breakers = self._breakers(form, instr, [FLAGS], allocator,
+                                  form.is_avx)
+        cycles = self._measure_chain([instr] + breakers)
+        return LatencyValue(max(cycles, 0.0), LAT_EXACT, None)
+
+    def _flags_to_reg(self, form, dst) -> Optional[LatencyValue]:
+        dst_spec = form.operands[dst]
+        if dst_spec.kind != OperandKind.GPR:
+            return None  # no instruction reads a flag and writes a vector
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        dst_reg = self._operand_register(instr, dst)
+        test = self._db.by_uid("TEST_R64_R64")
+        reg64 = RegisterOperand(sized_view(dst_reg, 64))
+        chain = test.instantiate(reg64, reg64)
+        breakers = self._breakers(form, instr, [FLAGS], allocator,
+                                  form.is_avx)
+        cycles = self._measure_chain([instr, chain] + breakers)
+        # TEST is a 1-cycle ALU instruction on every modeled generation.
+        return LatencyValue(max(cycles - 1.0, 0.0), LAT_EXACT, "TEST")
+
+    #: SETcc condition per flag, used for register -> flags chains.
+    _SET_FOR_FLAG = (
+        ("CF", "SETB"),
+        ("ZF", "SETE"),
+        ("SF", "SETS"),
+        ("OF", "SETO"),
+        ("PF", "SETP"),
+    )
+
+    def _reg_to_flags(self, form, src) -> Optional[LatencyValue]:
+        src_spec = form.operands[src]
+        if src_spec.kind != OperandKind.GPR:
+            return None
+        mnemonic = next(
+            (m for flag, m in self._SET_FOR_FLAG
+             if flag in form.flags_written),
+            None,
+        )
+        if mnemonic is None:
+            return None
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        src_reg = self._operand_register(instr, src)
+        setcc = self._db.by_uid(f"{mnemonic}_R8")
+        temp8 = allocator.gpr(8)
+        set_instr = setcc.instantiate(RegisterOperand(temp8))
+        movzx = self._db.by_uid("MOVZX_R64_R8")
+        chain = movzx.instantiate(
+            RegisterOperand(sized_view(src_reg, 64)),
+            RegisterOperand(temp8),
+        )
+        breakers = self._breakers(form, instr, [src], allocator,
+                                  form.is_avx)
+        cycles = self._measure_chain([instr, set_instr, chain] + breakers)
+        return LatencyValue(
+            max(cycles - 2.0, 0.0), LAT_UPPER_BOUND, f"{mnemonic}+MOVZX"
+        )
+
+    # ------------------------------------------------------------------
+    # Same-register scenario (Section 5.2.1)
+    # ------------------------------------------------------------------
+
+    def _measure_same_register(self, form, result: LatencyResult) -> None:
+        """Chain the instruction with itself using one register for two
+        explicit operands (detects SHLD-on-Skylake-like behaviour and
+        zero idioms)."""
+        explicit = [
+            (i, s)
+            for i, s in enumerate(form.operands)
+            if not s.implicit and s.is_register and s.fixed is None
+        ]
+        reg_pairs = [
+            (i, j)
+            for (i, si) in explicit
+            for (j, sj) in explicit
+            if i < j and si.kind == sj.kind and si.width == sj.width
+            and (si.written or sj.written)
+        ]
+        if not reg_pairs:
+            return
+        i, j = reg_pairs[0]
+        allocator = self._allocator_for(form)
+        shared = allocator.for_spec(form.operands[i])
+        operands = []
+        for k, spec in enumerate(form.explicit_operands):
+            if k in (i, j):
+                operands.append(RegisterOperand(shared))
+            elif spec.fixed is not None:
+                operands.append(
+                    RegisterOperand(register_by_name(spec.fixed))
+                )
+            elif spec.is_register:
+                operands.append(RegisterOperand(allocator.for_spec(spec)))
+            elif spec.kind in (OperandKind.MEM, OperandKind.AGEN):
+                operands.append(Memory(allocator.gpr(64), spec.width))
+            else:
+                operands.append(Immediate(2, spec.width))
+        try:
+            instr = form.instantiate(*operands)
+        except ValueError:
+            return
+        breakers = self._breakers(form, instr, [i, j], allocator,
+                                  form.is_avx)
+        cycles = self._measure_chain([instr] + breakers)
+        label_i = form.operand_label(i)
+        label_j = form.operand_label(j)
+        result.same_register[(label_j, label_i)] = LatencyValue(
+            max(cycles, 0.0), LAT_EXACT, "same register"
+        )
+
+    # ------------------------------------------------------------------
+    # Divider instructions (Section 5.2.5)
+    # ------------------------------------------------------------------
+
+    def _measure_divider(self, form, result: LatencyResult) -> None:
+        if form.category == "div":
+            self._measure_int_divider(form, result)
+        else:
+            self._measure_fp_divider(form, result)
+
+    def _measure_int_divider(self, form, result: LatencyResult) -> None:
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        acc_slot = next(
+            i for i, s in enumerate(form.operands)
+            if s.implicit and s.read and s.written
+        )
+        acc = instr.register_operand(acc_slot)
+        acc64 = sized_view(acc, 64)
+        pin_reg = allocator.gpr(64)
+        and_form = self._db.by_uid("AND_R64_R64")
+        or_form = self._db.by_uid("OR_R64_R64")
+        pin = [
+            and_form.instantiate(
+                RegisterOperand(acc64), RegisterOperand(pin_reg)
+            ),
+            or_form.instantiate(
+                RegisterOperand(acc64), RegisterOperand(pin_reg)
+            ),
+        ]
+        divisor_slot = 0
+        divisor_op = instr.operands[divisor_slot]
+        divisor_reg = (
+            divisor_op.register.canonical
+            if isinstance(divisor_op, RegisterOperand)
+            else None
+        )
+        label = form.operand_label(acc_slot)
+        for klass, value in (("slow", SLOW_DIVIDER_VALUE),
+                             ("fast", FAST_DIVIDER_VALUE)):
+            init = {acc64.name: value, pin_reg.name: value}
+            if divisor_reg is not None:
+                init[divisor_reg] = DIVISOR_VALUE
+            cycles = self._measure_chain([instr] + pin, init)
+            value_obj = LatencyValue(
+                max(cycles - 2.0, 0.0), LAT_EXACT, "AND/OR pin", klass
+            )
+            if klass == "slow":
+                result.pairs[(label, label)] = value_obj
+            else:
+                result.fast_values[(label, label)] = value_obj
+
+    def _measure_fp_divider(self, form, result: LatencyResult) -> None:
+        dst_spec = form.operands[0]
+        if dst_spec.kind != OperandKind.VEC:
+            return
+        allocator = self._allocator_for(form)
+        instr = instantiate(form, allocator)
+        dst_reg = sized_view(instr.register_operand(0), 128)
+        pin_reg = allocator.vec(128)
+        avx = form.is_avx
+        if avx:
+            and_form = self._db.by_uid("VPAND_XMM_XMM_XMM")
+            or_form = self._db.by_uid("VPOR_XMM_XMM_XMM")
+            pin = [
+                and_form.instantiate(
+                    RegisterOperand(dst_reg), RegisterOperand(dst_reg),
+                    RegisterOperand(pin_reg),
+                ),
+                or_form.instantiate(
+                    RegisterOperand(dst_reg), RegisterOperand(dst_reg),
+                    RegisterOperand(pin_reg),
+                ),
+            ]
+        else:
+            and_form = self._db.by_uid("PAND_XMM_XMM")
+            or_form = self._db.by_uid("POR_XMM_XMM")
+            pin = [
+                and_form.instantiate(
+                    RegisterOperand(dst_reg), RegisterOperand(pin_reg)
+                ),
+                or_form.instantiate(
+                    RegisterOperand(dst_reg), RegisterOperand(pin_reg)
+                ),
+            ]
+        label = form.operand_label(0)
+        source_regs = [
+            instr.operands[i].register.canonical
+            for i, s in enumerate(form.operands)
+            if s.read and isinstance(instr.operands[i], RegisterOperand)
+        ]
+        for klass, value in (("slow", SLOW_DIVIDER_VALUE),
+                             ("fast", FAST_DIVIDER_VALUE)):
+            init = {pin_reg.canonical: value}
+            for name in source_regs:
+                init[name] = value
+            cycles = self._measure_chain([instr] + pin, init)
+            value_obj = LatencyValue(
+                max(cycles - 2.0, 0.0), LAT_EXACT, "PAND/POR pin", klass
+            )
+            if klass == "slow":
+                result.pairs[(label, label)] = value_obj
+            else:
+                result.fast_values[(label, label)] = value_obj
+
+
+def infer_latency(
+    form: InstructionForm, backend, database: InstructionDatabase
+) -> LatencyResult:
+    """Convenience wrapper around :class:`LatencyMeasurer`."""
+    return LatencyMeasurer(database, backend).infer(form)

@@ -1,0 +1,110 @@
+"""Export characterizations as an LLVM-style scheduling model.
+
+The paper motivates its machine-readable output with downstream consumers:
+"optimizing compilers, such as LLVM and GCC, can profit from detailed
+instruction characterizations" — and indeed the LLVM scheduling models for
+SNB/HSW/BDW/SKL cited in Section 2.1 encode exactly the data this tool
+measures.  :func:`results_to_tablegen` renders measured characterizations
+in TableGen-like syntax: one ``ProcResource`` per execution port, one
+``SchedWriteRes`` per instruction variant with its port list, µop count,
+and (scalar, worst-pair) latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional
+
+from repro.core.result import InstructionCharacterization
+from repro.uarch.model import UarchConfig
+
+
+def _resource_name(uarch: UarchConfig, port: int) -> str:
+    return f"{uarch.name}Port{port}"
+
+
+def _group_name(uarch: UarchConfig, ports) -> str:
+    return f"{uarch.name}Port{''.join(str(p) for p in sorted(ports))}"
+
+
+def results_to_tablegen(
+    results: Mapping[str, InstructionCharacterization],
+    uarch: UarchConfig,
+) -> str:
+    """Render one generation's results as a TableGen-like model."""
+    lines: List[str] = [
+        f"// Scheduling model for {uarch.full_name} "
+        f"({uarch.processor}), generated from measurements.",
+        f'def {uarch.name}Model : SchedMachineModel {{',
+        f"  let IssueWidth = {uarch.issue_width};",
+        f"  let MicroOpBufferSize = {uarch.rob_size};",
+        f"  let LoadLatency = {uarch.load_latency};",
+        "}",
+        "",
+    ]
+    for port in uarch.ports:
+        lines.append(
+            f'def {_resource_name(uarch, port)} : '
+            f'ProcResource<1>;'
+        )
+    # Port groups used by any instruction.
+    groups = sorted(
+        {
+            tuple(sorted(pc))
+            for outcome in results.values()
+            if outcome.port_usage is not None
+            for pc in outcome.port_usage.counts
+            if len(pc) > 1
+        }
+    )
+    for group in groups:
+        members = ", ".join(_resource_name(uarch, p) for p in group)
+        lines.append(
+            f"def {_group_name(uarch, group)} : "
+            f"ProcResGroup<[{members}]>;"
+        )
+    lines.append("")
+
+    for uid in sorted(results):
+        outcome = results[uid]
+        if outcome.port_usage is None:
+            continue
+        resources = []
+        cycle_counts = []
+        for pc, count in sorted(
+            outcome.port_usage.counts.items(), key=lambda kv: sorted(kv[0])
+        ):
+            name = (
+                _resource_name(uarch, next(iter(pc)))
+                if len(pc) == 1
+                else _group_name(uarch, pc)
+            )
+            resources.append(name)
+            cycle_counts.append(str(count))
+        latency = _scalar_latency(outcome)
+        uops = max(1, round(outcome.uop_count))
+        lines.append(
+            f"def Write{uid} : SchedWriteRes<[{', '.join(resources)}]> {{"
+        )
+        if cycle_counts and any(c != "1" for c in cycle_counts):
+            lines.append(
+                f"  let ResourceCycles = [{', '.join(cycle_counts)}];"
+            )
+        if latency is not None:
+            lines.append(f"  let Latency = {latency};")
+        lines.append(f"  let NumMicroOps = {uops};")
+        lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _scalar_latency(
+    outcome: InstructionCharacterization,
+) -> Optional[int]:
+    """LLVM models carry a single latency: the worst measured pair."""
+    if outcome.latency is None or not outcome.latency.pairs:
+        return None
+    return max(1, round(outcome.latency.max_latency()))
+
+
+def write_tablegen(results, uarch, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(results_to_tablegen(results, uarch))

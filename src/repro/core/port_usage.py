@@ -1,0 +1,133 @@
+"""Algorithm 1: inferring the port usage of an instruction.
+
+For each port combination (sorted by size), the instruction under test is
+concatenated with ``blockRep`` copies of the combination's blocking
+instruction; the µops measured on the combination's ports, minus the
+blocking µops and minus the µops already attributed to strict subsets, can
+execute on exactly that combination.
+
+The two optimizations described in the paper are implemented: combinations
+that share no port with the isolation run are skipped, and the loop exits
+early once all of the instruction's µops are attributed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.blocking import BlockingInstructions
+from repro.core.codegen import (
+    RegisterAllocator,
+    form_fixed_canonicals,
+    instantiate,
+    measure_isolated,
+    used_ports,
+)
+from repro.core.result import PortUsage
+from repro.isa.instruction import Instruction, InstructionForm
+
+#: Maximum number of ports on the modeled generations (Section 5.1.2 uses
+#: blockRep = maxLatency * max number of ports; Algorithm 1 shows 8).
+_MAX_PORTS = 8
+
+
+def infer_port_usage(
+    form: InstructionForm,
+    backend,
+    blocking: BlockingInstructions,
+    max_latency: Optional[float] = None,
+) -> PortUsage:
+    """Infer the port usage of *form* on *backend* (Algorithm 1)."""
+    context = blocking.context_for(form)
+
+    isolation = measure_isolated(form, backend)
+    total_uops = isolation.uops
+    ports_in_isolation = used_ports(isolation)
+
+    if max_latency is None:
+        # Algorithm 1 (line 4) sizes blockRep from the instruction's
+        # maximum latency, which the latency phase normally provides.
+        # Estimate it with one self-chained run: a single instance
+        # repeated back-to-back is an upper-bound critical path.
+        chain = backend.measure(_self_chain_code(form))
+        max_latency = max(1.0, chain.cycles)
+    # blockRep must both outlast the instruction's critical path (the
+    # paper's maxLatency * maxPorts term) and outnumber its µops on every
+    # blocked port, so that no µop can sneak onto a blocked port.
+    block_rep = max(
+        8,
+        int(round(_MAX_PORTS * max_latency)),
+        int(round(_MAX_PORTS * (total_uops + 1))),
+    )
+
+    combinations = sorted(
+        blocking.combinations(context), key=lambda c: (len(c), sorted(c))
+    )
+
+    uops_for_combination: List = []  # [(combination, count)]
+    attributed = 0
+    for combination in combinations:
+        if not combination & ports_in_isolation:
+            continue  # optimization: cannot hold µops of this instruction
+        blocker_form = blocking.blocker(context, combination)
+        if blocker_form is None:
+            continue
+        code = _blocking_code(form, blocker_form, block_rep)
+        counters = backend.measure(code)
+        measured = sum(
+            counters.port_uops.get(p, 0.0) for p in combination
+        )
+        blocker_uops = block_rep  # each copy holds 1 µop on these ports
+        uops = measured - blocker_uops
+        for prior_combination, prior_uops in uops_for_combination:
+            if prior_combination < combination:
+                uops -= prior_uops
+        count = int(round(uops))
+        if count > 0:
+            uops_for_combination.append((combination, count))
+            attributed += count
+        if attributed >= round(total_uops):
+            break  # optimization: every µop accounted for
+
+    return PortUsage(dict(uops_for_combination))
+
+
+def _self_chain_code(form: InstructionForm) -> List[Instruction]:
+    """One instance of the form, to be repeated by the measurement
+    protocol; self-chaining yields a latency upper bound."""
+    return [instantiate(form)]
+
+
+def _blocking_code(
+    form: InstructionForm,
+    blocker_form: InstructionForm,
+    block_rep: int,
+) -> List[Instruction]:
+    """``blockRep`` independent copies of the blocker, then the instruction.
+
+    Blocker operands are chosen independent of the instruction under test
+    and of subsequent blocker instances (Section 5.1.2).
+    """
+    allocator = RegisterAllocator(
+        form_fixed_canonicals(form) | form_fixed_canonicals(blocker_form)
+    )
+    instruction = instantiate(form, allocator)
+    blockers = []
+    blocker_allocator = _looping_allocator(blocker_form, allocator)
+    for _ in range(block_rep):
+        blockers.append(next(blocker_allocator))
+    return blockers + [instruction]
+
+
+def _looping_allocator(blocker_form, base_allocator):
+    """Yields blocker instances, cycling register assignments."""
+    reserved = base_allocator.reserved()
+    while True:
+        allocator = RegisterAllocator(
+            reserved | form_fixed_canonicals(blocker_form)
+        )
+        try:
+            while True:
+                yield instantiate(blocker_form, allocator)
+        except RuntimeError:
+            continue

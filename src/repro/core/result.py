@@ -1,0 +1,146 @@
+"""Result types of the characterization algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PortUsage:
+    """Inferred port usage (Section 4.3).
+
+    ``counts`` maps each port combination to the number of µops whose
+    functional units sit exactly at those ports.  The paper's notation
+    ``3*p015 + 1*p23`` is produced by :meth:`notation`.
+    """
+
+    counts: Mapping[FrozenSet[int], int]
+
+    def notation(self) -> str:
+        parts = []
+        for combination in sorted(self.counts, key=lambda c: sorted(c)):
+            count = self.counts[combination]
+            ports = "".join(str(p) for p in sorted(combination))
+            parts.append(f"{count}*p{ports}")
+        return " + ".join(parts) if parts else "0"
+
+    @property
+    def total_uops(self) -> int:
+        return sum(self.counts.values())
+
+    def as_sorted_tuple(self) -> Tuple[Tuple[Tuple[int, ...], int], ...]:
+        """Canonical hashable representation, for comparisons."""
+        return tuple(
+            sorted(
+                (tuple(sorted(combination)), count)
+                for combination, count in self.counts.items()
+            )
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PortUsage):
+            return NotImplemented
+        return self.as_sorted_tuple() == other.as_sorted_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_sorted_tuple())
+
+
+#: Kinds of latency values (how the number was obtained).
+LAT_EXACT = "exact"  # dependency chain with known chain latency
+LAT_UPPER_BOUND = "upper_bound"  # composition with minimal chain (Sec 5.2.1)
+LAT_STORE_LOAD = "store_load"  # store->load round trip (Section 5.2.4)
+
+
+@dataclass(frozen=True)
+class LatencyValue:
+    """One measured latency for a (source, destination) operand pair."""
+
+    cycles: float
+    kind: str = LAT_EXACT
+    chain: Optional[str] = None  # chain instruction used, if any
+    value_class: Optional[str] = None  # "fast"/"slow" for divider operands
+
+    def __str__(self) -> str:
+        prefix = "≤" if self.kind == LAT_UPPER_BOUND else ""
+        return f"{prefix}{self.cycles:g}"
+
+
+@dataclass
+class LatencyResult:
+    """Per operand-pair latency mapping (Section 4.1).
+
+    Keys are (source label, destination label); labels are operand slot
+    names (``op1``, ``op2``, fixed register names) or the pseudo-operands
+    ``flags`` and ``mem``.
+    """
+
+    pairs: Dict[Tuple[str, str], LatencyValue] = field(default_factory=dict)
+    #: Measurements for the same-register scenario (Section 5.2.1), when
+    #: applicable: e.g. SHLD on Skylake has a different latency there.
+    same_register: Dict[Tuple[str, str], LatencyValue] = field(
+        default_factory=dict
+    )
+    #: For divider instructions: latencies with low-latency operand values
+    #: (Section 5.2.5); ``pairs`` holds the high-latency measurements.
+    fast_values: Dict[Tuple[str, str], LatencyValue] = field(
+        default_factory=dict
+    )
+
+    def max_latency(self) -> float:
+        values = [v.cycles for v in self.pairs.values()]
+        return max(values) if values else 1.0
+
+    def get(self, src: str, dst: str) -> Optional[LatencyValue]:
+        return self.pairs.get((src, dst))
+
+
+@dataclass
+class ThroughputResult:
+    """Throughput measurements and computation (Sections 5.3.1, 5.3.2)."""
+
+    #: Fog-style measured throughput: min cycles/instruction over the
+    #: tested sequence lengths (Definition 2), considering also the
+    #: dependency-breaking variants.
+    measured: float
+    #: Fog's definition taken literally ("instructions of the same kind in
+    #: the same thread"): min over plain sequences, without breakers.  For
+    #: instructions with implicit read+write operands (e.g. CMC) this can
+    #: be much higher than Intel's port-based throughput.
+    measured_same_kind: float = 0.0
+    #: cycles/instruction per tested sequence length.
+    by_sequence_length: Dict[int, float] = field(default_factory=dict)
+    #: Intel-style throughput computed from the port usage via the linear
+    #: program of Section 5.3.2 (Definition 1); None for divider users.
+    computed_from_ports: Optional[float] = None
+    #: For divider instructions: measured throughput with fast operands.
+    measured_fast_values: Optional[float] = None
+
+
+@dataclass
+class InstructionCharacterization:
+    """Everything the tool reports for one instruction variant."""
+
+    form_uid: str
+    uarch_name: str
+    uop_count: float
+    port_usage: Optional[PortUsage] = None
+    latency: Optional[LatencyResult] = None
+    throughput: Optional[ThroughputResult] = None
+    notes: Tuple[str, ...] = ()
+
+    def summary(self) -> str:
+        parts = [f"{self.form_uid} [{self.uarch_name}]"]
+        parts.append(f"uops={self.uop_count:g}")
+        if self.port_usage is not None:
+            parts.append(f"ports={self.port_usage.notation()}")
+        if self.throughput is not None:
+            parts.append(f"tp={self.throughput.measured:.2f}")
+        if self.latency is not None and self.latency.pairs:
+            lat = ", ".join(
+                f"{src}->{dst}: {value}"
+                for (src, dst), value in sorted(self.latency.pairs.items())
+            )
+            parts.append(f"lat({lat})")
+        return " ".join(parts)

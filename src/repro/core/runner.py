@@ -1,0 +1,148 @@
+"""Orchestration: characterize instruction forms on a backend.
+
+This is the top of the tool described in Section 6: for every supported
+instruction variant it measures the µop count, infers the port usage with
+Algorithm 1, measures per-operand-pair latencies, measures throughput, and
+computes the Intel-style throughput from the port usage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.blocking import (
+    BlockingInstructions,
+    find_blocking_instructions,
+)
+from repro.core.codegen import measure_isolated
+from repro.core.latency import LatencyMeasurer
+from repro.core.port_usage import infer_port_usage
+from repro.core.result import InstructionCharacterization
+from repro.core.throughput import (
+    compute_throughput_from_port_usage,
+    measure_throughput,
+)
+from repro.isa.database import InstructionDatabase, load_default_database
+from repro.isa.instruction import (
+    ATTR_CONTROL_FLOW,
+    ATTR_SERIALIZING,
+    ATTR_SYSTEM,
+    ATTR_UNSUPPORTED,
+    InstructionForm,
+)
+
+
+@dataclass
+class RunStatistics:
+    """Bookkeeping for a characterization run (cf. Section 7.1)."""
+
+    characterized: int = 0
+    skipped: int = 0
+    seconds: float = 0.0
+
+
+class CharacterizationRunner:
+    """Characterizes instruction forms against one measurement backend."""
+
+    def __init__(
+        self,
+        backend,
+        database: Optional[InstructionDatabase] = None,
+    ):
+        self.backend = backend
+        self.database = database or load_default_database()
+        self._blocking: Optional[BlockingInstructions] = None
+        self._latency = LatencyMeasurer(self.database, backend)
+        self.statistics = RunStatistics()
+
+    @property
+    def blocking(self) -> BlockingInstructions:
+        """Blocking instructions, discovered once per backend (5.1.1)."""
+        if self._blocking is None:
+            self._blocking = find_blocking_instructions(
+                self.database, self.backend
+            )
+        return self._blocking
+
+    # ------------------------------------------------------------------
+
+    def can_measure(self, form: InstructionForm) -> bool:
+        if form.has_attribute(ATTR_UNSUPPORTED):
+            return False
+        if form.category in ("jmp", "jmp_indirect", "call", "ret"):
+            return False  # would leave the straight-line benchmark
+        return self.backend.supports(form)
+
+    def characterize(
+        self, form: InstructionForm
+    ) -> Optional[InstructionCharacterization]:
+        """Full characterization of one instruction variant."""
+        if not self.can_measure(form):
+            self.statistics.skipped += 1
+            return None
+        started = time.perf_counter()
+        notes: List[str] = []
+
+        isolation = measure_isolated(form, self.backend)
+        uop_count = isolation.uops
+
+        # infer() itself returns an empty result for forms whose latency
+        # cannot be measured (control flow, REP, system, serializing).
+        latency = self._latency.infer(form)
+
+        port_usage = None
+        throughput = None
+        measurable_ports = not (
+            form.has_attribute(ATTR_SERIALIZING)
+            or form.has_attribute(ATTR_SYSTEM)
+        )
+        if measurable_ports:
+            max_latency = (
+                latency.max_latency() if latency and latency.pairs else 1.0
+            )
+            port_usage = infer_port_usage(
+                form, self.backend, self.blocking, max_latency
+            )
+            throughput = measure_throughput(
+                form, self.backend, self.database
+            )
+            if form.category not in ("div", "vec_fp_div", "vec_fp_sqrt"):
+                computed = compute_throughput_from_port_usage(
+                    port_usage, self.backend.uarch.ports
+                )
+                throughput.computed_from_ports = computed
+            else:
+                notes.append("divider: Intel-style throughput undefined")
+
+        self.statistics.characterized += 1
+        self.statistics.seconds += time.perf_counter() - started
+        return InstructionCharacterization(
+            form_uid=form.uid,
+            uarch_name=self.backend.uarch.name,
+            uop_count=uop_count,
+            port_usage=port_usage,
+            latency=latency,
+            throughput=throughput,
+            notes=tuple(notes),
+        )
+
+    def characterize_all(
+        self,
+        forms: Optional[Iterable[InstructionForm]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, InstructionCharacterization]:
+        """Characterize many forms; returns results keyed by form uid."""
+        results: Dict[str, InstructionCharacterization] = {}
+        for form in forms if forms is not None else self.database:
+            outcome = self.characterize(form)
+            if outcome is not None:
+                results[form.uid] = outcome
+                if progress is not None:
+                    progress(outcome.summary())
+        return results
+
+    def supported_forms(self) -> List[InstructionForm]:
+        """All forms this backend can measure (Table 1's variant count)."""
+        return [f for f in self.database if self.can_measure(f)]

@@ -1,0 +1,303 @@
+"""Throughput: measured (Section 5.3.1) and computed from the port usage
+via a linear program (Section 5.3.2).
+
+The measured (Fog-style, Definition 2) throughput runs sequences of 1, 2, 4,
+and 8 independent instruction instances (longer sequences can be *slower*,
+which is why several lengths are tried), plus a variant with
+dependency-breaking instructions for instructions with implicit read+write
+operands.  Divider instructions are measured with both high- and
+low-throughput operand values.
+
+The computed (Intel-style, Definition 1) throughput is the optimal value of
+
+    minimize  max_p sum_pc f(p, pc)
+    s.t.      f(p, pc) = 0            for p not in pc
+              sum_p f(p, pc) = mu_pc  for each (pc, mu_pc)
+
+solved as an LP with scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.core.codegen import (
+    RegisterAllocator,
+    form_fixed_canonicals,
+    independent_sequence,
+    instantiate,
+)
+from repro.core.latency import (
+    DIVISOR_VALUE,
+    FAST_DIVIDER_VALUE,
+    SLOW_DIVIDER_VALUE,
+)
+from repro.core.result import PortUsage, ThroughputResult
+from repro.isa.instruction import InstructionForm
+from repro.isa.operands import Immediate, OperandKind, RegisterOperand
+from repro.isa.registers import register_by_name, sized_view
+
+_SEQUENCE_LENGTHS = (1, 2, 4, 8)
+
+
+def measure_throughput(
+    form: InstructionForm,
+    backend,
+    database=None,
+) -> ThroughputResult:
+    """Fog-style throughput over several independent-sequence lengths."""
+    by_length: Dict[int, float] = {}
+    for length in _SEQUENCE_LENGTHS:
+        code = independent_sequence(form, length)
+        counters = backend.measure(code)
+        by_length[length] = counters.cycles / length
+
+    same_kind = min(by_length.values())
+    best = same_kind
+
+    # Variant with dependency-breaking instructions for implicit
+    # read+write operands (Section 5.3.1).
+    if database is not None and _has_implicit_rw(form):
+        broken = _sequence_with_breakers(form, database, 4)
+        if broken is not None:
+            code, per_copy_instructions = broken
+            counters = backend.measure(code)
+            cycles = counters.cycles / per_copy_instructions
+            if cycles < best:
+                best = cycles
+
+    fast = None
+    if form.category in ("div", "vec_fp_div", "vec_fp_sqrt") and \
+            database is not None:
+        fast, slow = _divider_throughput(form, backend, database)
+        if slow is not None:
+            best = slow
+            same_kind = slow
+    return ThroughputResult(
+        measured=best,
+        measured_same_kind=same_kind,
+        by_sequence_length=by_length,
+        measured_fast_values=fast,
+    )
+
+
+def _has_implicit_rw(form: InstructionForm) -> bool:
+    return any(
+        s.implicit and s.read and s.written for s in form.operands
+    ) or bool(form.flags_read & form.flags_written)
+
+
+def _sequence_with_breakers(form, database, length):
+    """Independent instances interleaved with dependency breakers."""
+    try:
+        mov = database.by_uid("MOV_R64_I32")
+        test = database.by_uid("TEST_R64_R64")
+    except KeyError:
+        return None
+    allocator = RegisterAllocator(form_fixed_canonicals(form))
+    code = []
+    for _ in range(length):
+        instr = instantiate(form, allocator)
+        code.append(instr)
+        for i, spec in enumerate(form.operands):
+            if spec.implicit and spec.read and spec.written and \
+                    spec.kind == OperandKind.GPR:
+                operand = instr.operands[i]
+                if isinstance(operand, RegisterOperand):
+                    code.append(
+                        mov.instantiate(
+                            RegisterOperand(
+                                sized_view(operand.register, 64)
+                            ),
+                            Immediate(7, 32),
+                        )
+                    )
+        if form.flags_read & form.flags_written:
+            try:
+                reg = allocator.gpr(64)
+            except RuntimeError:
+                allocator = RegisterAllocator(form_fixed_canonicals(form))
+                reg = allocator.gpr(64)
+            code.append(
+                test.instantiate(
+                    RegisterOperand(reg), RegisterOperand(reg)
+                )
+            )
+    return code, length
+
+
+def _divider_throughput(form, backend, database):
+    """(fast, slow) cycles/instruction for divider instructions.
+
+    Implicit read+write operands (``RAX``/``RDX`` for DIV) serialize plain
+    sequences, so dependency-breaking ``MOV reg, imm`` instructions re-pin
+    the operand values between instances; the pin value selects the fast or
+    the slow divider path (Section 5.2.5).
+    """
+    fast = slow = None
+    mov = database.by_uid("MOV_R64_I32")
+    avx = form.is_avx
+    if avx:
+        vec_zero = database.by_uid("VPXOR_XMM_XMM_XMM")
+        vec_pin = database.by_uid("VPOR_XMM_XMM_XMM")
+    else:
+        vec_zero = database.by_uid("PXOR_XMM_XMM")
+        vec_pin = database.by_uid("POR_XMM_XMM")
+    for klass, value in (("fast", FAST_DIVIDER_VALUE),
+                         ("slow", 0x7FFFFFFF)):
+        allocator_pin = None
+        instances = independent_sequence(form, 4)
+        code = []
+        init: Dict[str, int] = {}
+        for instr in instances:
+            code.append(instr)
+            for i, spec in enumerate(instr.form.operands):
+                if not spec.read:
+                    continue
+                operand = instr.operands[i]
+                if not isinstance(operand, RegisterOperand):
+                    continue
+                name = operand.register.canonical
+                pin = (
+                    DIVISOR_VALUE
+                    if (i == 0 and form.category == "div")
+                    else value
+                )
+                init.setdefault(name, pin)
+                if not spec.written:
+                    continue
+                if spec.kind == OperandKind.GPR:
+                    code.append(
+                        mov.instantiate(
+                            RegisterOperand(
+                                sized_view(operand.register, 64)
+                            ),
+                            Immediate(pin, 32),
+                        )
+                    )
+                elif spec.kind == OperandKind.VEC:
+                    # PXOR reg,reg breaks the dependency; POR reg,pin
+                    # restores the pinned value.
+                    if allocator_pin is None:
+                        allocator_pin = register_by_name("XMM0")
+                        init.setdefault(allocator_pin.canonical, pin)
+                    view = sized_view(operand.register, 128)
+                    if avx:
+                        code.append(
+                            vec_zero.instantiate(
+                                RegisterOperand(view),
+                                RegisterOperand(view),
+                                RegisterOperand(view),
+                            )
+                        )
+                        code.append(
+                            vec_pin.instantiate(
+                                RegisterOperand(view),
+                                RegisterOperand(view),
+                                RegisterOperand(allocator_pin),
+                            )
+                        )
+                    else:
+                        code.append(
+                            vec_zero.instantiate(
+                                RegisterOperand(view),
+                                RegisterOperand(view),
+                            )
+                        )
+                        code.append(
+                            vec_pin.instantiate(
+                                RegisterOperand(view),
+                                RegisterOperand(allocator_pin),
+                            )
+                        )
+        counters = backend.measure(code, init)
+        cycles = counters.cycles / len(instances)
+        if klass == "fast":
+            fast = cycles
+        else:
+            slow = cycles
+    return fast, slow
+
+
+def compute_throughput_from_port_usage(
+    port_usage: PortUsage, ports: Sequence[int]
+) -> Optional[float]:
+    """Intel-style throughput (Definition 1) from the inferred port usage.
+
+    Returns ``None`` when the usage is empty (e.g. instructions whose µops
+    never reach an execution port).
+    """
+    solution = solve_port_assignment(dict(port_usage.counts), ports)
+    if solution is None:
+        return None
+    return solution[0]
+
+
+def solve_port_assignment(
+    counts: Dict[frozenset, float], ports: Sequence[int]
+) -> Optional[tuple]:
+    """Solve the LP of Section 5.3.2.
+
+    Args:
+        counts: µops per port combination.
+        ports: all ports of the machine.
+
+    Returns:
+        ``(z, loads)`` where ``z`` is the minimized maximum port load and
+        ``loads`` maps each port to its assigned µop share; ``None`` if the
+        usage is empty.
+    """
+    combos = [(tuple(sorted(pc)), mu) for pc, mu in counts.items()]
+    if not combos:
+        return None
+    ports = list(ports)
+    port_index = {p: k for k, p in enumerate(ports)}
+    # Variables: f(p, pc) for each combo and each port in that combo,
+    # plus z (the bound on the per-port load).
+    var_index = {}
+    for c, (pc, _mu) in enumerate(combos):
+        for p in pc:
+            var_index[(c, p)] = len(var_index)
+    z_index = len(var_index)
+    num_vars = z_index + 1
+
+    # Objective: minimize z.
+    objective = np.zeros(num_vars)
+    objective[z_index] = 1.0
+
+    # Equalities: per combo, sum_p f(p, pc) = mu.
+    a_eq = np.zeros((len(combos), num_vars))
+    b_eq = np.zeros(len(combos))
+    for c, (pc, mu) in enumerate(combos):
+        for p in pc:
+            a_eq[c, var_index[(c, p)]] = 1.0
+        b_eq[c] = mu
+
+    # Inequalities: per port, sum_pc f(p, pc) - z <= 0.
+    a_ub = np.zeros((len(ports), num_vars))
+    b_ub = np.zeros(len(ports))
+    for p in ports:
+        row = port_index[p]
+        for c, (pc, _mu) in enumerate(combos):
+            if p in pc:
+                a_ub[row, var_index[(c, p)]] = 1.0
+        a_ub[row, z_index] = -1.0
+
+    result = linprog(
+        objective,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        return None
+    loads = {p: 0.0 for p in ports}
+    for (c, p), index in var_index.items():
+        loads[p] += float(result.x[index])
+    return float(result.x[z_index]), loads

@@ -1,0 +1,104 @@
+"""Read a previously written results XML back into characterizations.
+
+The machine-readable output (Section 6.4) exists so that downstream tools
+can consume the measurements without re-running them; this module is that
+consumer path: :func:`load_results` parses a results file produced by
+:mod:`repro.core.xml_output` into
+:class:`~repro.core.result.InstructionCharacterization` objects, which is
+enough to drive the performance predictor (``python -m repro analyze
+--model results.xml``).
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict
+
+from repro.core.result import (
+    InstructionCharacterization,
+    LatencyResult,
+    LatencyValue,
+    PortUsage,
+    ThroughputResult,
+)
+
+_PORTS_RE = re.compile(r"(\d+)\*p(\d+)")
+
+
+def parse_port_notation(text: str) -> PortUsage:
+    """Parse the paper's ``2*p05 + 1*p23`` notation."""
+    counts = {}
+    for count, ports in _PORTS_RE.findall(text or ""):
+        combination = frozenset(int(p) for p in ports)
+        counts[combination] = counts.get(combination, 0) + int(count)
+    return PortUsage(counts)
+
+
+def _parse_measurement(element: ET.Element, uid: str,
+                       uarch_name: str) -> InstructionCharacterization:
+    uops = float(element.get("uops", "0"))
+    ports_text = element.get("ports")
+    port_usage = (
+        parse_port_notation(ports_text) if ports_text is not None else None
+    )
+    throughput = None
+    if element.get("TP") is not None:
+        throughput = ThroughputResult(
+            measured=float(element.get("TP")),
+            measured_same_kind=float(element.get("TP")),
+            computed_from_ports=(
+                float(element.get("TP_ports"))
+                if element.get("TP_ports") is not None
+                else None
+            ),
+        )
+    latency = LatencyResult()
+    for entry in element.findall("latency"):
+        pair = (entry.get("start_op"), entry.get("target_op"))
+        value = LatencyValue(
+            cycles=float(entry.get("cycles")),
+            kind=entry.get("kind", "exact"),
+            chain=entry.get("chain"),
+            value_class=entry.get("value_class"),
+        )
+        if entry.get("same_reg") == "1":
+            latency.same_register[pair] = value
+        elif entry.get("value_class") == "fast":
+            latency.fast_values[pair] = value
+        else:
+            latency.pairs[pair] = value
+    return InstructionCharacterization(
+        form_uid=uid,
+        uarch_name=uarch_name,
+        uop_count=uops,
+        port_usage=port_usage,
+        latency=latency,
+        throughput=throughput,
+    )
+
+
+def load_results(
+    path_or_root,
+) -> Dict[str, Dict[str, InstructionCharacterization]]:
+    """Load a results XML file (or parsed root element).
+
+    Returns ``{uarch name: {form uid: characterization}}`` — the same
+    structure :func:`repro.core.xml_output.results_to_xml` consumes.
+    """
+    if isinstance(path_or_root, str):
+        root = ET.parse(path_or_root).getroot()
+    else:
+        root = path_or_root
+    results: Dict[str, Dict[str, InstructionCharacterization]] = {}
+    for instruction in root.findall("instruction"):
+        uid = instruction.get("string")
+        for architecture in instruction.findall("architecture"):
+            name = architecture.get("name")
+            measurement = architecture.find("measurement")
+            if measurement is None:
+                continue
+            results.setdefault(name, {})[uid] = _parse_measurement(
+                measurement, uid, name
+            )
+    return results

@@ -1,0 +1,16 @@
+"""Reimplementation of Intel IACA (the comparison substrate of Section 6.3).
+
+IACA is a closed-source static analyzer that treats a code sequence as a
+loop body and reports steady-state throughput and port bindings.  This
+reimplementation reproduces its *documented* behaviours and its *documented
+bugs* (Section 7.2): it ignores dependencies on status flags and through
+memory, its per-version instruction tables disagree with the hardware for a
+deterministic set of instruction variants (including every named case of
+Section 7.2), latency analysis exists only in versions up to 2.1/2.2, and
+each version supports a different set of microarchitectures (Table 1).
+"""
+
+from repro.iaca.analyzer import IacaBackend, iaca_versions_for
+from repro.iaca.tables import IacaEntry, iaca_entry
+
+__all__ = ["IacaBackend", "IacaEntry", "iaca_entry", "iaca_versions_for"]

@@ -1,0 +1,181 @@
+"""Per-version IACA instruction tables.
+
+An :class:`IacaEntry` is what IACA "knows" about an instruction variant on
+one generation in one version: a total µop count, a detailed per-µop port
+view, and (for the versions that still support latency analysis) a single
+scalar latency.  Entries start from the hardware ground truth and then have
+the errata of :mod:`repro.iaca.errata` applied, so IACA is right most of the
+time and wrong in exactly the ways the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.iaca import errata
+from repro.isa.instruction import InstructionForm
+from repro.uarch.model import UarchConfig
+from repro.uarch.tables import build_entry
+from repro.uarch.uops import UarchEntry, UopSpec
+
+
+@dataclass(frozen=True)
+class IacaEntry:
+    """IACA's view of one instruction variant."""
+
+    uops_total: int
+    #: Detailed per-port view: (port set, µop count).  May be inconsistent
+    #: with ``uops_total`` (the VHADDPD detail-view bug).
+    port_view: Tuple[Tuple[FrozenSet[int], int], ...]
+    latency: Optional[float]
+    supported: bool = True
+
+    def port_counts(self) -> Dict[FrozenSet[int], int]:
+        counts: Dict[FrozenSet[int], int] = {}
+        for ports, n in self.port_view:
+            counts[ports] = counts.get(ports, 0) + n
+        return counts
+
+
+def _critical_path_latency(entry: UarchEntry) -> float:
+    """Longest path through the µop DAG (IACA's single-value latency)."""
+    finish: List[float] = []
+    for index, uop in enumerate(entry.uops):
+        start = 0.0
+        for ref in uop.inputs:
+            if ref[0] == "uop" and ref[1] < index:
+                start = max(start, finish[ref[1]] + uop.input_delay(ref))
+        latency = uop.latency
+        for lat in uop.output_latencies.values():
+            latency = max(latency, lat)
+        finish.append(start + latency)
+    return max(finish) if finish else 0.0
+
+
+def _true_port_view(entry: UarchEntry) -> List[Tuple[FrozenSet[int], int]]:
+    view: Dict[FrozenSet[int], int] = {}
+    for uop in entry.uops:
+        if uop.ports:
+            view[uop.ports] = view.get(uop.ports, 0) + 1
+    return sorted(view.items(), key=lambda item: sorted(item[0]))
+
+
+def iaca_entry(
+    form: InstructionForm, uarch: UarchConfig, version: str
+) -> Optional[IacaEntry]:
+    """IACA's table entry for *form* on *uarch* in *version*.
+
+    Returns ``None`` when the generation has no ground truth at all (the
+    form does not exist there); an unsupported-by-IACA form returns an
+    entry with ``supported=False``.
+    """
+    truth = build_entry(form, uarch)
+    if truth is None:
+        return None
+    if errata.synthesized_unsupported(form, uarch):
+        return IacaEntry(0, (), None, supported=False)
+
+    uops_total = len(truth.uops)
+    port_view = _true_port_view(truth)
+    latency: Optional[float] = _critical_path_latency(truth)
+
+    effects = errata.named_errata(form, uarch, version)
+    uop_error = errata.synthesized_uop_error(form, uarch)
+    if uop_error is not None:
+        effects.append(uop_error)
+    if errata.synthesized_port_error(form, uarch):
+        effects.append("synth_port")
+
+    for effect in effects:
+        uops_total, port_view, latency = _apply(
+            effect, uarch, uops_total, port_view, latency
+        )
+    return IacaEntry(uops_total, tuple(port_view), latency)
+
+
+def _apply(effect, uarch, uops_total, port_view, latency):
+    view = list(port_view)
+    if effect == "drop_load":
+        load_ports = uarch.fu_ports("load")
+        for i, (ports, n) in enumerate(view):
+            if ports == load_ports:
+                if n > 1:
+                    view[i] = (ports, n - 1)
+                else:
+                    del view[i]
+                uops_total -= 1
+                break
+    elif effect == "spurious_store":
+        view.append((uarch.fu_ports("store_addr"), 1))
+        view.append((uarch.fu_ports("store_data"), 1))
+        uops_total += 2
+    elif effect == "extra_uop":
+        view.append((uarch.fu_ports("int_alu"), 1))
+        uops_total += 1
+    elif effect == "bswap_two_uops":
+        view.append((uarch.fu_ports("int_alu"), 1))
+        uops_total += 1
+    elif effect == "detail_view_mismatch":
+        # Total stays (3 for VHADDPD) but the per-port view shows only the
+        # FP-add µop.
+        view = [
+            (ports, n) for ports, n in view
+            if ports == uarch.fu_ports("vec_fp_add")
+        ]
+    elif effect == "minps_extra_port":
+        view = [
+            (
+                ports | frozenset({5})
+                if ports == uarch.fu_ports("vec_fp_add")
+                else ports,
+                n,
+            )
+            for ports, n in view
+        ]
+    elif effect == "sahf_extra_ports":
+        view = [
+            (
+                ports | uarch.fu_ports("int_alu")
+                if ports == uarch.fu_ports("shift")
+                else ports,
+                n,
+            )
+            for ports, n in view
+        ]
+    elif effect == "movdq2q_wrong_ports":
+        view = [
+            (
+                frozenset({0, 1})
+                if ports == uarch.fu_ports("vec_shuffle")
+                else ports,
+                n,
+            )
+            for ports, n in view
+        ]
+    elif effect == "movq2dq_port5":
+        view = [(frozenset({5}), n) for ports, n in view]
+    elif effect == "lock_miscount":
+        view.append((uarch.fu_ports("int_alu"), 2))
+        uops_total += 2
+    elif effect == "rep_fixed_count":
+        uops_total = max(1, uops_total - 2)
+        if view:
+            ports, n = view[0]
+            view[0] = (ports, max(1, n - 2))
+    elif effect == "synth_port":
+        mem = errata.memory_ports(uarch)
+        compute_groups = [
+            i for i in range(len(view)) if not (view[i][0] & mem)
+        ]
+        if compute_groups:
+            # Replace the port set of the largest compute µop group.
+            index = max(
+                compute_groups,
+                key=lambda i: (len(view[i][0]), sorted(view[i][0])),
+            )
+            ports, n = view[index]
+            view[index] = (errata.port_error_variant(ports, uarch), n)
+    elif effect == "aes_latency_7":
+        latency = 7.0
+    return uops_total, view, latency

@@ -1,0 +1,42 @@
+"""x86-64 instruction set substrate.
+
+This subpackage provides everything the microbenchmark generators need to
+know about the x86 instruction set: the register model (including aliasing
+between, e.g., ``RAX``/``EAX``/``AX``/``AL``/``AH``), operand specifications
+with implicit operands and per-flag read/write sets, the instruction catalog
+(one :class:`~repro.isa.instruction.InstructionForm` per *instruction
+variant* in the paper's counting), an Intel-syntax assembler front end, and
+the XED-style machine-readable description pipeline of Section 6.1.
+"""
+
+from repro.isa.registers import (
+    FLAGS,
+    Register,
+    RegisterClass,
+    register_by_name,
+)
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    OperandKind,
+    OperandSpec,
+    RegisterOperand,
+)
+from repro.isa.instruction import Instruction, InstructionForm
+from repro.isa.database import InstructionDatabase, load_default_database
+
+__all__ = [
+    "FLAGS",
+    "Register",
+    "RegisterClass",
+    "register_by_name",
+    "Immediate",
+    "Memory",
+    "OperandKind",
+    "OperandSpec",
+    "RegisterOperand",
+    "Instruction",
+    "InstructionForm",
+    "InstructionDatabase",
+    "load_default_database",
+]

@@ -1,0 +1,223 @@
+"""Intel-syntax assembler front end (formatting and parsing).
+
+The measurement kernels operate on :class:`~repro.isa.instruction.Instruction`
+objects directly, but both the XML output and the examples round-trip through
+Intel assembler syntax (``mnemonic op1, op2, ...``; memory operands written
+``qword ptr [RAX+RBX*2+8]``), matching the notation of Section 3.2.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import Instruction, InstructionForm
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    Operand,
+    OperandKind,
+    OperandSpec,
+    RegisterOperand,
+)
+from repro.isa.registers import is_register_name, register_by_name
+
+_WIDTH_KEYWORDS = {
+    8: "byte",
+    16: "word",
+    32: "dword",
+    64: "qword",
+    128: "xmmword",
+    256: "ymmword",
+}
+_KEYWORD_WIDTHS = {kw: w for w, kw in _WIDTH_KEYWORDS.items()}
+
+
+def format_operand(operand: Operand) -> str:
+    """Format one concrete operand in Intel syntax."""
+    if isinstance(operand, Memory):
+        keyword = _WIDTH_KEYWORDS[operand.width]
+        return f"{keyword} ptr {operand}"
+    return str(operand)
+
+
+def format_instruction(instruction: Instruction) -> str:
+    """Format a concrete instruction in Intel syntax (explicit operands)."""
+    parts = []
+    for spec, op in zip(instruction.form.operands, instruction.operands):
+        if spec.implicit:
+            continue
+        parts.append(format_operand(op))
+    mnem = instruction.form.mnemonic
+    return f"{mnem} {', '.join(parts)}" if parts else mnem
+
+
+def format_sequence(instructions: Sequence[Instruction]) -> str:
+    """Format an instruction sequence, one instruction per line."""
+    return "\n".join(format_instruction(i) for i in instructions)
+
+
+_MEM_RE = re.compile(
+    r"^(?:(?P<kw>byte|word|dword|qword|xmmword|ymmword)\s+ptr\s+)?"
+    r"\[(?P<body>[^\]]+)\]$",
+    re.IGNORECASE,
+)
+
+
+class AssemblerError(ValueError):
+    """Raised when assembler text cannot be parsed or matched to a form."""
+
+
+def parse_operand(text: str, width_hint: Optional[int] = None) -> Operand:
+    """Parse one operand in Intel syntax.
+
+    Memory operands without a size keyword require a *width_hint*.
+    """
+    text = text.strip()
+    match = _MEM_RE.match(text)
+    if match:
+        return _parse_memory(match, width_hint)
+    if is_register_name(text):
+        return RegisterOperand(register_by_name(text))
+    try:
+        value = int(text, 0)
+    except ValueError:
+        raise AssemblerError(f"cannot parse operand: {text!r}") from None
+    return Immediate(value, width_hint or 32)
+
+
+def _parse_memory(match: re.Match, width_hint: Optional[int]) -> Memory:
+    keyword = match.group("kw")
+    if keyword is not None:
+        width = _KEYWORD_WIDTHS[keyword.lower()]
+    elif width_hint is not None:
+        width = width_hint
+    else:
+        raise AssemblerError(
+            f"memory operand needs a size keyword: {match.group(0)!r}"
+        )
+    base = index = None
+    scale = 1
+    displacement = 0
+    body = match.group("body").replace("-", "+-")
+    for raw_term in body.split("+"):
+        term = raw_term.strip()
+        if not term:
+            continue
+        if "*" in term:
+            reg_text, scale_text = term.split("*")
+            index = register_by_name(reg_text.strip())
+            scale = int(scale_text)
+        elif is_register_name(term):
+            if base is None:
+                base = register_by_name(term)
+            elif index is None:
+                index = register_by_name(term)
+            else:
+                raise AssemblerError(f"too many registers in {term!r}")
+        else:
+            try:
+                displacement += int(term, 0)
+            except ValueError:
+                raise AssemblerError(
+                    f"cannot parse memory term: {term!r}"
+                ) from None
+    return Memory(base, width, index, scale, displacement)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split an operand list on commas that are not inside brackets."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _operand_matches(spec: OperandSpec, operand: Operand) -> bool:
+    if isinstance(operand, RegisterOperand):
+        if not spec.is_register:
+            return False
+        reg = operand.register
+        if reg.reg_class != spec.register_class:
+            return False
+        if spec.fixed is not None and reg.name != spec.fixed.upper():
+            return False
+        return reg.width == spec.width
+    if isinstance(operand, Memory):
+        return (
+            spec.kind in (OperandKind.MEM, OperandKind.AGEN)
+            and operand.width == spec.width
+        )
+    if isinstance(operand, Immediate):
+        return spec.kind == OperandKind.IMM
+    return False
+
+
+def match_form(
+    forms: Sequence[InstructionForm], operands: Sequence[Operand]
+) -> Optional[InstructionForm]:
+    """The first form whose explicit slots match the concrete operands."""
+    for form in forms:
+        specs = form.explicit_operands
+        if len(specs) != len(operands):
+            continue
+        if all(_operand_matches(s, o) for s, o in zip(specs, operands)):
+            return form
+    return None
+
+
+def parse_instruction(text: str, database) -> Instruction:
+    """Parse one Intel-syntax instruction against an instruction database.
+
+    Args:
+        text: e.g. ``"ADD RAX, qword ptr [RBX]"``.
+        database: an :class:`~repro.isa.database.InstructionDatabase`.
+    """
+    text = text.strip().rstrip(";")
+    if not text:
+        raise AssemblerError("empty instruction")
+    head, _, rest = text.partition(" ")
+    if head.upper() in ("LOCK", "REP", "REPE", "REPNE"):
+        prefixed, _, rest = rest.strip().partition(" ")
+        head = f"{head} {prefixed}"
+    mnemonic = head.upper()
+    forms = database.forms_for_mnemonic(mnemonic)
+    if not forms:
+        raise AssemblerError(f"unknown mnemonic: {mnemonic!r}")
+    operand_texts = _split_operands(rest)
+    # Memory widths may be implied by a register operand of the same form;
+    # try explicit keywords first, then fall back to register width hints.
+    width_hint = None
+    for op_text in operand_texts:
+        candidate = op_text.strip()
+        if is_register_name(candidate):
+            width_hint = register_by_name(candidate).width
+            break
+    operands = [parse_operand(t, width_hint) for t in operand_texts]
+    form = match_form(forms, operands)
+    if form is None:
+        shapes = ", ".join(str(o) for o in operands)
+        raise AssemblerError(f"no form of {mnemonic} matches ({shapes})")
+    return form.instantiate(*operands)
+
+
+def parse_sequence(text: str, database) -> List[Instruction]:
+    """Parse a newline- or semicolon-separated instruction sequence."""
+    instructions = []
+    for line in re.split(r"[\n;]", text):
+        line = line.split("#")[0].strip()
+        if line:
+            instructions.append(parse_instruction(line, database))
+    return instructions

@@ -1,0 +1,35 @@
+"""The x86-64 instruction catalog.
+
+Each module contributes :class:`~repro.isa.instruction.InstructionForm`
+objects for one part of the instruction set.  A *form* is what the paper
+counts as an instruction variant (Table 1): a mnemonic plus one concrete
+combination of operand kinds and widths.
+
+The catalog is generated combinatorially, like the x86 instruction set
+itself: a mnemonic like ``ADD`` expands into reg-reg, reg-mem, mem-reg,
+reg-imm and mem-imm shapes at widths 8/16/32/64, with 8-bit and full-width
+immediate variants (the paper explicitly distinguishes immediate widths,
+Section 8).
+"""
+
+from typing import List
+
+from repro.isa.instruction import InstructionForm
+
+
+def build_catalog() -> List[InstructionForm]:
+    """All instruction forms, across every ISA extension we model."""
+    from repro.isa.catalog import avx, extensions, gpr, sse, system
+
+    forms: List[InstructionForm] = []
+    forms.extend(gpr.build())
+    forms.extend(sse.build())
+    forms.extend(avx.build())
+    forms.extend(extensions.build())
+    forms.extend(system.build())
+    seen = {}
+    for form in forms:
+        if form.uid in seen:
+            raise AssertionError(f"duplicate form uid: {form.uid}")
+        seen[form.uid] = form
+    return forms

@@ -1,0 +1,127 @@
+"""Shared constructors for catalog modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.isa.instruction import InstructionForm
+from repro.isa.operands import OperandKind, OperandSpec
+
+#: The six status flags.
+ALL_FLAGS = frozenset({"CF", "PF", "AF", "ZF", "SF", "OF"})
+#: Flags written by arithmetic instructions.
+ARITH_FLAGS = ALL_FLAGS
+#: Flags written by logic instructions (AF is undefined, i.e. clobbered).
+LOGIC_FLAGS = ALL_FLAGS
+#: Flags written by INC/DEC (everything except CF).
+INC_FLAGS = frozenset({"PF", "AF", "ZF", "SF", "OF"})
+#: Flags written by shifts (AF undefined -> clobbered).
+SHIFT_FLAGS = frozenset({"CF", "PF", "AF", "ZF", "SF", "OF"})
+#: Flags written by rotates.
+ROTATE_FLAGS = frozenset({"CF", "OF"})
+#: Flags SAHF writes / LAHF reads.
+SAHF_FLAGS = frozenset({"CF", "PF", "AF", "ZF", "SF"})
+#: Flags TEST/logic comparisons write (AF is NOT written by TEST, per paper).
+TEST_FLAGS = frozenset({"CF", "PF", "ZF", "SF", "OF"})
+
+#: Condition code -> status flags read, for CMOVcc/SETcc/Jcc.
+CONDITION_FLAGS = {
+    "O": {"OF"},
+    "NO": {"OF"},
+    "B": {"CF"},
+    "AE": {"CF"},
+    "E": {"ZF"},
+    "NE": {"ZF"},
+    "BE": {"CF", "ZF"},
+    "A": {"CF", "ZF"},
+    "S": {"SF"},
+    "NS": {"SF"},
+    "P": {"PF"},
+    "NP": {"PF"},
+    "L": {"SF", "OF"},
+    "GE": {"SF", "OF"},
+    "LE": {"SF", "ZF", "OF"},
+    "G": {"SF", "ZF", "OF"},
+}
+
+GPR_WIDTHS = (8, 16, 32, 64)
+
+
+def R(
+    width: int,
+    read: bool = True,
+    written: bool = False,
+    fixed: Optional[str] = None,
+    implicit: bool = False,
+    name: Optional[str] = None,
+) -> OperandSpec:
+    """A general-purpose register operand slot."""
+    return OperandSpec(
+        OperandKind.GPR, width, read, written, implicit, fixed, name
+    )
+
+
+def M(width: int, read: bool = True, written: bool = False) -> OperandSpec:
+    """A memory operand slot."""
+    return OperandSpec(OperandKind.MEM, width, read, written)
+
+
+def I(width: int = 32) -> OperandSpec:
+    """An immediate operand slot."""
+    return OperandSpec(OperandKind.IMM, width, read=True)
+
+
+def X(
+    read: bool = True,
+    written: bool = False,
+    fixed: Optional[str] = None,
+    implicit: bool = False,
+) -> OperandSpec:
+    """An XMM register operand slot."""
+    return OperandSpec(OperandKind.VEC, 128, read, written, implicit, fixed)
+
+
+def Y(read: bool = True, written: bool = False) -> OperandSpec:
+    """A YMM register operand slot."""
+    return OperandSpec(OperandKind.VEC, 256, read, written)
+
+
+def MM(read: bool = True, written: bool = False) -> OperandSpec:
+    """An MMX register operand slot."""
+    return OperandSpec(OperandKind.MMX, 64, read, written)
+
+
+def AGEN() -> OperandSpec:
+    """An address-generation-only operand (LEA source)."""
+    return OperandSpec(OperandKind.AGEN, 64, read=True)
+
+
+def form(
+    mnemonic: str,
+    operands: Sequence[OperandSpec],
+    *,
+    flags_read: Iterable[str] = (),
+    flags_written: Iterable[str] = (),
+    extension: str = "BASE",
+    category: str = "int_alu",
+    attributes: Iterable[str] = (),
+) -> InstructionForm:
+    """Construct an :class:`InstructionForm` with frozen collections."""
+    return InstructionForm(
+        mnemonic=mnemonic,
+        operands=tuple(operands),
+        flags_read=frozenset(flags_read),
+        flags_written=frozenset(flags_written),
+        extension=extension,
+        category=category,
+        attributes=frozenset(attributes),
+    )
+
+
+def imm_widths_for(width: int) -> Tuple[int, ...]:
+    """Immediate width variants x86 encodes for a given operand width."""
+    if width == 8:
+        return (8,)
+    if width == 16:
+        return (8, 16)
+    return (8, 32)

@@ -1,0 +1,343 @@
+"""AVX/AVX2/FMA (VEX-encoded) vector instruction forms.
+
+VEX encodings are three-operand (``VADDPS xmm1, xmm2, xmm3/m128``); integer
+operations on YMM require AVX2 (Haswell+), floating-point YMM requires AVX
+(Sandy Bridge+).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.catalog._helpers import I, M, R, TEST_FLAGS, X, Y, form
+from repro.isa.instruction import (
+    ATTR_DEP_BREAKING,
+    ATTR_MOVE,
+    ATTR_ZERO_IDIOM,
+    InstructionForm,
+)
+from repro.isa.catalog import sse
+
+#: SSE mnemonics mirrored as VEX three-operand forms:
+#: (mnemonic, category, int_domain, has_imm, dst_read_in_sse)
+_MIRRORED_3OP = (
+    [(m, "vec_int_alu", True, False) for m, _ in sse.INT_ALU_OPS
+     if not m.startswith("PABS")]
+    + [(m, "vec_int_cmp", True, False) for m, _ in sse.INT_CMP_OPS]
+    + [(m, "vec_logic", False, False) for m, _ in sse.LOGIC_OPS]
+    + [(m, "vec_int_mul", True, False) for m, _ in sse.INT_MUL_OPS]
+    + [(m, "vec_shuffle", True, False) for m, _ in sse.SHUFFLE_OPS]
+    + [(m, "vec_fp_add", False, False) for m, _ in sse.FP_ADD_OPS]
+    + [(m, "vec_fp_mul", False, False) for m, _ in sse.FP_MUL_OPS]
+    + [(m, "vec_fp_div", False, False) for m, _ in sse.FP_DIV_OPS]
+    + [(m, "vec_fp_minmax", False, False) for m, _ in sse.FP_MINMAX_OPS]
+    + [(m, "vec_fp_hadd", False, False) for m, _ in sse.FP_HADD_OPS]
+    + [("PSHUFB", "vec_pshufb", True, False)]
+    + [("PSADBW", "vec_psadbw", True, False)]
+)
+
+_MIRRORED_3OP_IMM = [
+    ("PALIGNR", "vec_shuffle_imm", True),
+    ("SHUFPS", "vec_shuffle_imm", False),
+    ("SHUFPD", "vec_shuffle_imm", False),
+    ("BLENDPS", "vec_blend", False),
+    ("BLENDPD", "vec_blend", False),
+    ("PBLENDW", "vec_blend", True),
+    ("MPSADBW", "vec_mpsadbw", True),
+    ("CMPPS", "vec_fp_cmp", False),
+    ("CMPPD", "vec_fp_cmp", False),
+    ("DPPS", "vec_dp", False),
+]
+
+#: Two-operand VEX forms (no extra source): (mnemonic, category, int_domain)
+_MIRRORED_2OP = [
+    ("SQRTPS", "vec_fp_sqrt", False),
+    ("SQRTPD", "vec_fp_sqrt", False),
+    ("RCPPS", "vec_fp_rcp", False),
+    ("RSQRTPS", "vec_fp_rcp", False),
+    ("CVTDQ2PS", "vec_cvt", False),
+    ("CVTPS2DQ", "vec_cvt", False),
+    ("CVTTPS2DQ", "vec_cvt", False),
+    ("PABSB", "vec_int_alu", True),
+    ("PABSW", "vec_int_alu", True),
+    ("PABSD", "vec_int_alu", True),
+]
+
+_MIRRORED_2OP_IMM = [
+    ("PSHUFD", "vec_shuffle_imm", True),
+    ("PSHUFLW", "vec_shuffle_imm", True),
+    ("PSHUFHW", "vec_shuffle_imm", True),
+    ("ROUNDPS", "vec_fp_round", False),
+    ("ROUNDPD", "vec_fp_round", False),
+]
+
+
+def _vec(width: int, **kwargs):
+    return X(**kwargs) if width == 128 else Y(**kwargs)
+
+
+def _ext_for(width: int, int_domain: bool) -> str:
+    if width == 256 and int_domain:
+        return "AVX2"
+    return "AVX"
+
+
+def _attrs_for(mnemonic: str) -> tuple:
+    if mnemonic in ("PXOR", "XORPS", "XORPD"):
+        return (ATTR_ZERO_IDIOM, ATTR_DEP_BREAKING)
+    if mnemonic.startswith("PCMPEQ"):
+        return (ATTR_ZERO_IDIOM,)
+    return ()
+
+
+def build() -> List[InstructionForm]:
+    """All VEX-encoded instruction forms."""
+    forms: List[InstructionForm] = []
+    for width in (128, 256):
+        for mnemonic, category, int_domain, _ in _MIRRORED_3OP:
+            ext = _ext_for(width, int_domain)
+            for src2 in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True),
+                         _vec(width), src2),
+                        extension=ext,
+                        category=category,
+                        attributes=_attrs_for(mnemonic),
+                    )
+                )
+        for mnemonic, category, int_domain in _MIRRORED_3OP_IMM:
+            ext = _ext_for(width, int_domain)
+            for src2 in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True),
+                         _vec(width), src2, I(8)),
+                        extension=ext,
+                        category=category,
+                    )
+                )
+        for mnemonic, category, int_domain in _MIRRORED_2OP:
+            ext = _ext_for(width, int_domain)
+            for src in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True), src),
+                        extension=ext,
+                        category=category,
+                    )
+                )
+        for mnemonic, category, int_domain in _MIRRORED_2OP_IMM:
+            ext = _ext_for(width, int_domain)
+            for src in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True), src, I(8)),
+                        extension=ext,
+                        category=category,
+                    )
+                )
+        # Moves.
+        for mnemonic in ("MOVDQA", "MOVDQU", "MOVAPS", "MOVAPD", "MOVUPS",
+                         "MOVUPD"):
+            forms.append(
+                form(
+                    f"V{mnemonic}",
+                    (_vec(width, read=False, written=True), _vec(width)),
+                    extension="AVX",
+                    category="vec_mov",
+                    attributes=(ATTR_MOVE,),
+                )
+            )
+            forms.append(
+                form(
+                    f"V{mnemonic}",
+                    (_vec(width, read=False, written=True), M(width)),
+                    extension="AVX",
+                    category="vec_load",
+                )
+            )
+            forms.append(
+                form(
+                    f"V{mnemonic}",
+                    (M(width, read=False, written=True), _vec(width)),
+                    extension="AVX",
+                    category="vec_store",
+                )
+            )
+        # Variable blends become explicit 4-operand forms under VEX
+        # (Section 7.3.5: VPBLENDV(B/PD/PS) are multi-latency cases).
+        for mnemonic in ("PBLENDVB", "BLENDVPS", "BLENDVPD"):
+            int_domain = mnemonic == "PBLENDVB"
+            ext = _ext_for(width, int_domain)
+            for src2 in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True),
+                         _vec(width), src2, _vec(width)),
+                        extension=ext,
+                        category="vec_blendv",
+                    )
+                )
+        # Vector shifts (Section 7.3.5 multi-latency list).
+        for mnemonic in ("PSLLW", "PSLLD", "PSLLQ", "PSRLW", "PSRLD",
+                         "PSRLQ", "PSRAW", "PSRAD"):
+            ext = _ext_for(width, True)
+            forms.append(
+                form(
+                    f"V{mnemonic}",
+                    (_vec(width, read=False, written=True), _vec(width),
+                     I(8)),
+                    extension=ext,
+                    category="vec_shift_imm",
+                )
+            )
+            for count in (X(), M(128)):
+                forms.append(
+                    form(
+                        f"V{mnemonic}",
+                        (_vec(width, read=False, written=True),
+                         _vec(width), count),
+                        extension=ext,
+                        category="vec_shift",
+                    )
+                )
+    # FMA (Haswell+): a representative subset of the 132/213/231 family.
+    for stem in ("VFMADD", "VFMSUB", "VFNMADD"):
+        for order in ("132", "213", "231"):
+            for suffix in ("PS", "PD", "SS", "SD"):
+                widths = (128,) if suffix in ("SS", "SD") else (128, 256)
+                for width in widths:
+                    for src2 in (_vec(width), M(width)):
+                        forms.append(
+                            form(
+                                f"{stem}{order}{suffix}",
+                                (_vec(width, read=True, written=True),
+                                 _vec(width), src2),
+                                extension="FMA",
+                                category="fma",
+                            )
+                        )
+    # AVX-only lane/permute operations.
+    for src in (Y(), M(256)):
+        forms.append(
+            form(
+                "VPERM2F128",
+                (Y(read=False, written=True), Y(), src, I(8)),
+                extension="AVX",
+                category="avx_lane",
+            )
+        )
+        forms.append(
+            form(
+                "VPERM2I128",
+                (Y(read=False, written=True), Y(), src, I(8)),
+                extension="AVX2",
+                category="avx_lane",
+            )
+        )
+    forms.append(
+        form(
+            "VEXTRACTF128",
+            (X(read=False, written=True), Y(), I(8)),
+            extension="AVX",
+            category="avx_lane",
+        )
+    )
+    forms.append(
+        form(
+            "VEXTRACTF128",
+            (M(128, read=False, written=True), Y(), I(8)),
+            extension="AVX",
+            category="avx_lane",
+        )
+    )
+    for src in (X(), M(128)):
+        forms.append(
+            form(
+                "VINSERTF128",
+                (Y(read=False, written=True), Y(), src, I(8)),
+                extension="AVX",
+                category="avx_lane",
+            )
+        )
+    for width in (128, 256):
+        forms.append(
+            form(
+                "VBROADCASTSS",
+                (_vec(width, read=False, written=True), M(32)),
+                extension="AVX",
+                category="vec_load",
+            )
+        )
+        forms.append(
+            form(
+                "VPERMILPS",
+                (_vec(width, read=False, written=True), _vec(width), I(8)),
+                extension="AVX",
+                category="vec_shuffle_imm",
+            )
+        )
+    forms.append(
+        form(
+            "VPERMPS",
+            (Y(read=False, written=True), Y(), Y()),
+            extension="AVX2",
+            category="avx_lane",
+        )
+    )
+    forms.append(
+        form(
+            "VPERMD",
+            (Y(read=False, written=True), Y(), Y()),
+            extension="AVX2",
+            category="avx_lane",
+        )
+    )
+    forms.append(
+        form("VZEROUPPER", (), extension="AVX", category="vzeroupper")
+    )
+    forms.append(
+        form("VZEROALL", (), extension="AVX", category="vzeroall")
+    )
+    # VEX comparisons writing flags, and VPTEST.
+    for mnemonic in ("VCOMISS", "VCOMISD", "VUCOMISS", "VUCOMISD"):
+        width = 32 if mnemonic.endswith("SS") else 64
+        for src in (X(), M(width)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(), src),
+                    flags_written=TEST_FLAGS,
+                    extension="AVX",
+                    category="vec_comis",
+                )
+            )
+    for width in (128, 256):
+        for src in (_vec(width), M(width)):
+            forms.append(
+                form(
+                    "VPTEST",
+                    (_vec(width), src),
+                    flags_written=TEST_FLAGS,
+                    extension="AVX",
+                    category="vec_ptest",
+                )
+            )
+    # VEX AES (AVX-capable cores re-encode AES under VEX).
+    for mnemonic in ("AESENC", "AESENCLAST", "AESDEC", "AESDECLAST"):
+        for src in (X(), M(128)):
+            forms.append(
+                form(
+                    f"V{mnemonic}",
+                    (X(read=False, written=True), X(), src),
+                    extension="AVX_AES",
+                    category="vec_aes",
+                )
+            )
+    return forms

@@ -1,0 +1,1047 @@
+"""Later ISA extensions: SSE4.2 string/CRC, BMI1/2, ADX, MOVBE, F16C,
+additional SSE3/SSSE3/SSE4.1 forms, and the AVX2-only instructions
+(broadcasts, cross-lane permutes, variable shifts, gathers, masked
+moves)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.catalog._helpers import (
+    ALL_FLAGS,
+    ARITH_FLAGS,
+    I,
+    M,
+    R,
+    TEST_FLAGS,
+    X,
+    Y,
+    form,
+)
+from repro.isa.instruction import ATTR_LOCK, InstructionForm
+
+
+def _vec(width: int, **kwargs):
+    return X(**kwargs) if width == 128 else Y(**kwargs)
+
+
+def _gpr_bmi() -> List[InstructionForm]:
+    forms: List[InstructionForm] = []
+    # MOVBE: byte-swapping loads and stores (Haswell+).
+    for width in (16, 32, 64):
+        forms.append(
+            form(
+                "MOVBE",
+                (R(width, read=False, written=True), M(width)),
+                extension="MOVBE",
+                category="movbe_load",
+            )
+        )
+        forms.append(
+            form(
+                "MOVBE",
+                (M(width, read=False, written=True), R(width)),
+                extension="MOVBE",
+                category="movbe_store",
+            )
+        )
+    # CRC32 (SSE4.2, Nehalem+).
+    for src_width in (8, 16, 32, 64):
+        dst_width = 64 if src_width == 64 else 32
+        for src in (R(src_width), M(src_width)):
+            forms.append(
+                form(
+                    "CRC32",
+                    (R(dst_width, read=True, written=True), src),
+                    extension="SSE42",
+                    category="crc32",
+                )
+            )
+    # ADX: carry-less flag-chain arithmetic (Broadwell+).
+    for mnemonic, flag in (("ADCX", "CF"), ("ADOX", "OF")):
+        for width in (32, 64):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (R(width, read=True, written=True), src),
+                        flags_read={flag},
+                        flags_written={flag},
+                        extension="ADX",
+                        category="adx",
+                    )
+                )
+    # BMI2 shifts: flagless three-operand shifts and rotate.
+    for mnemonic in ("SARX", "SHLX", "SHRX"):
+        for width in (32, 64):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (R(width, read=False, written=True), src,
+                         R(width)),
+                        extension="BMI2",
+                        category="bmi_shift",
+                    )
+                )
+    for width in (32, 64):
+        for src in (R(width), M(width)):
+            forms.append(
+                form(
+                    "RORX",
+                    (R(width, read=False, written=True), src, I(8)),
+                    extension="BMI2",
+                    category="bmi_shift",
+                )
+            )
+    # MULX: flagless widening multiply, reads RDX implicitly.
+    for width in (32, 64):
+        rdx = "EDX" if width == 32 else "RDX"
+        for src in (R(width), M(width)):
+            forms.append(
+                form(
+                    "MULX",
+                    (
+                        R(width, read=False, written=True),
+                        R(width, read=False, written=True),
+                        src,
+                        R(width, read=True, fixed=rdx, implicit=True),
+                    ),
+                    extension="BMI2",
+                    category="mulx",
+                )
+            )
+    # BMI1/2 bit manipulation.
+    for mnemonic, ext, category in (
+        ("BLSI", "BMI1", "bmi_alu"),
+        ("BLSR", "BMI1", "bmi_alu"),
+        ("BLSMSK", "BMI1", "bmi_alu"),
+        ("BZHI", "BMI2", "bmi_alu2"),
+        ("BEXTR", "BMI1", "bextr"),
+        ("PDEP", "BMI2", "pdep"),
+        ("PEXT", "BMI2", "pdep"),
+    ):
+        for width in (32, 64):
+            for src in (R(width), M(width)):
+                if category in ("bmi_alu2", "bextr", "pdep"):
+                    operands = (
+                        R(width, read=False, written=True), src, R(width)
+                    )
+                else:
+                    operands = (R(width, read=False, written=True), src)
+                forms.append(
+                    form(
+                        mnemonic,
+                        operands,
+                        flags_written=TEST_FLAGS,
+                        extension=ext,
+                        category=category,
+                    )
+                )
+    # CMPXCHG: compare-and-exchange with implicit accumulator.
+    for width in (32, 64):
+        acc = "EAX" if width == 32 else "RAX"
+        for dst in (R(width, read=True, written=True),
+                    M(width, read=True, written=True)):
+            forms.append(
+                form(
+                    "CMPXCHG",
+                    (
+                        dst,
+                        R(width),
+                        R(width, read=True, written=True, fixed=acc,
+                          implicit=True),
+                    ),
+                    flags_written=ARITH_FLAGS,
+                    category="cmpxchg",
+                )
+            )
+    forms.append(
+        form(
+            "LOCK CMPXCHG",
+            (
+                M(64, read=True, written=True),
+                R(64),
+                R(64, read=True, written=True, fixed="RAX",
+                  implicit=True),
+            ),
+            flags_written=ARITH_FLAGS,
+            category="lock_rmw",
+            attributes=(ATTR_LOCK,),
+        )
+    )
+    return forms
+
+
+def _sse_extras() -> List[InstructionForm]:
+    forms: List[InstructionForm] = []
+    # Sign/zero extension moves (SSE4.1).
+    for sign in ("S", "Z"):
+        for suffix, src_width in (
+            ("BW", 64), ("BD", 32), ("BQ", 16),
+            ("WD", 64), ("WQ", 32), ("DQ", 64),
+        ):
+            mnemonic = f"PMOV{sign}X{suffix}"
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=False, written=True), X()),
+                    extension="SSE4",
+                    category="vec_pmovx",
+                )
+            )
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=False, written=True), M(src_width)),
+                    extension="SSE4",
+                    category="vec_pmovx",
+                )
+            )
+    # INSERTPS / EXTRACTPS.
+    for src in (X(), M(32)):
+        forms.append(
+            form(
+                "INSERTPS",
+                (X(read=True, written=True), src, I(8)),
+                extension="SSE4",
+                category="vec_shuffle_imm",
+            )
+        )
+    forms.append(
+        form(
+            "EXTRACTPS",
+            (R(32, read=False, written=True), X(), I(8)),
+            extension="SSE4",
+            category="vec_extract",
+        )
+    )
+    forms.append(
+        form(
+            "EXTRACTPS",
+            (M(32, read=False, written=True), X(), I(8)),
+            extension="SSE4",
+            category="vec_extract_store",
+        )
+    )
+    # Horizontal integer adds (SSSE3).
+    for mnemonic in ("PHADDW", "PHADDD", "PHADDSW", "PHSUBW", "PHSUBD",
+                     "PHSUBSW"):
+        for src in (X(), M(128)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), src),
+                    extension="SSSE3",
+                    category="vec_phadd",
+                )
+            )
+    forms.append(
+        form(
+            "PHMINPOSUW",
+            (X(read=False, written=True), X()),
+            extension="SSE4",
+            category="vec_phminpos",
+        )
+    )
+    # Duplicating moves (SSE3).
+    for mnemonic, src_width in (
+        ("MOVDDUP", 64), ("MOVSHDUP", 128), ("MOVSLDUP", 128),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), X()),
+                extension="SSE3",
+                category="vec_shuffle",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), M(src_width)),
+                extension="SSE3",
+                category="vec_load",
+            )
+        )
+    forms.append(
+        form(
+            "LDDQU",
+            (X(read=False, written=True), M(128)),
+            extension="SSE3",
+            category="vec_load",
+        )
+    )
+    # Non-temporal stores.
+    for mnemonic, ext, width in (
+        ("MOVNTDQ", "SSE2", 128),
+        ("MOVNTPS", "SSE", 128),
+        ("MOVNTPD", "SSE2", 128),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (M(width, read=False, written=True), X()),
+                extension=ext,
+                category="vec_store",
+            )
+        )
+    forms.append(
+        form(
+            "MOVNTI",
+            (M(64, read=False, written=True), R(64)),
+            extension="SSE2",
+            category="store",
+        )
+    )
+    # SSE4.2 string comparisons (implicit ECX / XMM0 results).
+    for mnemonic, result_spec in (
+        ("PCMPISTRI",
+         R(32, read=False, written=True, fixed="ECX", implicit=True)),
+        ("PCMPESTRI",
+         R(32, read=False, written=True, fixed="ECX", implicit=True)),
+        ("PCMPISTRM",
+         X(read=False, written=True, fixed="XMM0", implicit=True)),
+        ("PCMPESTRM",
+         X(read=False, written=True, fixed="XMM0", implicit=True)),
+    ):
+        explicit_lengths = mnemonic.startswith("PCMPE")
+        operands = [X(), X(), I(8)]
+        if explicit_lengths:
+            operands.append(R(64, read=True, fixed="RAX", implicit=True))
+            operands.append(R(64, read=True, fixed="RDX", implicit=True))
+        operands.append(result_spec)
+        forms.append(
+            form(
+                mnemonic,
+                tuple(operands),
+                flags_written=ALL_FLAGS,
+                extension="SSE42",
+                category="vec_string",
+            )
+        )
+    return forms
+
+
+def _avx2_extras() -> List[InstructionForm]:
+    forms: List[InstructionForm] = []
+    # Register-source broadcasts (AVX2) and VBROADCASTSD.
+    for suffix, _src_width in (("B", 8), ("W", 16), ("D", 32), ("Q", 64)):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    f"VPBROADCAST{suffix}",
+                    (_vec(width, read=False, written=True), X()),
+                    extension="AVX2",
+                    category="vec_broadcast",
+                )
+            )
+    forms.append(
+        form(
+            "VBROADCASTSS",
+            (X(read=False, written=True), X()),
+            extension="AVX2",
+            category="vec_broadcast",
+        )
+    )
+    forms.append(
+        form(
+            "VBROADCASTSD",
+            (Y(read=False, written=True), X()),
+            extension="AVX2",
+            category="vec_broadcast",
+        )
+    )
+    forms.append(
+        form(
+            "VBROADCASTSD",
+            (Y(read=False, written=True), M(64)),
+            extension="AVX",
+            category="vec_load",
+        )
+    )
+    forms.append(
+        form(
+            "VBROADCASTF128",
+            (Y(read=False, written=True), M(128)),
+            extension="AVX",
+            category="vec_load",
+        )
+    )
+    # Cross-lane permutes with immediate (AVX2).
+    for mnemonic in ("VPERMQ", "VPERMPD"):
+        for src in (Y(), M(256)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (Y(read=False, written=True), src, I(8)),
+                    extension="AVX2",
+                    category="avx_lane",
+                )
+            )
+    # VEXTRACTI128 / VINSERTI128.
+    forms.append(
+        form(
+            "VEXTRACTI128",
+            (X(read=False, written=True), Y(), I(8)),
+            extension="AVX2",
+            category="avx_lane",
+        )
+    )
+    forms.append(
+        form(
+            "VEXTRACTI128",
+            (M(128, read=False, written=True), Y(), I(8)),
+            extension="AVX2",
+            category="avx_lane",
+        )
+    )
+    for src in (X(), M(128)):
+        forms.append(
+            form(
+                "VINSERTI128",
+                (Y(read=False, written=True), Y(), src, I(8)),
+                extension="AVX2",
+                category="avx_lane",
+            )
+        )
+    # Variable per-element shifts (AVX2).
+    for mnemonic in ("VPSLLVD", "VPSLLVQ", "VPSRLVD", "VPSRLVQ",
+                     "VPSRAVD"):
+        for width in (128, 256):
+            for count in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (_vec(width, read=False, written=True),
+                         _vec(width), count),
+                        extension="AVX2",
+                        category="vec_var_shift",
+                    )
+                )
+    # Gathers (AVX2).  The VSIB vector index is modeled as an explicit
+    # vector source operand next to a base-register memory operand — see
+    # DESIGN.md for this substitution.
+    for mnemonic, elem_width in (
+        ("VPGATHERDD", 32), ("VPGATHERQQ", 64),
+        ("VGATHERDPS", 32), ("VGATHERDPD", 64),
+    ):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (
+                        _vec(width, read=True, written=True),
+                        M(elem_width),
+                        _vec(width),  # index vector
+                        _vec(width, read=True, written=True),  # mask
+                    ),
+                    extension="AVX2",
+                    category="vec_gather",
+                )
+            )
+    # Masked moves (AVX).
+    for mnemonic in ("VMASKMOVPS", "VMASKMOVPD"):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (_vec(width, read=False, written=True), _vec(width),
+                     M(width)),
+                    extension="AVX",
+                    category="vec_maskload",
+                )
+            )
+            forms.append(
+                form(
+                    mnemonic,
+                    (M(width, read=False, written=True), _vec(width),
+                     _vec(width)),
+                    extension="AVX",
+                    category="vec_maskstore",
+                )
+            )
+    # F16C half-precision conversions (Ivy Bridge+).
+    forms.append(
+        form(
+            "VCVTPH2PS",
+            (X(read=False, written=True), X()),
+            extension="F16C",
+            category="vec_cvt",
+        )
+    )
+    forms.append(
+        form(
+            "VCVTPH2PS",
+            (Y(read=False, written=True), X()),
+            extension="F16C",
+            category="vec_cvt",
+        )
+    )
+    forms.append(
+        form(
+            "VCVTPS2PH",
+            (X(read=False, written=True), X(), I(8)),
+            extension="F16C",
+            category="vec_cvt",
+        )
+    )
+    forms.append(
+        form(
+            "VCVTPS2PH",
+            (X(read=False, written=True), Y(), I(8)),
+            extension="F16C",
+            category="vec_cvt",
+        )
+    )
+    # AVX2 movemask and sign-extension forms on YMM.
+    forms.append(
+        form(
+            "VPMOVMSKB",
+            (R(32, read=False, written=True), Y()),
+            extension="AVX2",
+            category="vec_movmsk",
+        )
+    )
+    for sign in ("S", "Z"):
+        for suffix in ("BW", "WD", "DQ"):
+            forms.append(
+                form(
+                    f"VPMOV{sign}X{suffix}",
+                    (Y(read=False, written=True), X()),
+                    extension="AVX2",
+                    category="vec_pmovx",
+                )
+            )
+    return forms
+
+
+def _sse_extras2() -> List[InstructionForm]:
+    """Second growth pass: MMX<->FP converts, half-register moves,
+    prefetches, cache-control, scalar reciprocal, VEX transfers."""
+    from repro.isa.catalog._helpers import MM
+
+    forms: List[InstructionForm] = []
+    # MMX <-> packed-FP conversions.
+    for mnemonic, dst_mm in (
+        ("CVTPI2PS", False), ("CVTPI2PD", False),
+        ("CVTPS2PI", True), ("CVTPD2PI", True),
+        ("CVTTPS2PI", True), ("CVTTPD2PI", True),
+    ):
+        dst = MM(read=False, written=True) if dst_mm else \
+            X(read=True, written=True)
+        src = X() if dst_mm else MM()
+        forms.append(
+            form(mnemonic, (dst, src), extension="SSE2",
+                 category="vec_cvt_gpr" if not dst_mm
+                 else "vec_cvt_to_gpr")
+        )
+    # Half-register FP moves.
+    for mnemonic in ("MOVHPS", "MOVLPS", "MOVHPD", "MOVLPD"):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), M(64)),
+                extension="SSE" if mnemonic.endswith("PS") else "SSE2",
+                category="vec_load",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (M(64, read=False, written=True), X()),
+                extension="SSE" if mnemonic.endswith("PS") else "SSE2",
+                category="vec_store",
+            )
+        )
+    for mnemonic in ("MOVLHPS", "MOVHLPS"):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), X()),
+                extension="SSE",
+                category="vec_shuffle",
+            )
+        )
+    # Scalar reciprocal estimates.
+    for mnemonic in ("RCPSS", "RSQRTSS"):
+        for src in (X(), M(32)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), src),
+                    extension="SSE",
+                    category="vec_fp_rcp",
+                )
+            )
+    # Prefetches and cache control: memory-touching, no destination.
+    for mnemonic in ("PREFETCHT0", "PREFETCHT1", "PREFETCHT2",
+                     "PREFETCHNTA"):
+        forms.append(
+            form(mnemonic, (M(8),), extension="SSE",
+                 category="prefetch")
+        )
+    forms.append(
+        form("CLFLUSH", (M(8, read=True, written=True),),
+             extension="SSE2", category="clflush")
+    )
+    # Non-temporal MMX store.
+    forms.append(
+        form("MOVNTQ", (M(64, read=False, written=True), MM()),
+             extension="MMX", category="vec_store")
+    )
+    # VEX-encoded transfers and conversions.
+    for mnemonic, gpr_w in (("VMOVD", 32), ("VMOVQ", 64)):
+        forms.append(
+            form(mnemonic, (X(read=False, written=True), R(gpr_w)),
+                 extension="AVX", category="vec_from_gpr")
+        )
+        forms.append(
+            form(mnemonic, (R(gpr_w, read=False, written=True), X()),
+                 extension="AVX", category="vec_to_gpr")
+        )
+    for gpr_w in (32, 64):
+        for mnemonic in ("VCVTSI2SS", "VCVTSI2SD"):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=False, written=True), X(), R(gpr_w)),
+                    extension="AVX",
+                    category="vec_cvt_gpr",
+                )
+            )
+        for mnemonic in ("VCVTSS2SI", "VCVTSD2SI"):
+            forms.append(
+                form(
+                    mnemonic,
+                    (R(gpr_w, read=False, written=True), X()),
+                    extension="AVX",
+                    category="vec_cvt_to_gpr",
+                )
+            )
+    for src in (X(), M(32)):
+        forms.append(
+            form(
+                "VINSERTPS",
+                (X(read=False, written=True), X(), src, I(8)),
+                extension="AVX",
+                category="vec_shuffle_imm",
+            )
+        )
+    for mnemonic, width in (
+        ("VPEXTRB", 8), ("VPEXTRW", 16), ("VPEXTRD", 32), ("VPEXTRQ", 64),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (R(max(width, 32), read=False, written=True), X(), I(8)),
+                extension="AVX",
+                category="vec_extract",
+            )
+        )
+    for mnemonic, width in (
+        ("VPINSRB", 8), ("VPINSRW", 16), ("VPINSRD", 32), ("VPINSRQ", 64),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), X(),
+                 R(max(width, 32)), I(8)),
+                extension="AVX",
+                category="vec_insert",
+            )
+        )
+    return forms
+
+
+def _avx_pass3() -> List[InstructionForm]:
+    """Third growth pass: the remaining VEX mirrors of scalar/misc SSE
+    operations."""
+    forms: List[InstructionForm] = []
+    # Three-operand scalar forms.
+    for mnemonic, category, imm in (
+        ("VROUNDSS", "vec_fp_round", True),
+        ("VROUNDSD", "vec_fp_round", True),
+        ("VCMPSS", "vec_fp_cmp", True),
+        ("VCMPSD", "vec_fp_cmp", True),
+        ("VDPPD", "vec_dp", True),
+        ("VSQRTSS", "vec_fp_sqrt", False),
+        ("VSQRTSD", "vec_fp_sqrt", False),
+        ("VRCPSS", "vec_fp_rcp", False),
+        ("VRSQRTSS", "vec_fp_rcp", False),
+    ):
+        width = 32 if mnemonic.endswith("SS") else 64
+        if mnemonic == "VDPPD":
+            width = 128
+        for src2 in (X(), M(width)):
+            operands = [X(read=False, written=True), X(), src2]
+            if imm:
+                operands.append(I(8))
+            forms.append(
+                form(mnemonic, tuple(operands), extension="AVX",
+                     category=category)
+            )
+    # Two-operand VEX forms.
+    for mnemonic, category in (
+        ("VAESIMC", "vec_aes"),
+        ("VMOVDDUP", "vec_shuffle"),
+        ("VMOVSHDUP", "vec_shuffle"),
+        ("VMOVSLDUP", "vec_shuffle"),
+        ("VPHMINPOSUW", "vec_phminpos"),
+        ("VCVTDQ2PD", "vec_cvt"),
+        ("VCVTPD2DQ", "vec_cvt"),
+        ("VCVTTPD2DQ", "vec_cvt"),
+        ("VCVTPS2PD", "vec_cvt"),
+        ("VCVTPD2PS", "vec_cvt"),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), X()),
+                extension="AVX",
+                category=category,
+            )
+        )
+    forms.append(
+        form(
+            "VAESKEYGENASSIST",
+            (X(read=False, written=True), X(), I(8)),
+            extension="AVX_AES",
+            category="vec_aes",
+        )
+    )
+    for src2 in (X(), M(128)):
+        forms.append(
+            form(
+                "VPCLMULQDQ",
+                (X(read=False, written=True), X(), src2, I(8)),
+                extension="AVX",
+                category="vec_clmul",
+            )
+        )
+    # Mask extraction / FP tests.
+    forms.append(
+        form(
+            "VPMOVMSKB",
+            (R(32, read=False, written=True), X()),
+            extension="AVX",
+            category="vec_movmsk",
+        )
+    )
+    for mnemonic in ("VMOVMSKPS", "VMOVMSKPD"):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (R(32, read=False, written=True), _vec(width)),
+                    extension="AVX",
+                    category="vec_movmsk",
+                )
+            )
+    for mnemonic in ("VTESTPS", "VTESTPD"):
+        for width in (128, 256):
+            for src in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (_vec(width), src),
+                        flags_written=TEST_FLAGS,
+                        extension="AVX",
+                        category="vec_ptest",
+                    )
+                )
+    forms.append(
+        form(
+            "VEXTRACTPS",
+            (R(32, read=False, written=True), X(), I(8)),
+            extension="AVX",
+            category="vec_extract",
+        )
+    )
+    # Horizontal integer adds under VEX (AVX for 128, AVX2 for 256).
+    for mnemonic in ("VPHADDW", "VPHADDD", "VPHADDSW", "VPHSUBW",
+                     "VPHSUBD", "VPHSUBSW"):
+        for width in (128, 256):
+            ext = "AVX" if width == 128 else "AVX2"
+            for src2 in (_vec(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (_vec(width, read=False, written=True),
+                         _vec(width), src2),
+                        extension=ext,
+                        category="vec_phadd",
+                    )
+                )
+    # VPBLENDD (AVX2 immediate blend).
+    for width in (128, 256):
+        for src2 in (_vec(width), M(width)):
+            forms.append(
+                form(
+                    "VPBLENDD",
+                    (_vec(width, read=False, written=True),
+                     _vec(width), src2, I(8)),
+                    extension="AVX2",
+                    category="vec_blend",
+                )
+            )
+    # VEX non-temporal stores and LDDQU.
+    forms.append(
+        form(
+            "VLDDQU",
+            (X(read=False, written=True), M(128)),
+            extension="AVX",
+            category="vec_load",
+        )
+    )
+    for mnemonic in ("VMOVNTDQ", "VMOVNTPS", "VMOVNTPD"):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (M(width, read=False, written=True), _vec(width)),
+                    extension="AVX",
+                    category="vec_store",
+                )
+            )
+    # AVX2 integer masked moves and the remaining gather shapes.
+    for mnemonic in ("VPMASKMOVD", "VPMASKMOVQ"):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (_vec(width, read=False, written=True), _vec(width),
+                     M(width)),
+                    extension="AVX2",
+                    category="vec_maskload",
+                )
+            )
+            forms.append(
+                form(
+                    mnemonic,
+                    (M(width, read=False, written=True), _vec(width),
+                     _vec(width)),
+                    extension="AVX2",
+                    category="vec_maskstore",
+                )
+            )
+    for mnemonic, elem_width in (
+        ("VPGATHERDQ", 64), ("VPGATHERQD", 32), ("VGATHERQPS", 32),
+        ("VGATHERQPD", 64),
+    ):
+        for width in (128, 256):
+            forms.append(
+                form(
+                    mnemonic,
+                    (
+                        _vec(width, read=True, written=True),
+                        M(elem_width),
+                        _vec(width),
+                        _vec(width, read=True, written=True),
+                    ),
+                    extension="AVX2",
+                    category="vec_gather",
+                )
+            )
+    return forms
+
+
+def _final_pass() -> List[InstructionForm]:
+    """Final growth pass: non-REP string instructions, flag/stack
+    transfers, scalar FP conversions, the FMA add/sub family, and
+    remaining MMX forms."""
+    from repro.isa.catalog._helpers import ALL_FLAGS, ARITH_FLAGS, MM
+
+    forms: List[InstructionForm] = []
+    # Non-REP string instructions (one iteration each).
+    rsi = R(64, read=True, written=True, fixed="RSI", implicit=True)
+    rdi = R(64, read=True, written=True, fixed="RDI", implicit=True)
+    for width, suffix in ((8, "B"), (16, "W"), (32, "D"), (64, "Q")):
+        acc = {8: "AL", 16: "AX", 32: "EAX", 64: "RAX"}[width]
+        forms.append(
+            form(f"MOVS{suffix}", (rsi, rdi), category="string_one")
+        )
+        forms.append(
+            form(
+                f"LODS{suffix}",
+                (rsi,
+                 R(width, read=False, written=True, fixed=acc,
+                   implicit=True)),
+                category="string_load",
+            )
+        )
+        forms.append(
+            form(
+                f"STOS{suffix}",
+                (rdi,
+                 R(width, read=True, fixed=acc, implicit=True)),
+                category="string_store",
+            )
+        )
+        forms.append(
+            form(
+                f"SCAS{suffix}",
+                (rdi,
+                 R(width, read=True, fixed=acc, implicit=True)),
+                flags_written=ARITH_FLAGS,
+                category="string_load",
+            )
+        )
+        forms.append(
+            form(
+                f"CMPS{suffix}",
+                (rsi, rdi),
+                flags_written=ARITH_FLAGS,
+                category="string_cmp",
+            )
+        )
+    # Flag/stack transfers.
+    rsp = R(64, read=True, written=True, fixed="RSP", implicit=True)
+    forms.append(
+        form("PUSHF", (rsp,), flags_read=ALL_FLAGS, category="pushf")
+    )
+    forms.append(
+        form("POPF", (rsp,), flags_written=ALL_FLAGS, category="popf")
+    )
+    forms.append(
+        form(
+            "LEAVE",
+            (R(64, read=True, written=True, fixed="RBP", implicit=True),
+             rsp),
+            category="leave",
+        )
+    )
+    # Multi-byte NOP with an (ignored) operand.
+    for width in (16, 32):
+        forms.append(
+            form(
+                "NOP",
+                (R(width, read=False, written=False),),
+                category="nop",
+            )
+        )
+    # Scalar FP precision conversions.
+    for mnemonic, src_width in (("CVTSS2SD", 32), ("CVTSD2SS", 64)):
+        for src in (X(), M(src_width)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), src),
+                    extension="SSE2",
+                    category="vec_cvt",
+                )
+            )
+        forms.append(
+            form(
+                f"V{mnemonic}",
+                (X(read=False, written=True), X(), X()),
+                extension="AVX",
+                category="vec_cvt",
+            )
+        )
+    # VEX scalar moves.
+    for mnemonic, width in (("VMOVSS", 32), ("VMOVSD", 64)):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), X(), X()),
+                extension="AVX",
+                category="vec_shuffle",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), M(width)),
+                extension="AVX",
+                category="vec_load",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (M(width, read=False, written=True), X()),
+                extension="AVX",
+                category="vec_store",
+            )
+        )
+    # FMA add/sub interleaved family.
+    for stem in ("VFMADDSUB", "VFMSUBADD"):
+        for order in ("132", "213", "231"):
+            for suffix in ("PS", "PD"):
+                for width in (128, 256):
+                    for src2 in (_vec(width), M(width)):
+                        forms.append(
+                            form(
+                                f"{stem}{order}{suffix}",
+                                (_vec(width, read=True, written=True),
+                                 _vec(width), src2),
+                                extension="FMA",
+                                category="fma",
+                            )
+                        )
+    # Remaining MMX forms.
+    for mnemonic, category in (
+        ("PACKSSDW", "mmx_alu"),
+        ("PMULUDQ", "vec_int_mul"),
+        ("PSADBW", "vec_psadbw"),
+        ("PAVGB", "mmx_alu"),
+        ("PAVGW", "mmx_alu"),
+        ("PMAXSW", "mmx_alu"),
+        ("PMINSW", "mmx_alu"),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (MM(read=True, written=True), MM()),
+                extension="MMX",
+                category=category,
+            )
+        )
+    forms.append(
+        form(
+            "PEXTRW",
+            (R(32, read=False, written=True), MM(), I(8)),
+            extension="MMX",
+            category="vec_extract",
+        )
+    )
+    forms.append(
+        form(
+            "PINSRW",
+            (MM(read=True, written=True), R(32), I(8)),
+            extension="MMX",
+            category="vec_insert",
+        )
+    )
+    forms.append(
+        form(
+            "PMOVMSKB",
+            (R(32, read=False, written=True), MM()),
+            extension="MMX",
+            category="vec_movmsk",
+        )
+    )
+    # Wide compare-and-exchange (Microcode ROM).
+    forms.append(
+        form(
+            "CMPXCHG16B",
+            (
+                M(128, read=True, written=True),
+                R(64, read=True, written=True, fixed="RAX",
+                  implicit=True),
+                R(64, read=True, written=True, fixed="RDX",
+                  implicit=True),
+                R(64, read=True, fixed="RBX", implicit=True),
+                R(64, read=True, fixed="RCX", implicit=True),
+            ),
+            flags_written={"ZF"},
+            category="cmpxchg16b",
+        )
+    )
+    return forms
+
+
+def build() -> List[InstructionForm]:
+    return (_gpr_bmi() + _sse_extras() + _sse_extras2()
+            + _avx2_extras() + _avx_pass3() + _final_pass())

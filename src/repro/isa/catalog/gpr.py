@@ -1,0 +1,692 @@
+"""General-purpose (integer) instruction forms."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.catalog._helpers import (
+    AGEN,
+    ALL_FLAGS,
+    ARITH_FLAGS,
+    CONDITION_FLAGS,
+    GPR_WIDTHS,
+    I,
+    INC_FLAGS,
+    LOGIC_FLAGS,
+    M,
+    R,
+    ROTATE_FLAGS,
+    SAHF_FLAGS,
+    SHIFT_FLAGS,
+    TEST_FLAGS,
+    form,
+    imm_widths_for,
+)
+from repro.isa.instruction import (
+    ATTR_CONTROL_FLOW,
+    ATTR_DEP_BREAKING,
+    ATTR_DIVIDER,
+    ATTR_LOCK,
+    ATTR_MOVE,
+    ATTR_NOP,
+    ATTR_REP,
+    ATTR_ZERO_IDIOM,
+    InstructionForm,
+)
+
+
+def _binary_alu(
+    mnemonic: str,
+    *,
+    writes_dst: bool = True,
+    flags_read=(),
+    flags_written=ARITH_FLAGS,
+    category: str = "int_alu",
+    attributes=(),
+    rm_shapes: str = "rr rm mr ri mi",
+) -> List[InstructionForm]:
+    """ADD-style two-operand forms at all widths and immediate variants."""
+    forms = []
+    shapes = rm_shapes.split()
+    for width in GPR_WIDTHS:
+        dst_r = R(width, read=True, written=writes_dst)
+        dst_m = M(width, read=True, written=writes_dst)
+        if "rr" in shapes:
+            forms.append(
+                form(
+                    mnemonic,
+                    (dst_r, R(width)),
+                    flags_read=flags_read,
+                    flags_written=flags_written,
+                    category=category,
+                    attributes=attributes,
+                )
+            )
+        if "rm" in shapes:
+            forms.append(
+                form(
+                    mnemonic,
+                    (dst_r, M(width)),
+                    flags_read=flags_read,
+                    flags_written=flags_written,
+                    category=category,
+                    attributes=attributes,
+                )
+            )
+        if "mr" in shapes:
+            forms.append(
+                form(
+                    mnemonic,
+                    (dst_m, R(width)),
+                    flags_read=flags_read,
+                    flags_written=flags_written,
+                    category=category,
+                    attributes=attributes,
+                )
+            )
+        for imm_width in imm_widths_for(width):
+            if "ri" in shapes:
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst_r, I(imm_width)),
+                        flags_read=flags_read,
+                        flags_written=flags_written,
+                        category=category,
+                        attributes=attributes,
+                    )
+                )
+            if "mi" in shapes:
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst_m, I(imm_width)),
+                        flags_read=flags_read,
+                        flags_written=flags_written,
+                        category=category,
+                        attributes=attributes,
+                    )
+                )
+    return forms
+
+
+def _movsx_family() -> List[InstructionForm]:
+    forms = []
+    pairs = [(16, 8), (32, 8), (32, 16), (64, 8), (64, 16)]
+    for mnemonic, category in (("MOVSX", "movsx"), ("MOVZX", "movzx")):
+        for dst_w, src_w in pairs:
+            for src in (R(src_w), M(src_w)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (R(dst_w, read=False, written=True), src),
+                        category=category,
+                    )
+                )
+    for src in (R(32), M(32)):
+        forms.append(
+            form(
+                "MOVSXD",
+                (R(64, read=False, written=True), src),
+                category="movsx",
+            )
+        )
+    return forms
+
+
+def _shift_family() -> List[InstructionForm]:
+    forms = []
+    plain = [("SHL", "shift"), ("SHR", "shift"), ("SAR", "shift")]
+    rotates = [("ROL", "rotate"), ("ROR", "rotate")]
+    carry_rotates = [("RCL", "rotate_carry"), ("RCR", "rotate_carry")]
+    for width in GPR_WIDTHS:
+        for dst in (R(width, read=True, written=True),
+                    M(width, read=True, written=True)):
+            for mnemonic, category in plain:
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, I(8)),
+                        flags_written=SHIFT_FLAGS,
+                        category=category,
+                    )
+                )
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(8, fixed="CL")),
+                        flags_read=ALL_FLAGS,
+                        flags_written=SHIFT_FLAGS,
+                        category=category,
+                    )
+                )
+            for mnemonic, category in rotates:
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, I(8)),
+                        flags_written=ROTATE_FLAGS,
+                        category=category,
+                    )
+                )
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(8, fixed="CL")),
+                        flags_read=ROTATE_FLAGS,
+                        flags_written=ROTATE_FLAGS,
+                        category=category,
+                    )
+                )
+            for mnemonic, category in carry_rotates:
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, I(8)),
+                        flags_read={"CF"},
+                        flags_written=ROTATE_FLAGS,
+                        category=category,
+                    )
+                )
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(8, fixed="CL")),
+                        flags_read={"CF", "OF"},
+                        flags_written=ROTATE_FLAGS,
+                        category=category,
+                    )
+                )
+    # Double-precision shifts (Section 7.3.2 case study).
+    for width in (16, 32, 64):
+        for dst in (R(width, read=True, written=True),
+                    M(width, read=True, written=True)):
+            for mnemonic in ("SHLD", "SHRD"):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(width), I(8)),
+                        flags_written=SHIFT_FLAGS,
+                        category="shld",
+                    )
+                )
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(width), R(8, fixed="CL")),
+                        flags_read=ALL_FLAGS,
+                        flags_written=SHIFT_FLAGS,
+                        category="shld",
+                    )
+                )
+    return forms
+
+
+def _mul_div_family() -> List[InstructionForm]:
+    forms = []
+    for width in (16, 32, 64):
+        for src in (R(width), M(width)):
+            forms.append(
+                form(
+                    "IMUL",
+                    (R(width, read=True, written=True), src),
+                    flags_written=ARITH_FLAGS,
+                    category="imul",
+                )
+            )
+        for imm_width in imm_widths_for(width):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        "IMUL",
+                        (R(width, read=False, written=True), src,
+                         I(imm_width)),
+                        flags_written=ARITH_FLAGS,
+                        category="imul",
+                    )
+                )
+    # One-operand multiply/divide with implicit RAX/RDX.
+    for width in GPR_WIDTHS:
+        acc = "AL" if width == 8 else {16: "AX", 32: "EAX", 64: "RAX"}[width]
+        hi = {8: "AH", 16: "DX", 32: "EDX", 64: "RDX"}[width]
+        mul_implicits = (
+            R(width, read=True, written=True, fixed=acc, implicit=True),
+            R(width, read=False, written=True, fixed=hi, implicit=True),
+        )
+        div_implicits = (
+            R(width, read=True, written=True, fixed=acc, implicit=True),
+            R(width, read=True, written=True, fixed=hi, implicit=True),
+        )
+        for mnemonic in ("MUL", "IMUL"):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (src,) + mul_implicits,
+                        flags_written=ARITH_FLAGS,
+                        category="mul1",
+                    )
+                )
+        for mnemonic in ("DIV", "IDIV"):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (src,) + div_implicits,
+                        flags_written=ARITH_FLAGS,
+                        category="div",
+                        attributes=(ATTR_DIVIDER,),
+                    )
+                )
+    return forms
+
+
+def _conditional_family() -> List[InstructionForm]:
+    forms = []
+    for cc, flags in CONDITION_FLAGS.items():
+        category = "cmov_be" if cc in ("BE", "A") else "cmov"
+        for width in (16, 32, 64):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        f"CMOV{cc}",
+                        (R(width, read=True, written=True), src),
+                        flags_read=flags,
+                        category=category,
+                    )
+                )
+        for dst in (R(8, read=False, written=True),
+                    M(8, read=False, written=True)):
+            forms.append(
+                form(f"SET{cc}", (dst,), flags_read=flags, category="setcc")
+            )
+        forms.append(
+            form(
+                f"J{cc}",
+                (I(8),),
+                flags_read=flags,
+                category="branch",
+                attributes=(ATTR_CONTROL_FLOW,),
+            )
+        )
+    return forms
+
+
+def _bit_family() -> List[InstructionForm]:
+    forms = []
+    for width in (16, 32, 64):
+        for mnemonic, writes in (
+            ("BT", False),
+            ("BTS", True),
+            ("BTR", True),
+            ("BTC", True),
+        ):
+            category = "bt" if not writes else "bts"
+            for dst in (R(width, read=True, written=writes),
+                        M(width, read=True, written=writes)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, R(width)),
+                        flags_written={"CF"},
+                        category=category,
+                    )
+                )
+                forms.append(
+                    form(
+                        mnemonic,
+                        (dst, I(8)),
+                        flags_written={"CF"},
+                        category=category,
+                    )
+                )
+        for mnemonic, ext in (
+            ("BSF", "BASE"),
+            ("BSR", "BASE"),
+            ("POPCNT", "POPCNT"),
+            ("LZCNT", "LZCNT"),
+            ("TZCNT", "BMI1"),
+        ):
+            category = "popcnt" if mnemonic == "POPCNT" else "bitscan"
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (R(width, read=False, written=True), src),
+                        flags_written=TEST_FLAGS,
+                        extension=ext,
+                        category=category,
+                    )
+                )
+    for mnemonic in ("ANDN",):
+        for width in (32, 64):
+            for src in (R(width), M(width)):
+                forms.append(
+                    form(
+                        mnemonic,
+                        (R(width, read=False, written=True), R(width), src),
+                        flags_written=TEST_FLAGS,
+                        extension="BMI1",
+                        category="int_alu",
+                    )
+                )
+    return forms
+
+
+def _stack_and_misc() -> List[InstructionForm]:
+    rsp = R(64, read=True, written=True, fixed="RSP", implicit=True)
+    forms = [
+        form("PUSH", (R(64), rsp), category="push"),
+        form("PUSH", (I(32), rsp), category="push"),
+        form("PUSH", (M(64), rsp), category="push"),
+        form("POP", (R(64, read=False, written=True), rsp), category="pop"),
+        form("POP", (M(64, read=False, written=True), rsp), category="pop"),
+        form("CMC", (), flags_read={"CF"}, flags_written={"CF"},
+             category="flags_op"),
+        form("STC", (), flags_written={"CF"}, category="flags_op"),
+        form("CLC", (), flags_written={"CF"}, category="flags_op"),
+        form(
+            "LAHF",
+            (R(8, read=False, written=True, fixed="AH", implicit=True),),
+            flags_read=SAHF_FLAGS,
+            category="lahf",
+        ),
+        form(
+            "SAHF",
+            (R(8, read=True, fixed="AH", implicit=True),),
+            flags_written=SAHF_FLAGS,
+            category="sahf",
+        ),
+        form("NOP", (), category="nop", attributes=(ATTR_NOP,)),
+        form("PAUSE", (), category="pause", attributes=("pause",)),
+    ]
+    for mnemonic, width in (("CBW", 16), ("CWDE", 32), ("CDQE", 64)):
+        acc = {16: "AX", 32: "EAX", 64: "RAX"}[width]
+        forms.append(
+            form(
+                mnemonic,
+                (R(width, read=True, written=True, fixed=acc,
+                   implicit=True),),
+                category="cbw",
+            )
+        )
+    for mnemonic, width in (("CWD", 16), ("CDQ", 32), ("CQO", 64)):
+        acc = {16: "AX", 32: "EAX", 64: "RAX"}[width]
+        hi = {16: "DX", 32: "EDX", 64: "RDX"}[width]
+        forms.append(
+            form(
+                mnemonic,
+                (
+                    R(width, read=True, fixed=acc, implicit=True),
+                    R(width, read=False, written=True, fixed=hi,
+                      implicit=True),
+                ),
+                category="cwd",
+            )
+        )
+    return forms
+
+
+def _accumulator_forms() -> List[InstructionForm]:
+    """The short accumulator-opcode encodings (``ADD AL, imm8`` etc.) —
+    distinct machine encodings, hence distinct variants."""
+    forms = []
+    acc_by_width = {8: "AL", 16: "AX", 32: "EAX", 64: "RAX"}
+    ops = (
+        ("ADD", ARITH_FLAGS, (), "int_alu", True),
+        ("SUB", ARITH_FLAGS, (), "int_alu", True),
+        ("AND", LOGIC_FLAGS, (), "int_alu", True),
+        ("OR", LOGIC_FLAGS, (), "int_alu", True),
+        ("XOR", LOGIC_FLAGS, (), "int_alu", True),
+        ("CMP", ARITH_FLAGS, (), "int_alu", False),
+        ("ADC", ARITH_FLAGS, ("CF",), "int_alu_carry", True),
+        ("SBB", ARITH_FLAGS, ("CF",), "int_alu_carry", True),
+        ("TEST", TEST_FLAGS, (), "int_alu", False),
+    )
+    for width, acc in acc_by_width.items():
+        imm_width = min(width, 32)
+        for mnemonic, flags_w, flags_r, category, writes in ops:
+            forms.append(
+                form(
+                    mnemonic,
+                    (
+                        R(width, read=True, written=writes, fixed=acc),
+                        I(imm_width),
+                    ),
+                    flags_read=flags_r,
+                    flags_written=flags_w,
+                    category=category,
+                )
+            )
+    # XCHG RAX, r64: the one-byte 90+r encodings.
+    for width in (16, 32, 64):
+        acc = acc_by_width[width]
+        forms.append(
+            form(
+                "XCHG",
+                (
+                    R(width, read=True, written=True, fixed=acc),
+                    R(width, read=True, written=True),
+                ),
+                category="xchg",
+            )
+        )
+    return forms
+
+
+def _rel32_branches() -> List[InstructionForm]:
+    """Jcc rel32: distinct encodings from the rel8 forms."""
+    forms = []
+    for cc, flags in CONDITION_FLAGS.items():
+        forms.append(
+            form(
+                f"J{cc}",
+                (I(32),),
+                flags_read=flags,
+                category="branch",
+                attributes=(ATTR_CONTROL_FLOW,),
+            )
+        )
+    return forms
+
+
+def _lock_and_rep() -> List[InstructionForm]:
+    forms = []
+    for mnemonic in ("ADD", "SUB", "AND", "OR", "XOR"):
+        for width in (32, 64):
+            forms.append(
+                form(
+                    f"LOCK {mnemonic}",
+                    (M(width, read=True, written=True), R(width)),
+                    flags_written=ARITH_FLAGS,
+                    category="lock_rmw",
+                    attributes=(ATTR_LOCK,),
+                )
+            )
+    for width in (32, 64):
+        forms.append(
+            form(
+                "LOCK XADD",
+                (M(width, read=True, written=True),
+                 R(width, read=True, written=True)),
+                flags_written=ARITH_FLAGS,
+                category="lock_rmw",
+                attributes=(ATTR_LOCK,),
+            )
+        )
+    rsi = R(64, read=True, written=True, fixed="RSI", implicit=True)
+    rdi = R(64, read=True, written=True, fixed="RDI", implicit=True)
+    rcx = R(64, read=True, written=True, fixed="RCX", implicit=True)
+    forms.append(
+        form(
+            "REP MOVSB",
+            (rsi, rdi, rcx),
+            category="string_rep",
+            attributes=(ATTR_REP,),
+        )
+    )
+    forms.append(
+        form(
+            "REP STOSB",
+            (rdi, rcx,
+             R(8, read=True, fixed="AL", implicit=True)),
+            category="string_rep",
+            attributes=(ATTR_REP,),
+        )
+    )
+    return forms
+
+
+def build() -> List[InstructionForm]:
+    """All general-purpose instruction forms."""
+    forms: List[InstructionForm] = []
+
+    forms += _binary_alu("ADD")
+    forms += _binary_alu("SUB", attributes=(ATTR_ZERO_IDIOM,
+                                            ATTR_DEP_BREAKING))
+    forms += _binary_alu("AND", flags_written=LOGIC_FLAGS)
+    forms += _binary_alu("OR", flags_written=LOGIC_FLAGS)
+    forms += _binary_alu(
+        "XOR",
+        flags_written=LOGIC_FLAGS,
+        attributes=(ATTR_ZERO_IDIOM, ATTR_DEP_BREAKING),
+    )
+    forms += _binary_alu("CMP", writes_dst=False)
+    forms += _binary_alu(
+        "ADC", flags_read={"CF"}, category="int_alu_carry"
+    )
+    forms += _binary_alu(
+        "SBB",
+        flags_read={"CF"},
+        category="int_alu_carry",
+        attributes=(ATTR_DEP_BREAKING,),
+    )
+    forms += _binary_alu(
+        "TEST",
+        writes_dst=False,
+        flags_written=TEST_FLAGS,
+        rm_shapes="rr mr ri mi",
+    )
+
+    # Unary ALU.
+    for width in GPR_WIDTHS:
+        for dst in (R(width, read=True, written=True),
+                    M(width, read=True, written=True)):
+            forms.append(form("INC", (dst,), flags_written=INC_FLAGS))
+            forms.append(form("DEC", (dst,), flags_written=INC_FLAGS))
+            forms.append(form("NEG", (dst,), flags_written=ARITH_FLAGS))
+            forms.append(form("NOT", (dst,)))
+
+    # Moves.
+    for width in GPR_WIDTHS:
+        forms.append(
+            form(
+                "MOV",
+                (R(width, read=False, written=True), R(width)),
+                category="mov",
+                attributes=(ATTR_MOVE,),
+            )
+        )
+        forms.append(
+            form(
+                "MOV",
+                (R(width, read=False, written=True), M(width)),
+                category="load",
+            )
+        )
+        forms.append(
+            form(
+                "MOV",
+                (M(width, read=False, written=True), R(width)),
+                category="store",
+            )
+        )
+        imm_w = width if width <= 32 else 32
+        forms.append(
+            form(
+                "MOV",
+                (R(width, read=False, written=True), I(imm_w)),
+                category="mov_imm",
+            )
+        )
+        forms.append(
+            form(
+                "MOV",
+                (M(width, read=False, written=True), I(imm_w)),
+                category="store",
+            )
+        )
+    forms.append(
+        form(
+            "MOV",
+            (R(64, read=False, written=True), I(64)),
+            category="mov_imm",
+        )
+    )
+    forms += _movsx_family()
+
+    # LEA (base-register addressing only; Section 8).
+    for width in (16, 32, 64):
+        forms.append(
+            form(
+                "LEA",
+                (R(width, read=False, written=True), AGEN()),
+                category="lea",
+            )
+        )
+
+    # Exchange / exchange-add / byte swap.
+    for width in GPR_WIDTHS:
+        forms.append(
+            form(
+                "XCHG",
+                (R(width, read=True, written=True),
+                 R(width, read=True, written=True)),
+                category="xchg",
+            )
+        )
+        forms.append(
+            form(
+                "XCHG",
+                (M(width, read=True, written=True),
+                 R(width, read=True, written=True)),
+                category="xchg_mem",
+                attributes=(ATTR_LOCK,),
+            )
+        )
+        forms.append(
+            form(
+                "XADD",
+                (R(width, read=True, written=True),
+                 R(width, read=True, written=True)),
+                flags_written=ARITH_FLAGS,
+                category="xadd",
+            )
+        )
+        forms.append(
+            form(
+                "XADD",
+                (M(width, read=True, written=True),
+                 R(width, read=True, written=True)),
+                flags_written=ARITH_FLAGS,
+                category="xadd_mem",
+            )
+        )
+    for width in (32, 64):
+        forms.append(
+            form(
+                "BSWAP",
+                (R(width, read=True, written=True),),
+                category="bswap",
+            )
+        )
+
+    forms += _shift_family()
+    forms += _mul_div_family()
+    forms += _conditional_family()
+    forms += _bit_family()
+    forms += _stack_and_misc()
+    forms += _accumulator_forms()
+    forms += _rel32_branches()
+    forms += _lock_and_rep()
+    return forms

@@ -1,0 +1,579 @@
+"""SSE-family (legacy, non-VEX) vector instruction forms, plus MMX."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.isa.catalog._helpers import I, M, MM, R, TEST_FLAGS, X, form
+from repro.isa.instruction import (
+    ATTR_DEP_BREAKING,
+    ATTR_MOVE,
+    ATTR_ZERO_IDIOM,
+    InstructionForm,
+)
+
+#: (mnemonic, extension) for the packed integer ALU operations.
+INT_ALU_OPS = [
+    ("PADDB", "SSE2"), ("PADDW", "SSE2"), ("PADDD", "SSE2"),
+    ("PADDQ", "SSE2"), ("PSUBB", "SSE2"), ("PSUBW", "SSE2"),
+    ("PSUBD", "SSE2"), ("PSUBQ", "SSE2"), ("PADDSB", "SSE2"),
+    ("PADDSW", "SSE2"), ("PADDUSB", "SSE2"), ("PADDUSW", "SSE2"),
+    ("PSUBSB", "SSE2"), ("PSUBSW", "SSE2"), ("PSUBUSB", "SSE2"),
+    ("PSUBUSW", "SSE2"), ("PAVGB", "SSE2"), ("PAVGW", "SSE2"),
+    ("PMINUB", "SSE2"), ("PMAXUB", "SSE2"), ("PMINSW", "SSE2"),
+    ("PMAXSW", "SSE2"), ("PMINSB", "SSE4"), ("PMAXSB", "SSE4"),
+    ("PMINUW", "SSE4"), ("PMAXUW", "SSE4"), ("PMINSD", "SSE4"),
+    ("PMAXSD", "SSE4"), ("PMINUD", "SSE4"), ("PMAXUD", "SSE4"),
+    ("PABSB", "SSSE3"), ("PABSW", "SSSE3"), ("PABSD", "SSSE3"),
+    ("PSIGNB", "SSSE3"), ("PSIGNW", "SSSE3"), ("PSIGND", "SSSE3"),
+]
+
+INT_CMP_OPS = [
+    ("PCMPEQB", "SSE2"), ("PCMPEQW", "SSE2"), ("PCMPEQD", "SSE2"),
+    ("PCMPEQQ", "SSE4"), ("PCMPGTB", "SSE2"), ("PCMPGTW", "SSE2"),
+    ("PCMPGTD", "SSE2"), ("PCMPGTQ", "SSE4"),
+]
+
+LOGIC_OPS = [
+    ("PAND", "SSE2"), ("POR", "SSE2"), ("PXOR", "SSE2"), ("PANDN", "SSE2"),
+    ("ANDPS", "SSE"), ("ANDPD", "SSE2"), ("ORPS", "SSE"), ("ORPD", "SSE2"),
+    ("XORPS", "SSE"), ("XORPD", "SSE2"),
+]
+
+INT_MUL_OPS = [
+    ("PMULLW", "SSE2"), ("PMULHW", "SSE2"), ("PMULHUW", "SSE2"),
+    ("PMULLD", "SSE4"), ("PMULUDQ", "SSE2"), ("PMULDQ", "SSE4"),
+    ("PMADDWD", "SSE2"), ("PMADDUBSW", "SSSE3"), ("PMULHRSW", "SSSE3"),
+]
+
+SHUFFLE_OPS = [
+    ("PUNPCKLBW", "SSE2"), ("PUNPCKLWD", "SSE2"), ("PUNPCKLDQ", "SSE2"),
+    ("PUNPCKLQDQ", "SSE2"), ("PUNPCKHBW", "SSE2"), ("PUNPCKHWD", "SSE2"),
+    ("PUNPCKHDQ", "SSE2"), ("PUNPCKHQDQ", "SSE2"), ("PACKSSWB", "SSE2"),
+    ("PACKSSDW", "SSE2"), ("PACKUSWB", "SSE2"), ("PACKUSDW", "SSE4"),
+    ("UNPCKLPS", "SSE"), ("UNPCKHPS", "SSE"), ("UNPCKLPD", "SSE2"),
+    ("UNPCKHPD", "SSE2"),
+]
+
+FP_ADD_OPS = [
+    ("ADDPS", "SSE"), ("ADDPD", "SSE2"), ("ADDSS", "SSE"), ("ADDSD", "SSE2"),
+    ("SUBPS", "SSE"), ("SUBPD", "SSE2"), ("SUBSS", "SSE"), ("SUBSD", "SSE2"),
+]
+
+FP_MUL_OPS = [
+    ("MULPS", "SSE"), ("MULPD", "SSE2"), ("MULSS", "SSE"), ("MULSD", "SSE2"),
+]
+
+FP_DIV_OPS = [
+    ("DIVPS", "SSE"), ("DIVPD", "SSE2"), ("DIVSS", "SSE"), ("DIVSD", "SSE2"),
+]
+
+FP_SQRT_OPS = [
+    ("SQRTPS", "SSE"), ("SQRTPD", "SSE2"), ("SQRTSS", "SSE"),
+    ("SQRTSD", "SSE2"),
+]
+
+FP_MINMAX_OPS = [
+    ("MINPS", "SSE"), ("MINPD", "SSE2"), ("MINSS", "SSE"), ("MINSD", "SSE2"),
+    ("MAXPS", "SSE"), ("MAXPD", "SSE2"), ("MAXSS", "SSE"), ("MAXSD", "SSE2"),
+]
+
+FP_HADD_OPS = [
+    ("HADDPS", "SSE3"), ("HADDPD", "SSE3"), ("HSUBPS", "SSE3"),
+    ("HSUBPD", "SSE3"), ("ADDSUBPS", "SSE3"), ("ADDSUBPD", "SSE3"),
+]
+
+CVT_OPS = [
+    ("CVTDQ2PS", "SSE2"), ("CVTPS2DQ", "SSE2"), ("CVTTPS2DQ", "SSE2"),
+    ("CVTDQ2PD", "SSE2"), ("CVTPD2DQ", "SSE2"), ("CVTTPD2DQ", "SSE2"),
+    ("CVTPS2PD", "SSE2"), ("CVTPD2PS", "SSE2"),
+]
+
+
+def _scalar_mem_width(mnemonic: str) -> int:
+    """Memory width for FP scalar operations (SS -> 32, SD -> 64)."""
+    if mnemonic.endswith("SS"):
+        return 32
+    if mnemonic.endswith("SD") and mnemonic != "PMADDWD":
+        return 64
+    return 128
+
+
+def _two_op(
+    mnemonic: str,
+    ext: str,
+    category: str,
+    *,
+    dst_read: bool = True,
+    attributes: Sequence[str] = (),
+    mem_width: int = 0,
+) -> List[InstructionForm]:
+    """``OP xmm, xmm/mem`` shapes."""
+    width = mem_width or (
+        _scalar_mem_width(mnemonic)
+        if category.startswith("vec_fp") or category == "vec_cvt"
+        else 128
+    )
+    return [
+        form(
+            mnemonic,
+            (X(read=dst_read, written=True), src),
+            extension=ext,
+            category=category,
+            attributes=attributes,
+        )
+        for src in (X(), M(width))
+    ]
+
+
+def _two_op_imm(
+    mnemonic: str, ext: str, category: str, *, dst_read: bool = True
+) -> List[InstructionForm]:
+    """``OP xmm, xmm/m128, imm8`` shapes."""
+    return [
+        form(
+            mnemonic,
+            (X(read=dst_read, written=True), src, I(8)),
+            extension=ext,
+            category=category,
+        )
+        for src in (X(), M(128))
+    ]
+
+
+def _movs() -> List[InstructionForm]:
+    forms = []
+    for mnemonic, ext in (
+        ("MOVDQA", "SSE2"), ("MOVDQU", "SSE2"), ("MOVAPS", "SSE"),
+        ("MOVAPD", "SSE2"), ("MOVUPS", "SSE"), ("MOVUPD", "SSE2"),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), X()),
+                extension=ext,
+                category="vec_mov",
+                attributes=(ATTR_MOVE,),
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), M(128)),
+                extension=ext,
+                category="vec_load",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (M(128, read=False, written=True), X()),
+                extension=ext,
+                category="vec_store",
+            )
+        )
+    for mnemonic, ext in (("MOVSS", "SSE"), ("MOVSD", "SSE2")):
+        width = 32 if mnemonic == "MOVSS" else 64
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), X()),
+                extension=ext,
+                category="vec_shuffle",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), M(width)),
+                extension=ext,
+                category="vec_load",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (M(width, read=False, written=True), X()),
+                extension=ext,
+                category="vec_store",
+            )
+        )
+    # GPR <-> XMM moves.
+    for mnemonic, gpr_w in (("MOVD", 32), ("MOVQ", 64)):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=False, written=True), R(gpr_w)),
+                extension="SSE2",
+                category="vec_from_gpr",
+            )
+        )
+        forms.append(
+            form(
+                mnemonic,
+                (R(gpr_w, read=False, written=True), X()),
+                extension="SSE2",
+                category="vec_to_gpr",
+            )
+        )
+    forms.append(
+        form(
+            "MOVQ",
+            (X(read=False, written=True), X()),
+            extension="SSE2",
+            category="vec_shuffle",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (X(read=False, written=True), M(64)),
+            extension="SSE2",
+            category="vec_load",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (M(64, read=False, written=True), X()),
+            extension="SSE2",
+            category="vec_store",
+        )
+    )
+    # MMX <-> GPR moves (chain instructions for cross-file latencies).
+    forms.append(
+        form(
+            "MOVD",
+            (MM(read=False, written=True), R(32)),
+            extension="MMX",
+            category="vec_from_gpr",
+        )
+    )
+    forms.append(
+        form(
+            "MOVD",
+            (R(32, read=False, written=True), MM()),
+            extension="MMX",
+            category="vec_to_gpr",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (MM(read=False, written=True), R(64)),
+            extension="MMX",
+            category="vec_from_gpr",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (R(64, read=False, written=True), MM()),
+            extension="MMX",
+            category="vec_to_gpr",
+        )
+    )
+    # MMX <-> XMM (Sections 7.3.3 / 7.3.4 case studies).
+    forms.append(
+        form(
+            "MOVQ2DQ",
+            (X(read=False, written=True), MM()),
+            extension="SSE2",
+            category="movq2dq",
+        )
+    )
+    forms.append(
+        form(
+            "MOVDQ2Q",
+            (MM(read=False, written=True), X()),
+            extension="SSE2",
+            category="movdq2q",
+        )
+    )
+    # MMX moves and a small MMX ALU set.
+    forms.append(
+        form(
+            "MOVQ",
+            (MM(read=False, written=True), MM()),
+            extension="MMX",
+            category="mmx_mov",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (MM(read=False, written=True), M(64)),
+            extension="MMX",
+            category="vec_load",
+        )
+    )
+    forms.append(
+        form(
+            "MOVQ",
+            (M(64, read=False, written=True), MM()),
+            extension="MMX",
+            category="vec_store",
+        )
+    )
+    for mnemonic in ("PADDB", "PADDW", "PADDD", "PSUBB", "PSUBW", "PSUBD",
+                     "PADDSB", "PADDSW", "PADDUSB", "PADDUSW",
+                     "PCMPEQB", "PCMPEQW", "PCMPEQD",
+                     "PCMPGTB", "PCMPGTW", "PCMPGTD",
+                     "PUNPCKLBW", "PUNPCKLWD", "PUNPCKHBW", "PACKSSWB"):
+        forms.append(
+            form(
+                mnemonic,
+                (MM(read=True, written=True), MM()),
+                extension="MMX",
+                category="mmx_alu",
+            )
+        )
+    for mnemonic in ("PMULLW", "PMULHW", "PMADDWD"):
+        forms.append(
+            form(
+                mnemonic,
+                (MM(read=True, written=True), MM()),
+                extension="MMX",
+                category="vec_int_mul",
+            )
+        )
+    forms.append(
+        form(
+            "PSHUFW",
+            (MM(read=False, written=True), MM(), I(8)),
+            extension="MMX",
+            category="mmx_alu",
+        )
+    )
+    for mnemonic in ("PSLLW", "PSLLD", "PSLLQ", "PSRLW", "PSRLD",
+                     "PSRAW"):
+        forms.append(
+            form(
+                mnemonic,
+                (MM(read=True, written=True), I(8)),
+                extension="MMX",
+                category="vec_shift_imm",
+            )
+        )
+    for mnemonic in ("PAND", "POR", "PXOR"):
+        forms.append(
+            form(
+                mnemonic,
+                (MM(read=True, written=True), MM()),
+                extension="MMX",
+                category="mmx_alu",
+                attributes=(ATTR_ZERO_IDIOM, ATTR_DEP_BREAKING)
+                if mnemonic == "PXOR"
+                else (),
+            )
+        )
+    return forms
+
+
+def _shifts() -> List[InstructionForm]:
+    forms = []
+    for mnemonic in (
+        "PSLLW", "PSLLD", "PSLLQ", "PSRLW", "PSRLD", "PSRLQ", "PSRAW",
+        "PSRAD",
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), I(8)),
+                extension="SSE2",
+                category="vec_shift_imm",
+            )
+        )
+        for src in (X(), M(128)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), src),
+                    extension="SSE2",
+                    category="vec_shift",
+                )
+            )
+    for mnemonic in ("PSLLDQ", "PSRLDQ"):
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), I(8)),
+                extension="SSE2",
+                category="vec_shuffle_imm",
+            )
+        )
+    return forms
+
+
+def _misc() -> List[InstructionForm]:
+    forms = []
+    forms += _two_op_imm("PSHUFD", "SSE2", "vec_shuffle_imm", dst_read=False)
+    forms += _two_op_imm("PSHUFLW", "SSE2", "vec_shuffle_imm",
+                         dst_read=False)
+    forms += _two_op_imm("PSHUFHW", "SSE2", "vec_shuffle_imm",
+                         dst_read=False)
+    forms += _two_op("PSHUFB", "SSSE3", "vec_pshufb")
+    forms += _two_op_imm("PALIGNR", "SSSE3", "vec_shuffle_imm")
+    forms += _two_op_imm("SHUFPS", "SSE", "vec_shuffle_imm")
+    forms += _two_op_imm("SHUFPD", "SSE2", "vec_shuffle_imm")
+    forms += _two_op_imm("BLENDPS", "SSE4", "vec_blend")
+    forms += _two_op_imm("BLENDPD", "SSE4", "vec_blend")
+    forms += _two_op_imm("PBLENDW", "SSE4", "vec_blend")
+    forms += _two_op_imm("MPSADBW", "SSE4", "vec_mpsadbw")
+    forms += _two_op("PSADBW", "SSE2", "vec_psadbw")
+    forms += _two_op_imm("ROUNDPS", "SSE4", "vec_fp_round", dst_read=False)
+    forms += _two_op_imm("ROUNDPD", "SSE4", "vec_fp_round", dst_read=False)
+    forms += _two_op_imm("ROUNDSS", "SSE4", "vec_fp_round")
+    forms += _two_op_imm("ROUNDSD", "SSE4", "vec_fp_round")
+    forms += _two_op_imm("DPPS", "SSE4", "vec_dp")
+    forms += _two_op_imm("DPPD", "SSE4", "vec_dp")
+    forms += _two_op_imm("CMPPS", "SSE", "vec_fp_cmp")
+    forms += _two_op_imm("CMPPD", "SSE2", "vec_fp_cmp")
+    forms += _two_op_imm("CMPSS", "SSE", "vec_fp_cmp")
+    forms += _two_op_imm("CMPSD", "SSE2", "vec_fp_cmp")
+    forms += _two_op("RCPPS", "SSE", "vec_fp_rcp", dst_read=False)
+    forms += _two_op("RSQRTPS", "SSE", "vec_fp_rcp", dst_read=False)
+    # Variable blends with implicit XMM0 (PBLENDVB: Section 5.1 case study).
+    for mnemonic in ("PBLENDVB", "BLENDVPS", "BLENDVPD"):
+        for src in (X(), M(128)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), src,
+                     X(implicit=True, fixed="XMM0")),
+                    extension="SSE4",
+                    category="vec_blendv",
+                )
+            )
+    # Mask extraction / tests (write GPRs or flags).
+    for mnemonic, ext in (
+        ("PMOVMSKB", "SSE2"), ("MOVMSKPS", "SSE"), ("MOVMSKPD", "SSE2"),
+    ):
+        forms.append(
+            form(
+                mnemonic,
+                (R(32, read=False, written=True), X()),
+                extension=ext,
+                category="vec_movmsk",
+            )
+        )
+    for mnemonic, ext in (
+        ("COMISS", "SSE"), ("COMISD", "SSE2"),
+        ("UCOMISS", "SSE"), ("UCOMISD", "SSE2"),
+    ):
+        width = 32 if mnemonic.endswith("SS") else 64
+        for src in (X(), M(width)):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(), src),
+                    flags_written=TEST_FLAGS,
+                    extension=ext,
+                    category="vec_comis",
+                )
+            )
+    for src in (X(), M(128)):
+        forms.append(
+            form(
+                "PTEST",
+                (X(), src),
+                flags_written=TEST_FLAGS,
+                extension="SSE4",
+                category="vec_ptest",
+            )
+        )
+    # Extract / insert.
+    for mnemonic, width in (
+        ("PEXTRB", 8), ("PEXTRW", 16), ("PEXTRD", 32), ("PEXTRQ", 64),
+    ):
+        gpr_w = max(width, 32)
+        forms.append(
+            form(
+                mnemonic,
+                (R(gpr_w, read=False, written=True), X(), I(8)),
+                extension="SSE4",
+                category="vec_extract",
+            )
+        )
+    for mnemonic, width in (
+        ("PINSRB", 8), ("PINSRW", 16), ("PINSRD", 32), ("PINSRQ", 64),
+    ):
+        gpr_w = max(width, 32)
+        forms.append(
+            form(
+                mnemonic,
+                (X(read=True, written=True), R(gpr_w), I(8)),
+                extension="SSE4",
+                category="vec_insert",
+            )
+        )
+    # Scalar int <-> float conversions.
+    for gpr_w in (32, 64):
+        for mnemonic in ("CVTSI2SS", "CVTSI2SD"):
+            forms.append(
+                form(
+                    mnemonic,
+                    (X(read=True, written=True), R(gpr_w)),
+                    extension="SSE2",
+                    category="vec_cvt_gpr",
+                )
+            )
+        for mnemonic in ("CVTSS2SI", "CVTSD2SI", "CVTTSS2SI", "CVTTSD2SI"):
+            forms.append(
+                form(
+                    mnemonic,
+                    (R(gpr_w, read=False, written=True), X()),
+                    extension="SSE2",
+                    category="vec_cvt_to_gpr",
+                )
+            )
+    # AES and carry-less multiply (Westmere+; Section 7.3.1 case study).
+    for mnemonic in ("AESENC", "AESENCLAST", "AESDEC", "AESDECLAST"):
+        forms += _two_op(mnemonic, "AES", "vec_aes")
+    forms += _two_op("AESIMC", "AES", "vec_aes", dst_read=False)
+    forms += _two_op_imm(
+        "AESKEYGENASSIST", "AES", "vec_aes", dst_read=False
+    )
+    forms += _two_op_imm("PCLMULQDQ", "PCLMULQDQ", "vec_clmul")
+    return forms
+
+
+def build() -> List[InstructionForm]:
+    """All SSE-family and MMX instruction forms."""
+    forms: List[InstructionForm] = []
+    forms += _movs()
+    for mnemonic, ext in INT_ALU_OPS:
+        dst_read = not mnemonic.startswith("PABS")
+        forms += _two_op(mnemonic, ext, "vec_int_alu", dst_read=dst_read)
+    for mnemonic, ext in INT_CMP_OPS:
+        attrs = (ATTR_ZERO_IDIOM,) if mnemonic.startswith("PCMPEQ") else ()
+        # Section 7.3.6: (V)PCMPGT* turn out to be dependency-breaking
+        # idioms; the catalog intentionally does NOT mark them, so the
+        # discovery in core.latency is a genuine finding.
+        forms += _two_op(mnemonic, ext, "vec_int_cmp", attributes=attrs)
+    for mnemonic, ext in LOGIC_OPS:
+        attrs = ()
+        if mnemonic in ("PXOR", "XORPS", "XORPD"):
+            attrs = (ATTR_ZERO_IDIOM, ATTR_DEP_BREAKING)
+        forms += _two_op(mnemonic, ext, "vec_logic", attributes=attrs)
+    for mnemonic, ext in INT_MUL_OPS:
+        forms += _two_op(mnemonic, ext, "vec_int_mul")
+    for mnemonic, ext in SHUFFLE_OPS:
+        forms += _two_op(mnemonic, ext, "vec_shuffle")
+    for mnemonic, ext in FP_ADD_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_add")
+    for mnemonic, ext in FP_MUL_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_mul")
+    for mnemonic, ext in FP_DIV_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_div")
+    for mnemonic, ext in FP_SQRT_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_sqrt", dst_read=False)
+    for mnemonic, ext in FP_MINMAX_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_minmax")
+    for mnemonic, ext in FP_HADD_OPS:
+        forms += _two_op(mnemonic, ext, "vec_fp_hadd")
+    for mnemonic, ext in CVT_OPS:
+        forms += _two_op(mnemonic, ext, "vec_cvt", dst_read=False)
+    forms += _shifts()
+    forms += _misc()
+    return forms

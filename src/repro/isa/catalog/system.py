@@ -1,0 +1,94 @@
+"""System, serializing, and unmeasurable instructions.
+
+These exist in the catalog so that the exclusion logic of Section 5.1.1
+(no system / serializing instructions as blocking instructions) and the
+limitations of Section 8 (system instructions unsupported) have something
+real to act on.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.catalog._helpers import I, R, form
+from repro.isa.instruction import (
+    ATTR_CONTROL_FLOW,
+    ATTR_SERIALIZING,
+    ATTR_SYSTEM,
+    ATTR_UNSUPPORTED,
+    InstructionForm,
+)
+
+
+def build() -> List[InstructionForm]:
+    forms: List[InstructionForm] = [
+        form(
+            "CPUID",
+            (
+                R(32, read=True, written=True, fixed="EAX", implicit=True),
+                R(32, read=False, written=True, fixed="EBX", implicit=True),
+                R(32, read=True, written=True, fixed="ECX", implicit=True),
+                R(32, read=False, written=True, fixed="EDX", implicit=True),
+            ),
+            category="serializing",
+            attributes=(ATTR_SERIALIZING,),
+        ),
+        form("LFENCE", (), category="fence", attributes=(ATTR_SERIALIZING,)),
+        form("MFENCE", (), category="fence", attributes=(ATTR_SERIALIZING,)),
+        form("SFENCE", (), category="fence"),
+        form(
+            "RDTSC",
+            (
+                R(32, read=False, written=True, fixed="EAX", implicit=True),
+                R(32, read=False, written=True, fixed="EDX", implicit=True),
+            ),
+            category="rdtsc",
+            attributes=(ATTR_SYSTEM,),
+        ),
+        form(
+            "RDTSCP",
+            (
+                R(32, read=False, written=True, fixed="EAX", implicit=True),
+                R(32, read=False, written=True, fixed="EDX", implicit=True),
+                R(32, read=False, written=True, fixed="ECX", implicit=True),
+            ),
+            category="rdtsc",
+            attributes=(ATTR_SYSTEM,),
+        ),
+        form(
+            "UD2", (), category="unsupported",
+            attributes=(ATTR_UNSUPPORTED,),
+        ),
+        form(
+            "HLT", (), category="unsupported",
+            attributes=(ATTR_UNSUPPORTED, ATTR_SYSTEM),
+        ),
+        form(
+            "WBINVD", (), category="unsupported",
+            attributes=(ATTR_UNSUPPORTED, ATTR_SYSTEM),
+        ),
+        form(
+            "JMP", (I(8),), category="jmp",
+            attributes=(ATTR_CONTROL_FLOW,),
+        ),
+        form(
+            "JMP",
+            (R(64),),
+            category="jmp_indirect",
+            attributes=(ATTR_CONTROL_FLOW,),
+        ),
+        form(
+            "CALL",
+            (R(64),
+             R(64, read=True, written=True, fixed="RSP", implicit=True)),
+            category="call",
+            attributes=(ATTR_CONTROL_FLOW,),
+        ),
+        form(
+            "RET",
+            (R(64, read=True, written=True, fixed="RSP", implicit=True),),
+            category="ret",
+            attributes=(ATTR_CONTROL_FLOW,),
+        ),
+    ]
+    return forms

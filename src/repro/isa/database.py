@@ -1,0 +1,69 @@
+"""Queryable instruction set database.
+
+This is the in-memory form of the machine-readable instruction description
+of Section 6.1.  It can be built directly from the catalog, or round-tripped
+through the XED-style configuration files (:mod:`repro.isa.xed`) exactly as
+the paper extracts its XML from Intel XED's build configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.isa.instruction import InstructionForm
+
+
+class InstructionDatabase:
+    """An indexed collection of instruction forms."""
+
+    def __init__(self, forms: Iterable[InstructionForm]):
+        self._forms: List[InstructionForm] = list(forms)
+        self._by_uid: Dict[str, InstructionForm] = {}
+        self._by_mnemonic: Dict[str, List[InstructionForm]] = {}
+        for form in self._forms:
+            if form.uid in self._by_uid:
+                raise ValueError(f"duplicate form: {form.uid}")
+            self._by_uid[form.uid] = form
+            self._by_mnemonic.setdefault(form.mnemonic, []).append(form)
+
+    def __len__(self) -> int:
+        return len(self._forms)
+
+    def __iter__(self) -> Iterator[InstructionForm]:
+        return iter(self._forms)
+
+    def __contains__(self, uid: str) -> bool:
+        return uid in self._by_uid
+
+    def by_uid(self, uid: str) -> InstructionForm:
+        """The form with the given identity, e.g. ``"ADD_R64_R64"``."""
+        try:
+            return self._by_uid[uid]
+        except KeyError:
+            raise KeyError(f"unknown instruction form: {uid!r}") from None
+
+    def forms_for_mnemonic(self, mnemonic: str) -> List[InstructionForm]:
+        return list(self._by_mnemonic.get(mnemonic.upper(), []))
+
+    def mnemonics(self) -> List[str]:
+        return sorted(self._by_mnemonic)
+
+    def filter(self, predicate) -> "InstructionDatabase":
+        """A new database restricted to forms matching *predicate*."""
+        return InstructionDatabase(f for f in self._forms if predicate(f))
+
+    def extensions(self) -> List[str]:
+        return sorted({f.extension for f in self._forms})
+
+
+_DEFAULT: Optional[InstructionDatabase] = None
+
+
+def load_default_database() -> InstructionDatabase:
+    """The full built-in catalog (memoized)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        from repro.isa.catalog import build_catalog
+
+        _DEFAULT = InstructionDatabase(build_catalog())
+    return _DEFAULT

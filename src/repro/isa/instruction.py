@@ -1,0 +1,260 @@
+"""Instruction forms and concrete instructions.
+
+An :class:`InstructionForm` corresponds to what the paper counts as an
+*instruction variant*: a mnemonic together with a specific combination of
+operand kinds and widths (``ADD R64, R64`` and ``ADD R64, M64`` are distinct
+forms).  A concrete :class:`Instruction` binds a form to actual registers,
+memory operands, and immediates; the microbenchmark generators of Section 5
+produce sequences of these.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    Operand,
+    OperandKind,
+    OperandSpec,
+    RegisterOperand,
+    operand_registers_read,
+    operand_registers_written,
+)
+from repro.isa.registers import Register, register_by_name
+
+#: Attribute strings understood by the generators and the simulator.
+ATTR_SYSTEM = "system"
+ATTR_SERIALIZING = "serializing"
+ATTR_CONTROL_FLOW = "control_flow"
+ATTR_PAUSE = "pause"
+ATTR_NOP = "nop"
+ATTR_MOVE = "move"  # reg-to-reg move, candidate for move elimination
+ATTR_ZERO_IDIOM = "zero_idiom"  # zero idiom when both operands are equal
+ATTR_DEP_BREAKING = "dep_breaking"  # breaks dependency when operands equal
+ATTR_DIVIDER = "divider"  # uses the (non-pipelined) divider unit
+ATTR_UNSUPPORTED = "unsupported"  # cannot be measured meaningfully (UD, HLT)
+ATTR_REP = "rep"
+ATTR_LOCK = "lock"
+
+
+def _shape_token(spec: OperandSpec) -> str:
+    if spec.fixed:
+        return spec.fixed
+    if spec.kind == OperandKind.GPR:
+        return f"R{spec.width}"
+    if spec.kind == OperandKind.VEC:
+        return {128: "XMM", 256: "YMM"}[spec.width]
+    if spec.kind == OperandKind.MMX:
+        return "MM"
+    if spec.kind == OperandKind.MEM:
+        return f"M{spec.width}"
+    if spec.kind == OperandKind.AGEN:
+        return "AGEN"
+    if spec.kind == OperandKind.IMM:
+        return f"I{spec.width}"
+    raise AssertionError(spec.kind)
+
+
+@dataclass(frozen=True)
+class InstructionForm:
+    """One instruction variant of the x86 instruction set.
+
+    Attributes:
+        mnemonic: assembler mnemonic, e.g. ``"ADD"``.
+        operands: all operand slots, explicit ones first, implicit ones last.
+        flags_read: status flags read by the instruction.
+        flags_written: status flags written by the instruction.
+        extension: ISA extension (``"BASE"``, ``"SSE2"``, ``"AVX"``, ...),
+            used both for availability per microarchitecture and for the
+            SSE/AVX blocking-instruction separation of Section 5.1.1.
+        category: semantic category used by the machine-description rules in
+            :mod:`repro.uarch.tables` (e.g. ``"int_alu"``, ``"vec_shuffle"``).
+        attributes: behavioural attribute strings (see ``ATTR_*``).
+    """
+
+    mnemonic: str
+    operands: Tuple[OperandSpec, ...]
+    flags_read: frozenset = frozenset()
+    flags_written: frozenset = frozenset()
+    extension: str = "BASE"
+    category: str = "int_alu"
+    attributes: frozenset = frozenset()
+
+    @functools.cached_property
+    def uid(self) -> str:
+        """Stable identity of the form, e.g. ``"ADD_R64_R64"``."""
+        tokens = [self.mnemonic.replace(" ", "_")]
+        for spec in self.operands:
+            if spec.implicit:
+                continue
+            tokens.append(_shape_token(spec))
+        return "_".join(tokens)
+
+    @property
+    def explicit_operands(self) -> Tuple[OperandSpec, ...]:
+        return tuple(s for s in self.operands if not s.implicit)
+
+    @property
+    def implicit_operands(self) -> Tuple[OperandSpec, ...]:
+        return tuple(s for s in self.operands if s.implicit)
+
+    @property
+    def has_memory_operand(self) -> bool:
+        return any(s.kind == OperandKind.MEM for s in self.operands)
+
+    @property
+    def reads_memory(self) -> bool:
+        return any(s.kind == OperandKind.MEM and s.read for s in self.operands)
+
+    @property
+    def writes_memory(self) -> bool:
+        return any(
+            s.kind == OperandKind.MEM and s.written for s in self.operands
+        )
+
+    @property
+    def is_sse(self) -> bool:
+        return self.extension.startswith("SSE") or self.extension in (
+            "SSSE3",
+            "AES",
+            "PCLMULQDQ",
+        )
+
+    @property
+    def is_avx(self) -> bool:
+        return self.extension.startswith("AVX") or self.extension in (
+            "F16C",
+            "FMA",
+        )
+
+    def has_attribute(self, attr: str) -> bool:
+        return attr in self.attributes
+
+    def source_operand_indices(self) -> List[int]:
+        """Indices of operand slots the instruction reads.
+
+        Memory slots count as sources when the memory contents are read;
+        the address registers of *any* memory slot are additionally treated
+        as sources by the dependency machinery.
+        """
+        return [i for i, s in enumerate(self.operands) if s.read]
+
+    def destination_operand_indices(self) -> List[int]:
+        return [i for i, s in enumerate(self.operands) if s.written]
+
+    def operand_label(self, index: int) -> str:
+        """Human-readable label for latency reports (``op1``, ``CL``, ...)."""
+        return self.operands[index].describe(index + 1)
+
+    def instantiate(self, *explicit: Operand) -> "Instruction":
+        """Create a concrete instruction, auto-filling implicit slots."""
+        explicit_specs = self.explicit_operands
+        if len(explicit) != len(explicit_specs):
+            raise ValueError(
+                f"{self.uid}: expected {len(explicit_specs)} explicit "
+                f"operands, got {len(explicit)}"
+            )
+        operands: List[Operand] = []
+        it = iter(explicit)
+        for spec in self.operands:
+            if spec.implicit:
+                operands.append(_implicit_operand(spec))
+            else:
+                operands.append(next(it))
+        return Instruction(self, tuple(operands))
+
+    def __str__(self) -> str:
+        return self.uid
+
+
+def _implicit_operand(spec: OperandSpec) -> Operand:
+    if spec.fixed is not None:
+        return RegisterOperand(register_by_name(spec.fixed))
+    raise ValueError(f"implicit operand without fixed register: {spec}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A concrete instruction: a form plus concrete operands (all slots)."""
+
+    form: InstructionForm
+    operands: Tuple[Operand, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != len(self.form.operands):
+            raise ValueError(
+                f"{self.form.uid}: {len(self.form.operands)} slots, "
+                f"{len(self.operands)} operands given"
+            )
+
+    # ------------------------------------------------------------------
+    # Dependency queries (canonical register names)
+    # ------------------------------------------------------------------
+
+    def registers_read(self) -> Tuple[str, ...]:
+        """Canonical names of registers read (incl. address registers)."""
+        names: List[str] = []
+        for spec, op in zip(self.form.operands, self.operands):
+            names.extend(operand_registers_read(spec, op))
+        return tuple(dict.fromkeys(names))
+
+    def registers_written(self) -> Tuple[str, ...]:
+        names: List[str] = []
+        for spec, op in zip(self.form.operands, self.operands):
+            names.extend(operand_registers_written(spec, op))
+        return tuple(dict.fromkeys(names))
+
+    def flags_read(self) -> frozenset:
+        return self.form.flags_read
+
+    def flags_written(self) -> frozenset:
+        return self.form.flags_written
+
+    def memory_reads(self) -> Tuple[Memory, ...]:
+        return tuple(
+            op
+            for spec, op in zip(self.form.operands, self.operands)
+            if isinstance(op, Memory)
+            and spec.kind == OperandKind.MEM
+            and spec.read
+        )
+
+    def memory_writes(self) -> Tuple[Memory, ...]:
+        return tuple(
+            op
+            for spec, op in zip(self.form.operands, self.operands)
+            if isinstance(op, Memory)
+            and spec.kind == OperandKind.MEM
+            and spec.written
+        )
+
+    def register_operand(self, index: int) -> Register:
+        op = self.operands[index]
+        if not isinstance(op, RegisterOperand):
+            raise TypeError(f"operand {index} of {self} is not a register")
+        return op.register
+
+    def same_register_operands(self) -> bool:
+        """Whether two register slots share a canonical register.
+
+        Zero idioms and the SHLD same-register behaviour of Section 7.3.2
+        trigger on this condition.
+        """
+        seen = set()
+        for spec, op in zip(self.form.operands, self.operands):
+            if spec.implicit or not isinstance(op, RegisterOperand):
+                continue
+            canon = op.register.canonical
+            if canon in seen:
+                return True
+            seen.add(canon)
+        return False
+
+    def __str__(self) -> str:
+        from repro.isa.assembler import format_instruction
+
+        return format_instruction(self)

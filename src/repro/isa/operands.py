@@ -1,0 +1,174 @@
+"""Operand specifications and concrete operands.
+
+An :class:`OperandSpec` describes one operand *slot* of an instruction form:
+its kind (register file, memory, immediate), width, whether it is read and/or
+written, whether it is implicit, and whether it is pinned to a fixed register
+(as in ``SHL r/m, CL`` or ``MUL``'s implicit ``RDX:RAX``).
+
+Concrete operands (:class:`RegisterOperand`, :class:`Memory`,
+:class:`Immediate`) are what the microbenchmark generators instantiate the
+slots with.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.isa.registers import Register, RegisterClass, register_by_name
+
+
+class OperandKind(enum.Enum):
+    """The kind of value an operand slot accepts."""
+
+    GPR = "gpr"
+    VEC = "vec"
+    MMX = "mmx"
+    MEM = "mem"
+    IMM = "imm"
+    AGEN = "agen"  # address-generation-only memory operand (LEA)
+
+
+#: Pseudo-operand name used in latency maps for the status-flag inputs and
+#: outputs of an instruction (the paper treats the flags as implicit
+#: operands; we expose them as one source/destination column).
+FLAGS_OPERAND = "flags"
+
+#: Pseudo-operand name for the data stored to memory by an instruction with
+#: a memory destination (Section 5.2.4: register -> memory latency).
+MEM_OPERAND_PREFIX = "mem"
+
+
+@dataclass(frozen=True)
+class OperandSpec:
+    """Description of one operand slot of an instruction form.
+
+    Attributes:
+        kind: register file / memory / immediate.
+        width: operand width in bits (immediate width for ``IMM``).
+        read: whether the instruction reads this operand.
+        written: whether the instruction writes this operand.
+        implicit: implicit operands do not appear in assembler syntax.
+        fixed: if not ``None``, the name of the only register this slot can
+            hold (e.g. ``"CL"`` for shift counts, ``"RAX"`` for ``MUL``).
+        name: optional human-readable slot label used in latency reports.
+    """
+
+    kind: OperandKind
+    width: int
+    read: bool = True
+    written: bool = False
+    implicit: bool = False
+    fixed: Optional[str] = None
+    name: Optional[str] = None
+
+    @property
+    def is_register(self) -> bool:
+        return self.kind in (OperandKind.GPR, OperandKind.VEC, OperandKind.MMX)
+
+    @property
+    def register_class(self) -> RegisterClass:
+        return {
+            OperandKind.GPR: RegisterClass.GPR,
+            OperandKind.VEC: RegisterClass.VEC,
+            OperandKind.MMX: RegisterClass.MMX,
+        }[self.kind]
+
+    def fixed_register(self) -> Optional[Register]:
+        """The pinned register, if this slot is pinned."""
+        return register_by_name(self.fixed) if self.fixed else None
+
+    def describe(self, index: int) -> str:
+        """A short slot label: explicit name, fixed register, or index."""
+        if self.name:
+            return self.name
+        if self.fixed:
+            return self.fixed
+        return f"op{index}"
+
+
+@dataclass(frozen=True)
+class RegisterOperand:
+    """A concrete register operand."""
+
+    register: Register
+
+    def __str__(self) -> str:
+        return self.register.name
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A concrete memory operand ``[base + index*scale + disp]``.
+
+    The paper's generated microbenchmarks only ever use the base register
+    (Section 8); index/scale/displacement exist for assembler completeness.
+    """
+
+    base: Optional[Register]
+    width: int
+    index: Optional[Register] = None
+    scale: int = 1
+    displacement: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale: {self.scale}")
+
+    def __str__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            term = self.index.name
+            if self.scale != 1:
+                term += f"*{self.scale}"
+            parts.append(term)
+        body = "+".join(parts)
+        if self.displacement or not body:
+            if body:
+                sign = "+" if self.displacement >= 0 else "-"
+                body += f"{sign}{abs(self.displacement)}"
+            else:
+                body = str(self.displacement)
+        return f"[{body}]"
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A concrete immediate operand."""
+
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = Union[RegisterOperand, Memory, Immediate]
+
+
+def operand_registers_read(spec: OperandSpec, operand: Operand) -> tuple:
+    """Canonical register names read through *operand* under *spec*.
+
+    A memory operand's base and index registers are always read (for address
+    generation), regardless of whether the memory location itself is read.
+    """
+    names = []
+    if isinstance(operand, RegisterOperand):
+        if spec.read:
+            names.append(operand.register.canonical)
+    elif isinstance(operand, Memory):
+        if operand.base is not None:
+            names.append(operand.base.canonical)
+        if operand.index is not None:
+            names.append(operand.index.canonical)
+    return tuple(names)
+
+
+def operand_registers_written(spec: OperandSpec, operand: Operand) -> tuple:
+    """Canonical register names written through *operand* under *spec*."""
+    if isinstance(operand, RegisterOperand) and spec.written:
+        return (operand.register.canonical,)
+    return ()

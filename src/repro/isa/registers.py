@@ -1,0 +1,174 @@
+"""Register model for 64-bit x86.
+
+Registers are modeled as *views* into a canonical physical container: ``EAX``,
+``AX``, ``AL``, and ``AH`` are all views of the container ``RAX`` at
+different widths and bit offsets.  Dependency tracking in the simulator and
+the chain generators of Section 5.2 both work at container granularity, which
+is also how register renaming treats them on real Intel cores (modulo partial
+register stalls, which the generators avoid by construction, exactly as the
+paper does by using ``MOVSX``).
+
+Status flags are modeled as six one-bit registers (``CF``, ``PF``, ``AF``,
+``ZF``, ``SF``, ``OF``) that are each their own canonical container, so that
+per-flag dependencies (e.g. ``TEST`` writing every flag *except* ``AF``) are
+representable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class RegisterClass(enum.Enum):
+    """Architectural register file a register belongs to."""
+
+    GPR = "gpr"
+    VEC = "vec"  # XMM/YMM (SSE/AVX)
+    MMX = "mmx"
+    FLAG = "flag"
+    IP = "ip"
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register (possibly a sub-register view).
+
+    Attributes:
+        name: assembler name, e.g. ``"EAX"`` or ``"XMM3"``.
+        reg_class: the register file this register belongs to.
+        width: width in bits of this view.
+        canonical: name of the canonical full-width container (``"RAX"`` for
+            ``EAX``; ``"YMM3"`` for ``XMM3``).  Dependencies are tracked on
+            the canonical name.
+        offset: bit offset of this view within the container (8 for ``AH``,
+            0 for everything else).
+    """
+
+    name: str
+    reg_class: RegisterClass
+    width: int
+    canonical: str
+    offset: int = 0
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_full_width(self) -> bool:
+        """Whether this view covers the entire canonical container."""
+        full = _CONTAINER_WIDTH[self.canonical]
+        return self.width == full and self.offset == 0
+
+
+_CONTAINER_WIDTH: Dict[str, int] = {}
+_BY_NAME: Dict[str, Register] = {}
+
+
+def _define(
+    name: str,
+    reg_class: RegisterClass,
+    width: int,
+    canonical: str | None = None,
+    offset: int = 0,
+) -> Register:
+    reg = Register(name, reg_class, width, canonical or name, offset)
+    _BY_NAME[name] = reg
+    if reg.canonical == name:
+        _CONTAINER_WIDTH[name] = width
+    return reg
+
+
+def _define_gpr_family(
+    r64: str, r32: str, r16: str, r8: str, r8h: str | None = None
+) -> None:
+    _define(r64, RegisterClass.GPR, 64)
+    _define(r32, RegisterClass.GPR, 32, r64)
+    _define(r16, RegisterClass.GPR, 16, r64)
+    _define(r8, RegisterClass.GPR, 8, r64)
+    if r8h is not None:
+        _define(r8h, RegisterClass.GPR, 8, r64, offset=8)
+
+
+_define_gpr_family("RAX", "EAX", "AX", "AL", "AH")
+_define_gpr_family("RBX", "EBX", "BX", "BL", "BH")
+_define_gpr_family("RCX", "ECX", "CX", "CL", "CH")
+_define_gpr_family("RDX", "EDX", "DX", "DL", "DH")
+_define_gpr_family("RSI", "ESI", "SI", "SIL")
+_define_gpr_family("RDI", "EDI", "DI", "DIL")
+_define_gpr_family("RBP", "EBP", "BP", "BPL")
+_define_gpr_family("RSP", "ESP", "SP", "SPL")
+for _i in range(8, 16):
+    _define_gpr_family(f"R{_i}", f"R{_i}D", f"R{_i}W", f"R{_i}B")
+
+for _i in range(16):
+    _define(f"YMM{_i}", RegisterClass.VEC, 256)
+    _define(f"XMM{_i}", RegisterClass.VEC, 128, f"YMM{_i}")
+
+for _i in range(8):
+    _define(f"MM{_i}", RegisterClass.MMX, 64)
+
+#: The six x86 status flags, in the conventional order.
+FLAG_NAMES: Tuple[str, ...] = ("CF", "PF", "AF", "ZF", "SF", "OF")
+FLAGS: Dict[str, Register] = {
+    name: _define(name, RegisterClass.FLAG, 1) for name in FLAG_NAMES
+}
+
+_define("RIP", RegisterClass.IP, 64)
+
+
+def register_by_name(name: str) -> Register:
+    """Look up a register by its assembler name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise KeyError(f"unknown register: {name!r}") from None
+
+
+def is_register_name(name: str) -> bool:
+    """Whether *name* names an architectural register."""
+    return name.upper() in _BY_NAME
+
+
+def all_registers() -> List[Register]:
+    """All defined registers (every width view), in definition order."""
+    return list(_BY_NAME.values())
+
+
+def gpr(width: int, index: int) -> Register:
+    """The *index*-th general-purpose register of the given *width* in bits.
+
+    Indices follow the standard encoding order RAX, RCX, RDX, RBX, RSP, RBP,
+    RSI, RDI, R8..R15.  The 8-bit views are the low bytes (``AL``-style, not
+    ``AH``-style).
+    """
+    order64 = (
+        "RAX RCX RDX RBX RSP RBP RSI RDI "
+        "R8 R9 R10 R11 R12 R13 R14 R15"
+    ).split()
+    base = register_by_name(order64[index])
+    return sized_view(base, width)
+
+
+def sized_view(reg: Register, width: int) -> Register:
+    """The *width*-bit view of ``reg``'s canonical container (offset 0)."""
+    for candidate in _BY_NAME.values():
+        if (
+            candidate.canonical == reg.canonical
+            and candidate.width == width
+            and candidate.offset == 0
+        ):
+            return candidate
+    raise ValueError(f"no {width}-bit view of {reg.canonical}")
+
+
+def vec(width: int, index: int) -> Register:
+    """The *index*-th vector register of the given width (128 or 256)."""
+    prefix = {128: "XMM", 256: "YMM"}[width]
+    return register_by_name(f"{prefix}{index}")
+
+
+def mmx(index: int) -> Register:
+    """The *index*-th MMX register."""
+    return register_by_name(f"MM{index}")

@@ -1,0 +1,22 @@
+"""The machine-readable instruction-set description pipeline (Section 6.1).
+
+The paper extracts its instruction data from the configuration files of
+Intel's X86 Encoder Decoder (XED) library — a concise, block-structured text
+format — and converts it to a simpler XML representation with everything the
+benchmark generators need (operand kinds/widths, implicit operands, flags).
+
+This package reproduces both halves: :mod:`repro.isa.xed.configfmt` can emit
+the built-in catalog in a XED-style text format and parse such files back,
+and :mod:`repro.isa.xed.xml_format` converts a parsed database to/from the
+XML instruction description.
+"""
+
+from repro.isa.xed.configfmt import dump_config, parse_config
+from repro.isa.xed.xml_format import database_to_xml, xml_to_database
+
+__all__ = [
+    "dump_config",
+    "parse_config",
+    "database_to_xml",
+    "xml_to_database",
+]

@@ -1,0 +1,160 @@
+"""XED-style configuration text format (writer and parser).
+
+The format mirrors the block structure of Intel XED's ``*.txt`` datafiles:
+
+.. code-block:: text
+
+    {
+    ICLASS     : ADD
+    EXTENSION  : BASE
+    CATEGORY   : int_alu
+    ATTRIBUTES :
+    FLAGS      : r: w:CF,PF,AF,ZF,SF,OF
+    OPERANDS   : GPR:64:rw GPR:64:r
+    }
+
+Operand tokens are ``KIND:width:access[:fixed=REG][:implicit]`` with access
+``r``, ``w``, or ``rw``.  The parser accepts anything the writer emits
+(a lossless round trip, which the test suite checks for the entire
+catalog).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.isa.instruction import InstructionForm
+from repro.isa.operands import OperandKind, OperandSpec
+
+
+def _operand_token(spec: OperandSpec) -> str:
+    access = ("r" if spec.read else "") + ("w" if spec.written else "")
+    parts = [spec.kind.name, str(spec.width), access or "n"]
+    if spec.fixed is not None:
+        parts.append(f"fixed={spec.fixed}")
+    if spec.implicit:
+        parts.append("implicit")
+    if spec.name:
+        parts.append(f"name={spec.name}")
+    return ":".join(parts)
+
+
+def _parse_operand(token: str) -> OperandSpec:
+    fields = token.split(":")
+    if len(fields) < 3:
+        raise ValueError(f"malformed operand token: {token!r}")
+    kind = OperandKind[fields[0]]
+    width = int(fields[1])
+    access = fields[2]
+    fixed: Optional[str] = None
+    implicit = False
+    name: Optional[str] = None
+    for extra in fields[3:]:
+        if extra == "implicit":
+            implicit = True
+        elif extra.startswith("fixed="):
+            fixed = extra[len("fixed="):]
+        elif extra.startswith("name="):
+            name = extra[len("name="):]
+        else:
+            raise ValueError(f"unknown operand qualifier: {extra!r}")
+    return OperandSpec(
+        kind=kind,
+        width=width,
+        read="r" in access,
+        written="w" in access,
+        implicit=implicit,
+        fixed=fixed,
+        name=name,
+    )
+
+
+def dump_form(form: InstructionForm) -> str:
+    """One XED-style block for one instruction form."""
+    flags = (
+        "r:" + ",".join(sorted(form.flags_read))
+        + " w:" + ",".join(sorted(form.flags_written))
+    )
+    operands = " ".join(_operand_token(s) for s in form.operands)
+    lines = [
+        "{",
+        f"ICLASS     : {form.mnemonic}",
+        f"EXTENSION  : {form.extension}",
+        f"CATEGORY   : {form.category}",
+        f"ATTRIBUTES : {' '.join(sorted(form.attributes))}",
+        f"FLAGS      : {flags}",
+        f"OPERANDS   : {operands}",
+        "}",
+    ]
+    return "\n".join(lines)
+
+
+def dump_config(forms: Iterable[InstructionForm]) -> str:
+    """The whole catalog in XED-style configuration text."""
+    header = (
+        "# XED-style instruction description (Section 6.1)\n"
+        "# One block per instruction variant.\n"
+    )
+    return header + "\n".join(dump_form(f) for f in forms) + "\n"
+
+
+def parse_config(text: str) -> List[InstructionForm]:
+    """Parse XED-style configuration text back into instruction forms."""
+    forms: List[InstructionForm] = []
+    block: Optional[dict] = None
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#")[0].strip()
+        if not line:
+            continue
+        if line == "{":
+            if block is not None:
+                raise ValueError(f"line {line_number}: nested block")
+            block = {}
+            continue
+        if line == "}":
+            if block is None:
+                raise ValueError(f"line {line_number}: stray '}}'")
+            forms.append(_block_to_form(block, line_number))
+            block = None
+            continue
+        if block is None:
+            raise ValueError(
+                f"line {line_number}: content outside of a block"
+            )
+        key, _, value = line.partition(":")
+        block[key.strip()] = value.strip()
+    if block is not None:
+        raise ValueError("unterminated block at end of file")
+    return forms
+
+
+def _block_to_form(block: dict, line_number: int) -> InstructionForm:
+    try:
+        mnemonic = block["ICLASS"]
+    except KeyError:
+        raise ValueError(f"block ending at line {line_number}: no ICLASS")
+    flags_read: frozenset = frozenset()
+    flags_written: frozenset = frozenset()
+    flags_field = block.get("FLAGS", "")
+    for part in flags_field.split():
+        if part.startswith("r:"):
+            flags_read = frozenset(
+                f for f in part[2:].split(",") if f
+            )
+        elif part.startswith("w:"):
+            flags_written = frozenset(
+                f for f in part[2:].split(",") if f
+            )
+    operands = tuple(
+        _parse_operand(token)
+        for token in block.get("OPERANDS", "").split()
+    )
+    return InstructionForm(
+        mnemonic=mnemonic,
+        operands=operands,
+        flags_read=flags_read,
+        flags_written=flags_written,
+        extension=block.get("EXTENSION", "BASE"),
+        category=block.get("CATEGORY", "int_alu"),
+        attributes=frozenset(block.get("ATTRIBUTES", "").split()),
+    )

@@ -1,0 +1,89 @@
+"""XML instruction description (the "simpler XML representation" of
+Section 6.1).
+
+One ``<instruction>`` element per variant, one ``<operand>`` child per
+operand slot (explicit and implicit), with flag read/write sets as
+attributes — enough information to generate assembler code for each
+variant, which is all the benchmark generators need.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List
+
+from repro.isa.database import InstructionDatabase
+from repro.isa.instruction import InstructionForm
+from repro.isa.operands import OperandKind, OperandSpec
+
+
+def database_to_xml(database: InstructionDatabase) -> ET.Element:
+    root = ET.Element("instructionSet")
+    for form in database:
+        element = ET.SubElement(root, "instruction")
+        element.set("iclass", form.mnemonic)
+        element.set("string", form.uid)
+        element.set("extension", form.extension)
+        element.set("category", form.category)
+        if form.attributes:
+            element.set("attributes", " ".join(sorted(form.attributes)))
+        if form.flags_read:
+            element.set("flagsRead", ",".join(sorted(form.flags_read)))
+        if form.flags_written:
+            element.set(
+                "flagsWritten", ",".join(sorted(form.flags_written))
+            )
+        for index, spec in enumerate(form.operands):
+            operand = ET.SubElement(element, "operand")
+            operand.set("idx", str(index + 1))
+            operand.set("type", spec.kind.name)
+            operand.set("width", str(spec.width))
+            if spec.read:
+                operand.set("r", "1")
+            if spec.written:
+                operand.set("w", "1")
+            if spec.implicit:
+                operand.set("implicit", "1")
+            if spec.fixed:
+                operand.set("registers", spec.fixed)
+            if spec.name:
+                operand.set("name", spec.name)
+    return root
+
+
+def xml_to_database(root: ET.Element) -> InstructionDatabase:
+    forms: List[InstructionForm] = []
+    for element in root.findall("instruction"):
+        operands = []
+        for operand in element.findall("operand"):
+            operands.append(
+                OperandSpec(
+                    kind=OperandKind[operand.get("type")],
+                    width=int(operand.get("width")),
+                    read=operand.get("r") == "1",
+                    written=operand.get("w") == "1",
+                    implicit=operand.get("implicit") == "1",
+                    fixed=operand.get("registers"),
+                    name=operand.get("name"),
+                )
+            )
+        flags_read = frozenset(
+            f for f in (element.get("flagsRead") or "").split(",") if f
+        )
+        flags_written = frozenset(
+            f for f in (element.get("flagsWritten") or "").split(",") if f
+        )
+        forms.append(
+            InstructionForm(
+                mnemonic=element.get("iclass"),
+                operands=tuple(operands),
+                flags_read=flags_read,
+                flags_written=flags_written,
+                extension=element.get("extension", "BASE"),
+                category=element.get("category", "int_alu"),
+                attributes=frozenset(
+                    (element.get("attributes") or "").split()
+                ),
+            )
+        )
+    return InstructionDatabase(forms)

@@ -1,0 +1,17 @@
+"""Measurement infrastructure (Algorithm 2) and the backend abstraction.
+
+The inference algorithms of :mod:`repro.core` are written against the
+:class:`~repro.measure.backend.MeasurementBackend` protocol, which mirrors
+the paper's two execution substrates: the actual hardware (here: the pipeline
+simulator, measured through performance counters with the unroll-difference
+protocol of Section 6.2) and Intel IACA (here: the static analyzer of
+:mod:`repro.iaca`, Section 6.3).
+"""
+
+from repro.measure.backend import (
+    HardwareBackend,
+    MeasurementBackend,
+    MeasurementConfig,
+)
+
+__all__ = ["HardwareBackend", "MeasurementBackend", "MeasurementConfig"]

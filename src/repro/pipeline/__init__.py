@@ -1,0 +1,27 @@
+"""The simulated hardware: a cycle-accurate out-of-order core.
+
+This subpackage substitutes for the nine physical machines of Table 1.  It
+executes concrete instruction sequences against a generation's ground-truth
+µop tables and exposes exactly what the paper's measurement infrastructure
+sees: a core-cycle counter and one µop counter per execution port
+(Section 3.3).
+
+The model implements the pipeline of Figure 1: a 4-wide in-order front end,
+a reorder buffer that performs register renaming, move elimination and
+zero-idiom handling, a reservation station with least-loaded port binding at issue
+time and at most one µop dispatched per port per cycle, fully pipelined functional units
+except the divider, a store buffer with store-to-load forwarding, and
+bypass delays between the integer-vector and floating-point-vector domains.
+"""
+
+from repro.pipeline.core import Core, CounterValues, simulate
+from repro.pipeline.state import MachineState, SCRATCH_BASE, SCRATCH_MASK
+
+__all__ = [
+    "Core",
+    "CounterValues",
+    "simulate",
+    "MachineState",
+    "SCRATCH_BASE",
+    "SCRATCH_MASK",
+]

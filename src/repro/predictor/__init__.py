@@ -1,0 +1,14 @@
+"""A performance-prediction tool built from the tool's own measurements.
+
+The paper's conclusions mention "a performance-prediction tool similar to
+Intel's IACA supporting all Intel Core microarchitectures, exploiting the
+results obtained in the present work".  :class:`LoopAnalyzer` is that tool:
+it analyzes a loop body using *measured* characterizations (port usage,
+per-operand-pair latencies, µop counts) — never the simulator's ground
+truth — and reports the throughput bound, the loop-carried dependency
+bound, and the bottleneck.
+"""
+
+from repro.predictor.analyzer import LoopAnalysis, LoopAnalyzer
+
+__all__ = ["LoopAnalysis", "LoopAnalyzer"]

@@ -1,0 +1,19 @@
+"""Published reference numbers used by the Section 7.3 case studies."""
+
+from repro.refdata.published import (
+    AES_LATENCY,
+    MOVDQ2Q_PORTS,
+    MOVQ2DQ_PORTS,
+    MULTI_LATENCY_INSTRUCTIONS,
+    SHLD_LATENCY,
+    UNDOCUMENTED_ZERO_IDIOMS,
+)
+
+__all__ = [
+    "AES_LATENCY",
+    "MOVDQ2Q_PORTS",
+    "MOVQ2DQ_PORTS",
+    "MULTI_LATENCY_INSTRUCTIONS",
+    "SHLD_LATENCY",
+    "UNDOCUMENTED_ZERO_IDIOMS",
+]

@@ -1,0 +1,96 @@
+"""The per-microarchitecture machine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class DividerTiming:
+    """Value-dependent timing of the non-pipelined divider unit.
+
+    The paper (Section 5.2.5) measures divider instructions once with
+    operand values that lead to high latency and once with values that lead
+    to low latency; this class is the ground truth those measurements probe.
+    """
+
+    fast_latency: int
+    fast_occupancy: int
+    slow_latency: int
+    slow_occupancy: int
+
+    def timing(self, fast: bool) -> Tuple[int, int]:
+        """(latency, divider occupancy) for the given value class."""
+        if fast:
+            return (self.fast_latency, self.fast_occupancy)
+        return (self.slow_latency, self.slow_occupancy)
+
+
+@dataclass(frozen=True)
+class UarchConfig:
+    """Static description of one Intel Core generation.
+
+    The functional-unit map ``fu_map`` assigns each functional-unit type the
+    set of ports it is attached to (the paper's ``ports : FU -> 2^P``,
+    Section 5.1.1); the table builder resolves symbolic unit names like
+    ``"int_alu"`` through it, so the same category rules yield different
+    ground truth on different generations.
+    """
+
+    name: str
+    full_name: str
+    processor: str
+    year: int
+    ports: Tuple[int, ...]
+    fu_map: Mapping[str, FrozenSet[int]]
+    extensions: FrozenSet[str]
+    issue_width: int = 4
+    retire_width: int = 4
+    rob_size: int = 128
+    rs_size: int = 36
+    load_latency: int = 4
+    vec_load_latency: int = 6
+    store_forward_latency: int = 5
+    move_elimination: bool = False
+    vec_bypass_delay: int = 1
+    sse_avx_transition_penalty: int = 0
+    zero_idiom_elimination: bool = False
+    #: Mnemonics whose flag-writing instructions macro-fuse with a
+    #: directly following conditional branch (the paper's future work;
+    #: Nehalem fuses only CMP/TEST, Sandy Bridge extends the set).
+    macro_fusible: FrozenSet[str] = frozenset({"CMP", "TEST"})
+    int_div: DividerTiming = DividerTiming(25, 20, 90, 80)
+    fp_div: DividerTiming = DividerTiming(11, 5, 14, 12)
+    fp_sqrt: DividerTiming = DividerTiming(12, 6, 21, 18)
+    iaca_versions: Tuple[str, ...] = ()
+
+    def fu_ports(self, unit: str) -> FrozenSet[int]:
+        """Ports attached to a functional unit of the given type."""
+        try:
+            return self.fu_map[unit]
+        except KeyError:
+            raise KeyError(
+                f"{self.name}: unknown functional unit {unit!r}"
+            ) from None
+
+    def supports_extension(self, extension: str) -> bool:
+        return extension in self.extensions
+
+    def port_combinations(self) -> Tuple[FrozenSet[int], ...]:
+        """The distinct port combinations of all functional units.
+
+        This is the set of combinations for which Algorithm 1 needs blocking
+        instructions.
+        """
+        return tuple(sorted(set(self.fu_map.values()), key=sorted))
+
+    def divider_timing(self, divider_class: str) -> DividerTiming:
+        return {
+            "int_div": self.int_div,
+            "fp_div": self.fp_div,
+            "fp_sqrt": self.fp_sqrt,
+        }[divider_class]
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,41 @@
+"""Named per-form, per-generation overrides of the generic table rules.
+
+Most of the paper's case-study behaviour is expressed directly in the
+generation-grouped category rules of :mod:`repro.uarch.tables`.  This module
+is the escape hatch for truly irregular single forms: an override is a
+function ``(form, uarch, entry) -> entry`` registered for a specific
+``(uarch_name, form_uid)`` pair and applied after the generic rule ran.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.isa.instruction import InstructionForm
+from repro.uarch.model import UarchConfig
+from repro.uarch.uops import UarchEntry
+
+Override = Callable[[InstructionForm, UarchConfig, UarchEntry], UarchEntry]
+
+_OVERRIDES: Dict[Tuple[str, str], Override] = {}
+
+
+def override(uarch_name: str, form_uid: str) -> Callable[[Override],
+                                                         Override]:
+    """Register an override for one form on one generation."""
+
+    def decorate(fn: Override) -> Override:
+        key = (uarch_name, form_uid)
+        if key in _OVERRIDES:
+            raise AssertionError(f"duplicate override for {key}")
+        _OVERRIDES[key] = fn
+        return fn
+
+    return decorate
+
+
+def apply_overrides(
+    form: InstructionForm, uarch: UarchConfig, entry: UarchEntry
+) -> UarchEntry:
+    fn = _OVERRIDES.get((uarch.name, form.uid))
+    return fn(form, uarch, entry) if fn else entry

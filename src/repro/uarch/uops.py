@@ -1,0 +1,156 @@
+"""µop specifications — the ground-truth decomposition of an instruction.
+
+A :class:`UopSpec` describes one µop of an instruction: the set of execution
+ports whose functional units can run it (the paper's ``ports(u)``), its
+dataflow inputs and outputs, and its latency contribution.  Per-input delays
+and per-output latencies together realize the paper's per-operand-pair
+latency definition: for a µop dispatching at
+``d = max_i(t_i + input_delay(i))``, output ``o`` becomes ready at
+``d + output_latency(o)``, so ``lat(i, o) = input_delay(i) +
+output_latency(o)`` whenever input ``i`` is on the critical path.
+
+Dataflow references (``Ref``) are plain tuples:
+
+- ``("op", i)``     — register operand slot *i* of the instruction,
+- ``("flags",)``    — the status flags the form reads (input) / writes
+  (output),
+- ``("addr", i)``   — the address registers of memory/AGEN operand slot *i*,
+- ``("ld", i)``     — the data loaded from memory slot *i* (load µop
+  output),
+- ``("mem", i)``    — the data stored to memory slot *i* (store-data µop
+  output),
+- ``("uop", k)``    — the result of µop *k* of the same instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+Ref = Tuple
+
+#: µop kinds; loads and stores are dispatched to the memory ports.
+KIND_ALU = "alu"
+KIND_LOAD = "load"
+KIND_STORE_ADDR = "store_addr"
+KIND_STORE_DATA = "store_data"
+
+#: Execution domains for bypass-delay modeling (Section 5.2.1: a bypass
+#: delay can occur when a floating-point operation consumes the output of an
+#: integer operation or vice versa).
+DOMAIN_INT = "int"
+DOMAIN_IVEC = "ivec"
+DOMAIN_FVEC = "fvec"
+
+
+@dataclass(frozen=True)
+class UopSpec:
+    """One µop of an instruction's ground-truth decomposition.
+
+    Attributes:
+        ports: ports whose functional units can execute this µop.  An empty
+            set means the µop never dispatches to an execution port (NOPs,
+            µops handled by the reorder buffer).
+        inputs: dataflow inputs (see module docstring for the Ref grammar).
+        outputs: dataflow outputs.
+        latency: cycles from dispatch to result, for outputs without an
+            explicit override.
+        input_delays: extra cycles before a given input can be consumed.
+        output_latencies: per-output overrides of ``latency``.
+        kind: ALU / load / store-address / store-data.
+        divider_cycles: how long this µop occupies the non-pipelined divider
+            unit (0 for µops that do not use it).  May be rescaled at run
+            time for value-dependent divider instructions (Section 5.2.5).
+        domain: execution domain, for bypass-delay modeling.
+    """
+
+    ports: frozenset
+    inputs: Tuple[Ref, ...] = ()
+    outputs: Tuple[Ref, ...] = ()
+    latency: int = 1
+    input_delays: Mapping[Ref, int] = field(default_factory=dict)
+    output_latencies: Mapping[Ref, int] = field(default_factory=dict)
+    kind: str = KIND_ALU
+    divider_cycles: int = 0
+    domain: str = DOMAIN_INT
+
+    def output_latency(self, ref: Ref) -> int:
+        return self.output_latencies.get(ref, self.latency)
+
+    def input_delay(self, ref: Ref) -> int:
+        return self.input_delays.get(ref, 0)
+
+    @property
+    def uses_port(self) -> bool:
+        return bool(self.ports)
+
+    def max_latency(self) -> int:
+        values = [self.latency]
+        values.extend(self.output_latencies.values())
+        values.extend(self.input_delays.values())
+        return max(values)
+
+
+@dataclass(frozen=True)
+class UarchEntry:
+    """Ground truth for one instruction form on one microarchitecture.
+
+    Attributes:
+        uops: the µop decomposition.
+        same_reg_uops: alternative decomposition used when the same register
+            is given for multiple explicit register operands (Section 7.3.2:
+            ``SHLD`` on Skylake has latency 1 in that case instead of 3).
+        zero_idiom: the instruction breaks its register dependencies when
+            both register operands are equal (``XOR R,R``; Section 3.1).
+        zero_idiom_eliminated: additionally, the zero idiom is executed by
+            the reorder buffer and uses no execution ports.
+        dep_breaking: register dependencies are broken when operands are
+            equal, without the result being architecturally zero idiomatic
+            (``PCMPGTB R,R``; Section 7.3.6).
+        divider_class: value-dependence class for divider instructions
+            (``None``, ``"int_div"``, ``"fp_div"``, ``"fp_sqrt"``).
+        serializing: drains the pipeline before and after executing.
+        fused_uop_count: µop count in the fused domain (micro-fusion of
+            load+op and store-address+store-data pairs; the paper's
+            future work).  ``None`` means equal to ``len(uops)``.
+    """
+
+    uops: Tuple[UopSpec, ...]
+    same_reg_uops: Optional[Tuple[UopSpec, ...]] = None
+    zero_idiom: bool = False
+    zero_idiom_eliminated: bool = False
+    dep_breaking: bool = False
+    divider_class: Optional[str] = None
+    serializing: bool = False
+    fused_uop_count: Optional[int] = None
+
+    @property
+    def fused_uops(self) -> int:
+        if self.fused_uop_count is not None:
+            return self.fused_uop_count
+        return len(self.uops)
+
+    @property
+    def uop_count(self) -> int:
+        return len(self.uops)
+
+    def max_latency(self) -> int:
+        """Maximum over per-µop latencies plus chain depth, conservatively.
+
+        Used for the ``blockRep`` sizing of Algorithm 1 (line 4), which only
+        needs an upper bound of the instruction's critical path.
+        """
+        return sum(u.max_latency() for u in self.uops)
+
+    def uops_for(self, same_registers: bool) -> Tuple[UopSpec, ...]:
+        if same_registers and self.same_reg_uops is not None:
+            return self.same_reg_uops
+        return self.uops
+
+    def port_usage(self) -> Mapping[frozenset, int]:
+        """The true port usage ``pu`` (Section 4.3) of this entry."""
+        usage: dict = {}
+        for uop in self.uops:
+            if uop.uses_port:
+                usage[uop.ports] = usage.get(uop.ports, 0) + 1
+        return usage

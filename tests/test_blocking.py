@@ -1,0 +1,98 @@
+"""Blocking-instruction discovery tests (Section 5.1.1)."""
+
+import pytest
+
+from repro.core.blocking import CONTEXT_AVX, CONTEXT_SSE
+
+
+class TestDiscovery:
+    def test_every_combination_covered(self, db, skl_blocking,
+                                       skl_backend):
+        """Each functional-unit port combination (except the store units)
+        has a blocking instruction."""
+        uarch = skl_backend.uarch
+        store_combos = {
+            uarch.fu_ports("store_addr"),
+            uarch.fu_ports("store_data"),
+        }
+        for context in (CONTEXT_SSE, CONTEXT_AVX):
+            covered = set(skl_blocking.combinations(context))
+            for combination in uarch.port_combinations():
+                assert combination in covered or \
+                    combination in store_combos, (
+                        context, sorted(combination)
+                    )
+
+    def test_blockers_are_single_uop(self, db, skl_blocking, skl_backend):
+        from repro.core.codegen import measure_isolated
+
+        for context in (CONTEXT_SSE, CONTEXT_AVX):
+            for combination, form in \
+                    skl_blocking.by_combination[context].items():
+                counters = measure_isolated(form, skl_backend)
+                assert round(counters.uops) == 1, form.uid
+
+    def test_blockers_use_exactly_their_combination(
+        self, db, skl_blocking, skl_backend
+    ):
+        from repro.core.codegen import measure_isolated, used_ports
+
+        for combination, form in \
+                skl_blocking.by_combination[CONTEXT_SSE].items():
+            ports = used_ports(measure_isolated(form, skl_backend))
+            assert ports == combination, form.uid
+
+    def test_context_separation(self, db, skl_blocking):
+        """SSE blockers contain no AVX instructions and vice versa
+        (Section 5.1.1, transition penalties)."""
+        for form in skl_blocking.by_combination[CONTEXT_SSE].values():
+            assert not form.is_avx, form.uid
+        for form in skl_blocking.by_combination[CONTEXT_AVX].values():
+            assert not form.is_sse, form.uid
+
+    def test_exclusions(self, db, skl_blocking):
+        chosen = {
+            form.uid
+            for context in skl_blocking.by_combination.values()
+            for form in context.values()
+        }
+        for form_uid in chosen:
+            form = db.by_uid(form_uid)
+            for attr in ("system", "serializing", "control_flow",
+                         "pause", "zero_idiom", "move"):
+                assert not form.has_attribute(attr), (form_uid, attr)
+
+    def test_store_blocker_is_mov(self, db, skl_blocking):
+        """The paper uses MOV from a GPR to memory for the store units."""
+        assert skl_blocking.store_blocker is not None
+        assert skl_blocking.store_blocker.mnemonic == "MOV"
+        assert skl_blocking.store_blocker.writes_memory
+
+    def test_store_combinations_on_skylake(self, skl_blocking,
+                                           skl_backend):
+        uarch = skl_backend.uarch
+        combos = set(skl_blocking.store_combinations)
+        assert uarch.fu_ports("store_addr") in combos
+        assert uarch.fu_ports("store_data") in combos
+
+    def test_context_for(self, db, skl_blocking):
+        assert skl_blocking.context_for(
+            db.by_uid("VPADDB_XMM_XMM_XMM")
+        ) == CONTEXT_AVX
+        assert skl_blocking.context_for(
+            db.by_uid("PADDB_XMM_XMM")
+        ) == CONTEXT_SSE
+        assert skl_blocking.context_for(
+            db.by_uid("ADD_R64_R64")
+        ) == CONTEXT_SSE
+
+    def test_nehalem_covered_without_avx(self, db, nhm_blocking,
+                                         nhm_backend):
+        uarch = nhm_backend.uarch
+        store_combos = {
+            uarch.fu_ports("store_addr"),
+            uarch.fu_ports("store_data"),
+        }
+        covered = set(nhm_blocking.combinations(CONTEXT_SSE))
+        for combination in uarch.port_combinations():
+            assert combination in covered or combination in store_combos

@@ -1,0 +1,65 @@
+"""CLI tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["characterize", "ADD_R64_R64"],
+            ["sweep"],
+            ["table1"],
+            ["case-studies"],
+            ["list"],
+            ["analyze", "-"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_characterize(self, capsys):
+        assert main(["characterize", "IMUL_R64_R64", "SKL"]) == 0
+        out = capsys.readouterr().out
+        assert "IMUL_R64_R64 [SKL]" in out
+        assert "ports=1*p1" in out
+        assert "lat(op2 -> op1) = 4" in out
+
+    def test_list_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction variants" in out
+
+    def test_list_mnemonic(self, capsys):
+        assert main(["list", "AESDEC"]) == 0
+        out = capsys.readouterr().out
+        assert "AESDEC_XMM_XMM" in out
+        assert "AES" in out
+
+    def test_list_unknown_mnemonic(self, capsys):
+        assert main(["list", "FROB"]) == 1
+
+    def test_analyze_file(self, tmp_path, capsys):
+        kernel = tmp_path / "kernel.s"
+        kernel.write_text("ADD RAX, RBX\nADD RAX, RCX\n")
+        assert main(["analyze", str(kernel), "SKL"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/iteration" in out
+        assert "loop-carried dependency" in out
+
+    def test_sweep_writes_xml(self, tmp_path, capsys):
+        output = tmp_path / "out.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output", str(output)
+        ]) == 0
+        assert output.exists()
+        text = output.read_text()
+        assert "<instruction" in text
+        assert "ports=" in text

@@ -1,0 +1,67 @@
+"""CounterValues arithmetic and measurement-protocol internals."""
+
+import pytest
+
+from repro.core.codegen import independent_sequence
+from repro.measure.backend import HardwareBackend, MeasurementConfig
+from repro.pipeline.core import CounterValues
+from repro.uarch.configs import get_uarch
+
+
+class TestCounterArithmetic:
+    def test_subtraction(self):
+        a = CounterValues(cycles=100, port_uops={0: 10, 1: 5}, uops=15,
+                          instructions=7, uops_fused=12)
+        b = CounterValues(cycles=40, port_uops={0: 4}, uops=6,
+                          instructions=3, uops_fused=5)
+        delta = a - b
+        assert delta.cycles == 60
+        assert delta.port_uops == {0: 6, 1: 5}
+        assert delta.uops == 9
+        assert delta.uops_fused == 7
+        assert delta.instructions == 4
+
+    def test_scaling(self):
+        counters = CounterValues(cycles=10, port_uops={2: 4}, uops=8,
+                                 instructions=4, uops_fused=6)
+        scaled = counters.scaled(4)
+        assert scaled.cycles == 2.5
+        assert scaled.port_uops[2] == 1.0
+        assert scaled.uops_fused == 1.5
+
+
+class TestProtocolInternals:
+    def test_repeats_average(self, db):
+        uarch = get_uarch("SKL")
+        once = HardwareBackend(
+            uarch, MeasurementConfig(repeats=1)
+        )
+        thrice = HardwareBackend(
+            uarch, MeasurementConfig(repeats=3)
+        )
+        code = independent_sequence(db.by_uid("ADD_R64_I8"), 4)
+        a = once.measure(code)
+        b = thrice.measure(code)
+        # Deterministic simulator: averaging changes nothing.
+        assert a.cycles == pytest.approx(b.cycles)
+        assert a.uops == pytest.approx(b.uops)
+
+    def test_warmup_toggle(self, db):
+        uarch = get_uarch("SKL")
+        warm = HardwareBackend(uarch, MeasurementConfig(warmup=True))
+        cold = HardwareBackend(uarch, MeasurementConfig(warmup=False))
+        code = independent_sequence(db.by_uid("IMUL_R64_R64_I8"), 2)
+        assert warm.measure(code).cycles == pytest.approx(
+            cold.measure(code).cycles
+        )
+
+    def test_fused_counter_flows_through_protocol(self, db, skl_backend):
+        code = independent_sequence(db.by_uid("ADD_R64_M64"), 4)
+        counters = skl_backend.measure(code)
+        assert counters.uops == pytest.approx(8.0, abs=0.05)   # 2/instr
+        assert counters.uops_fused == pytest.approx(4.0, abs=0.05)
+
+    def test_instruction_counter(self, db, skl_backend):
+        code = independent_sequence(db.by_uid("NOP"), 3)
+        counters = skl_backend.measure(code)
+        assert counters.instructions == pytest.approx(3.0, abs=0.01)

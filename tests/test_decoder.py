@@ -1,0 +1,81 @@
+"""Decoder-class characterization tests (future-work extension)."""
+
+import pytest
+
+from repro.core.decoder import (
+    DECODER_COMPLEX,
+    DECODER_MSROM,
+    DECODER_SIMPLE,
+    characterize_decoder,
+    decoder_backend,
+    decoder_report,
+)
+from repro.uarch.configs import get_uarch
+from tests.conftest import backend_for
+
+_DECODER_BACKENDS = {}
+
+
+def _decoder_hw(name):
+    if name not in _DECODER_BACKENDS:
+        _DECODER_BACKENDS[name] = decoder_backend(get_uarch(name))
+    return _DECODER_BACKENDS[name]
+
+
+class TestDecoderClassification:
+    def test_single_uop_is_simple(self, db, skl_backend):
+        result = characterize_decoder(
+            db.by_uid("ADD_R64_R64"), _decoder_hw("SKL"), skl_backend
+        )
+        assert result.decoder_class == DECODER_SIMPLE
+        assert result.decode_penalty == pytest.approx(0.0, abs=0.1)
+
+    def test_multi_uop_is_complex_with_penalty(self, db, skl_backend):
+        """A multi-µop instruction decodes one per cycle: a back-to-back
+        stream is decode-bound where the ideal front end issues 4 µops
+        per cycle (XCHG: 3 µops -> 0.75 ideal vs 1.0 decode-bound)."""
+        result = characterize_decoder(
+            db.by_uid("XCHG_R64_R64"), _decoder_hw("SKL"), skl_backend
+        )
+        assert result.decoder_class == DECODER_COMPLEX
+        assert result.uop_count == 3
+        assert result.decode_penalty > 0.15
+
+    def test_msrom_instruction(self, db, skl_backend):
+        """A 6-µop instruction comes from the Microcode ROM and stalls
+        the decoders (RDTSC: no input dependencies, so decode is the
+        bottleneck)."""
+        result = characterize_decoder(
+            db.by_uid("RDTSC"), _decoder_hw("SKL"), skl_backend
+        )
+        assert result.decoder_class == DECODER_MSROM
+        assert result.uop_count > 4
+        assert result.decode_penalty > 0.5
+
+    def test_store_is_complex(self, db, skl_backend):
+        result = characterize_decoder(
+            db.by_uid("MOV_M64_R64"), _decoder_hw("SKL"), skl_backend
+        )
+        assert result.decoder_class == DECODER_COMPLEX
+
+    def test_report_runs(self, db):
+        results = decoder_report(
+            db, get_uarch("SKL"),
+            ["ADD_R64_R64", "ADC_R64_M64", "RDTSC", "NOP"],
+        )
+        assert len(results) == 4
+        classes = {r.form_uid: r.decoder_class for r in results}
+        assert classes["ADD_R64_R64"] == DECODER_SIMPLE
+        assert classes["RDTSC"] == DECODER_MSROM
+        for result in results:
+            assert str(result)
+
+    def test_decoder_model_off_by_default(self, db, skl_backend):
+        """The mainline backend has an ideal front end, matching the
+        paper's measurements (decode is future work)."""
+        from repro.core.codegen import independent_sequence
+
+        stream = independent_sequence(db.by_uid("XCHG_R64_R64"), 8)
+        ideal = skl_backend.measure(stream).cycles
+        with_decode = _decoder_hw("SKL").measure(stream).cycles
+        assert with_decode > ideal

@@ -1,0 +1,39 @@
+"""The example scripts must at least parse and expose a main()."""
+
+import ast
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize(
+    "path",
+    sorted(EXAMPLES_DIR.glob("*.py")),
+    ids=lambda p: p.name,
+)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {
+        node.name for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, path.name
+    # Every example must be runnable as a script.
+    assert '__main__' in path.read_text()
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    for required in (
+        "quickstart.py",
+        "full_characterization.py",
+        "compare_iaca.py",
+        "case_studies.py",
+        "performance_prediction.py",
+        "instruction_evolution.py",
+        "pipeline_extensions.py",
+        "ground_truth_validation.py",
+    ):
+        assert required in names

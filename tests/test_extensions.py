@@ -1,0 +1,146 @@
+"""Tests for the later-extension instruction forms (BMI, ADX, MOVBE,
+SSE4.2 strings, AVX2 broadcasts/gathers) and their inference."""
+
+import pytest
+
+from repro.core.codegen import measure_isolated
+from repro.core.latency import LatencyMeasurer
+from repro.core.port_usage import infer_port_usage
+from repro.core.result import PortUsage
+from repro.uarch.tables import build_entry, supported_on
+from repro.uarch.configs import get_uarch
+from tests.conftest import backend_for, blocking_for
+
+
+class TestAvailability:
+    @pytest.mark.parametrize(
+        "uid,first_uarch",
+        [
+            ("CRC32_R32_R32", "NHM"),        # SSE4.2
+            ("PCMPISTRI_XMM_XMM_I8", "NHM"),
+            ("VCVTPH2PS_XMM_XMM", "IVB"),    # F16C
+            ("MOVBE_R64_M64", "HSW"),        # MOVBE
+            ("SHLX_R64_R64_R64", "HSW"),     # BMI2
+            ("PDEP_R64_R64_R64", "HSW"),
+            ("VPGATHERDD_XMM_M32_XMM_XMM", "HSW"),  # AVX2
+            ("ADCX_R64_R64", "BDW"),         # ADX
+        ],
+    )
+    def test_extension_gating(self, db, uid, first_uarch):
+        order = ["NHM", "WSM", "SNB", "IVB", "HSW", "BDW", "SKL"]
+        form = db.by_uid(uid)
+        first_index = order.index(first_uarch)
+        for i, name in enumerate(order):
+            available = supported_on(form, get_uarch(name))
+            assert available == (i >= first_index), (uid, name)
+
+
+class TestGroundTruth:
+    def test_movbe_decomposition(self, db):
+        load = build_entry(db.by_uid("MOVBE_R64_M64"), get_uarch("HSW"))
+        assert len(load.uops) == 2  # load + byte swap
+        store = build_entry(db.by_uid("MOVBE_M64_R64"), get_uarch("HSW"))
+        assert len(store.uops) == 3  # swap + store addr + store data
+
+    def test_gather_has_multiple_loads(self, db):
+        entry = build_entry(
+            db.by_uid("VPGATHERDD_XMM_M32_XMM_XMM"), get_uarch("SKL")
+        )
+        loads = [u for u in entry.uops if u.kind == "load"]
+        assert len(loads) >= 4
+
+    def test_mulx_two_uops_no_flags(self, db):
+        form = db.by_uid("MULX_R64_R64_R64")
+        assert not form.flags_written
+        entry = build_entry(form, get_uarch("SKL"))
+        assert len(entry.uops) == 2
+
+    def test_adx_single_flag(self, db):
+        adcx = db.by_uid("ADCX_R64_R64")
+        assert adcx.flags_read == frozenset({"CF"})
+        assert adcx.flags_written == frozenset({"CF"})
+        adox = db.by_uid("ADOX_R64_R64")
+        assert adox.flags_read == frozenset({"OF"})
+
+    def test_scalar_fp_memory_widths(self, db):
+        assert "ADDSS_XMM_M32" in db
+        assert "ADDSD_XMM_M64" in db
+        assert "ADDPS_XMM_M128" in db
+
+
+class TestInference:
+    def test_bmi_shift_port_usage(self, db):
+        backend = backend_for("SKL")
+        usage = infer_port_usage(
+            db.by_uid("SHLX_R64_R64_R64"), backend,
+            blocking_for("SKL", db),
+        )
+        truth = PortUsage(
+            build_entry(db.by_uid("SHLX_R64_R64_R64"),
+                        backend.uarch).port_usage()
+        )
+        assert usage == truth
+
+    def test_adx_latency_chain_through_flag(self, db):
+        measurer = LatencyMeasurer(db, backend_for("SKL"))
+        latency = measurer.infer(db.by_uid("ADCX_R64_R64"))
+        assert latency.pairs[("flags", "op1")].cycles <= 2
+        assert latency.pairs[("op1", "op1")].cycles == pytest.approx(
+            1, abs=0.2
+        )
+
+    def test_crc32_latency(self, db):
+        measurer = LatencyMeasurer(db, backend_for("SKL"))
+        latency = measurer.infer(db.by_uid("CRC32_R32_R32"))
+        assert latency.pairs[("op1", "op1")].cycles == pytest.approx(
+            3, abs=0.3
+        )
+
+    def test_gather_throughput_load_bound(self, db):
+        from repro.core.throughput import measure_throughput
+
+        backend = backend_for("SKL")
+        result = measure_throughput(
+            db.by_uid("VPGATHERDD_XMM_M32_XMM_XMM"), backend, db
+        )
+        # Four loads on two load ports: at least 2 cycles/instr.
+        assert result.measured >= 1.9
+
+    def test_string_compare_uops(self, db):
+        backend = backend_for("SKL")
+        counters = measure_isolated(
+            db.by_uid("PCMPISTRI_XMM_XMM_I8"), backend
+        )
+        assert round(counters.uops) == 3
+
+    def test_pmovzx_single_shuffle(self, db):
+        backend = backend_for("SKL")
+        usage = infer_port_usage(
+            db.by_uid("PMOVZXBW_XMM_XMM"), backend,
+            blocking_for("SKL", db),
+        )
+        assert usage.notation() == "1*p5"
+
+
+class TestNaiveBaseline:
+    def test_naive_fails_on_pblendvb(self, db):
+        from repro.analysis.naive import naive_port_usage
+
+        backend = backend_for("NHM")
+        naive = naive_port_usage(db.by_uid("PBLENDVB_XMM_XMM"), backend)
+        # The naive reading of 1.0 µops on each of p0/p5.
+        assert naive.notation() == "1*p0 + 1*p5"
+
+    def test_naive_fails_on_adc_haswell(self, db):
+        from repro.analysis.naive import naive_port_usage
+
+        backend = backend_for("HSW")
+        naive = naive_port_usage(db.by_uid("ADC_R64_R64"), backend)
+        assert naive.notation() == "2*p0156"
+
+    def test_naive_correct_on_simple_cases(self, db):
+        from repro.analysis.naive import naive_port_usage
+
+        backend = backend_for("SKL")
+        naive = naive_port_usage(db.by_uid("PSHUFD_XMM_XMM_I8"), backend)
+        assert naive.notation() == "1*p5"

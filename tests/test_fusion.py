@@ -1,0 +1,102 @@
+"""Micro/macro-fusion characterization tests (the future-work extension)."""
+
+import pytest
+
+from repro.core.fusion import (
+    detect_macro_fusion,
+    fusion_backend,
+    macro_fusion_matrix,
+    measure_micro_fusion,
+)
+from repro.uarch.configs import get_uarch
+from tests.conftest import backend_for
+
+_FUSION_BACKENDS = {}
+
+
+def _fusion_backend(name):
+    if name not in _FUSION_BACKENDS:
+        _FUSION_BACKENDS[name] = fusion_backend(get_uarch(name))
+    return _FUSION_BACKENDS[name]
+
+
+class TestMicroFusion:
+    def test_load_op_fuses(self, db, skl_backend):
+        result = measure_micro_fusion(db.by_uid("ADD_R64_M64"),
+                                      skl_backend)
+        assert result.unfused_uops == 2
+        assert result.fused_uops == 1
+        assert result.fused_pairs == 1
+
+    def test_store_pair_fuses(self, db, skl_backend):
+        result = measure_micro_fusion(db.by_uid("MOV_M64_R64"),
+                                      skl_backend)
+        assert result.unfused_uops == 2
+        assert result.fused_uops == 1
+
+    def test_rmw_fuses_twice(self, db, skl_backend):
+        result = measure_micro_fusion(db.by_uid("ADD_M64_R64"),
+                                      skl_backend)
+        assert result.unfused_uops == 4
+        assert result.fused_uops == 2
+
+    def test_pure_alu_unchanged(self, db, skl_backend):
+        result = measure_micro_fusion(db.by_uid("ADD_R64_R64"),
+                                      skl_backend)
+        assert result.unfused_uops == result.fused_uops == 1
+
+    def test_pure_load_unchanged(self, db, skl_backend):
+        result = measure_micro_fusion(db.by_uid("MOV_R64_M64"),
+                                      skl_backend)
+        assert result.unfused_uops == result.fused_uops == 1
+
+
+class TestMacroFusion:
+    def test_cmp_je_fuses_on_skylake(self, db):
+        backend = _fusion_backend("SKL")
+        assert detect_macro_fusion(
+            db.by_uid("CMP_R64_R64"), db.by_uid("JE_I8"), backend
+        )
+
+    def test_add_jcc_not_fused_on_nehalem(self, db):
+        """Nehalem fuses only CMP/TEST with branches; Sandy Bridge
+        extended fusion to ADD/SUB/AND/INC/DEC."""
+        nhm = _fusion_backend("NHM")
+        snb = _fusion_backend("SNB")
+        add = db.by_uid("ADD_R64_R64")
+        je = db.by_uid("JE_I8")
+        assert not detect_macro_fusion(add, je, nhm)
+        assert detect_macro_fusion(add, je, snb)
+
+    def test_or_never_fuses(self, db):
+        backend = _fusion_backend("SKL")
+        assert not detect_macro_fusion(
+            db.by_uid("OR_R64_R64"), db.by_uid("JE_I8"), backend
+        )
+
+    def test_inc_does_not_fuse_with_carry_branch(self, db):
+        """INC does not write CF, so INC + JB cannot fuse."""
+        backend = _fusion_backend("SKL")
+        assert not detect_macro_fusion(
+            db.by_uid("INC_R64"), db.by_uid("JB_I8"), backend
+        )
+
+    def test_matrix_shape(self, db):
+        matrix = macro_fusion_matrix(db, _fusion_backend("SKL"))
+        fusible = matrix.fusible_writers()
+        assert "CMP" in fusible and "TEST" in fusible
+        assert "ADD" in fusible
+        assert "OR" not in fusible
+        assert "XOR" not in fusible
+        rendered = matrix.render()
+        assert "SKL" in rendered and "yes" in rendered
+
+    def test_matrix_nehalem_narrow(self, db):
+        matrix = macro_fusion_matrix(db, _fusion_backend("NHM"))
+        assert set(matrix.fusible_writers()) == {"CMP", "TEST"}
+
+    def test_fusion_off_by_default(self, db, skl_backend):
+        """The mainline backend does not fuse (the paper's setting)."""
+        assert not detect_macro_fusion(
+            db.by_uid("CMP_R64_R64"), db.by_uid("JE_I8"), skl_backend
+        )

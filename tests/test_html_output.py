@@ -1,0 +1,50 @@
+"""HTML results-page tests (the uops.info website analogue)."""
+
+import pytest
+
+from repro.core.html_output import results_to_html, write_html
+from repro.core.runner import CharacterizationRunner
+from tests.conftest import backend_for
+
+
+@pytest.fixture(scope="module")
+def results(db):
+    runner = CharacterizationRunner(backend_for("SKL"), db)
+    forms = [db.by_uid(uid) for uid in
+             ("ADD_R64_R64", "AESDEC_XMM_XMM", "SHLD_R64_R64_I8")]
+    return {"SKL": runner.characterize_all(forms)}
+
+
+class TestHtml:
+    def test_structure(self, db, results):
+        page = results_to_html(results, db)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "AESDEC_XMM_XMM" in page
+        assert "1*p0156" in page
+        assert "3 instruction" in page
+        assert page.count("<tr>") >= 5
+
+    def test_latency_cells(self, db, results):
+        page = results_to_html(results, db)
+        assert "op2&rarr;op1" in page
+        assert "same reg" in page  # SHLD same-register measurement
+
+    def test_missing_uarch_renders_dash(self, db, results):
+        mixed = dict(results)
+        mixed["NHM"] = {}
+        page = results_to_html(mixed, db)
+        assert 'colspan="4">-' in page
+
+    def test_escaping(self, db):
+        from repro.core.result import InstructionCharacterization
+
+        fake = InstructionCharacterization(
+            form_uid="X<script>Y", uarch_name="SKL", uop_count=1
+        )
+        page = results_to_html({"SKL": {"X<script>Y": fake}})
+        assert "<script>" not in page
+
+    def test_write_html(self, tmp_path, db, results):
+        path = tmp_path / "results.html"
+        write_html(results, str(path), db)
+        assert path.read_text().startswith("<!DOCTYPE html>")

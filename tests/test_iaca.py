@@ -1,0 +1,159 @@
+"""IACA reimplementation tests: version handling, named errata
+(Section 7.2), and the analysis model's documented blind spots."""
+
+import pytest
+
+from repro.core.codegen import independent_sequence, measure_isolated
+from repro.iaca import IacaBackend, iaca_entry
+from repro.iaca.tables import _critical_path_latency
+from repro.uarch.configs import get_uarch
+from repro.uarch.tables import build_entry
+
+
+class TestVersionSupport:
+    def test_versions_per_uarch(self):
+        with pytest.raises(ValueError):
+            IacaBackend(get_uarch("KBL"), "3.0")  # Kaby Lake unsupported
+        with pytest.raises(ValueError):
+            IacaBackend(get_uarch("SKL"), "2.1")  # added in 2.3
+        assert IacaBackend(get_uarch("SKL"), "3.0").version == "3.0"
+
+    def test_unknown_version(self):
+        with pytest.raises(ValueError):
+            IacaBackend(get_uarch("SKL"), "9.9")
+
+    def test_latency_support_dropped_in_22(self):
+        """Section 2.1: latency analysis was dropped in version 2.2."""
+        assert IacaBackend(get_uarch("HSW"), "2.1").supports_latency()
+        assert not IacaBackend(get_uarch("HSW"), "2.2").supports_latency()
+
+
+class TestNamedErrata:
+    def test_imul_missing_load_uop_nehalem(self, db):
+        form = db.by_uid("IMUL_R64_M64")
+        truth = build_entry(form, get_uarch("NHM"))
+        entry = iaca_entry(form, get_uarch("NHM"), "2.1")
+        assert entry.uops_total == len(truth.uops) - 1
+        load_ports = get_uarch("NHM").fu_ports("load")
+        assert load_ports not in dict(entry.port_view)
+
+    def test_test_mem_spurious_store_nehalem(self, db):
+        form = db.by_uid("TEST_M64_R64")
+        truth = build_entry(form, get_uarch("NHM"))
+        entry = iaca_entry(form, get_uarch("NHM"), "2.1")
+        assert entry.uops_total == len(truth.uops) + 2
+        ports = dict(entry.port_view)
+        assert get_uarch("NHM").fu_ports("store_data") in ports
+
+    def test_bswap32_two_uops_skylake(self, db):
+        entry = iaca_entry(db.by_uid("BSWAP_R32"), get_uarch("SKL"),
+                           "3.0")
+        assert entry.uops_total == 2  # hardware: 1
+
+    def test_vhaddpd_detail_view_mismatch(self, db):
+        """Section 7.2: total is three µops but the per-port view shows
+        only one."""
+        entry = iaca_entry(db.by_uid("VHADDPD_XMM_XMM_XMM"),
+                           get_uarch("SKL"), "3.0")
+        assert entry.uops_total == 3
+        assert sum(n for _, n in entry.port_view) == 1
+
+    def test_vminps_version_difference(self, db):
+        """IACA 2.3 adds port 5; 3.0 matches the hardware."""
+        form = db.by_uid("VMINPS_XMM_XMM_XMM")
+        v23 = iaca_entry(form, get_uarch("SKL"), "2.3")
+        v30 = iaca_entry(form, get_uarch("SKL"), "3.0")
+        ports23 = set(dict(v23.port_view))
+        ports30 = set(dict(v30.port_view))
+        assert frozenset({0, 1, 5}) in ports23
+        assert frozenset({0, 1}) in ports30
+
+    def test_sahf_version_difference_haswell(self, db):
+        """IACA 2.1 matches the hardware (p06); 2.2+ add ports 1 and 5."""
+        form = db.by_uid("SAHF")
+        v21 = iaca_entry(form, get_uarch("HSW"), "2.1")
+        v22 = iaca_entry(form, get_uarch("HSW"), "2.2")
+        assert dict(v21.port_view) == {frozenset({0, 6}): 1}
+        assert dict(v22.port_view) == {frozenset({0, 1, 5, 6}): 1}
+
+    def test_movdq2q_version_difference_haswell(self, db):
+        form = db.by_uid("MOVDQ2Q_MM_XMM")
+        v21 = set(dict(iaca_entry(form, get_uarch("HSW"),
+                                  "2.1").port_view))
+        v30 = set(dict(iaca_entry(form, get_uarch("HSW"),
+                                  "3.0").port_view))
+        assert frozenset({5}) in v21
+        assert frozenset({0, 1}) in v30
+
+    def test_movq2dq_port5_skylake(self, db):
+        entry = iaca_entry(db.by_uid("MOVQ2DQ_XMM_MM"),
+                           get_uarch("SKL"), "3.0")
+        assert set(dict(entry.port_view)) == {frozenset({5})}
+
+    def test_aes_latency_seven_sandy_bridge(self, db):
+        """IACA 2.1 reports 7 cycles; the hardware measures 8/1
+        (Section 7.3.1)."""
+        backend = IacaBackend(get_uarch("SNB"), "2.1")
+        assert backend.scalar_latency(
+            db.by_uid("AESDEC_XMM_XMM")
+        ) == pytest.approx(7.0)
+
+    def test_lock_miscount(self, db):
+        form = db.by_uid("LOCK_ADD_M64_R64")
+        truth = build_entry(form, get_uarch("SKL"))
+        entry = iaca_entry(form, get_uarch("SKL"), "3.0")
+        assert entry.uops_total != len(truth.uops)
+
+
+class TestAnalysisModel:
+    def test_cmc_throughput_bug(self, db):
+        """Section 7.2: IACA 3.0 reports 0.25 for CMC because it ignores
+        the carry-flag dependency; the hardware measures 1."""
+        backend = IacaBackend(get_uarch("SKL"), "3.0")
+        code = independent_sequence(db.by_uid("CMC"), 4)
+        counters = backend.measure(code)
+        assert counters.cycles / 4 == pytest.approx(0.25, abs=0.01)
+
+    def test_memory_dependency_ignored(self, db):
+        """mov [RAX], RBX; mov RBX, [RAX] reported as 1 cycle."""
+        from repro.isa.operands import Memory, RegisterOperand
+        from repro.isa.registers import register_by_name as reg
+
+        store = db.by_uid("MOV_M64_R64").instantiate(
+            Memory(reg("RAX"), 64), RegisterOperand(reg("RBX"))
+        )
+        load = db.by_uid("MOV_R64_M64").instantiate(
+            RegisterOperand(reg("RBX")), Memory(reg("RAX"), 64)
+        )
+        backend = IacaBackend(get_uarch("SKL"), "3.0")
+        counters = backend.measure([store, load])
+        assert counters.cycles == pytest.approx(1.0, abs=0.1)
+
+    def test_mostly_agrees_with_hardware(self, db, skl_backend):
+        """IACA is right for ~90% of variants; spot-check a clean one."""
+        backend = IacaBackend(get_uarch("SKL"), "3.0")
+        form = db.by_uid("PADDW_XMM_XMM")
+        hw = measure_isolated(form, skl_backend)
+        ia = measure_isolated(form, backend)
+        assert round(hw.uops) == round(ia.uops)
+
+    def test_supports_is_deterministic(self, db):
+        backend_a = IacaBackend(get_uarch("SKL"), "3.0")
+        backend_b = IacaBackend(get_uarch("SKL"), "3.0")
+        for form in list(db)[::101]:
+            assert backend_a.supports(form) == backend_b.supports(form)
+
+    def test_unsupported_instruction_raises(self, db):
+        backend = IacaBackend(get_uarch("NHM"), "2.1")
+        avx = db.by_uid("VADDPS_XMM_XMM_XMM")
+        assert not backend.supports(avx)
+
+
+class TestCriticalPath:
+    def test_single_uop(self, db):
+        entry = build_entry(db.by_uid("IMUL_R64_R64"), get_uarch("SKL"))
+        assert _critical_path_latency(entry) == 3
+
+    def test_chained_uops(self, db):
+        entry = build_entry(db.by_uid("AESDEC_XMM_XMM"), get_uarch("SNB"))
+        assert _critical_path_latency(entry) == 8

@@ -1,0 +1,191 @@
+"""Latency-inference integration tests (Section 5.2)."""
+
+import pytest
+
+from repro.core.latency import LatencyMeasurer
+from tests.conftest import backend_for
+
+
+def _infer(db, uid, uarch_name):
+    measurer = LatencyMeasurer(db, backend_for(uarch_name))
+    return measurer.infer(db.by_uid(uid))
+
+
+def _cycles(result, src, dst):
+    value = result.pairs.get((src, dst))
+    assert value is not None, (src, dst, result.pairs)
+    return value.cycles
+
+
+class TestRegisterToRegister:
+    def test_add_latency_one(self, db):
+        result = _infer(db, "ADD_R64_R64", "SKL")
+        assert _cycles(result, "op1", "op1") == pytest.approx(1, abs=0.2)
+        assert _cycles(result, "op2", "op1") == pytest.approx(1, abs=0.2)
+
+    def test_imul_pair_difference(self, db):
+        result = _infer(db, "IMUL_R64_R64", "SKL")
+        assert _cycles(result, "op1", "op1") == pytest.approx(3, abs=0.2)
+        assert _cycles(result, "op2", "op1") == pytest.approx(4, abs=0.2)
+
+    def test_vector_latency(self, db):
+        result = _infer(db, "PADDB_XMM_XMM", "SKL")
+        assert _cycles(result, "op2", "op1") == pytest.approx(1, abs=0.2)
+
+    def test_fp_latency_via_fp_shuffle(self, db):
+        """The FP chain avoids bypass delays for FP instructions."""
+        result = _infer(db, "ADDPS_XMM_XMM", "SKL")
+        value = result.pairs[("op2", "op1")]
+        assert value.cycles == pytest.approx(4, abs=0.2)
+        assert value.chain in ("SHUFPS", "VSHUFPS")
+
+    def test_widths_8bit(self, db):
+        result = _infer(db, "ADD_R8_R8", "SKL")
+        assert _cycles(result, "op1", "op1") == pytest.approx(1, abs=0.2)
+
+    def test_mmx(self, db):
+        result = _infer(db, "PADDB_MM_MM", "SKL")
+        assert _cycles(result, "op2", "op1") == pytest.approx(1, abs=0.2)
+
+
+class TestCaseStudies:
+    def test_aesdec_sandy_bridge(self, db):
+        """The headline result of Section 7.3.1."""
+        result = _infer(db, "AESDEC_XMM_XMM", "SNB")
+        assert _cycles(result, "op1", "op1") == pytest.approx(8, abs=0.3)
+        assert _cycles(result, "op2", "op1") <= 2
+
+    def test_aesdec_westmere_and_haswell(self, db):
+        wsm = _infer(db, "AESDEC_XMM_XMM", "WSM")
+        assert _cycles(wsm, "op1", "op1") == pytest.approx(6, abs=0.3)
+        assert _cycles(wsm, "op2", "op1") == pytest.approx(6, abs=0.3)
+        hsw = _infer(db, "AESDEC_XMM_XMM", "HSW")
+        assert _cycles(hsw, "op1", "op1") == pytest.approx(7, abs=0.3)
+        assert _cycles(hsw, "op2", "op1") == pytest.approx(7, abs=0.3)
+
+    def test_aesdec_memory_upper_bound(self, db):
+        """Memory variant: ~7-cycle upper bound, not reg-lat + load-lat
+        (Section 7.3.1)."""
+        result = _infer(db, "AESDEC_XMM_M128", "SNB")
+        mem = result.pairs.get(("mem", "op1"))
+        assert mem is not None
+        assert mem.cycles <= 8.5
+        reg = result.pairs[("op1", "op1")]
+        assert reg.cycles == pytest.approx(8, abs=0.3)
+
+    def test_shld_nehalem(self, db):
+        result = _infer(db, "SHLD_R64_R64_I8", "NHM")
+        assert _cycles(result, "op1", "op1") == pytest.approx(3, abs=0.2)
+        assert _cycles(result, "op2", "op1") == pytest.approx(4, abs=0.2)
+
+    def test_shld_skylake_same_register(self, db):
+        result = _infer(db, "SHLD_R64_R64_I8", "SKL")
+        assert _cycles(result, "op2", "op1") == pytest.approx(3, abs=0.2)
+        same = result.same_register[("op2", "op1")]
+        assert same.cycles == pytest.approx(1, abs=0.2)
+
+
+class TestFlags:
+    def test_flags_to_flags(self, db):
+        result = _infer(db, "CMC", "SKL")
+        assert _cycles(result, "flags", "flags") == pytest.approx(
+            1, abs=0.2
+        )
+
+    def test_flags_to_register(self, db):
+        result = _infer(db, "CMOVE_R64_R64", "SKL")
+        assert _cycles(result, "flags", "op1") == pytest.approx(1,
+                                                                abs=0.3)
+
+    def test_register_to_flags(self, db):
+        result = _infer(db, "TEST_R64_R64", "SKL")
+        value = result.pairs[("op1", "flags")]
+        assert value.cycles <= 2.0
+
+    def test_adc_flag_input(self, db):
+        result = _infer(db, "ADC_R64_R64", "HSW")
+        # On Haswell the CF merge is the second µop: lat(flags->reg) = 1
+        # while lat(reg->reg) = 2.
+        assert _cycles(result, "flags", "op1") == pytest.approx(1,
+                                                                abs=0.3)
+        assert _cycles(result, "op1", "op1") == pytest.approx(2, abs=0.3)
+
+
+class TestMemory:
+    def test_load_latency(self, db):
+        result = _infer(db, "MOV_R64_M64", "SKL")
+        assert _cycles(result, "mem", "op1") == pytest.approx(4, abs=0.3)
+
+    def test_load_plus_alu(self, db):
+        result = _infer(db, "ADD_R64_M64", "SKL")
+        assert _cycles(result, "mem", "op1") == pytest.approx(5, abs=0.5)
+
+    def test_vector_load_upper_bound(self, db):
+        result = _infer(db, "MOVDQA_XMM_M128", "SKL")
+        value = result.pairs[("mem", "op1")]
+        assert value.kind == "upper_bound"
+        assert value.cycles >= 5
+
+    def test_store_load_roundtrip(self, db):
+        result = _infer(db, "MOV_M64_R64", "SKL")
+        value = result.pairs[("op2", "mem")]
+        assert value.kind == "store_load"
+        # Store-to-load forwarding: below store + full load through L1.
+        assert 3 <= value.cycles <= 8
+
+    def test_byte_load_uses_movsx(self, db):
+        result = _infer(db, "MOV_R8_M8", "SKL")
+        assert _cycles(result, "mem", "op1") == pytest.approx(4, abs=0.5)
+
+
+class TestDivider:
+    def test_int_division_fast_and_slow(self, db):
+        result = _infer(db, "DIV_R64", "SKL")
+        slow = result.pairs[("RAX", "RAX")]
+        fast = result.fast_values[("RAX", "RAX")]
+        assert slow.cycles > fast.cycles
+        assert slow.cycles == pytest.approx(42, abs=2)
+        assert fast.cycles == pytest.approx(26, abs=2)
+
+    def test_divider_improves_over_generations(self, db):
+        nhm = _infer(db, "DIV_R64", "NHM").pairs[("RAX", "RAX")]
+        skl = _infer(db, "DIV_R64", "SKL").pairs[("RAX", "RAX")]
+        assert skl.cycles < nhm.cycles
+
+    def test_fp_division(self, db):
+        result = _infer(db, "DIVPS_XMM_XMM", "SKL")
+        slow = result.pairs[("op1", "op1")]
+        fast = result.fast_values[("op1", "op1")]
+        assert slow.cycles >= fast.cycles
+
+
+class TestCrossFile:
+    def test_gpr_to_vec_upper_bound(self, db):
+        result = _infer(db, "MOVD_XMM_R32", "SKL")
+        value = result.pairs[("op2", "op1")]
+        assert value.kind == "upper_bound"
+        assert value.cycles <= 4
+
+    def test_vec_to_gpr(self, db):
+        result = _infer(db, "PMOVMSKB_R32_XMM", "SKL")
+        assert ("op2", "op1") in result.pairs
+
+    def test_movq2dq_pair(self, db):
+        result = _infer(db, "MOVQ2DQ_XMM_MM", "SKL")
+        value = result.pairs[("op2", "op1")]
+        assert value.kind == "upper_bound"
+
+
+class TestSkipsAndEdgeCases:
+    def test_control_flow_skipped(self, db):
+        result = _infer(db, "JE_I8", "SKL")
+        assert not result.pairs
+
+    def test_nop_has_no_pairs(self, db):
+        result = _infer(db, "NOP", "SKL")
+        assert not result.pairs
+
+    def test_store_only_instruction(self, db):
+        result = _infer(db, "MOV_M64_I32", "SKL")
+        # No register source: only address-related pairs possible.
+        assert ("op2", "mem") not in result.pairs

@@ -1,0 +1,114 @@
+"""Latency-recovery integration tests: the measured per-pair latencies
+must match the analytical values derived from the ground-truth µop DAG
+(like the port-usage recovery tests, but for Section 5.2)."""
+
+import pytest
+
+from repro.analysis.latency_truth import expected_latency
+from repro.analysis.sampling import stratified_sample
+from repro.core.latency import LatencyMeasurer
+from repro.isa.operands import OperandKind
+from tests.conftest import backend_for
+
+
+class TestExpectedLatency:
+    def test_simple_alu(self, db):
+        form = db.by_uid("ADD_R64_R64")
+        assert expected_latency(form, backend_for("SKL").uarch, 0, 0) == 1
+        assert expected_latency(form, backend_for("SKL").uarch, 1, 0) == 1
+
+    def test_aesdec_asymmetry(self, db):
+        form = db.by_uid("AESDEC_XMM_XMM")
+        uarch = backend_for("SNB").uarch
+        assert expected_latency(form, uarch, 0, 0) == 8
+        assert expected_latency(form, uarch, 1, 0) == 1
+
+    def test_imul_input_delay(self, db):
+        form = db.by_uid("IMUL_R64_R64")
+        uarch = backend_for("SKL").uarch
+        assert expected_latency(form, uarch, 0, 0) == 3
+        assert expected_latency(form, uarch, 1, 0) == 4
+
+    def test_memory_source_includes_load(self, db):
+        form = db.by_uid("ADD_R64_M64")
+        uarch = backend_for("SKL").uarch
+        assert expected_latency(form, uarch, 1, 0) == \
+            uarch.load_latency + 1
+
+    def test_independent_pair_is_none(self, db):
+        # MOV's destination does not depend on... everything depends;
+        # use a flags destination on a flag-free instruction instead.
+        form = db.by_uid("MOV_R64_R64")
+        uarch = backend_for("SKL").uarch
+        assert expected_latency(form, uarch, 1, "flags") is None
+
+
+class TestRecovery:
+    """Measured (counters-only) latencies == analytical ground truth for
+    a stratified sample of register-to-register pairs."""
+
+    @pytest.mark.parametrize("uarch_name", ["NHM", "SNB", "HSW", "SKL"])
+    def test_sample(self, db, uarch_name):
+        backend = backend_for(uarch_name)
+        measurer = LatencyMeasurer(db, backend)
+        candidates = [
+            f for f in db
+            if backend.supports(f)
+            and not f.has_memory_operand
+            and f.category not in ("div", "vec_fp_div", "vec_fp_sqrt")
+            and not any(
+                f.has_attribute(a)
+                for a in ("control_flow", "system", "serializing",
+                          "rep", "move", "zero_idiom")
+            )
+        ]
+        sample = stratified_sample(candidates, 40)
+        mismatches = []
+        checked = 0
+        for form in sample:
+            result = measurer.infer(form)
+            for (src_label, dst_label), value in result.pairs.items():
+                if value.kind != "exact":
+                    continue
+                src = _slot_for_label(form, src_label)
+                dst = _slot_for_label(form, dst_label)
+                if src is None or dst is None:
+                    continue
+                if not _plain_register_pair(form, src, dst):
+                    continue
+                expected = expected_latency(
+                    form, backend.uarch, src, dst
+                )
+                if expected is None:
+                    continue
+                checked += 1
+                # Structural hazards between an instruction's own µops
+                # (two µops needing the same single port) add up to one
+                # cycle that the analytical DAG value does not include.
+                if abs(value.cycles - expected) > 1.1:
+                    mismatches.append(
+                        (form.uid, src_label, dst_label,
+                         value.cycles, expected)
+                    )
+        assert checked >= 20, "sample produced too few comparable pairs"
+        assert not mismatches, mismatches
+
+
+def _slot_for_label(form, label):
+    if label == "flags":
+        return "flags"
+    for index in range(len(form.operands)):
+        if form.operand_label(index) == label:
+            return index
+    return None
+
+
+def _plain_register_pair(form, src, dst) -> bool:
+    for slot in (src, dst):
+        if slot == "flags":
+            continue
+        spec = form.operands[slot]
+        if spec.kind not in (OperandKind.GPR, OperandKind.VEC,
+                             OperandKind.MMX):
+            return False
+    return True

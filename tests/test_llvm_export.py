@@ -1,0 +1,50 @@
+"""LLVM scheduling-model export tests."""
+
+import pytest
+
+from repro.core.llvm_export import results_to_tablegen, write_tablegen
+from repro.core.runner import CharacterizationRunner
+from tests.conftest import backend_for
+
+
+@pytest.fixture(scope="module")
+def skl_results(db):
+    runner = CharacterizationRunner(backend_for("SKL"), db)
+    forms = [db.by_uid(uid) for uid in
+             ("ADD_R64_R64", "IMUL_R64_R64", "VHADDPD_XMM_XMM_XMM",
+              "MOV_M64_R64")]
+    return runner.characterize_all(forms)
+
+
+class TestTablegen:
+    def test_model_header(self, skl_results):
+        text = results_to_tablegen(skl_results,
+                                   backend_for("SKL").uarch)
+        assert "def SKLModel : SchedMachineModel" in text
+        assert "let IssueWidth = 4;" in text
+        assert "def SKLPort0 : ProcResource<1>;" in text
+
+    def test_port_groups_declared(self, skl_results):
+        text = results_to_tablegen(skl_results,
+                                   backend_for("SKL").uarch)
+        assert "def SKLPort0156 : ProcResGroup<" in text
+        assert "SKLPort0, SKLPort1, SKLPort5, SKLPort6" in text
+
+    def test_write_res_entries(self, skl_results):
+        text = results_to_tablegen(skl_results,
+                                   backend_for("SKL").uarch)
+        assert "def WriteIMUL_R64_R64 : SchedWriteRes<[SKLPort1]>" in text
+        assert "let Latency = 4;" in text  # worst pair of IMUL
+        assert "def WriteVHADDPD_XMM_XMM_XMM" in text
+        assert "let NumMicroOps = 3;" in text
+
+    def test_resource_cycles_for_multi_uop_groups(self, skl_results):
+        text = results_to_tablegen(skl_results,
+                                   backend_for("SKL").uarch)
+        # VHADDPD has two µops on the shuffle port.
+        assert "ResourceCycles" in text
+
+    def test_write_to_file(self, tmp_path, skl_results):
+        path = tmp_path / "skl.td"
+        write_tablegen(skl_results, backend_for("SKL").uarch, str(path))
+        assert path.read_text().startswith("// Scheduling model")

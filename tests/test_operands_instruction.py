@@ -1,0 +1,122 @@
+"""Unit tests for operand specs and instruction forms/instances."""
+
+import pytest
+
+from repro.isa.instruction import Instruction, InstructionForm
+from repro.isa.operands import (
+    Immediate,
+    Memory,
+    OperandKind,
+    OperandSpec,
+    RegisterOperand,
+)
+from repro.isa.registers import register_by_name as reg
+
+
+def _spec(kind=OperandKind.GPR, width=64, read=True, written=False,
+          **kwargs):
+    return OperandSpec(kind, width, read, written, **kwargs)
+
+
+class TestMemoryOperand:
+    def test_str_base_only(self):
+        assert str(Memory(reg("RAX"), 64)) == "[RAX]"
+
+    def test_str_full(self):
+        mem = Memory(reg("RAX"), 32, index=reg("RBX"), scale=4,
+                     displacement=-8)
+        assert str(mem) == "[RAX+RBX*4-8]"
+
+    def test_str_disp_only(self):
+        assert str(Memory(None, 64, displacement=16)) == "[16]"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            Memory(reg("RAX"), 64, scale=3)
+
+
+class TestFormUid:
+    def test_reg_reg(self, db):
+        assert db.by_uid("ADD_R64_R64").uid == "ADD_R64_R64"
+
+    def test_fixed_register_in_uid(self, db):
+        form = db.by_uid("SHL_R64_CL")
+        assert form.operands[1].fixed == "CL"
+
+    def test_implicit_not_in_uid(self, db):
+        div = db.by_uid("DIV_R64")
+        assert len(div.explicit_operands) == 1
+        assert len(div.operands) == 3  # + implicit RAX, RDX
+
+    def test_lock_prefix_uid(self, db):
+        assert "LOCK_ADD_M64_R64" in db
+
+
+class TestInstantiate:
+    def test_explicit_count_checked(self, db):
+        form = db.by_uid("ADD_R64_R64")
+        with pytest.raises(ValueError):
+            form.instantiate(RegisterOperand(reg("RAX")))
+
+    def test_implicit_autofilled(self, db):
+        div = db.by_uid("DIV_R64")
+        instr = div.instantiate(RegisterOperand(reg("R8")))
+        assert len(instr.operands) == 3
+        assert instr.register_operand(1).name == "RAX"
+        assert instr.register_operand(2).name == "RDX"
+
+    def test_registers_read_written(self, db):
+        form = db.by_uid("ADD_R64_M64")
+        instr = form.instantiate(
+            RegisterOperand(reg("RAX")), Memory(reg("RBX"), 64)
+        )
+        assert set(instr.registers_read()) == {"RAX", "RBX"}
+        assert instr.registers_written() == ("RAX",)
+        assert instr.memory_reads()[0].base.name == "RBX"
+        assert instr.memory_writes() == ()
+
+    def test_address_registers_always_read(self, db):
+        # MOV [mem], reg: mem is write-only but its base is read.
+        form = db.by_uid("MOV_M64_R64")
+        instr = form.instantiate(
+            Memory(reg("RBX"), 64), RegisterOperand(reg("RCX"))
+        )
+        assert "RBX" in instr.registers_read()
+
+    def test_same_register_operands(self, db):
+        form = db.by_uid("XOR_R64_R64")
+        rax = RegisterOperand(reg("RAX"))
+        assert form.instantiate(rax, rax).same_register_operands()
+        assert form.instantiate(
+            rax, RegisterOperand(reg("EAX"))
+        ).same_register_operands()  # same canonical container
+        assert not form.instantiate(
+            rax, RegisterOperand(reg("RBX"))
+        ).same_register_operands()
+
+    def test_flags_sets(self, db):
+        adc = db.by_uid("ADC_R64_R64")
+        assert adc.flags_read == frozenset({"CF"})
+        assert "OF" in adc.flags_written
+        test_form = db.by_uid("TEST_R64_R64")
+        assert "AF" not in test_form.flags_written  # per the paper
+
+    def test_operand_labels(self, db):
+        shl = db.by_uid("SHL_R64_CL")
+        assert shl.operand_label(0) == "op1"
+        assert shl.operand_label(1) == "CL"
+
+
+class TestFormPredicates:
+    def test_sse_avx_classification(self, db):
+        assert db.by_uid("PADDB_XMM_XMM").is_sse
+        assert not db.by_uid("PADDB_XMM_XMM").is_avx
+        assert db.by_uid("VPADDB_XMM_XMM_XMM").is_avx
+        assert db.by_uid("AESDEC_XMM_XMM").is_sse
+        assert not db.by_uid("ADD_R64_R64").is_sse
+
+    def test_memory_predicates(self, db):
+        assert db.by_uid("ADD_M64_R64").reads_memory
+        assert db.by_uid("ADD_M64_R64").writes_memory
+        assert db.by_uid("CMP_M64_R64").reads_memory
+        assert not db.by_uid("CMP_M64_R64").writes_memory

@@ -1,0 +1,254 @@
+"""Timing-model tests for the simulated core."""
+
+import pytest
+
+from repro.core.codegen import independent_sequence, instantiate
+from repro.isa.operands import Immediate, Memory, RegisterOperand
+from repro.isa.registers import register_by_name as reg
+from repro.pipeline import simulate
+from repro.pipeline.core import Core
+from repro.pipeline.state import MachineState, SCRATCH_BASE
+from repro.uarch.configs import get_uarch
+
+
+def _ro(name):
+    return RegisterOperand(reg(name))
+
+
+def _chain(db, uid, *operands, n=40):
+    return [db.by_uid(uid).instantiate(*operands)] * n
+
+
+class TestBasicTiming:
+    def test_dependent_add_chain(self, db):
+        code = _chain(db, "ADD_R64_R64", _ro("RAX"), _ro("RBX"))
+        counters = simulate(code, get_uarch("SKL"))
+        assert counters.cycles / len(code) == pytest.approx(1.0, abs=0.1)
+
+    def test_independent_adds_issue_bound(self, db):
+        code = independent_sequence(db.by_uid("ADD_R64_I8"), 8) * 10
+        counters = simulate(code, get_uarch("SKL"))
+        # Four ALU ports but a 4-wide front end: 0.25 cycles/instruction.
+        assert counters.cycles / len(code) == pytest.approx(0.25, abs=0.1)
+
+    def test_single_port_throughput(self, db):
+        code = independent_sequence(db.by_uid("IMUL_R64_R64_I8"), 8) * 10
+        counters = simulate(code, get_uarch("SKL"))
+        # IMUL only runs on port 1.
+        assert counters.cycles / len(code) == pytest.approx(1.0, abs=0.1)
+        assert counters.port_uops[1] == len(code)
+
+    def test_imul_latency_three(self, db):
+        # Chain through the read+written destination: lat(op1, op1) = 3.
+        code = _chain(db, "IMUL_R64_R64", _ro("RAX"), _ro("RBX"))
+        counters = simulate(code, get_uarch("SKL"))
+        assert counters.cycles / len(code) == pytest.approx(3.0, abs=0.2)
+
+    def test_imul_source_pair_slower(self, db):
+        # lat(op2, op1) = 4 (Section 7.3.5: IMUL is multi-latency); with
+        # the same register for both operands the chain sees the max.
+        code = _chain(db, "IMUL_R64_R64", _ro("RAX"), _ro("RAX"))
+        counters = simulate(code, get_uarch("SKL"))
+        assert counters.cycles / len(code) == pytest.approx(4.0, abs=0.2)
+
+    def test_port_counters_balanced(self, db):
+        code = independent_sequence(db.by_uid("ADD_R64_I8"), 8) * 10
+        counters = simulate(code, get_uarch("SKL"))
+        alu_counts = [counters.port_uops[p] for p in (0, 1, 5, 6)]
+        assert max(alu_counts) - min(alu_counts) <= 2
+
+    def test_determinism(self, db):
+        code = independent_sequence(db.by_uid("ADDPS_XMM_XMM"), 4) * 5
+        a = simulate(code, get_uarch("HSW"))
+        b = simulate(code, get_uarch("HSW"))
+        assert a.cycles == b.cycles
+        assert a.port_uops == b.port_uops
+
+
+class TestMemoryTiming:
+    def test_pointer_chasing_load_latency(self, db):
+        code = _chain(
+            db, "MOV_R64_M64", _ro("RAX"), Memory(reg("RAX"), 64), n=30
+        )
+        counters = simulate(code, get_uarch("SKL"))
+        assert counters.cycles / len(code) == pytest.approx(4.0, abs=0.2)
+
+    def test_independent_loads_port_bound(self, db):
+        code = independent_sequence(db.by_uid("MOV_R64_M64"), 8) * 8
+        counters = simulate(code, get_uarch("SKL"))
+        # Two load ports: 0.5 cycles/load.
+        assert counters.cycles / len(code) == pytest.approx(0.5, abs=0.1)
+
+    def test_store_to_load_forwarding(self, db):
+        """mov [RAX], RBX; mov RBX, [RAX] round trip (Section 5.2.4)."""
+        store = db.by_uid("MOV_M64_R64").instantiate(
+            Memory(reg("RAX"), 64), _ro("RBX")
+        )
+        load = db.by_uid("MOV_R64_M64").instantiate(
+            _ro("RBX"), Memory(reg("RAX"), 64)
+        )
+        code = [store, load] * 25
+        counters = simulate(code, get_uarch("SKL"))
+        per_pair = counters.cycles / 25
+        uarch = get_uarch("SKL")
+        # Forwarding: faster than a full store+load through the cache
+        # would be, but still a real dependence.
+        assert per_pair <= uarch.store_forward_latency + 2
+        assert per_pair >= 3
+
+    def test_nehalem_single_load_port(self, db):
+        code = independent_sequence(db.by_uid("MOV_R64_M64"), 8) * 8
+        counters = simulate(code, get_uarch("NHM"))
+        assert counters.cycles / len(code) == pytest.approx(1.0, abs=0.1)
+        assert counters.port_uops[2] == len(code)
+
+
+class TestRenameOptimizations:
+    def test_move_elimination_one_third(self, db):
+        """In a chain of dependent MOVs about one third is eliminated
+        (Section 5.2.1)."""
+        # A truly dependent chain RAX -> RBX -> RAX -> ...
+        mov = db.by_uid("MOV_R64_R64")
+        code = []
+        for i in range(60):
+            if i % 2 == 0:
+                code.append(mov.instantiate(_ro("RBX"), _ro("RAX")))
+            else:
+                code.append(mov.instantiate(_ro("RAX"), _ro("RBX")))
+        counters = simulate(code, get_uarch("SKL"))
+        per_mov = counters.cycles / len(code)
+        # 1/3 eliminated -> ~0.67 cycles per dependent MOV.
+        assert 0.5 < per_mov < 0.9
+
+    def test_no_move_elimination_on_nehalem(self, db):
+        mov = db.by_uid("MOV_R64_R64")
+        code = []
+        for i in range(40):
+            code.append(
+                mov.instantiate(_ro("RBX" if i % 2 == 0 else "RAX"),
+                                _ro("RAX" if i % 2 == 0 else "RBX"))
+            )
+        counters = simulate(code, get_uarch("NHM"))
+        assert counters.cycles / len(code) == pytest.approx(1.0, abs=0.1)
+
+    def test_zero_idiom_breaks_dependency(self, db):
+        """XOR RAX, RAX between IMULs removes the chain."""
+        imul = db.by_uid("IMUL_R64_R64")
+        xor = db.by_uid("XOR_R64_R64")
+        dependent = _chain(db, "IMUL_R64_R64", _ro("RAX"), _ro("RAX"),
+                           n=30)
+        broken = []
+        for _ in range(30):
+            broken.append(imul.instantiate(_ro("RAX"), _ro("RAX")))
+            broken.append(xor.instantiate(_ro("RAX"), _ro("RAX")))
+        t_dep = simulate(dependent, get_uarch("SKL")).cycles / 30
+        t_broken = simulate(broken, get_uarch("SKL")).cycles / 30
+        assert t_dep == pytest.approx(4.0, abs=0.2)
+        assert t_broken < t_dep / 2
+
+    def test_zero_idiom_elimination_port_usage(self, db):
+        """On SNB+ the zero idiom uses no execution ports; on NHM it
+        does."""
+        xor = db.by_uid("XOR_R64_R64")
+        code = [xor.instantiate(_ro("RAX"), _ro("RAX"))] * 20
+        snb = simulate(code, get_uarch("SNB"))
+        assert sum(snb.port_uops.values()) == 0
+        nhm = simulate(code, get_uarch("NHM"))
+        assert sum(nhm.port_uops.values()) == 20
+
+    def test_nop_uses_no_ports(self, db):
+        code = [db.by_uid("NOP").instantiate()] * 20
+        counters = simulate(code, get_uarch("SKL"))
+        assert sum(counters.port_uops.values()) == 0
+        assert counters.uops == 20
+        assert counters.cycles == pytest.approx(20 / 4, abs=2)
+
+
+class TestDivider:
+    def test_divider_not_pipelined(self, db):
+        div = db.by_uid("DIVPS_XMM_XMM")
+        code = independent_sequence(div, 8) * 4
+        counters = simulate(code, get_uarch("SKL"))
+        per_instr = counters.cycles / len(code)
+        # Far above 1 cycle/instruction despite independence.
+        assert per_instr >= 2.0
+
+    def test_value_dependent_latency(self, db):
+        div = db.by_uid("DIV_R64").instantiate(_ro("R8"))
+        uarch = get_uarch("SKL")
+        fast = simulate([div] * 10, uarch,
+                        {"RAX": 100, "RDX": 0, "R8": 3})
+        slow = simulate([div] * 10, uarch,
+                        {"RAX": 1 << 62, "RDX": 0, "R8": 3})
+        # The slow init only helps on the first iteration (the quotient
+        # becomes small), so pin via a longer run is tested in the
+        # latency-inference tests; here the first iterations differ.
+        assert slow.cycles >= fast.cycles
+
+
+class TestDomainsAndTransitions:
+    def test_bypass_delay_between_domains(self, db):
+        """Integer shuffle feeding FP add incurs a bypass delay."""
+        uarch = get_uarch("SKL")
+        pshufd = db.by_uid("PSHUFD_XMM_XMM_I8")
+        addps = db.by_uid("ADDPS_XMM_XMM")
+        shufps = db.by_uid("SHUFPS_XMM_XMM_I8")
+        mixed = []
+        for _ in range(25):
+            mixed.append(pshufd.instantiate(_ro("XMM1"), _ro("XMM2"),
+                                            Immediate(0, 8)))
+            mixed.append(addps.instantiate(_ro("XMM2"), _ro("XMM1")))
+        same = []
+        for _ in range(25):
+            same.append(shufps.instantiate(_ro("XMM1"), _ro("XMM2"),
+                                           Immediate(0, 8)))
+            same.append(addps.instantiate(_ro("XMM2"), _ro("XMM1")))
+        t_mixed = simulate(mixed, uarch).cycles / 25
+        t_same = simulate(same, uarch).cycles / 25
+        assert t_mixed > t_same
+
+    def test_sse_avx_transition_penalty(self, db):
+        """Legacy SSE after dirty-upper AVX stalls on SNB, not on SKL."""
+        vaddps = db.by_uid("VADDPS_YMM_YMM_YMM")
+        paddb = db.by_uid("PADDB_XMM_XMM")
+        code = [
+            vaddps.instantiate(_ro("YMM1"), _ro("YMM2"), _ro("YMM3")),
+            paddb.instantiate(_ro("XMM4"), _ro("XMM5")),
+        ] * 5
+        snb = simulate(code, get_uarch("SNB"))
+        skl = simulate(code, get_uarch("SKL"))
+        assert snb.cycles > skl.cycles + 100
+
+    def test_vzeroupper_clears_dirty_state(self, db):
+        vaddps = db.by_uid("VADDPS_YMM_YMM_YMM")
+        vzero = db.by_uid("VZEROUPPER")
+        paddb = db.by_uid("PADDB_XMM_XMM")
+        code = [
+            vaddps.instantiate(_ro("YMM1"), _ro("YMM2"), _ro("YMM3")),
+            vzero.instantiate(),
+            paddb.instantiate(_ro("XMM4"), _ro("XMM5")),
+        ] * 5
+        counters = simulate(code, get_uarch("SNB"))
+        assert counters.cycles < 200
+
+
+class TestRobustness:
+    def test_unsupported_instruction_raises(self, db):
+        avx = db.by_uid("VADDPS_XMM_XMM_XMM")
+        code = [instantiate(avx)]
+        with pytest.raises(ValueError):
+            simulate(code, get_uarch("NHM"))
+
+    def test_empty_code(self, db):
+        counters = simulate([], get_uarch("SKL"))
+        assert counters.cycles == 0
+
+    def test_long_block_terminates(self, db):
+        code = independent_sequence(db.by_uid("ADD_R64_I8"), 8) * 200
+        counters = simulate(code, get_uarch("SKL"))
+        assert counters.uops == 1600
+
+    def test_core_reusable(self, db):
+        core = Core(get_uarch("SKL"))
+        code = _chain(db, "ADD_R64_R64", _ro("RAX"), _ro("RBX"), n=10)
+        assert core.run(code).cycles == core.run(code).cycles

@@ -1,0 +1,115 @@
+"""Algorithm 1 integration tests: the inference must recover the hidden
+ground-truth port usage from counter measurements alone."""
+
+import pytest
+
+from repro.core.port_usage import infer_port_usage
+from repro.core.result import PortUsage
+from repro.uarch.tables import build_entry
+from tests.conftest import backend_for, blocking_for
+
+
+def _infer(db, uid, uarch_name):
+    backend = backend_for(uarch_name)
+    blocking = blocking_for(uarch_name, db)
+    form = db.by_uid(uid)
+    entry = build_entry(form, backend.uarch)
+    truth = PortUsage(entry.port_usage())
+    inferred = infer_port_usage(
+        form, backend, blocking, max_latency=entry.max_latency()
+    )
+    return inferred, truth
+
+
+class TestAdversarialCases:
+    """The cases where isolation-based inference (Agner Fog's method,
+    Section 5.1) gives the wrong answer."""
+
+    def test_pblendvb_nehalem_2xp05(self, db):
+        inferred, truth = _infer(db, "PBLENDVB_XMM_XMM", "NHM")
+        assert inferred == truth
+        assert inferred.notation() == "2*p05"
+
+    def test_adc_haswell_not_2xp0156(self, db):
+        inferred, truth = _infer(db, "ADC_R64_R64", "HSW")
+        assert inferred == truth
+        assert inferred.notation() == "1*p0156 + 1*p06"
+
+    def test_movq2dq_skylake(self, db):
+        inferred, truth = _infer(db, "MOVQ2DQ_XMM_MM", "SKL")
+        assert inferred == truth
+        assert inferred.notation() == "1*p0 + 1*p015"
+
+    def test_movdq2q_haswell(self, db):
+        inferred, truth = _infer(db, "MOVDQ2Q_MM_XMM", "HSW")
+        assert inferred == truth
+
+    def test_movdq2q_sandy_bridge(self, db):
+        inferred, truth = _infer(db, "MOVDQ2Q_MM_XMM", "SNB")
+        assert inferred == truth
+
+
+class TestMemoryUops:
+    def test_load_only(self, db):
+        inferred, truth = _infer(db, "MOV_R64_M64", "SKL")
+        assert inferred == truth
+
+    def test_store(self, db):
+        inferred, truth = _infer(db, "MOV_M64_R64", "SKL")
+        assert inferred == truth
+
+    def test_rmw(self, db):
+        inferred, truth = _infer(db, "ADD_M64_R64", "SKL")
+        assert inferred == truth
+
+    def test_rmw_nehalem_dedicated_ports(self, db):
+        inferred, truth = _infer(db, "ADD_M64_R64", "NHM")
+        assert inferred == truth
+
+
+class TestBroadSample:
+    """Ground-truth recovery over a mixed sample on several generations."""
+
+    SAMPLE = (
+        "ADD_R64_R64", "XOR_R32_R32", "IMUL_R64_R64", "SHL_R64_I8",
+        "LEA_R64_AGEN", "CMOVE_R64_R64", "SETB_R8", "BSF_R64_R64",
+        "PADDB_XMM_XMM", "PSHUFD_XMM_XMM_I8", "MULPS_XMM_XMM",
+        "ADDPS_XMM_XMM", "PMULLW_XMM_XMM", "PAND_XMM_XMM",
+        "SHLD_R64_R64_I8", "XCHG_R64_R64", "VHADDPD_XMM_XMM_XMM",
+        "AESDEC_XMM_XMM", "BSWAP_R64", "MPSADBW_XMM_XMM_I8",
+    )
+
+    @pytest.mark.parametrize(
+        "uarch_name",
+        ["NHM", "WSM", "SNB", "IVB", "HSW", "BDW", "SKL", "KBL", "CFL"],
+    )
+    def test_sample(self, db, uarch_name):
+        backend = backend_for(uarch_name)
+        mismatches = []
+        for uid in self.SAMPLE:
+            form = db.by_uid(uid)
+            if not backend.supports(form):
+                continue
+            inferred, truth = _infer(db, uid, uarch_name)
+            if inferred != truth:
+                mismatches.append(
+                    (uid, inferred.notation(), truth.notation())
+                )
+        assert not mismatches
+
+    def test_zero_uop_instruction(self, db):
+        """NOP never reaches an execution port: empty usage."""
+        inferred, _ = _infer(db, "NOP", "SKL")
+        assert inferred.total_uops == 0
+
+    def test_notation_formatting(self):
+        usage = PortUsage(
+            {frozenset({0, 1, 5}): 3, frozenset({2, 3}): 1}
+        )
+        assert usage.notation() == "3*p015 + 1*p23"
+
+    def test_equality_is_structural(self):
+        a = PortUsage({frozenset({0}): 1})
+        b = PortUsage({frozenset({0}): 1})
+        assert a == b and hash(a) == hash(b)
+        assert a != PortUsage({frozenset({1}): 1})

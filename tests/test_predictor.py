@@ -1,0 +1,102 @@
+"""Tests for the measurement-driven performance predictor (the tool from
+the paper's conclusions)."""
+
+import pytest
+
+from repro.core.runner import CharacterizationRunner
+from repro.isa.assembler import parse_sequence
+from repro.predictor import LoopAnalyzer
+from tests.conftest import backend_for
+
+
+@pytest.fixture(scope="module")
+def analyzer_env(db):
+    backend = backend_for("SKL")
+    runner = CharacterizationRunner(backend, db)
+
+    def analyze(text, iterations=16):
+        code = parse_sequence(text, db)
+        results = runner.characterize_all(
+            dict.fromkeys(i.form for i in code)
+        )
+        analyzer = LoopAnalyzer(results, backend.uarch)
+        return code, analyzer.analyze(code, iterations)
+
+    return backend, analyze
+
+
+class TestBounds:
+    def test_dependency_bound_imul(self, analyzer_env):
+        backend, analyze = analyzer_env
+        code, analysis = analyze("IMUL RAX, RBX\nIMUL RAX, RCX")
+        assert analysis.bottleneck == "loop-carried dependency"
+        assert analysis.cycles_per_iteration == pytest.approx(6.0,
+                                                              abs=0.5)
+
+    def test_port_bound_shuffles(self, analyzer_env):
+        backend, analyze = analyzer_env
+        code, analysis = analyze(
+            "PSHUFD XMM0, XMM8, 0\nPSHUFD XMM1, XMM9, 0\n"
+            "PSHUFD XMM2, XMM10, 0"
+        )
+        assert analysis.bottleneck == "port pressure"
+        assert analysis.port_bound == pytest.approx(3.0, abs=0.1)
+
+    def test_frontend_bound_nops(self, analyzer_env):
+        backend, analyze = analyzer_env
+        code, analysis = analyze("\n".join(["NOP"] * 8))
+        assert analysis.bottleneck == "front end"
+        assert analysis.frontend_bound == pytest.approx(2.0, abs=0.1)
+
+    def test_prediction_matches_hardware(self, analyzer_env):
+        backend, analyze = analyzer_env
+        kernels = [
+            "IMUL RAX, RBX",
+            "ADD RAX, RBX\nADD RCX, RDX",
+            "PMULLW XMM4, XMM5",
+        ]
+        for text in kernels:
+            code, analysis = analyze(text)
+            measured = backend.measure(code).cycles
+            assert analysis.cycles_per_iteration == pytest.approx(
+                measured, abs=0.5
+            ), text
+
+    def test_memory_dependency_tracked(self, analyzer_env):
+        """The predictor models memory dependencies (which IACA
+        ignores): store + reload is not 1 cycle."""
+        backend, analyze = analyzer_env
+        code, analysis = analyze(
+            "MOV qword ptr [RAX], RBX\nMOV RBX, qword ptr [RAX]"
+        )
+        assert analysis.cycles_per_iteration > 2.0
+
+    def test_flags_dependency_tracked(self, analyzer_env):
+        backend, analyze = analyzer_env
+        code, analysis = analyze("CMC")
+        assert analysis.cycles_per_iteration == pytest.approx(1.0,
+                                                              abs=0.2)
+
+    def test_per_pair_latency_used(self, analyzer_env):
+        """AESDEC-style kernels benefit from per-pair latencies: a chain
+        through the round-key operand is fast on Sandy Bridge."""
+        backend, analyze = analyzer_env
+        # On Skylake AESDEC is symmetric; just verify the chain latency
+        # feeds through.
+        code, analysis = analyze("AESDEC XMM1, XMM2")
+        assert analysis.cycles_per_iteration == pytest.approx(7.0,
+                                                              abs=0.5)
+
+    def test_missing_characterization_raises(self, db):
+        backend = backend_for("SKL")
+        analyzer = LoopAnalyzer({}, backend.uarch)
+        code = parse_sequence("ADD RAX, RBX", db)
+        with pytest.raises(KeyError):
+            analyzer.analyze(code)
+
+    def test_report_rendering(self, analyzer_env):
+        _backend, analyze = analyzer_env
+        _code, analysis = analyze("ADD RAX, RBX")
+        text = analysis.render()
+        assert "bottleneck" in text
+        assert "port pressure" in text or "p0=" in text

@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) over core data structures and
+invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.codegen import (
+    RegisterAllocator,
+    form_fixed_canonicals,
+    independent_sequence,
+    instantiate,
+)
+from repro.isa.registers import FLAG_NAMES, register_by_name
+from repro.pipeline import simulate
+from repro.pipeline.state import MachineState, scratch_address
+from repro.uarch.configs import ALL_UARCHES, get_uarch
+from repro.uarch.tables import build_entry
+
+
+# ---------------------------------------------------------------------------
+# Register/state properties
+# ---------------------------------------------------------------------------
+
+_GPR64 = ("RAX RBX RCX RDX RSI RDI RBP "
+          "R8 R9 R10 R11 R12 R13 R14 R15").split()
+
+
+class TestStateProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        name=st.sampled_from(_GPR64),
+        value=st.integers(0, (1 << 64) - 1),
+        width=st.sampled_from([8, 16, 32, 64]),
+    )
+    def test_write_then_read_roundtrip(self, name, value, width):
+        from repro.isa.registers import sized_view
+
+        state = MachineState.initial()
+        view = sized_view(register_by_name(name), width)
+        state.write_register(view, value)
+        mask = (1 << width) - 1
+        assert state.read_register(view) == value & mask
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        name=st.sampled_from(_GPR64),
+        value=st.integers(0, (1 << 64) - 1),
+        narrow=st.sampled_from([8, 16]),
+    )
+    def test_narrow_write_preserves_upper(self, name, value, narrow):
+        from repro.isa.registers import sized_view
+
+        state = MachineState.initial()
+        full = sized_view(register_by_name(name), 64)
+        state.write_register(full, value)
+        state.write_register(sized_view(full, narrow), 0)
+        upper = state.read_register(full) >> narrow
+        assert upper == value >> narrow
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        address=st.integers(0, (1 << 64) - 1),
+        value=st.integers(0, (1 << 64) - 1),
+    )
+    def test_memory_roundtrip(self, address, value):
+        state = MachineState.initial()
+        mapped = scratch_address(address)
+        state.store(mapped, value, 64)
+        assert state.load(mapped, 64) == value
+
+    @settings(max_examples=40, deadline=None)
+    @given(address=st.integers(0, (1 << 64) - 1))
+    def test_scratch_mapping_aligned_and_bounded(self, address):
+        mapped = scratch_address(address)
+        assert mapped % 8 == 0
+        assert 0x1000000 <= mapped < 0x1000000 + (1 << 24)
+
+
+# ---------------------------------------------------------------------------
+# Code-generation properties
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def measurable_uids(db):
+    skl = get_uarch("SKL")
+    uids = []
+    for form in db:
+        if form.has_attribute("unsupported"):
+            continue
+        if form.category in ("jmp", "jmp_indirect", "call", "ret"):
+            continue
+        if build_entry(form, skl) is None:
+            continue
+        uids.append(form.uid)
+    return uids
+
+
+class TestCodegenProperties:
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.filter_too_much])
+    @given(data=st.data())
+    def test_instantiate_avoids_fixed_registers(self, db,
+                                                measurable_uids, data):
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        instr = instantiate(form)
+        pinned = form_fixed_canonicals(form)
+        for spec, operand in zip(form.operands, instr.operands):
+            if spec.implicit or spec.fixed is not None:
+                continue
+            from repro.isa.operands import RegisterOperand
+
+            if isinstance(operand, RegisterOperand):
+                assert operand.register.canonical not in pinned, uid
+
+    @settings(max_examples=80, deadline=None)
+    @given(data=st.data(), length=st.integers(2, 6))
+    def test_independent_sequence_has_no_raw_deps(
+        self, db, measurable_uids, data, length
+    ):
+        """Nothing written by an earlier explicit operand is read by a
+        later instance (implicit operands excepted, as in the paper)."""
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        from repro.isa.operands import RegisterOperand
+
+        code = independent_sequence(form, length)
+        # The generator avoids read-after-write "as much as possible"
+        # (Section 5.3.1); once the register file is exhausted it must
+        # reuse names, so only the prefix that fits is checked.
+        pool_sizes = {"GPR": 12, "VEC": 16, "MMX": 8}
+        demand = {"GPR": 0, "VEC": 0, "MMX": 0}
+        for spec in form.explicit_operands:
+            if spec.fixed is not None:
+                continue
+            if spec.kind.name in ("MEM", "AGEN"):
+                demand["GPR"] += 1
+            elif spec.kind.name in demand:
+                demand[spec.kind.name] += 1
+        capacity = min(
+            (pool_sizes[c] // n for c, n in demand.items() if n),
+            default=length,
+        )
+        code = code[:min(length, max(1, capacity))]
+        written = set()
+        for instr in code:
+            for spec, operand in zip(instr.form.operands,
+                                     instr.operands):
+                if not isinstance(operand, RegisterOperand):
+                    continue
+                if spec.implicit or spec.fixed is not None:
+                    continue
+                if spec.read:
+                    assert operand.register.canonical not in written, uid
+            for spec, operand in zip(instr.form.operands,
+                                     instr.operands):
+                if (
+                    isinstance(operand, RegisterOperand)
+                    and spec.written
+                    and not spec.implicit
+                    and spec.fixed is None
+                ):
+                    written.add(operand.register.canonical)
+
+    def test_allocator_never_repeats(self):
+        allocator = RegisterAllocator()
+        seen = set()
+        for _ in range(14):
+            reg = allocator.gpr(64)
+            assert reg.canonical not in seen
+            seen.add(reg.canonical)
+        with pytest.raises(RuntimeError):
+            for _ in range(10):
+                allocator.gpr(64)
+
+
+# ---------------------------------------------------------------------------
+# Simulator properties
+# ---------------------------------------------------------------------------
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_port_counter_conservation(self, db, measurable_uids, data):
+        """Port counters sum to the number of port-using µops, and every
+        µop lands on a port its ground truth allows."""
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        skl = get_uarch("SKL")
+        entry = build_entry(form, skl)
+        code = independent_sequence(form, 3)
+        counters = simulate(code, skl)
+        expected_port_uops = 3 * sum(
+            1 for u in entry.uops if u.uses_port
+        )
+        measured = sum(counters.port_uops.values())
+        # Zero idioms / eliminated moves may reduce the count, never
+        # increase it.
+        assert measured <= expected_port_uops
+        allowed = set()
+        for uop in entry.uops:
+            allowed |= uop.ports
+        for port, count in counters.port_uops.items():
+            if count:
+                assert port in allowed, (uid, port)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_determinism(self, db, measurable_uids, data):
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        skl = get_uarch("SKL")
+        code = independent_sequence(form, 2) * 2
+        a = simulate(code, skl)
+        b = simulate(code, skl)
+        assert a.cycles == b.cycles
+        assert a.port_uops == b.port_uops
+        assert a.uops == b.uops
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data(), reps=st.integers(2, 5))
+    def test_cycles_monotone_in_code_length(self, db, measurable_uids,
+                                            data, reps):
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        skl = get_uarch("SKL")
+        block = independent_sequence(form, 2)
+        short = simulate(block, skl)
+        long = simulate(block * reps, skl)
+        assert long.cycles >= short.cycles
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_fused_count_never_exceeds_unfused(self, db,
+                                               measurable_uids, data):
+        uid = data.draw(st.sampled_from(measurable_uids))
+        form = db.by_uid(uid)
+        skl = get_uarch("SKL")
+        code = independent_sequence(form, 2)
+        counters = simulate(code, skl)
+        assert counters.uops_fused <= counters.uops
+        assert counters.uops_fused >= 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_flags_pseudo_registers_isolated(self, db, data):
+        """Writing one flag never disturbs another (per-flag renaming)."""
+        state = MachineState.initial()
+        flag = data.draw(st.sampled_from(FLAG_NAMES))
+        others = {f: state.flags[f] for f in FLAG_NAMES if f != flag}
+        state.flags[flag] = 1
+        for name, value in others.items():
+            assert state.flags[name] == value

@@ -1,0 +1,106 @@
+"""Unit tests for the register model."""
+
+import pytest
+
+from repro.isa.registers import (
+    FLAG_NAMES,
+    FLAGS,
+    Register,
+    RegisterClass,
+    all_registers,
+    gpr,
+    is_register_name,
+    mmx,
+    register_by_name,
+    sized_view,
+    vec,
+)
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert register_by_name("rax") is register_by_name("RAX")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            register_by_name("RAXX")
+
+    def test_is_register_name(self):
+        assert is_register_name("r10d")
+        assert not is_register_name("qword")
+
+
+class TestAliasing:
+    @pytest.mark.parametrize(
+        "name,canonical,width,offset",
+        [
+            ("RAX", "RAX", 64, 0),
+            ("EAX", "RAX", 32, 0),
+            ("AX", "RAX", 16, 0),
+            ("AL", "RAX", 8, 0),
+            ("AH", "RAX", 8, 8),
+            ("R8D", "R8", 32, 0),
+            ("SIL", "RSI", 8, 0),
+            ("XMM3", "YMM3", 128, 0),
+            ("YMM3", "YMM3", 256, 0),
+            ("MM5", "MM5", 64, 0),
+        ],
+    )
+    def test_views(self, name, canonical, width, offset):
+        reg = register_by_name(name)
+        assert reg.canonical == canonical
+        assert reg.width == width
+        assert reg.offset == offset
+
+    def test_full_width(self):
+        assert register_by_name("RAX").is_full_width
+        assert register_by_name("YMM0").is_full_width
+        assert not register_by_name("EAX").is_full_width
+        assert not register_by_name("XMM0").is_full_width
+
+    def test_sized_view(self):
+        assert sized_view(register_by_name("AL"), 64).name == "RAX"
+        assert sized_view(register_by_name("R15"), 8).name == "R15B"
+        assert sized_view(register_by_name("YMM7"), 128).name == "XMM7"
+
+    def test_sized_view_rejects_missing_width(self):
+        with pytest.raises(ValueError):
+            sized_view(register_by_name("MM0"), 128)
+
+
+class TestIndexedAccess:
+    def test_gpr_encoding_order(self):
+        assert gpr(64, 0).name == "RAX"
+        assert gpr(64, 4).name == "RSP"
+        assert gpr(32, 8).name == "R8D"
+        assert gpr(8, 1).name == "CL"
+
+    def test_vec(self):
+        assert vec(128, 9).name == "XMM9"
+        assert vec(256, 0).name == "YMM0"
+
+    def test_mmx(self):
+        assert mmx(7).name == "MM7"
+
+
+class TestFlags:
+    def test_six_flags(self):
+        assert set(FLAG_NAMES) == {"CF", "PF", "AF", "ZF", "SF", "OF"}
+
+    def test_flags_are_their_own_containers(self):
+        for name, reg in FLAGS.items():
+            assert reg.canonical == name
+            assert reg.width == 1
+            assert reg.reg_class == RegisterClass.FLAG
+
+
+def test_no_duplicate_names():
+    names = [r.name for r in all_registers()]
+    assert len(names) == len(set(names))
+
+
+def test_gpr_families_complete():
+    # 16 GPR containers, each with 64/32/16/8 views; 4 legacy high-byte.
+    gprs = [r for r in all_registers()
+            if r.reg_class == RegisterClass.GPR]
+    assert len(gprs) == 16 * 4 + 4

@@ -1,0 +1,130 @@
+"""Characterization runner and XML-output tests."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro import characterize
+from repro.core.runner import CharacterizationRunner
+from repro.core.xml_output import results_to_xml, write_xml
+from tests.conftest import backend_for
+
+
+@pytest.fixture(scope="module")
+def skl_runner(db):
+    return CharacterizationRunner(backend_for("SKL"), db)
+
+
+class TestRunner:
+    def test_full_characterization(self, db, skl_runner):
+        outcome = skl_runner.characterize(db.by_uid("ADDPS_XMM_XMM"))
+        assert outcome.uop_count == pytest.approx(1.0, abs=0.05)
+        assert outcome.port_usage is not None
+        assert outcome.throughput is not None
+        assert outcome.latency is not None
+        assert outcome.throughput.computed_from_ports == pytest.approx(
+            outcome.throughput.measured, abs=0.2
+        )
+
+    def test_skips_unsupported(self, db, skl_runner):
+        assert skl_runner.characterize(db.by_uid("UD2")) is None
+        assert skl_runner.characterize(db.by_uid("JMP_R64")) is None
+
+    def test_branch_measured_but_no_latency_pairs(self, db, skl_runner):
+        outcome = skl_runner.characterize(db.by_uid("JE_I8"))
+        assert outcome is not None
+        assert outcome.port_usage is not None
+        assert not outcome.latency.pairs
+
+    def test_serializing_gets_uops_only(self, db, skl_runner):
+        outcome = skl_runner.characterize(db.by_uid("CPUID"))
+        assert outcome is not None
+        assert outcome.port_usage is None
+
+    def test_divider_notes(self, db, skl_runner):
+        outcome = skl_runner.characterize(db.by_uid("DIV_R32"))
+        assert outcome.throughput.computed_from_ports is None
+        assert any("divider" in note for note in outcome.notes)
+
+    def test_characterize_all_with_progress(self, db, skl_runner):
+        lines = []
+        forms = [db.by_uid("ADD_R64_R64"), db.by_uid("NOP")]
+        results = skl_runner.characterize_all(forms, progress=lines.append)
+        assert set(results) == {"ADD_R64_R64", "NOP"}
+        assert len(lines) == 2
+
+    def test_supported_forms_counts(self, db):
+        nhm = CharacterizationRunner(backend_for("NHM"), db)
+        skl = CharacterizationRunner(backend_for("SKL"), db)
+        assert len(nhm.supported_forms()) < len(skl.supported_forms())
+
+    def test_summary_format(self, db, skl_runner):
+        outcome = skl_runner.characterize(db.by_uid("IMUL_R64_R64"))
+        summary = outcome.summary()
+        assert "IMUL_R64_R64" in summary
+        assert "ports=1*p1" in summary
+
+    def test_statistics_tracked(self, db):
+        runner = CharacterizationRunner(backend_for("SKL"), db)
+        runner.characterize(db.by_uid("ADD_R64_R64"))
+        assert runner.statistics.characterized == 1
+        assert runner.statistics.seconds > 0
+
+    def test_convenience_api(self):
+        outcome = characterize("ADD_R64_R64", "Skylake")
+        assert outcome.uarch_name == "SKL"
+        with pytest.raises(ValueError):
+            characterize("UD2", "SKL")
+
+
+class TestXmlOutput:
+    @pytest.fixture(scope="class")
+    def results(self, db):
+        runner = CharacterizationRunner(backend_for("SKL"), db)
+        forms = [db.by_uid(uid) for uid in
+                 ("ADD_R64_R64", "DIV_R64", "AESDEC_XMM_XMM")]
+        return {"SKL": runner.characterize_all(forms)}
+
+    def test_structure(self, db, results):
+        root = results_to_xml(results, db)
+        instructions = root.findall("instruction")
+        assert len(instructions) == 3
+        add = next(i for i in instructions
+                   if i.get("string") == "ADD_R64_R64")
+        assert add.get("extension") == "BASE"
+        arch = add.find("architecture")
+        assert arch.get("name") == "SKL"
+        measurement = arch.find("measurement")
+        assert measurement.get("ports") == "1*p0156"
+        assert measurement.get("uops") == "1"
+        latencies = measurement.findall("latency")
+        assert any(
+            l.get("start_op") == "op2" and l.get("target_op") == "op1"
+            for l in latencies
+        )
+
+    def test_divider_fast_values_serialized(self, results, db):
+        root = results_to_xml(results, db)
+        div = next(i for i in root.findall("instruction")
+                   if i.get("string") == "DIV_R64")
+        latencies = div.find("architecture/measurement").findall(
+            "latency"
+        )
+        assert any(l.get("value_class") == "fast" for l in latencies)
+
+    def test_write_and_reparse(self, tmp_path, results, db):
+        root = results_to_xml(results, db)
+        path = tmp_path / "results.xml"
+        write_xml(root, str(path))
+        reparsed = ET.parse(str(path)).getroot()
+        assert len(reparsed.findall("instruction")) == 3
+
+    def test_iaca_results_included(self, db, results):
+        iaca = {"SKL": {"3.0": {"ADD_R64_R64": {"uops": 1,
+                                                "ports": "1*p0156"}}}}
+        root = results_to_xml(results, db, iaca_results=iaca)
+        add = next(i for i in root.findall("instruction")
+                   if i.get("string") == "ADD_R64_R64")
+        element = add.find("architecture/iaca")
+        assert element is not None
+        assert element.get("version") == "3.0"

@@ -1,0 +1,60 @@
+"""Sampling utilities and environment-switch tests."""
+
+import pytest
+
+from repro.analysis.sampling import (
+    default_sample,
+    full_run_requested,
+    stratified_sample,
+)
+from repro.iaca.analyzer import iaca_versions_for
+from repro.uarch.configs import ALL_UARCHES, get_uarch
+
+
+class TestFullRunSwitch:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert not full_run_requested()
+
+    def test_zero_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert not full_run_requested()
+
+    def test_enabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert full_run_requested()
+
+    def test_default_sample_respects_switch(self, db, monkeypatch):
+        predicate = lambda f: f.extension == "BASE"
+        monkeypatch.setenv("REPRO_FULL", "1")
+        full = default_sample(db, predicate)
+        monkeypatch.delenv("REPRO_FULL")
+        sampled = default_sample(db, predicate, target=40)
+        assert len(sampled) < len(full)
+        assert all(predicate(f) for f in sampled)
+
+
+class TestStratification:
+    def test_empty_input(self):
+        assert stratified_sample([], 10) == []
+
+    def test_single_category_uniform(self, db):
+        forms = [f for f in db if f.category == "int_alu"][:60]
+        sample = stratified_sample(forms, 20)
+        assert 10 <= len(sample) <= 30
+        assert len({f.uid for f in sample}) == len(sample)
+
+
+class TestIacaVersionHelpers:
+    def test_versions_match_configs(self):
+        for uarch in ALL_UARCHES:
+            assert iaca_versions_for(uarch) == uarch.iaca_versions
+
+    def test_version_count_shape(self):
+        # Haswell is the only generation covered by all four versions.
+        counts = {
+            u.name: len(u.iaca_versions) for u in ALL_UARCHES
+        }
+        assert counts["HSW"] == 4
+        assert max(counts.values()) == 4
+        assert counts["KBL"] == counts["CFL"] == 0

@@ -1,0 +1,192 @@
+"""Detailed functional-semantics tests for individual handlers."""
+
+import pytest
+
+from repro.isa.operands import Immediate, Memory, RegisterOperand
+from repro.isa.registers import register_by_name as reg
+from repro.pipeline.semantics import evaluate
+from repro.pipeline.state import MachineState
+
+
+@pytest.fixture
+def state():
+    return MachineState.initial()
+
+
+def run(db, state, uid, *operands):
+    return evaluate(db.by_uid(uid).instantiate(*operands), state)
+
+
+class TestShiftsAndRotates:
+    def test_shl(self, db, state):
+        state.write_register(reg("RAX"), 3)
+        run(db, state, "SHL_R64_I8", RegisterOperand(reg("RAX")),
+            Immediate(4, 8))
+        assert state.read_register(reg("RAX")) == 48
+
+    def test_shr(self, db, state):
+        state.write_register(reg("RAX"), 48)
+        run(db, state, "SHR_R64_I8", RegisterOperand(reg("RAX")),
+            Immediate(4, 8))
+        assert state.read_register(reg("RAX")) == 3
+
+    def test_sar_sign_extends(self, db, state):
+        state.write_register(reg("RAX"), (1 << 63) | 0x10)
+        run(db, state, "SAR_R64_I8", RegisterOperand(reg("RAX")),
+            Immediate(4, 8))
+        assert state.read_register(reg("RAX")) >> 60 == 0xF
+
+    def test_rol_ror_inverse(self, db, state):
+        state.write_register(reg("RAX"), 0x123456789ABCDEF0)
+        run(db, state, "ROL_R64_I8", RegisterOperand(reg("RAX")),
+            Immediate(12, 8))
+        run(db, state, "ROR_R64_I8", RegisterOperand(reg("RAX")),
+            Immediate(12, 8))
+        assert state.read_register(reg("RAX")) == 0x123456789ABCDEF0
+
+    def test_shift_by_cl_masks_count(self, db, state):
+        state.write_register(reg("RAX"), 1)
+        state.write_register(reg("CL"), 64 + 3)  # masked to 3
+        run(db, state, "SHL_R64_CL", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("CL")))
+        assert state.read_register(reg("RAX")) == 8
+
+
+class TestWideningOps:
+    def test_bswap(self, db, state):
+        state.write_register(reg("EAX"), 0x11223344)
+        run(db, state, "BSWAP_R32", RegisterOperand(reg("EAX")))
+        assert state.read_register(reg("EAX")) == 0x44332211
+
+    def test_xchg_swaps(self, db, state):
+        state.write_register(reg("RAX"), 1)
+        state.write_register(reg("RBX"), 2)
+        run(db, state, "XCHG_R64_R64", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")))
+        assert state.read_register(reg("RAX")) == 2
+        assert state.read_register(reg("RBX")) == 1
+
+    def test_xadd(self, db, state):
+        state.write_register(reg("RAX"), 5)
+        state.write_register(reg("RBX"), 7)
+        run(db, state, "XADD_R64_R64", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")))
+        assert state.read_register(reg("RAX")) == 12
+        assert state.read_register(reg("RBX")) == 5
+
+    def test_cwd_broadcasts_sign(self, db, state):
+        state.write_register(reg("RAX"), 1 << 63)
+        run(db, state, "CQO")
+        assert state.read_register(reg("RDX")) == (1 << 64) - 1
+
+    def test_cbw_family(self, db, state):
+        state.write_register(reg("RAX"), 0x80)
+        run(db, state, "CBW")
+        assert state.read_register(reg("AX")) == 0xFF80
+
+    def test_movzx_zero_extends(self, db, state):
+        state.write_register(reg("RBX"), 0xFFFF)
+        run(db, state, "MOVZX_R64_R16", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("BX")))
+        assert state.read_register(reg("RAX")) == 0xFFFF
+
+
+class TestMulDiv:
+    def test_imul_two_operand(self, db, state):
+        state.write_register(reg("RAX"), 6)
+        state.write_register(reg("RBX"), 7)
+        run(db, state, "IMUL_R64_R64", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")))
+        assert state.read_register(reg("RAX")) == 42
+
+    def test_imul_three_operand(self, db, state):
+        state.write_register(reg("RBX"), 10)
+        run(db, state, "IMUL_R64_R64_I8", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")), Immediate(3, 8))
+        assert state.read_register(reg("RAX")) == 30
+
+    def test_mul_one_operand_high_half(self, db, state):
+        state.write_register(reg("RAX"), 1 << 63)
+        state.write_register(reg("R8"), 4)
+        run(db, state, "MUL_R64", RegisterOperand(reg("R8")))
+        assert state.read_register(reg("RDX")) == 2  # high half
+        assert state.read_register(reg("RAX")) == 0
+        assert state.flags["CF"] == 1
+
+    def test_idiv(self, db, state):
+        state.write_register(reg("RAX"), 100)
+        state.write_register(reg("RDX"), 0)
+        state.write_register(reg("R8"), 9)
+        run(db, state, "IDIV_R64", RegisterOperand(reg("R8")))
+        assert state.read_register(reg("RAX")) == 11
+        assert state.read_register(reg("RDX")) == 1
+
+
+class TestFlagOps:
+    def test_cmc_toggles(self, db, state):
+        state.flags["CF"] = 0
+        run(db, state, "CMC")
+        assert state.flags["CF"] == 1
+        run(db, state, "CMC")
+        assert state.flags["CF"] == 0
+
+    def test_stc_clc(self, db, state):
+        run(db, state, "STC")
+        assert state.flags["CF"] == 1
+        run(db, state, "CLC")
+        assert state.flags["CF"] == 0
+
+    def test_inc_preserves_cf(self, db, state):
+        state.flags["CF"] = 1
+        state.write_register(reg("RAX"), 5)
+        run(db, state, "INC_R64", RegisterOperand(reg("RAX")))
+        assert state.flags["CF"] == 1
+        assert state.read_register(reg("RAX")) == 6
+
+    def test_adc_consumes_carry(self, db, state):
+        state.flags["CF"] = 1
+        state.write_register(reg("RAX"), 1)
+        state.write_register(reg("RBX"), 1)
+        run(db, state, "ADC_R64_R64", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")))
+        assert state.read_register(reg("RAX")) == 3
+
+    def test_sbb_consumes_carry(self, db, state):
+        state.flags["CF"] = 1
+        state.write_register(reg("RAX"), 5)
+        state.write_register(reg("RBX"), 2)
+        run(db, state, "SBB_R64_R64", RegisterOperand(reg("RAX")),
+            RegisterOperand(reg("RBX")))
+        assert state.read_register(reg("RAX")) == 2
+
+
+class TestMemoryForms:
+    def test_rmw_add(self, db, state):
+        address = state.effective_address(Memory(reg("RSI"), 64))
+        state.store(address, 40, 64)
+        state.write_register(reg("RBX"), 2)
+        run(db, state, "ADD_M64_R64", Memory(reg("RSI"), 64),
+            RegisterOperand(reg("RBX")))
+        assert state.load(address, 64) == 42
+
+    def test_narrow_store(self, db, state):
+        address = state.effective_address(Memory(reg("RSI"), 8))
+        state.write_register(reg("BL"), 0xAB)
+        run(db, state, "MOV_M8_R8", Memory(reg("RSI"), 8),
+            RegisterOperand(reg("BL")))
+        assert state.load(address, 8) == 0xAB
+
+    def test_lea_computes_raw_address(self, db, state):
+        state.write_register(reg("RBX"), 1000)
+        run(db, state, "LEA_R64_AGEN", RegisterOperand(reg("RAX")),
+            Memory(reg("RBX"), 64, displacement=24))
+        assert state.read_register(reg("RAX")) == 1024
+
+    def test_vector_store_roundtrip(self, db, state):
+        value = (123 << 64) | 456
+        state.write_register(reg("XMM2"), value)
+        run(db, state, "MOVDQA_M128_XMM", Memory(reg("RSI"), 128),
+            RegisterOperand(reg("XMM2")))
+        run(db, state, "MOVDQA_XMM_M128", RegisterOperand(reg("XMM3")),
+            Memory(reg("RSI"), 128))
+        assert state.read_register(reg("XMM3")) == value

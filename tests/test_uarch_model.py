@@ -1,0 +1,75 @@
+"""Unit tests for the UarchConfig / DividerTiming model layer."""
+
+import pytest
+
+from repro.uarch.model import DividerTiming, UarchConfig
+from repro.uarch.configs import ALL_UARCHES, get_uarch
+
+
+class TestDividerTiming:
+    def test_fast_slow(self):
+        timing = DividerTiming(10, 5, 40, 30)
+        assert timing.timing(True) == (10, 5)
+        assert timing.timing(False) == (40, 30)
+
+    def test_fast_never_slower(self):
+        for uarch in ALL_UARCHES:
+            for cls in ("int_div", "fp_div", "fp_sqrt"):
+                timing = uarch.divider_timing(cls)
+                assert timing.fast_latency <= timing.slow_latency
+                assert timing.fast_occupancy <= timing.slow_occupancy
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            get_uarch("SKL").divider_timing("bogus")
+
+
+class TestUarchConfig:
+    def test_fu_ports_error_message(self):
+        with pytest.raises(KeyError, match="unknown functional unit"):
+            get_uarch("SKL").fu_ports("warp_drive")
+
+    def test_port_combinations_deduplicated(self):
+        for uarch in ALL_UARCHES:
+            combos = uarch.port_combinations()
+            assert len(combos) == len(set(combos))
+            for combo in combos:
+                assert combo <= set(uarch.ports)
+
+    def test_supports_extension(self):
+        skl = get_uarch("SKL")
+        assert skl.supports_extension("AVX2")
+        assert not skl.supports_extension("AVX512F")
+        nhm = get_uarch("NHM")
+        assert nhm.supports_extension("SSE42")
+        assert not nhm.supports_extension("AVX")
+
+    def test_str(self):
+        assert str(get_uarch("SKL")) == "SKL"
+
+    def test_load_latencies_sane(self):
+        for uarch in ALL_UARCHES:
+            assert 3 <= uarch.load_latency <= 6
+            assert uarch.vec_load_latency >= uarch.load_latency
+            assert uarch.store_forward_latency >= 1
+
+    def test_buffer_growth_over_generations(self):
+        """ROB and RS never shrink between successive generations."""
+        robs = [u.rob_size for u in ALL_UARCHES]
+        rss = [u.rs_size for u in ALL_UARCHES]
+        assert robs == sorted(robs)
+        assert rss == sorted(rss)
+
+    def test_divider_improves_over_generations(self):
+        """The slow-path 64-bit divide gets cheaper from IVB on
+        (radix-16) and again at BDW (radix-1024)."""
+        ivb = get_uarch("IVB").int_div.slow_latency
+        snb = get_uarch("SNB").int_div.slow_latency
+        bdw = get_uarch("BDW").int_div.slow_latency
+        assert ivb < snb
+        assert bdw < ivb
+
+    def test_macro_fusion_sets(self):
+        assert get_uarch("NHM").macro_fusible == {"CMP", "TEST"}
+        assert "ADD" in get_uarch("SNB").macro_fusible
+        assert "OR" not in get_uarch("SKL").macro_fusible

@@ -1,0 +1,66 @@
+"""XED-style config and XML description round trips (Section 6.1)."""
+
+import pytest
+
+from repro.isa.database import InstructionDatabase
+from repro.isa.xed import (
+    database_to_xml,
+    dump_config,
+    parse_config,
+    xml_to_database,
+)
+from repro.isa.xed.configfmt import dump_form, _parse_operand
+
+
+def test_config_roundtrip_full_catalog(db):
+    text = dump_config(db)
+    parsed = parse_config(text)
+    assert len(parsed) == len(db)
+    for original, restored in zip(db, parsed):
+        assert restored == original  # frozen dataclass equality
+
+
+def test_config_block_shape(db):
+    block = dump_form(db.by_uid("ADC_R64_R64"))
+    assert block.startswith("{")
+    assert "ICLASS     : ADC" in block
+    assert "r:CF" in block
+    assert block.endswith("}")
+
+
+def test_operand_token_errors():
+    with pytest.raises(ValueError):
+        _parse_operand("GPR:64")
+    with pytest.raises(ValueError):
+        _parse_operand("GPR:64:rw:bogus")
+
+
+def test_parser_rejects_malformed():
+    with pytest.raises(ValueError):
+        parse_config("{\nICLASS : X\n")  # unterminated
+    with pytest.raises(ValueError):
+        parse_config("ICLASS : X\n")  # outside block
+    with pytest.raises(ValueError):
+        parse_config("{\n{\n")  # nested
+
+
+def test_parser_ignores_comments():
+    text = dump_config([])
+    assert parse_config(text + "# trailing comment\n") == []
+
+
+def test_xml_roundtrip_full_catalog(db):
+    root = database_to_xml(db)
+    restored = xml_to_database(root)
+    assert len(restored) == len(db)
+    for original in db:
+        clone = restored.by_uid(original.uid)
+        assert clone == original
+
+
+def test_xml_has_implicit_operands(db):
+    root = database_to_xml(InstructionDatabase([db.by_uid("DIV_R64")]))
+    instruction = root.find("instruction")
+    operands = instruction.findall("operand")
+    assert len(operands) == 3
+    assert sum(1 for o in operands if o.get("implicit") == "1") == 2

@@ -1,0 +1,81 @@
+"""Results-XML reader tests: the machine-readable output must round-trip
+back into usable characterizations (the downstream-consumer path the
+paper's Section 6.4 motivates)."""
+
+import pytest
+
+from repro.core.runner import CharacterizationRunner
+from repro.core.xml_input import load_results, parse_port_notation
+from repro.core.xml_output import results_to_xml, write_xml
+from repro.predictor import LoopAnalyzer
+from repro.isa.assembler import parse_sequence
+from tests.conftest import backend_for
+
+
+class TestPortNotation:
+    def test_single(self):
+        usage = parse_port_notation("1*p0156")
+        assert usage.counts == {frozenset({0, 1, 5, 6}): 1}
+
+    def test_compound(self):
+        usage = parse_port_notation("2*p05 + 1*p23")
+        assert usage.counts == {
+            frozenset({0, 5}): 2,
+            frozenset({2, 3}): 1,
+        }
+
+    def test_empty(self):
+        assert parse_port_notation("0").total_uops == 0
+        assert parse_port_notation("").total_uops == 0
+
+
+@pytest.fixture(scope="module")
+def roundtripped(db, tmp_path_factory):
+    runner = CharacterizationRunner(backend_for("SKL"), db)
+    forms = [db.by_uid(uid) for uid in
+             ("ADD_R64_R64", "IMUL_R64_R64", "AESDEC_XMM_XMM",
+              "DIV_R64", "SHLD_R64_R64_I8")]
+    original = {"SKL": runner.characterize_all(forms)}
+    path = tmp_path_factory.mktemp("xml") / "results.xml"
+    write_xml(results_to_xml(original, db), str(path))
+    return original, load_results(str(path))
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        assert set(loaded) == {"SKL"}
+        assert set(loaded["SKL"]) == set(original["SKL"])
+
+    def test_port_usage_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        for uid, outcome in original["SKL"].items():
+            clone = loaded["SKL"][uid]
+            if outcome.port_usage is not None:
+                assert clone.port_usage == outcome.port_usage, uid
+
+    def test_latency_pairs_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        imul = loaded["SKL"]["IMUL_R64_R64"]
+        assert imul.latency.pairs[("op2", "op1")].cycles == 4
+        shld = loaded["SKL"]["SHLD_R64_R64_I8"]
+        assert shld.latency.same_register[("op2", "op1")].cycles == 1
+        div = loaded["SKL"]["DIV_R64"]
+        assert div.latency.fast_values[("RAX", "RAX")].cycles < \
+            div.latency.pairs[("RAX", "RAX")].cycles
+
+    def test_throughput_preserved(self, roundtripped):
+        original, loaded = roundtripped
+        add = loaded["SKL"]["ADD_R64_R64"]
+        assert add.throughput.measured == pytest.approx(0.25, abs=0.01)
+        assert add.throughput.computed_from_ports == pytest.approx(
+            0.25, abs=0.01
+        )
+
+    def test_loaded_model_drives_predictor(self, db, roundtripped):
+        _original, loaded = roundtripped
+        code = parse_sequence("IMUL RAX, RBX", db)
+        analyzer = LoopAnalyzer(loaded["SKL"], backend_for("SKL").uarch)
+        analysis = analyzer.analyze(code)
+        assert analysis.cycles_per_iteration == pytest.approx(3.0,
+                                                              abs=0.3)
