@@ -13,7 +13,9 @@ import time
 import pytest
 
 from repro.analysis.sampling import stratified_sample
+from repro.core.cache import ResultCache
 from repro.core.runner import CharacterizationRunner
+from repro.core.sweep import SweepEngine
 
 from conftest import hardware_backend
 
@@ -56,3 +58,49 @@ def test_runtime_per_variant(db, benchmark, emit):
     for name, _n, per_variant, _est in rows:
         # A variant must characterize in seconds, not minutes.
         assert per_variant < 30.0, name
+
+
+def test_cached_sweep_speedup(db, tmp_path, benchmark, emit):
+    """The persistent result cache makes repeat sweeps near-free.
+
+    A cold sweep measures every sampled variant; the warm sweep over the
+    same sample must hit the cache for all of them, perform zero backend
+    measurements, and finish at least 10x faster.
+    """
+    backend = hardware_backend("SKL")
+    engine = SweepEngine(
+        "SKL", db, backend=backend, cache=ResultCache(str(tmp_path))
+    )
+    sample = stratified_sample(engine.supported_forms(), SAMPLE)[:40]
+
+    def cold():
+        started = time.perf_counter()
+        results = engine.sweep(sample)
+        return results, time.perf_counter() - started
+
+    results_cold, cold_s = benchmark.pedantic(cold, rounds=1,
+                                              iterations=1)
+
+    warm_engine = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
+    calls_before = backend.measure_calls
+    started = time.perf_counter()
+    results_warm = warm_engine.sweep(sample)
+    warm_s = time.perf_counter() - started
+
+    assert results_warm == results_cold
+    assert warm_engine.statistics.cache_hits == len(sample)
+    assert warm_engine.statistics.seconds == 0.0
+    # No backend was even constructed for the warm sweep, and the cold
+    # engine's backend was not consulted again.
+    assert warm_engine._backend is None
+    assert backend.measure_calls == calls_before
+    assert warm_s < cold_s / 10.0
+
+    emit(
+        "cached_sweep.txt",
+        "Cached sweep speedup (persistent result cache):\n\n"
+        f"variants:   {len(sample)}\n"
+        f"cold sweep: {cold_s:8.2f} s\n"
+        f"warm sweep: {warm_s:8.2f} s\n"
+        f"speedup:    {cold_s / max(warm_s, 1e-9):8.1f}x",
+    )

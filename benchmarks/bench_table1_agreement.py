@@ -26,13 +26,22 @@ import pytest
 
 from repro.analysis.compare import compute_agreement
 from repro.analysis.sampling import full_run_requested, stratified_sample
+from repro.core.cache import ResultCache
 from repro.core.runner import CharacterizationRunner
+from repro.core.sweep import SweepEngine
 from repro.uarch.configs import ALL_UARCHES
 
 from conftest import hardware_backend, write_artifact
 
 #: Forms compared per generation in the default (sampled) run.
 SAMPLE_TARGET = int(os.environ.get("REPRO_TABLE1_SAMPLE", "45"))
+
+
+def _cache_from_env():
+    """Opt-in persistent cache: REPRO_CACHE_DIR=... makes the hardware
+    side of repeated Table-1 regenerations come from cached sweeps."""
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    return ResultCache(cache_dir) if cache_dir else None
 
 
 def _table1() -> str:
@@ -43,6 +52,7 @@ def _table1() -> str:
         f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
         f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}",
     ]
+    cache = _cache_from_env()
     rows = []
     for uarch in ALL_UARCHES:
         backend = hardware_backend(uarch.name)
@@ -52,12 +62,19 @@ def _table1() -> str:
             sample = supported
         else:
             sample = stratified_sample(supported, SAMPLE_TARGET)
+        hw_results = None
+        if cache is not None and uarch.iaca_versions:
+            engine = SweepEngine(
+                uarch, runner.database, backend=backend, cache=cache
+            )
+            hw_results = engine.sweep(sample)
         row = compute_agreement(
             uarch,
             runner.database,
             sample,
             backend,
             n_variants=len(supported),
+            hw_results=hw_results,
         )
         rows.append(row)
         lines.append(row.format())

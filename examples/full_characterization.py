@@ -5,27 +5,31 @@ every) generation and emit the machine-readable XML results file
 
 Run with::
 
-    python examples/full_characterization.py [uarch|all] [sample-size]
+    python examples/full_characterization.py [uarch|all] [sample-size] [jobs]
 
 The default characterizes a 60-variant stratified sample on Skylake and
 writes ``characterization.xml``; pass a larger sample size (or ``0`` for
-the complete catalog) for fuller runs.
+the complete catalog) for fuller runs.  With ``jobs > 1`` the sweep is
+sharded over worker processes, and setting ``REPRO_CACHE_DIR`` memoizes
+results persistently so re-runs skip measurement (docs/sweep-engine.md).
 """
 
+import os
 import sys
 import time
 
-from repro import CharacterizationRunner, HardwareBackend, get_uarch
+from repro import ResultCache, SweepEngine, get_uarch
 from repro.analysis.sampling import stratified_sample
 from repro.core.xml_output import results_to_xml, write_xml
 from repro.isa.database import load_default_database
 from repro.uarch.configs import ALL_UARCHES
 
 
-def characterize_generation(name, database, sample_size):
-    backend = HardwareBackend(get_uarch(name))
-    runner = CharacterizationRunner(backend, database)
-    supported = runner.supported_forms()
+def characterize_generation(name, database, sample_size, jobs, cache):
+    engine = SweepEngine(
+        get_uarch(name), database, jobs=jobs, cache=cache
+    )
+    supported = engine.supported_forms()
     forms = (
         supported
         if sample_size == 0
@@ -33,14 +37,16 @@ def characterize_generation(name, database, sample_size):
     )
     print(
         f"{name}: {len(supported)} supported variants, "
-        f"characterizing {len(forms)}"
+        f"characterizing {len(forms)} ({jobs} jobs)"
     )
     started = time.perf_counter()
-    results = runner.characterize_all(forms)
+    results = engine.sweep(forms)
     elapsed = time.perf_counter() - started
+    stats = engine.statistics
     print(
         f"{name}: {len(results)} characterized in {elapsed:.1f}s "
-        f"({elapsed / max(len(results), 1):.2f}s/variant)"
+        f"({elapsed / max(len(results), 1):.2f}s/variant; "
+        f"cache {stats.cache_hits} hits / {stats.cache_misses} misses)"
     )
     return results
 
@@ -48,13 +54,18 @@ def characterize_generation(name, database, sample_size):
 def main() -> None:
     target = sys.argv[1] if len(sys.argv) > 1 else "SKL"
     sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 60
+    jobs = int(sys.argv[3]) if len(sys.argv) > 3 else 1
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
     database = load_default_database()
 
     names = (
         [u.name for u in ALL_UARCHES] if target == "all" else [target]
     )
     results = {
-        name: characterize_generation(name, database, sample_size)
+        name: characterize_generation(
+            name, database, sample_size, jobs, cache
+        )
         for name in names
     }
     root = results_to_xml(results, database)

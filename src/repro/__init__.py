@@ -18,8 +18,10 @@ Quick start::
     print(result.summary())
 """
 
+from repro.core.cache import ResultCache
 from repro.core.result import InstructionCharacterization
 from repro.core.runner import CharacterizationRunner
+from repro.core.sweep import SweepEngine
 from repro.isa.database import load_default_database
 from repro.measure.backend import HardwareBackend, MeasurementConfig
 from repro.uarch.configs import ALL_UARCHES, get_uarch
@@ -32,6 +34,8 @@ __all__ = [
     "HardwareBackend",
     "InstructionCharacterization",
     "MeasurementConfig",
+    "ResultCache",
+    "SweepEngine",
     "characterize",
     "get_uarch",
     "load_default_database",

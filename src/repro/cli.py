@@ -3,8 +3,10 @@
 Commands mirror the workflows of the paper:
 
 * ``characterize FORM [UARCH]``    — one variant, full report,
-* ``sweep [UARCH] [--sample N]``   — many variants → XML (Section 6.4),
-* ``table1 [--sample N]``          — regenerate Table 1,
+* ``sweep [UARCH] [--sample N] [--jobs N] [--cache-dir D | --no-cache]``
+  — many variants → XML (Section 6.4), sharded over worker processes
+  with a persistent result cache,
+* ``table1 [--sample N]``          — regenerate Table 1 (same flags),
 * ``case-studies``                 — all Section 7.3 case studies,
 * ``list [MNEMONIC]``              — catalog queries,
 * ``analyze FILE [UARCH]``         — predict a loop kernel's performance.
@@ -45,64 +47,99 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+def _make_cache(args):
+    """A ResultCache from --cache-dir/--no-cache flags, or None."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.core.cache import ResultCache
+
+    try:
+        return ResultCache(args.cache_dir)
+    except NotADirectoryError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
+def _print_cache_stats(statistics) -> None:
+    print(
+        f"cache: {statistics.cache_hits} hits, "
+        f"{statistics.cache_misses} misses, "
+        f"{statistics.cache_invalidations} invalidated; "
+        f"measured {statistics.seconds:.1f}s over "
+        f"{statistics.characterized} variants",
+        file=sys.stderr,
+    )
+
+
 def _cmd_sweep(args) -> int:
-    from repro import CharacterizationRunner, HardwareBackend, get_uarch
+    from repro import get_uarch
     from repro.analysis.sampling import stratified_sample
+    from repro.core.sweep import SweepEngine
     from repro.core.xml_output import results_to_xml, write_xml
     from repro.isa.database import load_default_database
 
     database = load_default_database()
-    backend = HardwareBackend(get_uarch(args.uarch))
-    runner = CharacterizationRunner(backend, database)
-    supported = runner.supported_forms()
+    engine = SweepEngine(
+        get_uarch(args.uarch),
+        database,
+        jobs=args.jobs,
+        cache=_make_cache(args),
+    )
+    supported = engine.supported_forms()
     forms = (
         supported if args.sample == 0
         else stratified_sample(supported, args.sample)
     )
     print(f"characterizing {len(forms)} of {len(supported)} variants on "
-          f"{backend.uarch.full_name}", file=sys.stderr)
-    results = runner.characterize_all(
+          f"{engine.uarch.full_name} ({args.jobs} jobs)", file=sys.stderr)
+    results = engine.sweep(
         forms,
         progress=(lambda line: print(line, file=sys.stderr))
         if args.verbose else None,
     )
-    root = results_to_xml({backend.uarch.name: results}, database)
+    _print_cache_stats(engine.statistics)
+    root = results_to_xml({engine.uarch.name: results}, database)
     write_xml(root, args.output)
     print(f"wrote {len(results)} characterizations to {args.output}")
     if args.html:
         from repro.core.html_output import write_html
 
-        write_html({backend.uarch.name: results}, args.html, database)
+        write_html({engine.uarch.name: results}, args.html, database)
         print(f"wrote HTML report to {args.html}")
     if args.llvm:
         from repro.core.llvm_export import write_tablegen
 
-        write_tablegen(results, backend.uarch, args.llvm)
+        write_tablegen(results, engine.uarch, args.llvm)
         print(f"wrote LLVM-style scheduling model to {args.llvm}")
     return 0
 
 
 def _cmd_table1(args) -> int:
-    from repro import CharacterizationRunner, HardwareBackend
     from repro.analysis.compare import compute_agreement
     from repro.analysis.sampling import stratified_sample
+    from repro.core.sweep import SweepEngine
     from repro.uarch.configs import ALL_UARCHES
 
+    cache = _make_cache(args)
     print(f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
           f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}")
     for uarch in ALL_UARCHES:
-        backend = HardwareBackend(uarch)
-        runner = CharacterizationRunner(backend)
-        supported = runner.supported_forms()
+        engine = SweepEngine(uarch, jobs=args.jobs, cache=cache)
+        supported = engine.supported_forms()
         sample = (
             supported if args.sample == 0
             else stratified_sample(supported, args.sample)
         )
+        # The engine characterizes (or cache-loads) the hardware side
+        # once; compute_agreement then only measures the IACA side.
+        hw_results = engine.sweep(sample) if uarch.iaca_versions else {}
         row = compute_agreement(
-            uarch, runner.database, sample, backend,
+            uarch, engine.database, sample, engine.backend,
             n_variants=len(supported),
+            hw_results=hw_results,
         )
         print(row.format())
+        if cache is not None and uarch.iaca_versions:
+            _print_cache_stats(engine.statistics)
     return 0
 
 
@@ -200,6 +237,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("uarch", nargs="?", default="SKL")
     p.set_defaults(func=_cmd_characterize)
 
+    def add_sweep_options(p) -> None:
+        p.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sharded sweep")
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent result cache directory "
+                            "(default: ~/.cache/repro)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="measure everything, ignore the cache")
+
     p = sub.add_parser("sweep", help="characterize many variants -> XML")
     p.add_argument("uarch", nargs="?", default="SKL")
     p.add_argument("--sample", type=int, default=60,
@@ -210,10 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--llvm", default=None,
                    help="also write an LLVM-style scheduling model (.td)")
     p.add_argument("--verbose", action="store_true")
+    add_sweep_options(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--sample", type=int, default=45)
+    add_sweep_options(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("case-studies",

@@ -1,0 +1,176 @@
+"""Content-addressed persistent cache of characterization results.
+
+A full sweep re-measures thousands of instruction variants even though
+the simulator is deterministic: for a fixed (form, microarchitecture,
+measurement configuration, code version) the characterization can never
+change.  This module memoizes it on disk so that repeated ``sweep`` runs,
+``table1`` regeneration, and the benchmark harness skip measurement
+entirely.
+
+Entries live in JSON-lines files, one per microarchitecture, under
+``~/.cache/repro`` (or an explicit ``cache_dir``).  Each line carries
+
+* ``salt`` — the code-version salt it was written under,
+* ``key``  — a SHA-256 digest of (form uid, uarch name, the
+  :class:`~repro.measure.backend.MeasurementConfig` fields, salt),
+* ``uid`` / ``uarch`` — for human inspection of the file,
+* ``data`` — the :func:`~repro.core.result.encode_characterization`
+  encoding, or ``null`` for a form the runner skips (so a warm sweep
+  does not need a backend even to re-discover what is unmeasurable).
+
+Because the salt participates in the key, bumping :data:`CACHE_SCHEMA`
+(or the package version) invalidates every existing entry; stale lines
+are counted as invalidations and dropped on load.  The file is append-
+only: re-characterized entries are appended and the last line for a key
+wins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Any, Dict, Optional
+
+from repro.measure.backend import MeasurementConfig
+
+#: Bump to invalidate every cache entry written by older code — part of
+#: every cache key, together with the package version.
+CACHE_SCHEMA = 1
+
+_MISS = object()
+
+
+def cache_salt() -> str:
+    """The code-version salt mixed into every cache key."""
+    from repro import __version__
+
+    return f"{__version__}/{CACHE_SCHEMA}"
+
+
+def default_cache_dir() -> str:
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "repro")
+
+
+def cache_key(
+    form_uid: str,
+    uarch_name: str,
+    config: MeasurementConfig,
+    salt: Optional[str] = None,
+) -> str:
+    """Content address of one measurement: digest of everything that
+    could change its outcome."""
+    payload = json.dumps(
+        {
+            "uid": form_uid,
+            "uarch": uarch_name,
+            "config": asdict(config),
+            "salt": salt if salt is not None else cache_salt(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Persistent characterization store, one JSON-lines file per uarch."""
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        salt: Optional[str] = None,
+    ):
+        self.cache_dir = cache_dir or default_cache_dir()
+        # Fail before any measurement work, not at the first put().
+        if os.path.exists(self.cache_dir) and not os.path.isdir(
+            self.cache_dir
+        ):
+            raise NotADirectoryError(
+                f"cache path exists and is not a directory: "
+                f"{self.cache_dir}"
+            )
+        self.salt = salt if salt is not None else cache_salt()
+        #: Entries loaded under a different salt, dropped on load.
+        self.invalidations = 0
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._loaded: set = set()
+
+    # -- file layout ----------------------------------------------------
+
+    def path_for(self, uarch_name: str) -> str:
+        return os.path.join(self.cache_dir, f"{uarch_name}.jsonl")
+
+    def _load(self, uarch_name: str) -> None:
+        if uarch_name in self._loaded:
+            return
+        self._loaded.add(uarch_name)
+        path = self.path_for(uarch_name)
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    self.invalidations += 1  # truncated/corrupt line
+                    continue
+                if entry.get("salt") != self.salt:
+                    self.invalidations += 1
+                    continue
+                self._entries[entry["key"]] = entry
+
+    # -- lookup / store -------------------------------------------------
+
+    def key_for(self, form_uid: str, uarch_name: str,
+                config: MeasurementConfig) -> str:
+        return cache_key(form_uid, uarch_name, config, self.salt)
+
+    def get(self, key: str, uarch_name: str):
+        """The stored ``data`` dict, ``None`` for a cached skip marker, or
+        the module-level miss sentinel."""
+        self._load(uarch_name)
+        entry = self._entries.get(key)
+        if entry is None:
+            return _MISS
+        return entry["data"]
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        return value is _MISS
+
+    @staticmethod
+    def miss():
+        """The sentinel :meth:`get` returns for an absent key."""
+        return _MISS
+
+    def put(
+        self,
+        key: str,
+        form_uid: str,
+        uarch_name: str,
+        data: Optional[Dict[str, Any]],
+    ) -> None:
+        """Persist one characterization (``data=None`` marks a skip)."""
+        self._load(uarch_name)
+        entry = {
+            "salt": self.salt,
+            "key": key,
+            "uid": form_uid,
+            "uarch": uarch_name,
+            "data": data,
+        }
+        self._entries[key] = entry
+        os.makedirs(self.cache_dir, exist_ok=True)
+        with open(self.path_for(uarch_name), "a",
+                  encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)

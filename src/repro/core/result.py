@@ -1,9 +1,19 @@
-"""Result types of the characterization algorithms."""
+"""Result types of the characterization algorithms.
+
+Besides the dataclasses themselves, this module provides a stable,
+JSON-compatible round-trip encoding (:func:`encode_characterization` /
+:func:`decode_characterization`).  It is the wire format of the sweep
+engine's persistent result cache and of its worker processes, so it must
+be lossless: every field — port-usage maps keyed by frozensets,
+per-operand-pair latency dicts keyed by tuples, notes — survives
+``decode(encode(x)) == x`` exactly, preserving numeric types (ints stay
+ints, floats stay floats; JSON's ``repr``-based float serialization is
+exact)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -144,3 +154,131 @@ class InstructionCharacterization:
             )
             parts.append(f"lat({lat})")
         return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip encoding (cache entries, sweep-worker results)
+# ---------------------------------------------------------------------------
+#
+# Dict keys that are not strings (frozensets of ports, (src, dst) tuples,
+# sequence lengths) are encoded as [key, value] lists so that JSON cannot
+# coerce their types; entries are sorted so the encoding is canonical.
+
+
+def _encode_latency_value(value: LatencyValue) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {"cycles": value.cycles}
+    if value.kind != LAT_EXACT:
+        encoded["kind"] = value.kind
+    if value.chain is not None:
+        encoded["chain"] = value.chain
+    if value.value_class is not None:
+        encoded["value_class"] = value.value_class
+    return encoded
+
+
+def _decode_latency_value(encoded: Mapping[str, Any]) -> LatencyValue:
+    return LatencyValue(
+        cycles=encoded["cycles"],
+        kind=encoded.get("kind", LAT_EXACT),
+        chain=encoded.get("chain"),
+        value_class=encoded.get("value_class"),
+    )
+
+
+def _encode_pairs(
+    pairs: Mapping[Tuple[str, str], LatencyValue]
+) -> List[List[Any]]:
+    return [
+        [src, dst, _encode_latency_value(value)]
+        for (src, dst), value in sorted(pairs.items())
+    ]
+
+
+def _decode_pairs(
+    encoded: List[List[Any]],
+) -> Dict[Tuple[str, str], LatencyValue]:
+    return {
+        (src, dst): _decode_latency_value(value)
+        for src, dst, value in encoded
+    }
+
+
+def encode_characterization(
+    outcome: InstructionCharacterization,
+) -> Dict[str, Any]:
+    """A JSON-compatible dict that :func:`decode_characterization` inverts."""
+    encoded: Dict[str, Any] = {
+        "form_uid": outcome.form_uid,
+        "uarch_name": outcome.uarch_name,
+        "uop_count": outcome.uop_count,
+    }
+    if outcome.port_usage is not None:
+        encoded["port_usage"] = [
+            [list(ports), count]
+            for ports, count in outcome.port_usage.as_sorted_tuple()
+        ]
+    if outcome.latency is not None:
+        encoded["latency"] = {
+            "pairs": _encode_pairs(outcome.latency.pairs),
+            "same_register": _encode_pairs(outcome.latency.same_register),
+            "fast_values": _encode_pairs(outcome.latency.fast_values),
+        }
+    if outcome.throughput is not None:
+        throughput = outcome.throughput
+        encoded["throughput"] = {
+            "measured": throughput.measured,
+            "measured_same_kind": throughput.measured_same_kind,
+            "by_sequence_length": sorted(
+                [n, cycles]
+                for n, cycles in throughput.by_sequence_length.items()
+            ),
+            "computed_from_ports": throughput.computed_from_ports,
+            "measured_fast_values": throughput.measured_fast_values,
+        }
+    if outcome.notes:
+        encoded["notes"] = list(outcome.notes)
+    return encoded
+
+
+def decode_characterization(
+    encoded: Mapping[str, Any],
+) -> InstructionCharacterization:
+    """Inverse of :func:`encode_characterization`."""
+    port_usage = None
+    if "port_usage" in encoded:
+        port_usage = PortUsage(
+            {
+                frozenset(ports): count
+                for ports, count in encoded["port_usage"]
+            }
+        )
+    latency = None
+    if "latency" in encoded:
+        latency = LatencyResult(
+            pairs=_decode_pairs(encoded["latency"]["pairs"]),
+            same_register=_decode_pairs(
+                encoded["latency"]["same_register"]
+            ),
+            fast_values=_decode_pairs(encoded["latency"]["fast_values"]),
+        )
+    throughput = None
+    if "throughput" in encoded:
+        raw = encoded["throughput"]
+        throughput = ThroughputResult(
+            measured=raw["measured"],
+            measured_same_kind=raw["measured_same_kind"],
+            by_sequence_length={
+                n: cycles for n, cycles in raw["by_sequence_length"]
+            },
+            computed_from_ports=raw["computed_from_ports"],
+            measured_fast_values=raw["measured_fast_values"],
+        )
+    return InstructionCharacterization(
+        form_uid=encoded["form_uid"],
+        uarch_name=encoded["uarch_name"],
+        uop_count=encoded["uop_count"],
+        port_usage=port_usage,
+        latency=latency,
+        throughput=throughput,
+        notes=tuple(encoded.get("notes", ())),
+    )

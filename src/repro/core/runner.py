@@ -36,11 +36,32 @@ from repro.isa.instruction import (
 
 @dataclass
 class RunStatistics:
-    """Bookkeeping for a characterization run (cf. Section 7.1)."""
+    """Bookkeeping for a characterization run (cf. Section 7.1).
+
+    ``seconds`` is *measurement* time only: it accumulates solely while a
+    form is actually being characterized on a backend.  Forms that are
+    skipped (unmeasurable) or served from the sweep engine's persistent
+    cache contribute nothing to it, so cached re-runs report near-zero
+    measured time even when the wall clock is dominated by I/O.
+    """
 
     characterized: int = 0
     skipped: int = 0
     seconds: float = 0.0
+    #: Persistent-cache counters (filled by the sweep engine; a serial
+    #: :class:`CharacterizationRunner` never touches the cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+
+    def merge(self, other: "RunStatistics") -> None:
+        """Fold in the statistics of another run (e.g. a sweep worker)."""
+        self.characterized += other.characterized
+        self.skipped += other.skipped
+        self.seconds += other.seconds
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_invalidations += other.cache_invalidations
 
 
 class CharacterizationRunner:

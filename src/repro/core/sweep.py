@@ -1,0 +1,251 @@
+"""Parallel sharded characterization sweeps with persistent caching.
+
+:class:`CharacterizationRunner` walks the catalog serially; at the scale
+of the paper's tool (thousands of variants per generation, Section 6)
+that leaves both cores and determinism on the table.  The
+:class:`SweepEngine` exploits that every characterization is an
+independent pure function of (form, microarchitecture, measurement
+configuration):
+
+* the requested forms are sorted by uid and dealt round-robin into
+  ``jobs`` deterministic shards (:func:`shard_uids`);
+* each shard is characterized by a worker process that constructs its
+  *own* backend from the picklable microarchitecture name — simulator
+  state is never shared between processes, so parallel results are
+  bit-identical to a serial run;
+* workers return results in the canonical
+  :func:`~repro.core.result.encode_characterization` encoding (also the
+  cache's wire format), and the parent merges them in stable uid order;
+* an optional :class:`~repro.core.cache.ResultCache` is consulted before
+  any shard is formed, and populated afterwards, so warm sweeps perform
+  zero backend measurements.
+
+``jobs=1`` runs in-process (no pool, optionally on an injected backend),
+which is both the debugging path and the differential-test reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cache import ResultCache
+from repro.core.result import (
+    InstructionCharacterization,
+    decode_characterization,
+    encode_characterization,
+)
+from repro.core.runner import CharacterizationRunner, RunStatistics
+from repro.isa.database import InstructionDatabase, load_default_database
+from repro.isa.instruction import InstructionForm
+from repro.measure.backend import HardwareBackend, MeasurementConfig
+from repro.uarch.configs import get_uarch
+from repro.uarch.model import UarchConfig
+
+
+def shard_uids(uids: List[str], n_shards: int) -> List[List[str]]:
+    """Deal sorted uids round-robin into at most *n_shards* chunks.
+
+    Round-robin (rather than contiguous slices) spreads the uid-adjacent
+    forms of one mnemonic family — which tend to have similar
+    characterization cost — across shards, balancing worker runtimes.
+    Empty shards are dropped.
+    """
+    ordered = sorted(uids)
+    n_shards = max(1, n_shards)
+    shards = [ordered[i::n_shards] for i in range(n_shards)]
+    return [shard for shard in shards if shard]
+
+
+#: Worker payload: (uarch name, measurement config, shard of form uids).
+_ShardPayload = Tuple[str, MeasurementConfig, List[str]]
+
+
+def _characterize_shard(payload: _ShardPayload):
+    """Characterize one shard in a worker process.
+
+    Module-level so it is picklable under every multiprocessing start
+    method.  The backend (and its blocking-instruction discovery) is
+    built from scratch inside the worker: nothing but the payload and
+    the returned encodings ever crosses the process boundary.
+    """
+    uarch_name, config, uids = payload
+    database = load_default_database()
+    backend = HardwareBackend(get_uarch(uarch_name), config)
+    runner = CharacterizationRunner(backend, database)
+    entries = []
+    for uid in uids:
+        outcome = runner.characterize(database.by_uid(uid))
+        entries.append(
+            (uid, encode_characterization(outcome)
+             if outcome is not None else None)
+        )
+    return entries, runner.statistics
+
+
+class SweepEngine:
+    """Sharded, cached characterization of many forms on one uarch."""
+
+    def __init__(
+        self,
+        uarch: Union[str, UarchConfig],
+        database: Optional[InstructionDatabase] = None,
+        config: Optional[MeasurementConfig] = None,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        backend: Optional[HardwareBackend] = None,
+    ):
+        self.uarch = get_uarch(uarch) if isinstance(uarch, str) else uarch
+        self.database = database or load_default_database()
+        self.config = config or (
+            backend.config if backend is not None else MeasurementConfig()
+        )
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.statistics = RunStatistics()
+        self._backend = backend
+        self._runner: Optional[CharacterizationRunner] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> HardwareBackend:
+        """The in-process backend (built lazily: a fully warm sweep never
+        needs one)."""
+        if self._backend is None:
+            self._backend = HardwareBackend(self.uarch, self.config)
+        return self._backend
+
+    @property
+    def runner(self) -> CharacterizationRunner:
+        if self._runner is None:
+            self._runner = CharacterizationRunner(
+                self.backend, self.database
+            )
+        return self._runner
+
+    def supported_forms(self) -> List[InstructionForm]:
+        return self.runner.supported_forms()
+
+    # ------------------------------------------------------------------
+
+    def sweep(
+        self,
+        forms: Optional[Iterable[InstructionForm]] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, InstructionCharacterization]:
+        """Characterize *forms* (default: the whole catalog).
+
+        Returns results keyed by form uid, in stable (sorted) uid order
+        regardless of cache state, job count, or shard completion order —
+        and therefore identical to a serial
+        :meth:`CharacterizationRunner.characterize_all` run over the same
+        forms.
+        """
+        requested = list(forms if forms is not None else self.database)
+        requested.sort(key=lambda form: form.uid)
+
+        results: Dict[str, InstructionCharacterization] = {}
+        pending: List[InstructionForm] = []
+        for form in requested:
+            data = self._cache_lookup(form)
+            if ResultCache.is_miss(data):
+                pending.append(form)
+                continue
+            self.statistics.cache_hits += 1
+            if data is not None:
+                results[form.uid] = decode_characterization(data)
+            else:
+                self.statistics.skipped += 1
+
+        if pending:
+            if self.cache is not None:
+                self.statistics.cache_misses += len(pending)
+            if self.jobs == 1:
+                self._sweep_serial(pending, results, progress)
+            else:
+                self._sweep_sharded(pending, results, progress)
+        if self.cache is not None:
+            self.statistics.cache_invalidations = self.cache.invalidations
+
+        return {uid: results[uid] for uid in sorted(results)}
+
+    # ------------------------------------------------------------------
+
+    def _cache_lookup(self, form: InstructionForm):
+        """Stored data, ``None`` for a cached skip, or the miss sentinel."""
+        if self.cache is None:
+            return ResultCache.miss()
+        key = self.cache.key_for(
+            form.uid, self.uarch.name, self.config
+        )
+        return self.cache.get(key, self.uarch.name)
+
+    def _cache_store(self, uid: str, data) -> None:
+        if self.cache is None:
+            return
+        key = self.cache.key_for(uid, self.uarch.name, self.config)
+        self.cache.put(key, uid, self.uarch.name, data)
+
+    def _sweep_serial(
+        self,
+        pending: List[InstructionForm],
+        results: Dict[str, InstructionCharacterization],
+        progress: Optional[Callable[[str], None]],
+    ) -> None:
+        runner = self.runner
+        before = RunStatistics(
+            characterized=runner.statistics.characterized,
+            skipped=runner.statistics.skipped,
+            seconds=runner.statistics.seconds,
+        )
+        for form in pending:
+            outcome = runner.characterize(form)
+            if outcome is not None:
+                results[form.uid] = outcome
+                if progress is not None:
+                    progress(outcome.summary())
+            self._cache_store(
+                form.uid,
+                encode_characterization(outcome)
+                if outcome is not None else None,
+            )
+        self.statistics.characterized += (
+            runner.statistics.characterized - before.characterized
+        )
+        self.statistics.skipped += (
+            runner.statistics.skipped - before.skipped
+        )
+        self.statistics.seconds += (
+            runner.statistics.seconds - before.seconds
+        )
+
+    def _sweep_sharded(
+        self,
+        pending: List[InstructionForm],
+        results: Dict[str, InstructionCharacterization],
+        progress: Optional[Callable[[str], None]],
+    ) -> None:
+        import multiprocessing
+
+        shards = shard_uids([form.uid for form in pending], self.jobs)
+        payloads: List[_ShardPayload] = [
+            (self.uarch.name, self.config, shard) for shard in shards
+        ]
+        # fork (where available) lets workers inherit the already-built
+        # instruction database; spawn-only platforms re-import it.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with context.Pool(processes=len(payloads)) as pool:
+            for entries, stats in pool.imap_unordered(
+                _characterize_shard, payloads
+            ):
+                self.statistics.merge(stats)
+                for uid, data in entries:
+                    if data is not None:
+                        outcome = decode_characterization(data)
+                        results[uid] = outcome
+                        if progress is not None:
+                            progress(outcome.summary())
+                    self._cache_store(uid, data)

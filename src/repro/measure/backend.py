@@ -70,6 +70,10 @@ class HardwareBackend:
         self.config = config or MeasurementConfig()
         self._core = Core(uarch)
         self._cache: Dict = {}
+        #: Number of measure() invocations over the backend's lifetime.
+        #: The sweep engine's tests use this to prove that a warm-cache
+        #: sweep performs zero backend measurements.
+        self.measure_calls = 0
 
     def measure(
         self,
@@ -77,6 +81,7 @@ class HardwareBackend:
         init: Optional[Dict[str, int]] = None,
     ) -> CounterValues:
         """Per-copy average counters using the unroll-difference protocol."""
+        self.measure_calls += 1
         key = (
             tuple(code),
             tuple(sorted(init.items())) if init else None,

@@ -23,6 +23,26 @@ class TestParser:
             args = parser.parse_args(argv)
             assert callable(args.func)
 
+    def test_sweep_cache_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["sweep", "SKL", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert not args.no_cache
+        args = parser.parse_args(["sweep", "--no-cache"])
+        assert args.no_cache
+        assert args.jobs == 1
+        assert args.cache_dir is None  # meaning ~/.cache/repro
+
+    def test_table1_cache_flags(self):
+        args = build_parser().parse_args(
+            ["table1", "--sample", "10", "--jobs", "2", "--no-cache"]
+        )
+        assert args.jobs == 2
+        assert args.no_cache
+
 
 class TestCommands:
     def test_characterize(self, capsys):
@@ -56,10 +76,24 @@ class TestCommands:
 
     def test_sweep_writes_xml(self, tmp_path, capsys):
         output = tmp_path / "out.xml"
+        cache_dir = tmp_path / "cache"
         assert main([
-            "sweep", "SKL", "--sample", "5", "--output", str(output)
+            "sweep", "SKL", "--sample", "5", "--output", str(output),
+            "--cache-dir", str(cache_dir),
         ]) == 0
         assert output.exists()
         text = output.read_text()
         assert "<instruction" in text
         assert "ports=" in text
+        assert cache_dir.joinpath("SKL.jsonl").exists()
+
+        # A warm re-run serves everything from the cache and emits
+        # byte-identical XML.
+        rerun = tmp_path / "rerun.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output", str(rerun),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "0 misses" in err
+        assert rerun.read_bytes() == output.read_bytes()

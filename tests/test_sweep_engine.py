@@ -1,0 +1,223 @@
+"""Differential tests for the parallel sharded sweep engine.
+
+The engine's contract is bit-identical results: serial runner, jobs=1,
+jobs=N, cold cache, and warm cache must all produce exactly the same
+characterizations, and a warm sweep must perform zero backend
+measurements.
+"""
+
+import json
+
+import pytest
+
+from repro.core.cache import ResultCache, cache_key
+from repro.core.runner import CharacterizationRunner
+from repro.core.sweep import SweepEngine, shard_uids
+from repro.measure.backend import MeasurementConfig
+from tests.conftest import backend_for
+
+#: Sampled so the differential covers ALU, vector, divider, branch,
+#: serializing, latency edge cases (SHLD), and an unmeasurable form.
+SAMPLE_UIDS = (
+    "ADD_R64_R64",
+    "ADDPS_XMM_XMM",
+    "AESDEC_XMM_XMM",
+    "CPUID",
+    "DIV_R64",
+    "IMUL_R64_R64",
+    "JE_I8",
+    "NOP",
+    "SHLD_R64_R64_I8",
+    "UD2",  # unmeasurable: exercises skip markers in the cache
+)
+NHM_UIDS = ("ADD_R64_R64", "BSWAP_R64", "DIV_R64", "NOP", "PUSH_R64",
+            "UD2")
+
+
+def _forms(db, uids):
+    return [db.by_uid(uid) for uid in uids]
+
+
+class TestSharding:
+    def test_round_robin_deterministic(self):
+        uids = [f"u{i:02d}" for i in range(10)]
+        shards = shard_uids(list(reversed(uids)), 3)
+        assert shards == [
+            ["u00", "u03", "u06", "u09"],
+            ["u01", "u04", "u07"],
+            ["u02", "u05", "u08"],
+        ]
+        assert shard_uids(uids, 3) == shards  # input order irrelevant
+
+    def test_no_empty_shards(self):
+        assert shard_uids(["a", "b"], 8) == [["a"], ["b"]]
+        assert shard_uids([], 4) == []
+
+    def test_single_shard(self):
+        assert shard_uids(["b", "a"], 1) == [["a", "b"]]
+
+
+class TestDifferential:
+    @pytest.fixture(scope="class")
+    def serial_results(self, db, skl_backend):
+        runner = CharacterizationRunner(skl_backend, db)
+        return runner.characterize_all(_forms(db, SAMPLE_UIDS))
+
+    def test_jobs1_matches_serial(self, db, skl_backend, serial_results):
+        engine = SweepEngine("SKL", db, backend=skl_backend)
+        assert engine.sweep(_forms(db, SAMPLE_UIDS)) == serial_results
+
+    def test_jobs4_matches_serial(self, db, serial_results):
+        engine = SweepEngine("SKL", db, jobs=4)
+        results = engine.sweep(_forms(db, SAMPLE_UIDS))
+        assert results == serial_results
+        assert engine.statistics.characterized == len(serial_results)
+        assert engine.statistics.skipped == 1  # UD2
+
+    def test_cold_then_warm_cache(self, db, skl_backend, serial_results,
+                                  tmp_path):
+        cold = SweepEngine("SKL", db, backend=skl_backend,
+                           cache=ResultCache(str(tmp_path)))
+        assert cold.sweep(_forms(db, SAMPLE_UIDS)) == serial_results
+        assert cold.statistics.cache_misses == len(SAMPLE_UIDS)
+        assert cold.statistics.cache_hits == 0
+
+        warm = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
+        assert warm.sweep(_forms(db, SAMPLE_UIDS)) == serial_results
+        assert warm.statistics.cache_hits == len(SAMPLE_UIDS)
+        assert warm.statistics.cache_misses == 0
+
+    def test_second_uarch(self, db, nhm_backend, tmp_path):
+        serial = CharacterizationRunner(
+            nhm_backend, db
+        ).characterize_all(_forms(db, NHM_UIDS))
+        cache = ResultCache(str(tmp_path))
+        cold = SweepEngine("NHM", db, jobs=2, cache=cache)
+        assert cold.sweep(_forms(db, NHM_UIDS)) == serial
+        warm = SweepEngine("NHM", db, jobs=2,
+                           cache=ResultCache(str(tmp_path)))
+        assert warm.sweep(_forms(db, NHM_UIDS)) == serial
+
+
+class TestWarmCacheDoesNotMeasure:
+    def test_zero_backend_measurements(self, db, skl_backend, tmp_path):
+        forms = _forms(db, SAMPLE_UIDS)
+        cold = SweepEngine("SKL", db, backend=skl_backend,
+                           cache=ResultCache(str(tmp_path)))
+        cold_results = cold.sweep(forms)
+
+        warm = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
+        results = warm.sweep(forms)
+        assert results == cold_results
+        # No backend was ever constructed, hence zero measurements; the
+        # skip marker for UD2 means even supports() is not consulted.
+        assert warm._backend is None
+        assert warm.statistics.characterized == 0
+        assert warm.statistics.skipped == 1
+        assert warm.statistics.seconds == 0.0
+
+    def test_warm_counter_on_injected_backend(self, db, skl_backend,
+                                              tmp_path):
+        forms = _forms(db, ("ADD_R64_R64", "NOP"))
+        cache_dir = str(tmp_path)
+        SweepEngine("SKL", db, backend=skl_backend,
+                    cache=ResultCache(cache_dir)).sweep(forms)
+        calls_before = skl_backend.measure_calls
+        warm = SweepEngine("SKL", db, backend=skl_backend,
+                           cache=ResultCache(cache_dir))
+        warm.sweep(forms)
+        assert skl_backend.measure_calls == calls_before
+
+
+class TestStatistics:
+    def test_skipped_forms_cost_no_measured_time(self, db, skl_backend):
+        runner = CharacterizationRunner(skl_backend, db)
+        assert runner.characterize(db.by_uid("UD2")) is None
+        assert runner.statistics.skipped == 1
+        assert runner.statistics.seconds == 0.0
+
+    def test_merge(self):
+        from repro.core.runner import RunStatistics
+
+        a = RunStatistics(characterized=2, skipped=1, seconds=1.5,
+                          cache_hits=3, cache_misses=2,
+                          cache_invalidations=1)
+        b = RunStatistics(characterized=1, skipped=0, seconds=0.5)
+        a.merge(b)
+        assert a == RunStatistics(characterized=3, skipped=1,
+                                  seconds=2.0, cache_hits=3,
+                                  cache_misses=2, cache_invalidations=1)
+
+
+class TestCache:
+    def test_salt_invalidates(self, db, skl_backend, tmp_path):
+        forms = _forms(db, ("ADD_R64_R64", "NOP"))
+        SweepEngine("SKL", db, backend=skl_backend,
+                    cache=ResultCache(str(tmp_path), salt="old")).sweep(
+            forms
+        )
+        stale = SweepEngine("SKL", db, backend=skl_backend,
+                            cache=ResultCache(str(tmp_path), salt="new"))
+        stale.sweep(forms)
+        assert stale.statistics.cache_hits == 0
+        assert stale.statistics.cache_misses == len(forms)
+        assert stale.statistics.cache_invalidations == len(forms)
+
+    def test_key_depends_on_all_inputs(self):
+        base = cache_key("ADD_R64_R64", "SKL", MeasurementConfig(), "s")
+        assert base != cache_key("NOP", "SKL", MeasurementConfig(), "s")
+        assert base != cache_key("ADD_R64_R64", "NHM",
+                                 MeasurementConfig(), "s")
+        assert base != cache_key(
+            "ADD_R64_R64", "SKL", MeasurementConfig(repeats=2), "s"
+        )
+        assert base != cache_key("ADD_R64_R64", "SKL",
+                                 MeasurementConfig(), "s2")
+        assert base == cache_key("ADD_R64_R64", "SKL",
+                                 MeasurementConfig(), "s")
+
+    def test_config_changes_miss(self, db, skl_backend, tmp_path):
+        forms = _forms(db, ("NOP",))
+        SweepEngine("SKL", db, backend=skl_backend,
+                    cache=ResultCache(str(tmp_path))).sweep(forms)
+        other = SweepEngine(
+            "SKL", db, config=MeasurementConfig.paper(),
+            cache=ResultCache(str(tmp_path)),
+        )
+        other.sweep(forms)
+        assert other.statistics.cache_hits == 0
+        assert other.statistics.cache_misses == 1
+
+    def test_corrupt_lines_dropped(self, db, skl_backend, tmp_path):
+        forms = _forms(db, ("NOP",))
+        cache = ResultCache(str(tmp_path))
+        SweepEngine("SKL", db, backend=skl_backend, cache=cache).sweep(
+            forms
+        )
+        path = cache.path_for("SKL")
+        with open(path, "a") as handle:
+            handle.write("{not json\n")
+        warm = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
+        warm.sweep(forms)
+        assert warm.statistics.cache_hits == 1
+        assert warm.statistics.cache_invalidations == 1
+
+    def test_cache_dir_collides_with_file(self, tmp_path):
+        path = tmp_path / "not-a-dir"
+        path.write_text("")
+        with pytest.raises(NotADirectoryError):
+            ResultCache(str(path))
+
+    def test_jsonl_layout(self, db, skl_backend, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        SweepEngine("SKL", db, backend=skl_backend, cache=cache).sweep(
+            _forms(db, ("ADD_R64_R64", "UD2"))
+        )
+        lines = [
+            json.loads(line)
+            for line in open(cache.path_for("SKL"))
+        ]
+        by_uid = {entry["uid"]: entry for entry in lines}
+        assert by_uid["ADD_R64_R64"]["data"]["uop_count"] == 1
+        assert by_uid["UD2"]["data"] is None  # skip marker
+        assert all(entry["uarch"] == "SKL" for entry in lines)

@@ -1,0 +1,88 @@
+"""Golden-file regression test for the published XML format.
+
+The machine-readable output (Section 6.4) is the tool's public contract:
+downstream consumers (``analyze --model``, the HTML report, external
+tools) parse it.  Cache-fed sweeps reconstruct characterizations from
+the persistent cache encoding, so this test pins the XML for ten
+representative forms byte-for-byte — any drift in the codec, the
+characterization algorithms, or the XML writer fails loudly instead of
+silently changing the published format.
+
+To regenerate after an *intentional* format or simulator change::
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/test_xml_golden.py -q
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.result import encode_characterization
+from repro.core.runner import CharacterizationRunner
+from repro.core.sweep import SweepEngine
+from repro.core.xml_output import results_to_xml, write_xml
+from repro.measure.backend import MeasurementConfig
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent / "golden" / "sweep_skl.xml"
+)
+
+#: Representative of the format's breadth: plain ALU, vector FP, AES,
+#: serializing (uops only), divider (fast values, no port TP), IMUL,
+#: branch (no latency pairs), a load, NOP, and SHLD (chained +
+#: same-register latencies).
+GOLDEN_UIDS = (
+    "ADD_R64_R64",
+    "ADDPS_XMM_XMM",
+    "AESDEC_XMM_XMM",
+    "CPUID",
+    "DIV_R64",
+    "IMUL_R64_R64",
+    "JE_I8",
+    "MOV_R64_M64",
+    "NOP",
+    "SHLD_R64_R64_I8",
+)
+
+
+def _render(results, db, tmp_path) -> bytes:
+    root = results_to_xml({"SKL": results}, db)
+    path = tmp_path / "out.xml"
+    write_xml(root, str(path))
+    return path.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def golden_results(db, skl_backend):
+    runner = CharacterizationRunner(skl_backend, db)
+    return runner.characterize_all(db.by_uid(u) for u in GOLDEN_UIDS)
+
+
+def test_xml_matches_golden(db, golden_results, tmp_path):
+    rendered = _render(golden_results, db, tmp_path)
+    if os.environ.get("REPRO_REGOLDEN"):
+        GOLDEN_PATH.write_bytes(rendered)
+    assert rendered == GOLDEN_PATH.read_bytes(), (
+        "XML output drifted from tests/golden/sweep_skl.xml; if the "
+        "change is intentional, regenerate with REPRO_REGOLDEN=1"
+    )
+
+
+def test_cache_fed_sweep_reproduces_golden(db, golden_results, tmp_path):
+    """A warm-cache sweep must re-emit the golden XML byte-for-byte."""
+    forms = [db.by_uid(u) for u in GOLDEN_UIDS]
+    cache_dir = str(tmp_path / "cache")
+    cache = ResultCache(cache_dir)
+    for outcome in golden_results.values():
+        key = cache.key_for(outcome.form_uid, "SKL",
+                            MeasurementConfig())
+        cache.put(key, outcome.form_uid, "SKL",
+                  encode_characterization(outcome))
+
+    warm = SweepEngine("SKL", db, cache=ResultCache(cache_dir))
+    results = warm.sweep(forms)
+    assert warm.statistics.cache_hits == len(GOLDEN_UIDS)
+    assert _render(results, db, tmp_path) == GOLDEN_PATH.read_bytes()
