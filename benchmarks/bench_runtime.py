@@ -16,6 +16,8 @@ from repro.analysis.sampling import stratified_sample
 from repro.core.cache import ResultCache
 from repro.core.runner import CharacterizationRunner
 from repro.core.sweep import SweepEngine
+from repro.measure.backend import HardwareBackend
+from repro.uarch.configs import get_uarch
 
 from conftest import hardware_backend
 
@@ -104,3 +106,44 @@ def test_cached_sweep_speedup(db, tmp_path, benchmark, emit):
         f"warm sweep: {warm_s:8.2f} s\n"
         f"speedup:    {cold_s / max(warm_s, 1e-9):8.1f}x",
     )
+
+
+def test_cold_sweep_kernel_speedup(db, benchmark, emit):
+    """The event-driven kernel accelerates cold sweeps end to end.
+
+    Unlike the result cache (which only helps *repeat* sweeps), the
+    event kernel plus steady-state extrapolation speeds up the first,
+    cold sweep: both engines below measure everything from scratch, on
+    the default measurement configuration, differing only in the timing
+    kernel.  bench_sim_kernel.py benchmarks the paper configuration,
+    where the gap is far larger.
+    """
+
+    def sweep_with(kernel):
+        backend = HardwareBackend(get_uarch("SKL"), kernel=kernel)
+        engine = SweepEngine("SKL", db, backend=backend)
+        sample = stratified_sample(engine.supported_forms(), SAMPLE)
+        started = time.perf_counter()
+        results = engine.sweep(sample)
+        return results, time.perf_counter() - started, backend
+
+    def run():
+        results_event, event_s, event_backend = sweep_with("event")
+        results_seed, seed_s, _ = sweep_with("reference")
+        assert results_event == results_seed
+        return event_s, seed_s, event_backend
+
+    event_s, seed_s, event_backend = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    emit(
+        "kernel_sweep.txt",
+        "Cold sweep: event kernel vs reference loop (SKL, default "
+        "config):\n\n"
+        f"reference kernel: {seed_s:8.2f} s\n"
+        f"event kernel:     {event_s:8.2f} s\n"
+        f"speedup:          {seed_s / max(event_s, 1e-9):8.1f}x\n"
+        f"cycles simulated:     {event_backend.cycles_simulated}\n"
+        f"cycles extrapolated:  {event_backend.cycles_extrapolated}",
+    )
+    assert event_s < seed_s

@@ -68,6 +68,14 @@ def _print_cache_stats(statistics) -> None:
         f"{statistics.characterized} variants",
         file=sys.stderr,
     )
+    print(
+        f"memo: {statistics.memo_hits} hits, "
+        f"{statistics.memo_misses} misses; "
+        f"kernel: {statistics.cycles_simulated} cycles simulated, "
+        f"{statistics.cycles_extrapolated} extrapolated "
+        f"({statistics.runs_extrapolated} runs)",
+        file=sys.stderr,
+    )
 
 
 def _cmd_sweep(args) -> int:

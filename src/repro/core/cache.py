@@ -31,9 +31,14 @@ import hashlib
 import json
 import os
 from dataclasses import asdict
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from repro.measure.backend import MeasurementConfig
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: appends are not locked
+    fcntl = None
 
 #: Bump to invalidate every cache entry written by older code — part of
 #: every cache key, together with the package version.
@@ -171,6 +176,146 @@ class ResultCache:
         with open(self.path_for(uarch_name), "a",
                   encoding="utf-8") as handle:
             handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def measurement_key(
+    uarch_name: str,
+    config: MeasurementConfig,
+    code: Sequence,
+    init: Optional[Dict[str, int]],
+    salt: Optional[str] = None,
+) -> str:
+    """Content address of one raw ``measure()`` call.
+
+    ``code`` is a sequence of instantiated instructions; the digest uses
+    ``form.uid|<intel syntax>`` per instruction, which pins both the
+    form and the concrete operand assignment (registers, immediates,
+    memory operands) that codegen chose.
+    """
+    payload = json.dumps(
+        {
+            "uarch": uarch_name,
+            "config": asdict(config),
+            "salt": salt if salt is not None else cache_salt(),
+            "code": [
+                f"{instruction.form.uid}|{instruction}"
+                for instruction in code
+            ],
+            "init": sorted(init.items()) if init else None,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class MeasurementMemo:
+    """Persistent memo of raw backend measurements, shared across shards.
+
+    The characterization algorithms re-measure the same *sub*-sequences
+    for thousands of forms: every blocking-instruction discovery run
+    (Section 5.1.1), the per-port blocking blocks of Algorithm 1, and
+    the chain fragments of the latency generators are identical across
+    forms — and across the :class:`~repro.core.sweep.SweepEngine` worker
+    processes, each of which used to rebuild its own in-process cache
+    from scratch.  This memo persists those
+    :class:`~repro.pipeline.core.CounterValues` (in the lossless
+    :func:`~repro.core.result.encode_counters` wire format) next to the
+    result cache, keyed by :func:`measurement_key`.
+
+    Concurrency model: workers load the file once (lazily) and append
+    new entries under an advisory ``flock``; appends are single
+    ``write()`` calls of one JSON line, so concurrent writers interleave
+    at line granularity and a torn tail line is dropped as an
+    invalidation on the next load.  Entries written by one worker become
+    visible to *other* processes on their next load — the parent
+    pre-warms shared measurements before forking so shards start hot.
+    """
+
+    #: File suffix distinguishing memo files from result-cache files.
+    SUFFIX = ".measure.jsonl"
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        salt: Optional[str] = None,
+    ):
+        self.cache_dir = cache_dir or default_cache_dir()
+        if os.path.exists(self.cache_dir) and not os.path.isdir(
+            self.cache_dir
+        ):
+            raise NotADirectoryError(
+                f"cache path exists and is not a directory: "
+                f"{self.cache_dir}"
+            )
+        self.salt = salt if salt is not None else cache_salt()
+        self.invalidations = 0
+        self._entries: Dict[str, Any] = {}
+        self._loaded: set = set()
+
+    def path_for(self, uarch_name: str) -> str:
+        return os.path.join(self.cache_dir, f"{uarch_name}{self.SUFFIX}")
+
+    def _load(self, uarch_name: str) -> None:
+        if uarch_name in self._loaded:
+            return
+        self._loaded.add(uarch_name)
+        path = self.path_for(uarch_name)
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    self.invalidations += 1  # torn/corrupt line
+                    continue
+                if entry.get("salt") != self.salt:
+                    self.invalidations += 1
+                    continue
+                self._entries[entry["key"]] = entry["data"]
+
+    def key_for(
+        self,
+        uarch_name: str,
+        config: MeasurementConfig,
+        code: Sequence,
+        init: Optional[Dict[str, int]],
+    ) -> str:
+        return measurement_key(uarch_name, config, code, init, self.salt)
+
+    def get(self, key: str, uarch_name: str):
+        """The encoded counters, or the module-level miss sentinel."""
+        self._load(uarch_name)
+        return self._entries.get(key, _MISS)
+
+    @staticmethod
+    def is_miss(value) -> bool:
+        return value is _MISS
+
+    def put(self, key: str, uarch_name: str, data: Dict[str, Any]) -> None:
+        self._load(uarch_name)
+        if key in self._entries:
+            return
+        self._entries[key] = data
+        os.makedirs(self.cache_dir, exist_ok=True)
+        line = json.dumps(
+            {"salt": self.salt, "key": key, "data": data}, sort_keys=True
+        ) + "\n"
+        with open(self.path_for(uarch_name), "a",
+                  encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line)
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -282,3 +282,36 @@ def decode_characterization(
         throughput=throughput,
         notes=tuple(encoded.get("notes", ())),
     )
+
+
+def encode_counters(counters) -> Dict[str, Any]:
+    """JSON encoding of one :class:`~repro.pipeline.core.CounterValues`.
+
+    The wire format of the measurement memo, so it follows the same
+    losslessness rule as :func:`encode_characterization`: port keys are
+    encoded as ``[port, count]`` lists (JSON would coerce them to
+    strings) and numeric types survive exactly (``repr``-based float
+    serialization round-trips bit-identically).
+    """
+    return {
+        "cycles": counters.cycles,
+        "ports": sorted(
+            [port, count] for port, count in counters.port_uops.items()
+        ),
+        "uops": counters.uops,
+        "instructions": counters.instructions,
+        "uops_fused": counters.uops_fused,
+    }
+
+
+def decode_counters(encoded: Mapping[str, Any]):
+    """Inverse of :func:`encode_counters`."""
+    from repro.pipeline.core import CounterValues
+
+    return CounterValues(
+        cycles=encoded["cycles"],
+        port_uops={port: count for port, count in encoded["ports"]},
+        uops=encoded["uops"],
+        instructions=encoded["instructions"],
+        uops_fused=encoded["uops_fused"],
+    )

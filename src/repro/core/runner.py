@@ -53,6 +53,16 @@ class RunStatistics:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    #: Measurement-memo counters (persistent raw-measurement memo shared
+    #: across sweep shards; see :class:`~repro.core.cache.MeasurementMemo`).
+    memo_hits: int = 0
+    memo_misses: int = 0
+    #: Timing-kernel work split: cycles actually simulated vs. produced
+    #: analytically by steady-state extrapolation, and the number of
+    #: unrolled runs served without a simulation of their own.
+    cycles_simulated: int = 0
+    cycles_extrapolated: int = 0
+    runs_extrapolated: int = 0
 
     def merge(self, other: "RunStatistics") -> None:
         """Fold in the statistics of another run (e.g. a sweep worker)."""
@@ -62,6 +72,35 @@ class RunStatistics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_invalidations += other.cache_invalidations
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        self.cycles_simulated += other.cycles_simulated
+        self.cycles_extrapolated += other.cycles_extrapolated
+        self.runs_extrapolated += other.runs_extrapolated
+
+    def fold_backend(self, before, after) -> None:
+        """Add the delta of two :meth:`HardwareBackend.stats_tuple`
+        snapshots taken around a stretch of measurement work."""
+        (
+            self.memo_hits,
+            self.memo_misses,
+            self.cycles_simulated,
+            self.cycles_extrapolated,
+            self.runs_extrapolated,
+        ) = (
+            current + (b - a)
+            for current, a, b in zip(
+                (
+                    self.memo_hits,
+                    self.memo_misses,
+                    self.cycles_simulated,
+                    self.cycles_extrapolated,
+                    self.runs_extrapolated,
+                ),
+                before,
+                after,
+            )
+        )
 
 
 class CharacterizationRunner:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.cache import ResultCache
+from repro.core.cache import MeasurementMemo, ResultCache
 from repro.core.result import (
     InstructionCharacterization,
     decode_characterization,
@@ -56,8 +56,11 @@ def shard_uids(uids: List[str], n_shards: int) -> List[List[str]]:
     return [shard for shard in shards if shard]
 
 
-#: Worker payload: (uarch name, measurement config, shard of form uids).
-_ShardPayload = Tuple[str, MeasurementConfig, List[str]]
+#: Worker payload: (uarch name, measurement config, shard of form uids,
+#: measurement-memo directory or None, memo salt).
+_ShardPayload = Tuple[
+    str, MeasurementConfig, List[str], Optional[str], Optional[str]
+]
 
 
 def _characterize_shard(payload: _ShardPayload):
@@ -65,12 +68,20 @@ def _characterize_shard(payload: _ShardPayload):
 
     Module-level so it is picklable under every multiprocessing start
     method.  The backend (and its blocking-instruction discovery) is
-    built from scratch inside the worker: nothing but the payload and
-    the returned encodings ever crosses the process boundary.
+    built from scratch inside the worker — but when the sweep has a
+    measurement memo, the worker attaches to the shared memo file, so
+    the blocking/chain sub-measurements the parent pre-warmed (and
+    anything previous sweeps measured) are decoded instead of
+    re-simulated.  Nothing but the payload and the returned encodings
+    ever crosses the process boundary.
     """
-    uarch_name, config, uids = payload
+    uarch_name, config, uids, memo_dir, memo_salt = payload
     database = load_default_database()
-    backend = HardwareBackend(get_uarch(uarch_name), config)
+    memo = (
+        MeasurementMemo(memo_dir, salt=memo_salt)
+        if memo_dir is not None else None
+    )
+    backend = HardwareBackend(get_uarch(uarch_name), config, memo=memo)
     runner = CharacterizationRunner(backend, database)
     entries = []
     for uid in uids:
@@ -79,6 +90,9 @@ def _characterize_shard(payload: _ShardPayload):
             (uid, encode_characterization(outcome)
              if outcome is not None else None)
         )
+    runner.statistics.fold_backend(
+        (0, 0, 0, 0, 0), backend.stats_tuple()
+    )
     return entries, runner.statistics
 
 
@@ -93,6 +107,7 @@ class SweepEngine:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         backend: Optional[HardwareBackend] = None,
+        measure_memo: Optional[MeasurementMemo] = None,
     ):
         self.uarch = get_uarch(uarch) if isinstance(uarch, str) else uarch
         self.database = database or load_default_database()
@@ -101,6 +116,13 @@ class SweepEngine:
         )
         self.jobs = max(1, jobs)
         self.cache = cache
+        # The raw-measurement memo rides along with the result cache by
+        # default (same directory, same salt): a cached sweep implies the
+        # user wants persistence, and the memo is what makes the *cold*
+        # part of a sweep cheap across shards and runs.
+        if measure_memo is None and cache is not None:
+            measure_memo = MeasurementMemo(cache.cache_dir, salt=cache.salt)
+        self.measure_memo = measure_memo
         self.statistics = RunStatistics()
         self._backend = backend
         self._runner: Optional[CharacterizationRunner] = None
@@ -112,7 +134,9 @@ class SweepEngine:
         """The in-process backend (built lazily: a fully warm sweep never
         needs one)."""
         if self._backend is None:
-            self._backend = HardwareBackend(self.uarch, self.config)
+            self._backend = HardwareBackend(
+                self.uarch, self.config, memo=self.measure_memo
+            )
         return self._backend
 
     @property
@@ -144,6 +168,10 @@ class SweepEngine:
         requested = list(forms if forms is not None else self.database)
         requested.sort(key=lambda form: form.uid)
 
+        backend_base = (
+            self._backend.stats_tuple()
+            if self._backend is not None else (0, 0, 0, 0, 0)
+        )
         results: Dict[str, InstructionCharacterization] = {}
         pending: List[InstructionForm] = []
         for form in requested:
@@ -166,6 +194,12 @@ class SweepEngine:
                 self._sweep_sharded(pending, results, progress)
         if self.cache is not None:
             self.statistics.cache_invalidations = self.cache.invalidations
+        if self._backend is not None:
+            # In-process measurement work this sweep performed (serial
+            # shards and the sharded path's memo pre-warm).
+            self.statistics.fold_backend(
+                backend_base, self._backend.stats_tuple()
+            )
 
         return {uid: results[uid] for uid in sorted(results)}
 
@@ -227,9 +261,25 @@ class SweepEngine:
     ) -> None:
         import multiprocessing
 
+        memo = self.measure_memo
+        if memo is not None:
+            # Pre-warm the measurements every worker would otherwise
+            # repeat — the blocking-instruction discovery walks the whole
+            # catalog (Section 5.1.1) and is identical in all shards.
+            # Running it once in the parent writes the results through to
+            # the shared memo file before the workers attach to it.
+            _ = self.runner.blocking
+
         shards = shard_uids([form.uid for form in pending], self.jobs)
         payloads: List[_ShardPayload] = [
-            (self.uarch.name, self.config, shard) for shard in shards
+            (
+                self.uarch.name,
+                self.config,
+                shard,
+                memo.cache_dir if memo is not None else None,
+                memo.salt if memo is not None else None,
+            )
+            for shard in shards
         ]
         # fork (where available) lets workers inherit the already-built
         # instruction database; spawn-only platforms re-import it.

@@ -12,10 +12,12 @@ runs.  On the deterministic simulator a single repetition suffices; the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Sequence
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
+from repro.core.result import decode_counters, encode_counters
 from repro.isa.instruction import Instruction, InstructionForm
-from repro.pipeline.core import Core, CounterValues
+from repro.measure.extrapolate import unrolled_counters
+from repro.pipeline.core import KERNEL_REFERENCE, Core, CounterValues
 from repro.uarch.model import UarchConfig
 
 
@@ -58,22 +60,70 @@ class MeasurementBackend(Protocol):
 
 
 class HardwareBackend:
-    """Measurements on the simulated hardware via performance counters."""
+    """Measurements on the simulated hardware via performance counters.
+
+    Three result layers sit in front of the simulator, checked in order:
+
+    1. an in-process cache of final per-copy averages, keyed by the
+       hoisted ``(code, init)`` tuple (constructed once per call and
+       shared with the run-level memo),
+    2. an optional persistent, cross-process
+       :class:`~repro.core.cache.MeasurementMemo` (injected — typically
+       by the sweep engine — so worker shards share the blocking/chain
+       sub-measurements instead of each re-simulating them),
+    3. the simulator itself.  With the event kernel, both unroll factors
+       of Algorithm 2 are read off **one** instrumented probe run via
+       steady-state extrapolation
+       (:func:`~repro.measure.extrapolate.unrolled_counters`), and the
+       deterministic ``repeats``/warmup runs are collapsed analytically;
+       with ``REPRO_SIM=reference`` the seed measurement loop runs
+       verbatim.  Both paths return bit-identical counters.
+    """
 
     def __init__(
         self,
         uarch: UarchConfig,
         config: Optional[MeasurementConfig] = None,
+        memo=None,
+        kernel: Optional[str] = None,
     ):
         self.uarch = uarch
         self.name = f"hw-{uarch.name}"
         self.config = config or MeasurementConfig()
-        self._core = Core(uarch)
+        self._core = Core(uarch, kernel=kernel)
         self._cache: Dict = {}
+        #: Per-(code, init) full-run counters at each simulated unroll
+        #: factor — the run-level memo that collapses repeats/warmup.
+        self._run_memo: Dict = {}
+        self.memo = memo
         #: Number of measure() invocations over the backend's lifetime.
         #: The sweep engine's tests use this to prove that a warm-cache
         #: sweep performs zero backend measurements.
         self.measure_calls = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.runs_extrapolated = 0
+        self.cycles_extrapolated = 0
+
+    @property
+    def kernel(self) -> str:
+        """The active timing kernel (read through to the core, which the
+        fusion/decoder extensions replace)."""
+        return self._core.kernel
+
+    @property
+    def cycles_simulated(self) -> int:
+        return self._core.cycles_simulated
+
+    def stats_tuple(self) -> Tuple[int, int, int, int, int]:
+        """Snapshot of the perf counters RunStatistics aggregates."""
+        return (
+            self.memo_hits,
+            self.memo_misses,
+            self.cycles_simulated,
+            self.cycles_extrapolated,
+            self.runs_extrapolated,
+        )
 
     def measure(
         self,
@@ -82,17 +132,52 @@ class HardwareBackend:
     ) -> CounterValues:
         """Per-copy average counters using the unroll-difference protocol."""
         self.measure_calls += 1
+        code = tuple(code)
         key = (
-            tuple(code),
+            code,
             tuple(sorted(init.items())) if init else None,
         )
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        memo_key = None
+        if self.memo is not None:
+            memo_key = self.memo.key_for(
+                self.uarch.name, self.config, code, init
+            )
+            data = self.memo.get(memo_key, self.uarch.name)
+            if not self.memo.is_miss(data):
+                self.memo_hits += 1
+                per_copy = decode_counters(data)
+                self._cache[key] = per_copy
+                return per_copy
+            self.memo_misses += 1
+        if self._core.kernel == KERNEL_REFERENCE:
+            per_copy = self._measure_reference(code, init)
+        else:
+            per_copy = self._measure_extrapolating(code, init, key)
+        self._cache[key] = per_copy
+        if self.memo is not None:
+            self.memo.put(
+                memo_key, self.uarch.name, encode_counters(per_copy)
+            )
+        return per_copy
+
+    def _measure_reference(
+        self,
+        code: Tuple[Instruction, ...],
+        init: Optional[Dict[str, int]],
+    ) -> CounterValues:
+        """The seed measurement loop, verbatim: every run simulated.
+
+        Kept unshared with the extrapolating path (no run memo, no
+        probe) so that ``REPRO_SIM=reference`` exercises exactly the
+        original code for differential testing.
+        """
         cfg = self.config
-        code = list(code)
-        small = code * cfg.unroll_small
-        large = code * cfg.unroll_large
+        block = list(code)
+        small = block * cfg.unroll_small
+        large = block * cfg.unroll_large
         if cfg.warmup:
             self._core.run(small, init)
         totals: Optional[CounterValues] = None
@@ -102,11 +187,42 @@ class HardwareBackend:
             delta = counters_large - counters_small
             totals = delta if totals is None else _accumulate(totals, delta)
         assert totals is not None
-        per_copy = totals.scaled(
+        return totals.scaled(
             cfg.repeats * (cfg.unroll_large - cfg.unroll_small)
         )
-        self._cache[key] = per_copy
-        return per_copy
+
+    def _measure_extrapolating(
+        self,
+        code: Tuple[Instruction, ...],
+        init: Optional[Dict[str, int]],
+        key,
+    ) -> CounterValues:
+        """One probe, analytic tail, collapsed repeats.
+
+        The simulator is deterministic, so the warmup run and all but
+        one repetition of the seed loop are byte-identical re-runs:
+        their contribution is reconstructed exactly (integer deltas
+        accumulated ``repeats`` times, then the same float division), so
+        the result is bit-identical to :meth:`_measure_reference`.
+        """
+        cfg = self.config
+        targets = (cfg.unroll_small, cfg.unroll_large)
+        runs = self._run_memo.get(key)
+        if runs is None or any(t not in runs for t in targets):
+            fresh, stats = unrolled_counters(
+                self._core, code, init, targets
+            )
+            self.runs_extrapolated += stats.runs_extrapolated
+            self.cycles_extrapolated += stats.cycles_extrapolated
+            runs = self._run_memo.setdefault(key, {})
+            runs.update(fresh)
+        delta = runs[cfg.unroll_large] - runs[cfg.unroll_small]
+        totals = delta
+        for _ in range(cfg.repeats - 1):
+            totals = _accumulate(totals, delta)
+        return totals.scaled(
+            cfg.repeats * (cfg.unroll_large - cfg.unroll_small)
+        )
 
     def supports(self, form: InstructionForm) -> bool:
         return self._core.supports(form)

@@ -1,0 +1,235 @@
+"""Steady-state extrapolation of unrolled-block simulations.
+
+:class:`~repro.measure.backend.HardwareBackend` implements Algorithm 2 by
+simulating the block under test unrolled ``unroll_small`` and
+``unroll_large`` times.  But the simulated pipeline reaches a steady
+state after a handful of copies: the per-copy deltas of the retire cycle,
+the port-binding counts, and the µop counts become periodic (period > 1
+arises from e.g. the every-third-MOV move-elimination counter or a
+port-imbalanced binding rotation).  Once the period is known, the
+counters of the long unroll follow analytically — in exact integer
+arithmetic, so the extrapolated values are bit-identical to a full
+simulation.
+
+The observation that a repeated basic block settles into a periodic
+steady state is the same one uops.info's own loop-based throughput
+protocol and PALMED's saturating-kernel design rely on.
+
+Everything here rests on the *prefix property* of the simulated core:
+counters observed at a copy boundary of a longer unroll equal the
+counters of simulating exactly that many copies.  Port binding is a pure
+function of issue order, issue/retire are in order, and a port always
+dispatches its oldest ready µop — so a younger µop can never delay an
+older one.  The single exception is the non-pipelined divider, whose
+occupancy lets a younger µop (dispatched while the older's operands were
+still in flight) stall an older divider µop; divider forms therefore
+bypass extrapolation entirely (they are also the value-dependent case,
+Section 5.2.5, where periodicity itself is not guaranteed).  When no
+period is detected within the probe window the caller falls back to full
+simulation, so extrapolation is an optimization, never a semantic
+change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.pipeline.core import (
+    KERNEL_EVENT,
+    Core,
+    CounterValues,
+    ProbeResult,
+)
+
+#: Minimum number of copies simulated by the instrumented probe.  Large
+#: enough that issue-rate transients (ROB/RS fill, SSE/AVX transition
+#: stalls on the first copies, move-elimination phase-in) have settled
+#: and a trailing window of clean periods is observable.
+MIN_PROBE = 18
+
+#: Longest per-copy period the detector searches for.
+MAX_PERIOD = 4
+
+#: Trailing copies that must repeat for a period to be accepted.
+def _window(period: int) -> int:
+    return max(6, 3 * period)
+
+
+@dataclass
+class ExtrapolationStats:
+    """What one :func:`unrolled_counters` call did (for RunStatistics)."""
+
+    #: Unroll targets served analytically (no simulation of their own).
+    runs_extrapolated: int = 0
+    #: Cycles of the analytic tails (would have been simulated otherwise).
+    cycles_extrapolated: int = 0
+
+
+def _uses_divider(core: Core, code: Sequence) -> bool:
+    """Static guard: any µop of *code* can occupy the divider.
+
+    Divider occupancy breaks the prefix property and divider timing is
+    operand-value dependent, so these forms never extrapolate.
+    """
+    for instruction in code:
+        entry = core._entries.get(instruction)
+        if entry is None:
+            return True  # unsupported: let the simulation raise
+        if entry.divider_class is not None:
+            return True
+        for spec in entry.uops + (entry.same_reg_uops or ()):
+            if spec.divider_cycles:
+                return True
+    return False
+
+
+def _signatures(probe: ProbeResult) -> List[Tuple]:
+    """Per-copy steady-state signature: everything that must repeat."""
+    signatures: List[Tuple] = []
+    previous = -1
+    for k in range(probe.copies):
+        finish = probe.finish[k]
+        signatures.append(
+            (
+                finish - previous,
+                tuple(sorted(probe.ports[k].items())),
+                probe.uops[k],
+                probe.fused[k],
+            )
+        )
+        previous = finish
+    return signatures
+
+
+def _detect_period(signatures: List[Tuple]) -> Optional[int]:
+    """Smallest period whose trailing window repeats exactly."""
+    n = len(signatures)
+    for period in range(1, MAX_PERIOD + 1):
+        window = _window(period)
+        if window + period > n:
+            break
+        if all(
+            signatures[j] == signatures[j - period]
+            for j in range(n - window, n)
+        ):
+            return period
+    return None
+
+
+def _prefix_counters(
+    probe: ProbeResult, copies: int, block_len: int, ports: Sequence[int]
+) -> CounterValues:
+    """Exact counters of a ``copies``-copy run read off the probe prefix."""
+    port_uops = {p: 0 for p in ports}
+    uops = 0
+    fused = 0
+    for k in range(copies):
+        for port, count in probe.ports[k].items():
+            port_uops[port] += count
+        uops += probe.uops[k]
+        fused += probe.fused[k]
+    return CounterValues(
+        cycles=probe.finish[copies - 1] + 1 if copies else 0,
+        port_uops=port_uops,
+        uops=uops,
+        instructions=copies * block_len,
+        uops_fused=fused,
+    )
+
+
+def _extrapolated_counters(
+    probe: ProbeResult,
+    period: int,
+    copies: int,
+    block_len: int,
+    ports: Sequence[int],
+) -> CounterValues:
+    """Counters of a run longer than the probe, via the periodic tail."""
+    base = _prefix_counters(probe, probe.copies, block_len, ports)
+    signatures = _signatures(probe)
+    pattern = signatures[probe.copies - period:]
+    full, rem = divmod(copies - probe.copies, period)
+
+    cycles = base.cycles
+    port_uops = dict(base.port_uops)
+    uops = base.uops
+    fused = base.uops_fused
+    for weight, signature in (
+        [(full, s) for s in pattern] + [(1, s) for s in pattern[:rem]]
+    ):
+        delta, port_items, uop_count, fused_count = signature
+        cycles += weight * delta
+        for port, count in port_items:
+            port_uops[port] += weight * count
+        uops += weight * uop_count
+        fused += weight * fused_count
+    return CounterValues(
+        cycles=cycles,
+        port_uops=port_uops,
+        uops=uops,
+        instructions=copies * block_len,
+        uops_fused=fused,
+    )
+
+
+def unrolled_counters(
+    core: Core,
+    code: Sequence,
+    init: Optional[Dict[str, int]],
+    targets: Sequence[int],
+) -> Tuple[Dict[int, CounterValues], ExtrapolationStats]:
+    """Exact counters of ``code * t`` for every unroll factor in *targets*.
+
+    Runs one instrumented probe simulation and serves every target either
+    as an integer prefix of the probe or by extrapolating the periodic
+    steady state; each returned :class:`CounterValues` is bit-identical
+    to ``core.run(list(code) * t, init)``.  Falls back to full
+    simulation per target when extrapolation does not apply (reference
+    kernel, divider forms, no detected period).
+    """
+    stats = ExtrapolationStats()
+    targets = sorted(set(targets))
+
+    def simulate_all() -> Dict[int, CounterValues]:
+        return {
+            t: core.run(list(code) * t, init) for t in targets
+        }
+
+    if (
+        not code
+        or not targets
+        or core.kernel != KERNEL_EVENT
+        or _uses_divider(core, code)
+    ):
+        return simulate_all(), stats
+
+    probe_copies = min(targets[-1], max(MIN_PROBE, targets[0] + 2))
+    probe = core.run_instrumented(code, probe_copies, init)
+    block_len = len(code)
+    ports = core.uarch.ports
+
+    results: Dict[int, CounterValues] = {}
+    beyond = [t for t in targets if t > probe_copies]
+    period = None
+    if beyond:
+        period = _detect_period(_signatures(probe))
+        if period is None:
+            # No steady state within the probe window: simulate the
+            # long unrolls in full (the probe still serves the short
+            # ones as prefixes).
+            for t in beyond:
+                results[t] = core.run(list(code) * t, init)
+    for t in targets:
+        if t in results:
+            continue
+        if t <= probe_copies:
+            results[t] = _prefix_counters(probe, t, block_len, ports)
+        else:
+            counters = _extrapolated_counters(
+                probe, period, t, block_len, ports
+            )
+            stats.runs_extrapolated += 1
+            stats.cycles_extrapolated += counters.cycles - probe.total_cycles
+            results[t] = counters
+    return results, stats

@@ -26,11 +26,13 @@ Observability is restricted to what hardware performance counters provide
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import ATTR_MOVE, Instruction
 from repro.isa.operands import Memory, OperandKind, RegisterOperand
+from repro.pipeline.event_kernel import timing_event
 from repro.pipeline.semantics import MemAccess, evaluate
 from repro.pipeline.state import MachineState
 from repro.uarch.model import UarchConfig
@@ -46,6 +48,48 @@ from repro.uarch.uops import (
 
 #: Values at or below this are "fast" divider operands (Section 5.2.5).
 _FAST_VALUE_LIMIT = 0xFFFFF
+
+#: Environment variable selecting the timing kernel.
+KERNEL_ENV = "REPRO_SIM"
+KERNEL_EVENT = "event"
+KERNEL_REFERENCE = "reference"
+
+
+def kernel_mode(explicit: Optional[str] = None) -> str:
+    """Resolve the timing-kernel selection.
+
+    ``REPRO_SIM=reference`` forces the original per-cycle loop (the
+    differential-test baseline and the escape hatch when debugging a
+    suspected event-kernel mismatch); anything else selects the
+    event-driven scheduler.
+    """
+    mode = explicit or os.environ.get(KERNEL_ENV) or KERNEL_EVENT
+    if mode not in (KERNEL_EVENT, KERNEL_REFERENCE):
+        raise ValueError(
+            f"unknown timing kernel {mode!r}; expected "
+            f"{KERNEL_EVENT!r} or {KERNEL_REFERENCE!r}"
+        )
+    return mode
+
+
+@dataclass
+class ProbeResult:
+    """Per-copy observations of one instrumented unrolled simulation.
+
+    Everything is an exact integer; index ``k`` describes copy ``k`` of
+    the unrolled block.  ``finish[k]`` is the cycle in which the last µop
+    of copy ``k`` retired, so the counters of a *prefix* of ``t`` copies
+    are ``cycles = finish[t-1] + 1`` plus the sums of the per-copy
+    columns (valid whenever younger copies cannot delay older ones — see
+    :func:`repro.measure.extrapolate.unrolled_counters` for the guard).
+    """
+
+    copies: int
+    finish: List[int]
+    ports: List[Dict[int, int]]
+    uops: List[int]
+    fused: List[int]
+    total_cycles: int
 
 
 @dataclass
@@ -99,6 +143,7 @@ class _RUop:
         "completion",
         "min_issue",
         "index",
+        "bound",
         "_ready_cache",
     )
 
@@ -112,6 +157,9 @@ class _RUop:
         self.completion = -1
         self.min_issue = 0
         self.index = -1
+        #: Port this µop was bound to at issue (event kernel); ``None``
+        #: for portless µops, -1 before issue.
+        self.bound = -1
         self._ready_cache = -1
 
     def ready_time(self) -> int:
@@ -163,7 +211,8 @@ class Core:
 
     def __init__(self, uarch: UarchConfig,
                  enable_macro_fusion: bool = False,
-                 enable_decoder_model: bool = False):
+                 enable_decoder_model: bool = False,
+                 kernel: Optional[str] = None):
         """Args:
             uarch: the generation to simulate.
             enable_macro_fusion: model macro-fusion of flag-setting
@@ -178,12 +227,23 @@ class Core:
                 work in the paper; off by default so that mainline
                 measurements see an ideal front end, on for the
                 decoder-characterization extension.
+            kernel: timing-kernel override (``"event"``/``"reference"``);
+                defaults to the ``REPRO_SIM`` environment variable, then
+                the event-driven scheduler.  Both kernels produce
+                bit-identical counters.
         """
         self.uarch = uarch
         self.enable_macro_fusion = enable_macro_fusion
         self.enable_decoder_model = enable_decoder_model
+        self.kernel = kernel_mode(kernel)
         self._entries = _EntryCache(uarch)
         self.last_fused_uops = 0
+        #: Cumulative (µop count, fused-µop count) after each renamed
+        #: instruction of the most recent :meth:`_rename` — the copy
+        #: boundaries the instrumented probe run needs.
+        self.last_marks: List[Tuple[int, int]] = []
+        #: Total cycles simulated by this core (for RunStatistics).
+        self.cycles_simulated = 0
 
     # ------------------------------------------------------------------
     # Rename: program-order construction of the µop dataflow graph
@@ -199,6 +259,7 @@ class Core:
         flag_writer: Dict[str, Tuple[Optional[_RUop], int]] = {}
         mem_writer: Dict[int, Tuple[_RUop, int]] = {}
         uops: List[_RUop] = []
+        marks: List[Tuple[int, int]] = []
         move_elim_counter = 0
         serialize_dep: Optional[_RUop] = None
         # SSE/AVX transition state machine (Sandy Bridge .. Broadwell):
@@ -241,6 +302,7 @@ class Core:
             ):
                 evaluate(instruction, state)
                 prev_form = form
+                marks.append((len(uops), fused_total))
                 continue
             fused_total += entry.fused_uops
             prev_form = form
@@ -486,7 +548,9 @@ class Core:
 
             if entry.serializing:
                 serialize_dep = uops[-1] if uops else None
+            marks.append((len(uops), fused_total))
         self.last_fused_uops = fused_total
+        self.last_marks = marks
         return uops
 
     # ------------------------------------------------------------------
@@ -494,6 +558,23 @@ class Core:
     # ------------------------------------------------------------------
 
     def _timing(self, uops: List[_RUop]) -> CounterValues:
+        """Resolve the timing of a renamed µop stream.
+
+        Dispatches to the selected kernel; both produce bit-identical
+        counters (pinned by tests/test_sim_differential.py).
+        """
+        if self.kernel == KERNEL_EVENT:
+            cycles, port_counts, _ = timing_event(self.uarch, uops)
+            self.cycles_simulated += cycles
+            return CounterValues(
+                cycles=cycles,
+                port_uops=port_counts,
+                uops=len(uops),
+                instructions=0,
+            )
+        return self._timing_reference(uops)
+
+    def _timing_reference(self, uops: List[_RUop]) -> CounterValues:
         uarch = self.uarch
         issue_width = uarch.issue_width
         retire_width = uarch.retire_width
@@ -600,12 +681,9 @@ class Core:
             cycle += 1
             if not progress:
                 guard += 1
-                pending = portless + [
-                    uop for queue in port_queues.values() for uop in queue
-                ]
                 next_event = self._next_event(
-                    uops, pending, retire_ptr, n, divider_free, cycle,
-                    issue_ptr,
+                    uops, portless, port_queues, retire_ptr, n,
+                    divider_free, cycle, issue_ptr,
                 )
                 if next_event > cycle:
                     cycle = next_event
@@ -616,6 +694,7 @@ class Core:
                     )
 
         total_cycles = cycle
+        self.cycles_simulated += total_cycles
         return CounterValues(
             cycles=total_cycles,
             port_uops=port_counts,
@@ -625,9 +704,15 @@ class Core:
 
     @staticmethod
     def _next_event(
-        uops, waiting, retire_ptr, n, divider_free, cycle, issue_ptr
+        uops, portless, port_queues, retire_ptr, n, divider_free, cycle,
+        issue_ptr
     ) -> int:
-        """Earliest future cycle at which anything can change."""
+        """Earliest future cycle at which anything can change.
+
+        Iterates the live containers directly — the stall path used to
+        concatenate ``portless`` with every port queue into a fresh list
+        on each no-progress cycle, which dominated long stalls.
+        """
         best = None
 
         def consider(t: Optional[int]) -> None:
@@ -635,14 +720,20 @@ class Core:
             if t is not None and t >= cycle and (best is None or t < best):
                 best = t
 
-        if retire_ptr < n and uops[retire_ptr].completion >= 0:
-            consider(uops[retire_ptr].completion)
-        for uop in waiting:
+        def consider_uop(uop) -> None:
             ready = uop.ready_time()
             if ready >= 0:
                 consider(max(ready, cycle))
                 if uop.divider_cycles:
                     consider(divider_free)
+
+        if retire_ptr < n and uops[retire_ptr].completion >= 0:
+            consider(uops[retire_ptr].completion)
+        for uop in portless:
+            consider_uop(uop)
+        for queue in port_queues.values():
+            for uop in queue:
+                consider_uop(uop)
         if issue_ptr < n:
             consider(uops[issue_ptr].min_issue)
         return best if best is not None else cycle
@@ -667,6 +758,63 @@ class Core:
         counters.instructions = len(instructions)
         counters.uops_fused = self.last_fused_uops
         return counters
+
+    def run_instrumented(
+        self,
+        code: Sequence[Instruction],
+        copies: int,
+        init: Optional[Dict[str, int]] = None,
+    ) -> ProbeResult:
+        """Simulate ``code`` unrolled ``copies`` times, per-copy observed.
+
+        One event-kernel simulation of the unrolled stream, instrumented
+        with per-copy retire cycles, port bindings, and µop counts.  The
+        steady-state extrapolator reads both unroll factors of Algorithm 2
+        off this single probe instead of running separate simulations.
+        Requires the event kernel (the reference loop records no
+        per-retirement boundaries).
+        """
+        if self.kernel != KERNEL_EVENT:
+            raise RuntimeError(
+                "run_instrumented requires the event kernel "
+                f"(this core uses {self.kernel!r})"
+            )
+        stream = list(code) * copies
+        state = MachineState.initial(init)
+        uops = self._rename(stream, state)
+        length = len(code)
+        marks = self.last_marks
+        boundaries = [marks[k * length - 1][0] for k in range(1, copies + 1)]
+        cycles, port_counts, finishes = timing_event(
+            self.uarch, uops, boundaries
+        )
+        self.cycles_simulated += cycles
+
+        per_uops: List[int] = []
+        per_fused: List[int] = []
+        per_ports: List[Dict[int, int]] = []
+        prev_uop = 0
+        prev_fused = 0
+        start = 0
+        for k in range(copies):
+            uop_mark, fused_mark = marks[(k + 1) * length - 1]
+            per_uops.append(uop_mark - prev_uop)
+            per_fused.append(fused_mark - prev_fused)
+            counts: Dict[int, int] = {}
+            for idx in range(start, uop_mark):
+                bound = uops[idx].bound
+                if bound is not None and bound >= 0:
+                    counts[bound] = counts.get(bound, 0) + 1
+            per_ports.append(counts)
+            prev_uop, prev_fused, start = uop_mark, fused_mark, uop_mark
+        return ProbeResult(
+            copies=copies,
+            finish=list(finishes or []),
+            ports=per_ports,
+            uops=per_uops,
+            fused=per_fused,
+            total_cycles=cycles,
+        )
 
     def supports(self, instruction_or_form) -> bool:
         form = getattr(instruction_or_form, "form", instruction_or_form)

@@ -1,0 +1,282 @@
+"""Event-driven timing kernel for the simulated out-of-order core.
+
+The reference timing loop in :mod:`repro.pipeline.core` advances cycle by
+cycle and rescans every port queue on each active cycle; its cost is
+O(cycles x reservation-station occupancy).  For the dependent chains the
+latency generators of Section 5.2 produce, the reservation station is
+full of µops that are *not* ready, and those rescans dominate the whole
+tool's runtime.
+
+This kernel replaces the scans with a ready-event scheduler:
+
+* a heap of candidate cycles (``events``) — the only cycles processed are
+  those where something can change (a µop becomes ready, completes, the
+  front end can issue again, the divider frees up);
+* per-port ready heaps ordered by µop age, fed by a wake-up bucket map
+  indexed by the cycle at which a µop's inputs become available;
+* consumer edges with pending-producer counts, so a µop is (re)scheduled
+  exactly when its last producer dispatches.
+
+Cost scales with µop events (issue/dispatch/complete/retire), not with
+cycles or occupancy.
+
+Equivalence contract: for the same renamed µop stream this kernel
+produces **bit-identical** counters (total cycles and per-port µop
+counts) to the reference loop.  The subtle part is intra-cycle phase
+ordering, which the reference fixes as retire -> issue -> portless
+completion -> per-port dispatch (ports in canonical order, oldest ready
+µop first, divider-blocked µops skipped).  A value produced in a later
+phase (or a later port) of cycle ``c`` is only visible to earlier phases
+at ``c + 1``; the scheduler reproduces this by routing same-cycle wakeups
+to either the current cycle's remaining ports or a ``c + 1`` bucket.
+``REPRO_SIM=reference`` keeps the original loop selectable for
+differential testing (see tests/test_sim_differential.py).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+
+def timing_event(
+    uarch,
+    uops,
+    boundaries: Optional[List[int]] = None,
+) -> Tuple[int, Dict[int, int], Optional[List[int]]]:
+    """Schedule renamed µops; returns ``(cycles, port_counts, finishes)``.
+
+    ``boundaries`` (optional) is an increasing list of cumulative µop
+    counts; ``finishes[k]`` is the cycle at which the µop closing
+    boundary ``k`` retired (``-1`` for an empty prefix).  The steady-state
+    extrapolator uses this to observe per-copy deltas of an unrolled
+    block from a single simulation.
+    """
+    issue_width = uarch.issue_width
+    retire_width = uarch.retire_width
+    rob_size = uarch.rob_size
+    rs_size = uarch.rs_size
+    port_order = tuple(uarch.ports)
+    port_pos = {p: i for i, p in enumerate(port_order)}
+
+    n = len(uops)
+    port_counts: Dict[int, int] = {p: 0 for p in port_order}
+    finishes: Optional[List[int]] = (
+        [-1] * len(boundaries) if boundaries is not None else None
+    )
+    if n == 0:
+        return 0, port_counts, finishes
+
+    for index, uop in enumerate(uops):
+        uop.index = index
+
+    #: consumer edges / pending-producer counts, built lazily at issue.
+    consumers: List[List[int]] = [[] for _ in range(n)]
+    pending: List[int] = [0] * n
+
+    ready: Dict[int, List[int]] = {p: [] for p in port_order}
+    bucket: Dict[int, List[int]] = {}
+    portless: List[int] = []
+    events: List[int] = []
+    push = lambda t: heapq.heappush(events, t)  # noqa: E731
+
+    issue_ptr = 0
+    retire_ptr = 0
+    in_rob = 0
+    in_rs = 0
+    divider_free = 0
+    last_retire = 0
+    b_ptr = 0
+
+    def schedule_known(idx: int, t: int, c: int, pos: int) -> None:
+        """Place a µop whose ready time ``t`` just became known.
+
+        ``pos`` encodes the current intra-cycle phase: ``-2`` for the
+        issue phase, ``-1`` for the portless phase, a port position
+        during dispatch.  It decides whether the µop is still visible to
+        the remainder of cycle ``c`` (the reference computes ready times
+        live while scanning).
+        """
+        uop = uops[idx]
+        bound = uop.bound
+        if bound is None:  # portless: completes in the ROB
+            if pos == -2:
+                # Issued this cycle; the portless pass runs next.
+                if t > c:
+                    push(t)
+            elif pos == -1:
+                # Producer dispatched in the portless pass; consumers sit
+                # later in the list and are seen by the same pass.
+                if t > c:
+                    push(t)
+            else:
+                # Producer dispatched on a port: the portless pass of
+                # cycle c is already over.
+                push(t if t > c else c + 1)
+            return
+        if t > c:
+            bucket.setdefault(t, []).append(idx)
+            push(t)
+        elif pos == -2 or pos == -1 or port_pos[bound] > pos:
+            # Still visible to this cycle's dispatch phase.
+            heapq.heappush(ready[bound], idx)
+        else:
+            # This port's dispatch slot for cycle c is already decided.
+            bucket.setdefault(c + 1, []).append(idx)
+            push(c + 1)
+
+    def notify(pidx: int, c: int, pos: int) -> None:
+        """Producer ``pidx`` dispatched at cycle ``c``: wake consumers."""
+        waiters = consumers[pidx]
+        if not waiters:
+            return
+        for cidx in waiters:
+            pending[cidx] -= 1
+            if pending[cidx] == 0:
+                schedule_known(cidx, uops[cidx].ready_time(), c, pos)
+        consumers[pidx] = []
+
+    push(uops[0].min_issue)
+    current = -1
+
+    while retire_ptr < n:
+        if not events:
+            raise RuntimeError(
+                "simulator deadlock (event kernel): no pending events "
+                f"(retired={retire_ptr}/{n})"
+            )
+        c = heapq.heappop(events)
+        while events and events[0] == c:
+            heapq.heappop(events)
+        if c <= current:
+            continue
+        current = c
+
+        # Move woken µops into their port's ready heap.
+        woken = bucket.pop(c, None)
+        if woken is not None:
+            for idx in woken:
+                heapq.heappush(ready[uops[idx].bound], idx)
+
+        # --- Retire in order -----------------------------------------
+        retired = 0
+        while retired < retire_width and retire_ptr < n:
+            completion = uops[retire_ptr].completion
+            if completion < 0 or completion > c:
+                break
+            retire_ptr += 1
+            in_rob -= 1
+            retired += 1
+            last_retire = c
+        if finishes is not None:
+            while b_ptr < len(finishes) and retire_ptr >= boundaries[b_ptr]:
+                finishes[b_ptr] = c if boundaries[b_ptr] else -1
+                b_ptr += 1
+        if (
+            retired == retire_width
+            and retire_ptr < n
+            and 0 <= uops[retire_ptr].completion <= c
+        ):
+            push(c + 1)
+
+        # --- Issue in order; bind to the least-loaded port -----------
+        issued = 0
+        while (
+            issued < issue_width
+            and issue_ptr < n
+            and in_rob < rob_size
+            and in_rs < rs_size
+        ):
+            uop = uops[issue_ptr]
+            if uop.min_issue > c:
+                push(uop.min_issue)
+                break
+            issue_ptr += 1
+            in_rob += 1
+            issued += 1
+            if uop.ports:
+                port = -1
+                best_count = -1
+                for p in uop.ports:
+                    count = port_counts[p]
+                    if port < 0 or count < best_count or (
+                        count == best_count and p < port
+                    ):
+                        port = p
+                        best_count = count
+                port_counts[port] += 1
+                uop.bound = port
+                in_rs += 1
+            else:
+                uop.bound = None
+                portless.append(uop.index)
+            t = uop.ready_time()
+            if t >= 0:
+                schedule_known(uop.index, t, c, -2)
+            else:
+                count = 0
+                for producer, _offset in uop.deps:
+                    if producer is not None and producer.dispatch < 0:
+                        consumers[producer.index].append(uop.index)
+                        count += 1
+                pending[uop.index] = count
+        else:
+            if (
+                issued == issue_width
+                and issue_ptr < n
+                and uops[issue_ptr].min_issue <= c
+            ):
+                push(c + 1)
+
+        # --- Portless µops complete in the ROB -----------------------
+        if portless:
+            still: List[int] = []
+            for idx in portless:
+                uop = uops[idx]
+                t = uop.ready_time()
+                if 0 <= t <= c:
+                    uop.dispatch = c
+                    uop.completion = c + uop.complete_lat
+                    push(uop.completion if uop.completion > c else c + 1)
+                    notify(idx, c, -1)
+                else:
+                    still.append(idx)
+            portless = still
+
+        # --- Dispatch: every port takes its oldest ready µop ---------
+        dispatched_any = False
+        for pos, port in enumerate(port_order):
+            heap = ready[port]
+            if not heap:
+                continue
+            stash: List[int] = []
+            chosen = -1
+            while heap:
+                idx = heapq.heappop(heap)
+                if uops[idx].divider_cycles and divider_free > c:
+                    stash.append(idx)
+                    continue
+                chosen = idx
+                break
+            for idx in stash:
+                heapq.heappush(heap, idx)
+            if stash:
+                push(divider_free)
+            if chosen < 0:
+                continue
+            uop = uops[chosen]
+            uop.dispatch = c
+            uop.completion = c + uop.complete_lat
+            if uop.divider_cycles:
+                divider_free = c + uop.divider_cycles
+            in_rs -= 1
+            dispatched_any = True
+            push(uop.completion if uop.completion > c else c + 1)
+            notify(chosen, c, pos)
+            if heap:
+                push(c + 1)
+        if dispatched_any and issue_ptr < n:
+            # Freed reservation-station slots admit issue next cycle.
+            push(c + 1)
+
+    return last_retire + 1, port_counts, finishes
