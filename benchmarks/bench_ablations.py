@@ -15,7 +15,6 @@ damage, quantifying why the paper does what it does:
    Sandy Bridge-era cores.
 """
 
-import pytest
 
 from repro.analysis.naive import naive_port_usage
 from repro.analysis.sampling import stratified_sample

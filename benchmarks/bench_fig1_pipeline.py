@@ -13,7 +13,6 @@ from repro.core.codegen import independent_sequence
 from repro.pipeline import simulate
 from repro.uarch.configs import ALL_UARCHES, get_uarch
 
-from conftest import hardware_backend
 
 
 def _port_layout_report() -> str:

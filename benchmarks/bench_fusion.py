@@ -7,7 +7,6 @@ branches, Sandy Bridge extends the set to ADD/SUB/AND/INC/DEC) and
 micro-fusion counts for memory-operand instructions.
 """
 
-import pytest
 
 from repro.core.fusion import (
     fusion_backend,

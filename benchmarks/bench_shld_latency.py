@@ -12,7 +12,6 @@ The per-pair measurement thus explains why the sources disagree: they
 measured different operand pairs / register assignments.
 """
 
-import pytest
 
 from repro.analysis.casestudies import shld_latency_study
 from repro.core.latency import LatencyMeasurer

@@ -17,7 +17,6 @@ equality suite is tests/test_sim_differential.py).
 from __future__ import annotations
 
 import json
-import pathlib
 import time
 
 from repro.core.cache import MeasurementMemo

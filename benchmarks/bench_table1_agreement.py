@@ -22,7 +22,6 @@ high 90s, and Kaby/Coffee Lake have no IACA support at all.
 
 import os
 
-import pytest
 
 from repro.analysis.compare import compute_agreement
 from repro.analysis.sampling import full_run_requested, stratified_sample
@@ -31,7 +30,7 @@ from repro.core.runner import CharacterizationRunner
 from repro.core.sweep import SweepEngine
 from repro.uarch.configs import ALL_UARCHES
 
-from conftest import hardware_backend, write_artifact
+from conftest import hardware_backend
 
 #: Forms compared per generation in the default (sampled) run.
 SAMPLE_TARGET = int(os.environ.get("REPRO_TABLE1_SAMPLE", "45"))

@@ -9,7 +9,6 @@ from running the microbenchmarks on top of IACA.
 
 import xml.etree.ElementTree as ET
 
-import pytest
 
 from repro.core.codegen import measure_isolated
 from repro.core.runner import CharacterizationRunner

@@ -8,7 +8,6 @@ documented non-idiom comparison baseline (chaining through a regular
 instruction) does.
 """
 
-import pytest
 
 from repro.analysis.casestudies import zero_idiom_study
 from repro.core.latency import LatencyMeasurer

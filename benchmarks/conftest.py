@@ -9,7 +9,6 @@ hardware runs of Section 7.1); set ``REPRO_FULL=1`` for complete runs.
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest

@@ -8,13 +8,13 @@ tables) and returns a structured comparison against the published data in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from repro.core.latency import LatencyMeasurer
 from repro.core.port_usage import infer_port_usage
 from repro.core.blocking import find_blocking_instructions
 from repro.core.codegen import measure_isolated
-from repro.isa.database import InstructionDatabase, load_default_database
+from repro.isa.database import load_default_database
 from repro.measure.backend import HardwareBackend
 from repro.refdata import (
     AES_LATENCY,

@@ -13,12 +13,12 @@ percentages, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.blocking import find_blocking_instructions
 from repro.core.codegen import measure_isolated
 from repro.core.port_usage import infer_port_usage
-from repro.core.result import InstructionCharacterization, PortUsage
+from repro.core.result import InstructionCharacterization
 from repro.iaca.analyzer import IacaBackend
 from repro.isa.database import InstructionDatabase
 from repro.isa.instruction import (

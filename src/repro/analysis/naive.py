@@ -15,7 +15,7 @@ Algorithm 1.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple
+from typing import Dict, FrozenSet
 
 from repro.core.codegen import measure_isolated
 from repro.core.result import PortUsage

@@ -59,23 +59,51 @@ def _make_cache(args):
         raise SystemExit(f"error: {exc}")
 
 
+#: The stderr statistics report: one ``(label, format string)`` row per
+#: caching layer, rendered from :meth:`RunStatistics.as_dict` — a new
+#: counter needs a row here, not another hand-assembled print call.
+_STATS_LINES = (
+    ("cache",
+     "{cache_hits} hits, {cache_misses} misses, "
+     "{cache_invalidations} invalidated; "
+     "measured {seconds:.1f}s over {characterized} variants"),
+    ("memo",
+     "{memo_hits} hits, {memo_misses} misses; "
+     "kernel: {cycles_simulated} cycles simulated, "
+     "{cycles_extrapolated} extrapolated ({runs_extrapolated} runs)"),
+    ("executor",
+     "{experiments_planned} planned, {experiments_deduped} deduped, "
+     "{experiments_measured} measured in {batches_dispatched} batches; "
+     "plan {plan_seconds:.1f}s, execute {execute_seconds:.1f}s; "
+     "{cache_evictions} evictions"),
+)
+
+
 def _print_cache_stats(statistics) -> None:
-    print(
-        f"cache: {statistics.cache_hits} hits, "
-        f"{statistics.cache_misses} misses, "
-        f"{statistics.cache_invalidations} invalidated; "
-        f"measured {statistics.seconds:.1f}s over "
-        f"{statistics.characterized} variants",
-        file=sys.stderr,
-    )
-    print(
-        f"memo: {statistics.memo_hits} hits, "
-        f"{statistics.memo_misses} misses; "
-        f"kernel: {statistics.cycles_simulated} cycles simulated, "
-        f"{statistics.cycles_extrapolated} extrapolated "
-        f"({statistics.runs_extrapolated} runs)",
-        file=sys.stderr,
-    )
+    values = statistics.as_dict()
+    for label, template in _STATS_LINES:
+        print(f"{label}: {template.format(**values)}", file=sys.stderr)
+
+
+def _write_stats_json(statistics, path: Optional[str]) -> None:
+    """Dump one or many :class:`RunStatistics` to *path* as JSON.
+
+    *statistics* is either a single statistics object (``sweep``) or a
+    dict of them keyed by microarchitecture name (``table1``).
+    """
+    if not path:
+        return
+    import json
+
+    if isinstance(statistics, dict):
+        payload = {
+            name: stats.as_dict() for name, stats in statistics.items()
+        }
+    else:
+        payload = statistics.as_dict()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def _cmd_sweep(args) -> int:
@@ -105,6 +133,7 @@ def _cmd_sweep(args) -> int:
         if args.verbose else None,
     )
     _print_cache_stats(engine.statistics)
+    _write_stats_json(engine.statistics, args.stats_json)
     root = results_to_xml({engine.uarch.name: results}, database)
     write_xml(root, args.output)
     print(f"wrote {len(results)} characterizations to {args.output}")
@@ -128,6 +157,7 @@ def _cmd_table1(args) -> int:
     from repro.uarch.configs import ALL_UARCHES
 
     cache = _make_cache(args)
+    stats_by_uarch = {}
     print(f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
           f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}")
     for uarch in ALL_UARCHES:
@@ -146,8 +176,10 @@ def _cmd_table1(args) -> int:
             hw_results=hw_results,
         )
         print(row.format())
+        stats_by_uarch[uarch.name] = engine.statistics
         if cache is not None and uarch.iaca_versions:
             _print_cache_stats(engine.statistics)
+    _write_stats_json(stats_by_uarch, args.stats_json)
     return 0
 
 
@@ -253,6 +285,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: ~/.cache/repro)")
         p.add_argument("--no-cache", action="store_true",
                        help="measure everything, ignore the cache")
+        p.add_argument("--stats-json", default=None, metavar="PATH",
+                       help="write the full run statistics as JSON "
+                            "(table1: one object per generation)")
 
     p = sub.add_parser("sweep", help="characterize many variants -> XML")
     p.add_argument("uarch", nargs="?", default="SKL")

@@ -28,10 +28,10 @@ from repro.isa.instruction import (
 )
 from repro.core.codegen import (
     independent_sequence,
-    instantiate,
     measure_isolated,
     used_ports,
 )
+from repro.core.experiment import ExperimentBatch, Plan
 
 #: Vector-context keys for the two blocking sets (Section 5.1.1: "for SSE
 #: instructions, the blocking instructions should not contain AVX
@@ -103,16 +103,44 @@ def find_blocking_instructions(
 ) -> BlockingInstructions:
     """Discover blocking instructions for every port combination.
 
-    Purely measurement-driven: µop counts and port sets come from isolation
-    runs on *backend*, never from the ground-truth tables.
+    One-shot wrapper around :func:`plan_blocking_instructions`: plans the
+    candidate isolation runs, executes them on *backend*, interprets.
     """
-    groups: Dict[Tuple[str, FrozenSet[int]], List] = {}
+    from repro.measure.executor import ExperimentExecutor
+
+    return ExperimentExecutor(backend).drive(
+        plan_blocking_instructions(database, backend)
+    )
+
+
+def plan_blocking_instructions(
+    database: InstructionDatabase,
+    backend,
+) -> Plan:
+    """Plan the discovery of Section 5.1.1 (one isolation run per
+    candidate), interpreting into :class:`BlockingInstructions`.
+
+    Purely measurement-driven: µop counts and port sets come from isolation
+    runs, never from the ground-truth tables.  *backend* is consulted only
+    for ``supports()`` (the candidate filter) and the documented port
+    layout of the store units — never for measurements, which flow through
+    the yielded batch.
+    """
+    batch = ExperimentBatch()
+    planned: List = []
     for form in database:
         if not _is_candidate(form):
             continue
         if not backend.supports(form):
             continue
-        counters = measure_isolated(form, backend)
+        code = independent_sequence(form, 4)
+        handle = batch.add(code, tag=f"blocking:iso:{form.uid}")
+        planned.append((form, handle, len(code)))
+    results = yield batch
+
+    groups: Dict[Tuple[str, FrozenSet[int]], List] = {}
+    for form, handle, copies in planned:
+        counters = results[handle].scaled(copies)
         uops = counters.uops
         if not 0.9 < uops < 1.1:
             continue

@@ -12,7 +12,8 @@ Entries live in JSON-lines files, one per microarchitecture, under
 
 * ``salt`` — the code-version salt it was written under,
 * ``key``  — a SHA-256 digest of (form uid, uarch name, the
-  :class:`~repro.measure.backend.MeasurementConfig` fields, salt),
+  :class:`~repro.measure.backend.MeasurementConfig` protocol fields,
+  salt),
 * ``uid`` / ``uarch`` — for human inspection of the file,
 * ``data`` — the :func:`~repro.core.result.encode_characterization`
   encoding, or ``null`` for a form the runner skips (so a warm sweep
@@ -30,7 +31,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from dataclasses import asdict
 from typing import Any, Dict, Optional, Sequence
 
 from repro.measure.backend import MeasurementConfig
@@ -73,7 +73,9 @@ def cache_key(
         {
             "uid": form_uid,
             "uarch": uarch_name,
-            "config": asdict(config),
+            # Protocol fields only: resource knobs such as the LRU bound
+            # do not affect results and must not invalidate the cache.
+            "config": config.protocol_fields(),
             "salt": salt if salt is not None else cache_salt(),
         },
         sort_keys=True,
@@ -198,7 +200,7 @@ def measurement_key(
     payload = json.dumps(
         {
             "uarch": uarch_name,
-            "config": asdict(config),
+            "config": config.protocol_fields(),
             "salt": salt if salt is not None else cache_salt(),
             "code": [
                 f"{instruction.form.uid}|{instruction}"

@@ -23,7 +23,6 @@ from repro.isa.operands import (
 from repro.isa.operands import RegisterOperand
 from repro.isa.registers import Register, register_by_name, sized_view
 from repro.pipeline.core import CounterValues
-from repro.pipeline.state import SCRATCH_BASE
 
 #: Allocation order for general-purpose registers.  RAX/RDX/RCX come last
 #: (they are the most common implicit operands), RSP/RBP are never used.

@@ -21,7 +21,7 @@ hardware; on a real machine this is just the machine):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.core.codegen import independent_sequence, measure_isolated
 from repro.isa.database import InstructionDatabase

@@ -10,7 +10,7 @@ free HTML page).
 from __future__ import annotations
 
 import html
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from repro.core.result import InstructionCharacterization
 from repro.isa.database import InstructionDatabase

@@ -22,17 +22,42 @@ constructed automatically:
 Unwanted additional dependencies (implicit operands, flags that are both
 read and written) are broken with dependency-breaking instructions that
 write without reading.
+
+The measurer is organized plan -> execute -> interpret (see
+:mod:`repro.core.experiment`): :meth:`LatencyMeasurer.plan` builds every
+chain for a form with no backend in hand — each ``_plan_*`` method does
+the codegen of its seed counterpart verbatim, registers the experiments,
+and returns an interpreter closure that turns the measured counters into
+a :class:`~repro.core.result.LatencyValue`.  Chain-instruction
+calibrations (the latency of ``MOVSX``, ``XOR``, the shuffles, ``MOVQ``)
+are deduplicated at plan time against a per-measurer cache, so they cost
+one experiment per backend lifetime, exactly like the inline path's
+cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.codegen import (
     RegisterAllocator,
     form_fixed_canonicals,
     instantiate,
+)
+from repro.core.experiment import (
+    Experiment,
+    ExperimentBatch,
+    Plan,
+    ResultMap,
 )
 from repro.core.result import (
     LAT_EXACT,
@@ -95,6 +120,58 @@ def _skip_form(form: InstructionForm) -> bool:
     )
 
 
+class _PlanContext:
+    """Plan-time state of one :meth:`LatencyMeasurer.plan` invocation.
+
+    Collects the form's experiments into one batch and deduplicates
+    calibration experiments: a chain instruction's own latency is planned
+    at most once per measurer lifetime (the measurer-level cache) and at
+    most once per batch (the pending map), mirroring the inline path's
+    measure-on-first-use caching.
+    """
+
+    def __init__(self, measurer: "LatencyMeasurer"):
+        self._measurer = measurer
+        self.batch = ExperimentBatch()
+        self._pending: Dict[str, Tuple[Experiment, int]] = {}
+        self.results: Optional[ResultMap] = None
+
+    def add(self, code, init=None, tag: str = "") -> Experiment:
+        return self.batch.add(code, init, tag)
+
+    def counters(self, handle: Experiment):
+        return self.results[handle]
+
+    def calibrate(
+        self, key: str, code_builder: Callable[[], List[Instruction]]
+    ) -> None:
+        """Ensure the chain latency *key* will be resolvable at
+        interpret time, planning its experiment if never measured."""
+        if key in self._measurer._chain_latency_cache:
+            return
+        if key in self._pending:
+            return
+        code = code_builder()
+        handle = self.batch.add(code, tag=f"lat:cal:{key}")
+        self._pending[key] = (handle, len(code))
+
+    def calibration(self, key: str) -> float:
+        """The chain latency for *key*, computed lazily from this batch's
+        results on first use (so a failed calibration surfaces inside the
+        requesting pair's interpreter, like the inline path)."""
+        cache = self._measurer._chain_latency_cache
+        if key not in cache:
+            handle, copies = self._pending[key]
+            counters = self.results[handle]
+            cache[key] = counters.cycles / copies
+        return cache[key]
+
+
+#: An interpreter closure produced at plan time: reads measured counters
+#: out of the plan context and returns the pair's latency value.
+_Interpret = Callable[[], Optional[LatencyValue]]
+
+
 class LatencyMeasurer:
     """Measures per-pair latencies of instruction forms on one backend."""
 
@@ -104,33 +181,26 @@ class LatencyMeasurer:
         self._chain_latency_cache: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
-    # Chain-instruction latencies (measured in isolation, cached)
+    # Chain-instruction calibration codes (measured once, cached)
     # ------------------------------------------------------------------
 
-    def _self_chain_latency(self, key: str,
-                            code: Sequence[Instruction]) -> float:
-        if key not in self._chain_latency_cache:
-            counters = self._backend.measure(list(code))
-            self._chain_latency_cache[key] = counters.cycles / len(code)
-        return self._chain_latency_cache[key]
-
-    def _movsx_latency(self) -> float:
+    def _movsx_code(self) -> List[Instruction]:
         form = self._db.by_uid("MOVSX_R64_R16")
         r8 = register_by_name("R8")
         instr = form.instantiate(
             RegisterOperand(r8), RegisterOperand(sized_view(r8, 16))
         )
-        return self._self_chain_latency("movsx", [instr])
+        return [instr]
 
-    def _xor_latency(self) -> float:
+    def _xor_code(self) -> List[Instruction]:
         form = self._db.by_uid("XOR_R64_R64")
         instr = form.instantiate(
             RegisterOperand(register_by_name("R8")),
             RegisterOperand(register_by_name("R9")),
         )
-        return self._self_chain_latency("xor", [instr])
+        return [instr]
 
-    def _shuffle_latency(self, uid: str) -> float:
+    def _shuffle_code(self, uid: str) -> List[Instruction]:
         form = self._db.by_uid(uid)
         x1 = register_by_name("XMM1")
         operands = [
@@ -139,14 +209,13 @@ class LatencyMeasurer:
             else RegisterOperand(x1)
             for s in form.explicit_operands
         ]
-        instr = form.instantiate(*operands)
-        return self._self_chain_latency(uid, [instr])
+        return [form.instantiate(*operands)]
 
-    def _mmx_move_latency(self) -> float:
+    def _mmx_move_code(self) -> List[Instruction]:
         form = self._db.by_uid("MOVQ_MM_MM")
         mm1 = register_by_name("MM1")
         instr = form.instantiate(RegisterOperand(mm1), RegisterOperand(mm1))
-        return self._self_chain_latency("movq_mm", [instr])
+        return [instr]
 
     # ------------------------------------------------------------------
     # Pair enumeration
@@ -183,61 +252,84 @@ class LatencyMeasurer:
         ]
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
 
     def infer(self, form: InstructionForm) -> LatencyResult:
+        """One-shot wrapper around :meth:`plan`."""
+        from repro.measure.executor import ExperimentExecutor
+
+        return ExperimentExecutor(self._backend).drive(self.plan(form))
+
+    def plan(self, form: InstructionForm) -> Plan:
+        """Plan every latency chain for *form*, interpreting the measured
+        counters into a :class:`~repro.core.result.LatencyResult`.
+
+        Chains that cannot be constructed — and interpreters whose
+        measurements failed — skip their pair, exactly like the inline
+        path's per-pair ``except`` did; the split only moves the codegen
+        half of those exceptions to plan time.
+        """
         result = LatencyResult()
         if _skip_form(form) or not self._backend.supports(form):
             return result
         if form.category in ("div", "vec_fp_div", "vec_fp_sqrt"):
-            self._measure_divider(form, result)
+            batch = ExperimentBatch()
+            interpret = self._plan_divider(form, batch)
+            if interpret is None:
+                return result
+            results = yield batch
+            interpret(results, result)
             return result
+        ctx = _PlanContext(self)
+        planned: List[Tuple[_Pair, _Interpret]] = []
         for pair in self._pairs(form):
             try:
-                value = self._measure_pair(form, pair)
+                interpret = self._plan_pair(ctx, form, pair)
+            except (ChainError, KeyError, RuntimeError):
+                continue
+            if interpret is not None:
+                planned.append((pair, interpret))
+        same_register = self._plan_same_register(ctx, form)
+        ctx.results = yield ctx.batch
+        for pair, interpret in planned:
+            try:
+                value = interpret()
             except (ChainError, KeyError, RuntimeError):
                 continue
             if value is not None:
                 result.pairs[(pair.src_label, pair.dst_label)] = value
-        self._measure_same_register(form, result)
+        if same_register is not None:
+            same_register(result)
         return result
 
     # ------------------------------------------------------------------
-    # Pair measurement dispatch
+    # Pair planning dispatch
     # ------------------------------------------------------------------
 
-    def _measure_pair(
-        self, form: InstructionForm, pair: _Pair
-    ) -> Optional[LatencyValue]:
+    def _plan_pair(
+        self, ctx: _PlanContext, form: InstructionForm, pair: _Pair
+    ) -> Optional[_Interpret]:
         src, dst = pair.src_slot, pair.dst_slot
         if dst == FLAGS and src == FLAGS:
-            return self._flags_to_flags(form)
+            return self._plan_flags_to_flags(ctx, form)
         if src == FLAGS:
-            return self._flags_to_reg(form, dst)
+            return self._plan_flags_to_reg(ctx, form, dst)
         if dst == FLAGS:
-            return self._reg_to_flags(form, src)
+            return self._plan_reg_to_flags(ctx, form, src)
         src_spec = form.operands[src]
         dst_spec = form.operands[dst]
         if src_spec.kind == OperandKind.MEM:
             if dst_spec.kind == OperandKind.MEM:
                 return None
-            return self._mem_to_reg(form, src, dst)
+            return self._plan_mem_to_reg(ctx, form, src, dst)
         if dst_spec.kind == OperandKind.MEM:
-            return self._reg_to_mem(form, src, dst)
-        return self._reg_to_reg(form, src, dst)
+            return self._plan_reg_to_mem(ctx, form, src, dst)
+        return self._plan_reg_to_reg(ctx, form, src, dst)
 
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-
-    def _measure_chain(
-        self,
-        code: Sequence[Instruction],
-        init: Optional[Dict[str, int]] = None,
-    ) -> float:
-        counters = self._backend.measure(list(code), init)
-        return counters.cycles
 
     def _breakers(
         self,
@@ -314,34 +406,41 @@ class LatencyMeasurer:
     # Register -> register
     # ------------------------------------------------------------------
 
-    def _reg_to_reg(
-        self, form: InstructionForm, src: int, dst: int
-    ) -> Optional[LatencyValue]:
+    def _plan_reg_to_reg(
+        self, ctx, form: InstructionForm, src: int, dst: int
+    ) -> Optional[_Interpret]:
         src_spec = form.operands[src]
         dst_spec = form.operands[dst]
         if src == dst:
-            return self._self_chain(form, src)
+            return self._plan_self_chain(ctx, form, src)
         kinds = (src_spec.kind, dst_spec.kind)
         if kinds == (OperandKind.GPR, OperandKind.GPR) or (
             src_spec.kind == OperandKind.AGEN
             and dst_spec.kind == OperandKind.GPR
         ):
-            return self._gpr_chain(form, src, dst)
+            return self._plan_gpr_chain(ctx, form, src, dst)
         if kinds == (OperandKind.VEC, OperandKind.VEC):
-            return self._vec_chain(form, src, dst)
+            return self._plan_vec_chain(ctx, form, src, dst)
         if kinds == (OperandKind.MMX, OperandKind.MMX):
-            return self._mmx_chain(form, src, dst)
-        return self._cross_file_chain(form, src, dst)
+            return self._plan_mmx_chain(ctx, form, src, dst)
+        return self._plan_cross_file_chain(ctx, form, src, dst)
 
-    def _self_chain(self, form, slot) -> Optional[LatencyValue]:
+    def _plan_self_chain(self, ctx, form, slot) -> _Interpret:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         breakers = self._breakers(form, instr, [slot], allocator,
                                   form.is_avx)
-        code = [instr] + breakers
-        cycles = self._measure_chain(code)
-        overhead = 0.0  # breakers are off the critical path
-        return LatencyValue(max(cycles - overhead, 0.0), LAT_EXACT, None)
+        handle = ctx.add([instr] + breakers,
+                         tag=f"lat:self:{form.uid}:{slot}")
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            overhead = 0.0  # breakers are off the critical path
+            return LatencyValue(
+                max(cycles - overhead, 0.0), LAT_EXACT, None
+            )
+
+        return interpret
 
     def _operand_register(self, instr, slot) -> Register:
         operand = instr.operands[slot]
@@ -351,7 +450,7 @@ class LatencyMeasurer:
             return operand.base
         raise ChainError(f"operand {slot} has no register")
 
-    def _gpr_chain(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_gpr_chain(self, ctx, form, src, dst) -> _Interpret:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         src_reg = self._operand_register(instr, src)
@@ -361,10 +460,16 @@ class LatencyMeasurer:
         # the source: the chain must feed it (Section 5.2).
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        code = [instr, chain] + breakers
-        cycles = self._measure_chain(code)
-        latency = cycles - self._movsx_latency()
-        return LatencyValue(max(latency, 0.0), LAT_EXACT, "MOVSX")
+        handle = ctx.add([instr, chain] + breakers,
+                         tag=f"lat:gpr:{form.uid}:{src}->{dst}")
+        ctx.calibrate("movsx", self._movsx_code)
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            latency = cycles - ctx.calibration("movsx")
+            return LatencyValue(max(latency, 0.0), LAT_EXACT, "MOVSX")
+
+        return interpret
 
     def _movsx_chain(self, src_reg: Register,
                      dst_reg: Register) -> Instruction:
@@ -375,10 +480,9 @@ class LatencyMeasurer:
             RegisterOperand(sized_view(dst_reg, 16)),
         )
 
-    def _vec_chain(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_vec_chain(self, ctx, form, src, dst) -> Optional[_Interpret]:
         """Both an integer and a floating-point shuffle chain, keeping the
         smaller result (bypass delays make them differ)."""
-        best: Optional[LatencyValue] = None
         avx = form.is_avx
         shuffles = (
             ("VPSHUFD_XMM_XMM_I8", "VPSHUFD") if avx
@@ -386,6 +490,7 @@ class LatencyMeasurer:
             ("VSHUFPS_XMM_XMM_XMM_I8", "VSHUFPS") if avx
             else ("SHUFPS_XMM_XMM_I8", "SHUFPS"),
         )
+        candidates: List[Tuple[Experiment, str, str]] = []
         for uid, name in shuffles:
             try:
                 chain_form = self._db.by_uid(uid)
@@ -393,15 +498,34 @@ class LatencyMeasurer:
                 continue
             if not self._backend.supports(chain_form):
                 continue
-            value = self._vec_chain_with(form, src, dst, chain_form, name)
-            if value is not None and (best is None
-                                      or value.cycles < best.cycles):
-                best = value
-        return best
+            handle = self._plan_vec_chain_with(
+                ctx, form, src, dst, chain_form
+            )
+            ctx.calibrate(
+                chain_form.uid,
+                lambda uid=chain_form.uid: self._shuffle_code(uid),
+            )
+            candidates.append((handle, chain_form.uid, name))
+        if not candidates:
+            return None
 
-    def _vec_chain_with(
-        self, form, src, dst, chain_form, chain_name
-    ) -> Optional[LatencyValue]:
+        def interpret() -> Optional[LatencyValue]:
+            best: Optional[LatencyValue] = None
+            for handle, cal_key, name in candidates:
+                cycles = ctx.counters(handle).cycles
+                chain_lat = ctx.calibration(cal_key)
+                value = LatencyValue(
+                    max(cycles - chain_lat, 0.0), LAT_EXACT, name
+                )
+                if best is None or value.cycles < best.cycles:
+                    best = value
+            return best
+
+        return interpret
+
+    def _plan_vec_chain_with(
+        self, ctx, form, src, dst, chain_form
+    ) -> Experiment:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         src_reg = sized_view(self._operand_register(instr, src), 128)
@@ -417,18 +541,12 @@ class LatencyMeasurer:
         chain = chain_form.instantiate(*operands)
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        code = [instr, chain] + breakers
-        cycles = self._measure_chain(code)
-        chain_lat = self._shuffle_latency(
-            chain_form.uid
-            if not chain_form.mnemonic.startswith("V")
-            else chain_form.uid
-        )
-        return LatencyValue(
-            max(cycles - chain_lat, 0.0), LAT_EXACT, chain_name
+        return ctx.add(
+            [instr, chain] + breakers,
+            tag=f"lat:vec:{form.uid}:{src}->{dst}:{chain_form.uid}",
         )
 
-    def _mmx_chain(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_mmx_chain(self, ctx, form, src, dst) -> _Interpret:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         src_reg = self._operand_register(instr, src)
@@ -439,12 +557,18 @@ class LatencyMeasurer:
         )
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        code = [instr, chain] + breakers
-        cycles = self._measure_chain(code)
-        return LatencyValue(
-            max(cycles - self._mmx_move_latency(), 0.0), LAT_EXACT,
-            "MOVQ",
-        )
+        handle = ctx.add([instr, chain] + breakers,
+                         tag=f"lat:mmx:{form.uid}:{src}->{dst}")
+        ctx.calibrate("movq_mm", self._mmx_move_code)
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            return LatencyValue(
+                max(cycles - ctx.calibration("movq_mm"), 0.0), LAT_EXACT,
+                "MOVQ",
+            )
+
+        return interpret
 
     #: Transfer instructions for cross-register-file chains, by
     #: (source file of the chain instruction, destination file).
@@ -461,36 +585,49 @@ class LatencyMeasurer:
         (OperandKind.MMX, OperandKind.GPR): ("MOVQ_R64_MM",),
     }
 
-    def _cross_file_chain(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_cross_file_chain(
+        self, ctx, form, src, dst
+    ) -> Optional[_Interpret]:
         """Compositions with all suitable transfer instructions; the
         minimum, minus one, upper-bounds the latency (Section 5.2.1)."""
         src_spec = form.operands[src]
         dst_spec = form.operands[dst]
         key = (dst_spec.kind, src_spec.kind)  # chain: dst -> src
-        candidates = self._TRANSFERS.get(key, ())
-        best: Optional[float] = None
-        chain_used = None
-        for uid in candidates:
+        uids = self._TRANSFERS.get(key, ())
+        candidates: List[Tuple[Experiment, str]] = []
+        for uid in uids:
             try:
                 chain_form = self._db.by_uid(uid)
             except KeyError:
                 continue
             if not self._backend.supports(chain_form):
                 continue
-            cycles = self._composition_cycles(form, src, dst, chain_form)
-            if cycles is None:
+            handle = self._plan_composition(ctx, form, src, dst,
+                                            chain_form)
+            if handle is None:
                 continue
-            if best is None or cycles < best:
-                best = cycles
-                chain_used = chain_form.mnemonic
-        if best is None:
+            candidates.append((handle, chain_form.mnemonic))
+        if not candidates:
             return None
-        return LatencyValue(max(best - 1.0, 0.0), LAT_UPPER_BOUND,
-                            chain_used)
 
-    def _composition_cycles(
-        self, form, src, dst, chain_form
-    ) -> Optional[float]:
+        def interpret() -> Optional[LatencyValue]:
+            best: Optional[float] = None
+            chain_used = None
+            for handle, mnemonic in candidates:
+                cycles = ctx.counters(handle).cycles
+                if best is None or cycles < best:
+                    best = cycles
+                    chain_used = mnemonic
+            if best is None:
+                return None
+            return LatencyValue(max(best - 1.0, 0.0), LAT_UPPER_BOUND,
+                                chain_used)
+
+        return interpret
+
+    def _plan_composition(
+        self, ctx, form, src, dst, chain_form
+    ) -> Optional[Experiment]:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         src_reg = self._operand_register(instr, src)
@@ -517,7 +654,10 @@ class LatencyMeasurer:
             return None
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        return self._measure_chain([instr, chain] + breakers)
+        return ctx.add(
+            [instr, chain] + breakers,
+            tag=f"lat:xfile:{form.uid}:{src}->{dst}:{chain_form.uid}",
+        )
 
     @staticmethod
     def _match_width(reg: Register, spec) -> Register:
@@ -529,15 +669,18 @@ class LatencyMeasurer:
     # Memory -> register (Section 5.2.2)
     # ------------------------------------------------------------------
 
-    def _mem_to_reg(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_mem_to_reg(
+        self, ctx, form, src, dst
+    ) -> Optional[_Interpret]:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         base = self._operand_register(instr, src)
         dst_spec = form.operands[dst]
         dst_reg = self._operand_register(instr, dst)
         code: List[Instruction] = [instr]
-        overhead = 0.0
         kind = LAT_EXACT
+        widen = False
+        transferred = False
         if dst_spec.kind == OperandKind.GPR:
             feed = dst_reg
             if dst_spec.width < 32:
@@ -551,7 +694,7 @@ class LatencyMeasurer:
                     )
                 )
                 feed = temp
-                overhead += self._movsx_latency()
+                widen = True
             feed64 = sized_view(feed, 64)
         else:
             # Combine the double XOR with a transfer to a GPR.
@@ -576,7 +719,7 @@ class LatencyMeasurer:
                 )
             )
             feed64 = temp
-            overhead += 1.0
+            transferred = True
             kind = LAT_UPPER_BOUND
         xor = self._db.by_uid("XOR_R64_R64")
         base64 = sized_view(base, 64)
@@ -589,20 +732,38 @@ class LatencyMeasurer:
             ),
         ]
         code.extend(double_xor)
-        overhead += 2 * self._xor_latency()
         # Flags breaker: XOR modifies the status flags (Section 5.2.2).
         code.extend(self._flag_breakers(form, allocator))
         breakers = self._breakers(form, instr, [src, FLAGS],
                                   allocator, form.is_avx)
         code.extend(breakers)
-        cycles = self._measure_chain(code)
-        return LatencyValue(max(cycles - overhead, 0.0), kind, "2xXOR")
+        handle = ctx.add(code, tag=f"lat:mem:{form.uid}:{src}->{dst}")
+        if widen:
+            ctx.calibrate("movsx", self._movsx_code)
+        ctx.calibrate("xor", self._xor_code)
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            # Accumulated in the same order as the inline path, so the
+            # float result is bit-identical.
+            overhead = 0.0
+            if widen:
+                overhead += ctx.calibration("movsx")
+            if transferred:
+                overhead += 1.0
+            overhead += 2 * ctx.calibration("xor")
+            return LatencyValue(max(cycles - overhead, 0.0), kind,
+                                "2xXOR")
+
+        return interpret
 
     # ------------------------------------------------------------------
     # Register -> memory (Section 5.2.4)
     # ------------------------------------------------------------------
 
-    def _reg_to_mem(self, form, src, dst) -> Optional[LatencyValue]:
+    def _plan_reg_to_mem(
+        self, ctx, form, src, dst
+    ) -> Optional[_Interpret]:
         src_spec = form.operands[src]
         dst_spec = form.operands[dst]
         if src_spec.kind != OperandKind.GPR:
@@ -630,27 +791,39 @@ class LatencyMeasurer:
         )
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        code = [instr, load_instr, chain] + breakers
-        cycles = self._measure_chain(code)
-        return LatencyValue(
-            max(cycles - self._movsx_latency(), 0.0),
-            LAT_STORE_LOAD,
-            "store/load",
-        )
+        handle = ctx.add([instr, load_instr, chain] + breakers,
+                         tag=f"lat:store:{form.uid}:{src}->{dst}")
+        ctx.calibrate("movsx", self._movsx_code)
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            return LatencyValue(
+                max(cycles - ctx.calibration("movsx"), 0.0),
+                LAT_STORE_LOAD,
+                "store/load",
+            )
+
+        return interpret
 
     # ------------------------------------------------------------------
     # Flags (Section 5.2.3)
     # ------------------------------------------------------------------
 
-    def _flags_to_flags(self, form) -> Optional[LatencyValue]:
+    def _plan_flags_to_flags(self, ctx, form) -> _Interpret:
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         breakers = self._breakers(form, instr, [FLAGS], allocator,
                                   form.is_avx)
-        cycles = self._measure_chain([instr] + breakers)
-        return LatencyValue(max(cycles, 0.0), LAT_EXACT, None)
+        handle = ctx.add([instr] + breakers,
+                         tag=f"lat:flags:{form.uid}")
 
-    def _flags_to_reg(self, form, dst) -> Optional[LatencyValue]:
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            return LatencyValue(max(cycles, 0.0), LAT_EXACT, None)
+
+        return interpret
+
+    def _plan_flags_to_reg(self, ctx, form, dst) -> Optional[_Interpret]:
         dst_spec = form.operands[dst]
         if dst_spec.kind != OperandKind.GPR:
             return None  # no instruction reads a flag and writes a vector
@@ -662,9 +835,17 @@ class LatencyMeasurer:
         chain = test.instantiate(reg64, reg64)
         breakers = self._breakers(form, instr, [FLAGS], allocator,
                                   form.is_avx)
-        cycles = self._measure_chain([instr, chain] + breakers)
-        # TEST is a 1-cycle ALU instruction on every modeled generation.
-        return LatencyValue(max(cycles - 1.0, 0.0), LAT_EXACT, "TEST")
+        handle = ctx.add([instr, chain] + breakers,
+                         tag=f"lat:flags2reg:{form.uid}:{dst}")
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            # TEST is a 1-cycle ALU instruction on every modeled
+            # generation.
+            return LatencyValue(max(cycles - 1.0, 0.0), LAT_EXACT,
+                                "TEST")
+
+        return interpret
 
     #: SETcc condition per flag, used for register -> flags chains.
     _SET_FOR_FLAG = (
@@ -675,7 +856,7 @@ class LatencyMeasurer:
         ("PF", "SETP"),
     )
 
-    def _reg_to_flags(self, form, src) -> Optional[LatencyValue]:
+    def _plan_reg_to_flags(self, ctx, form, src) -> Optional[_Interpret]:
         src_spec = form.operands[src]
         if src_spec.kind != OperandKind.GPR:
             return None
@@ -699,16 +880,25 @@ class LatencyMeasurer:
         )
         breakers = self._breakers(form, instr, [src], allocator,
                                   form.is_avx)
-        cycles = self._measure_chain([instr, set_instr, chain] + breakers)
-        return LatencyValue(
-            max(cycles - 2.0, 0.0), LAT_UPPER_BOUND, f"{mnemonic}+MOVZX"
-        )
+        handle = ctx.add([instr, set_instr, chain] + breakers,
+                         tag=f"lat:reg2flags:{form.uid}:{src}")
+
+        def interpret() -> Optional[LatencyValue]:
+            cycles = ctx.counters(handle).cycles
+            return LatencyValue(
+                max(cycles - 2.0, 0.0), LAT_UPPER_BOUND,
+                f"{mnemonic}+MOVZX"
+            )
+
+        return interpret
 
     # ------------------------------------------------------------------
     # Same-register scenario (Section 5.2.1)
     # ------------------------------------------------------------------
 
-    def _measure_same_register(self, form, result: LatencyResult) -> None:
+    def _plan_same_register(
+        self, ctx, form
+    ) -> Optional[Callable[[LatencyResult], None]]:
         """Chain the instruction with itself using one register for two
         explicit operands (detects SHLD-on-Skylake-like behaviour and
         zero idioms)."""
@@ -725,7 +915,7 @@ class LatencyMeasurer:
             and (si.written or sj.written)
         ]
         if not reg_pairs:
-            return
+            return None
         i, j = reg_pairs[0]
         allocator = self._allocator_for(form)
         shared = allocator.for_spec(form.operands[i])
@@ -746,27 +936,32 @@ class LatencyMeasurer:
         try:
             instr = form.instantiate(*operands)
         except ValueError:
-            return
+            return None
         breakers = self._breakers(form, instr, [i, j], allocator,
                                   form.is_avx)
-        cycles = self._measure_chain([instr] + breakers)
+        handle = ctx.add([instr] + breakers,
+                         tag=f"lat:same:{form.uid}:{i}={j}")
         label_i = form.operand_label(i)
         label_j = form.operand_label(j)
-        result.same_register[(label_j, label_i)] = LatencyValue(
-            max(cycles, 0.0), LAT_EXACT, "same register"
-        )
+
+        def interpret(result: LatencyResult) -> None:
+            cycles = ctx.counters(handle).cycles
+            result.same_register[(label_j, label_i)] = LatencyValue(
+                max(cycles, 0.0), LAT_EXACT, "same register"
+            )
+
+        return interpret
 
     # ------------------------------------------------------------------
     # Divider instructions (Section 5.2.5)
     # ------------------------------------------------------------------
 
-    def _measure_divider(self, form, result: LatencyResult) -> None:
+    def _plan_divider(self, form, batch: ExperimentBatch):
         if form.category == "div":
-            self._measure_int_divider(form, result)
-        else:
-            self._measure_fp_divider(form, result)
+            return self._plan_int_divider(form, batch)
+        return self._plan_fp_divider(form, batch)
 
-    def _measure_int_divider(self, form, result: LatencyResult) -> None:
+    def _plan_int_divider(self, form, batch: ExperimentBatch):
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         acc_slot = next(
@@ -794,24 +989,34 @@ class LatencyMeasurer:
             else None
         )
         label = form.operand_label(acc_slot)
+        handles = []
         for klass, value in (("slow", SLOW_DIVIDER_VALUE),
                              ("fast", FAST_DIVIDER_VALUE)):
             init = {acc64.name: value, pin_reg.name: value}
             if divisor_reg is not None:
                 init[divisor_reg] = DIVISOR_VALUE
-            cycles = self._measure_chain([instr] + pin, init)
-            value_obj = LatencyValue(
-                max(cycles - 2.0, 0.0), LAT_EXACT, "AND/OR pin", klass
-            )
-            if klass == "slow":
-                result.pairs[(label, label)] = value_obj
-            else:
-                result.fast_values[(label, label)] = value_obj
+            handle = batch.add([instr] + pin, init,
+                               tag=f"lat:div:{form.uid}:{klass}")
+            handles.append((klass, handle))
 
-    def _measure_fp_divider(self, form, result: LatencyResult) -> None:
+        def interpret(results: ResultMap, result: LatencyResult) -> None:
+            for klass, handle in handles:
+                cycles = results[handle].cycles
+                value_obj = LatencyValue(
+                    max(cycles - 2.0, 0.0), LAT_EXACT, "AND/OR pin",
+                    klass,
+                )
+                if klass == "slow":
+                    result.pairs[(label, label)] = value_obj
+                else:
+                    result.fast_values[(label, label)] = value_obj
+
+        return interpret
+
+    def _plan_fp_divider(self, form, batch: ExperimentBatch):
         dst_spec = form.operands[0]
         if dst_spec.kind != OperandKind.VEC:
-            return
+            return None
         allocator = self._allocator_for(form)
         instr = instantiate(form, allocator)
         dst_reg = sized_view(instr.register_operand(0), 128)
@@ -847,19 +1052,29 @@ class LatencyMeasurer:
             for i, s in enumerate(form.operands)
             if s.read and isinstance(instr.operands[i], RegisterOperand)
         ]
+        handles = []
         for klass, value in (("slow", SLOW_DIVIDER_VALUE),
                              ("fast", FAST_DIVIDER_VALUE)):
             init = {pin_reg.canonical: value}
             for name in source_regs:
                 init[name] = value
-            cycles = self._measure_chain([instr] + pin, init)
-            value_obj = LatencyValue(
-                max(cycles - 2.0, 0.0), LAT_EXACT, "PAND/POR pin", klass
-            )
-            if klass == "slow":
-                result.pairs[(label, label)] = value_obj
-            else:
-                result.fast_values[(label, label)] = value_obj
+            handle = batch.add([instr] + pin, init,
+                               tag=f"lat:div:{form.uid}:{klass}")
+            handles.append((klass, handle))
+
+        def interpret(results: ResultMap, result: LatencyResult) -> None:
+            for klass, handle in handles:
+                cycles = results[handle].cycles
+                value_obj = LatencyValue(
+                    max(cycles - 2.0, 0.0), LAT_EXACT, "PAND/POR pin",
+                    klass,
+                )
+                if klass == "slow":
+                    result.pairs[(label, label)] = value_obj
+                else:
+                    result.fast_values[(label, label)] = value_obj
+
+        return interpret
 
 
 def infer_latency(

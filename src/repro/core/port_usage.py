@@ -13,16 +13,17 @@ early once all of the instruction's µops are attributed.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import List, Optional
 
 from repro.core.blocking import BlockingInstructions
 from repro.core.codegen import (
     RegisterAllocator,
     form_fixed_canonicals,
+    independent_sequence,
     instantiate,
-    measure_isolated,
     used_ports,
 )
+from repro.core.experiment import ExperimentBatch, Plan
 from repro.core.result import PortUsage
 from repro.isa.instruction import Instruction, InstructionForm
 
@@ -37,20 +38,51 @@ def infer_port_usage(
     blocking: BlockingInstructions,
     max_latency: Optional[float] = None,
 ) -> PortUsage:
-    """Infer the port usage of *form* on *backend* (Algorithm 1)."""
+    """Infer the port usage of *form* on *backend* (Algorithm 1).
+
+    One-shot wrapper around :func:`plan_port_usage`.
+    """
+    from repro.measure.executor import ExperimentExecutor
+
+    return ExperimentExecutor(backend).drive(
+        plan_port_usage(form, blocking, max_latency)
+    )
+
+
+def plan_port_usage(
+    form: InstructionForm,
+    blocking: BlockingInstructions,
+    max_latency: Optional[float] = None,
+) -> Plan:
+    """Plan Algorithm 1 for *form*: one isolation round, then one
+    blocking measurement per live port combination.
+
+    The per-combination rounds are adaptive — strict-subset counts feed
+    the next subtraction, and the loop exits early once every µop is
+    attributed — so they are yielded one at a time rather than as one
+    batch.
+    """
     context = blocking.context_for(form)
 
-    isolation = measure_isolated(form, backend)
-    total_uops = isolation.uops
-    ports_in_isolation = used_ports(isolation)
-
+    first = ExperimentBatch()
+    iso_code = independent_sequence(form, 4)
+    iso = first.add(iso_code, tag=f"ports:iso:{form.uid}")
+    chain = None
     if max_latency is None:
         # Algorithm 1 (line 4) sizes blockRep from the instruction's
         # maximum latency, which the latency phase normally provides.
         # Estimate it with one self-chained run: a single instance
         # repeated back-to-back is an upper-bound critical path.
-        chain = backend.measure(_self_chain_code(form))
-        max_latency = max(1.0, chain.cycles)
+        chain = first.add(
+            _self_chain_code(form), tag=f"ports:chain:{form.uid}"
+        )
+    results = yield first
+
+    isolation = results[iso].scaled(len(iso_code))
+    total_uops = isolation.uops
+    ports_in_isolation = used_ports(isolation)
+    if chain is not None:
+        max_latency = max(1.0, results[chain].cycles)
     # blockRep must both outlast the instruction's critical path (the
     # paper's maxLatency * maxPorts term) and outnumber its µops on every
     # blocked port, so that no µop can sneak onto a blocked port.
@@ -72,8 +104,13 @@ def infer_port_usage(
         blocker_form = blocking.blocker(context, combination)
         if blocker_form is None:
             continue
-        code = _blocking_code(form, blocker_form, block_rep)
-        counters = backend.measure(code)
+        batch = ExperimentBatch()
+        handle = batch.add(
+            _blocking_code(form, blocker_form, block_rep),
+            tag=f"ports:block:{form.uid}:{'.'.join(map(str, sorted(combination)))}",
+        )
+        results = yield batch
+        counters = results[handle]
         measured = sum(
             counters.port_uops.get(p, 0.0) for p in combination
         )

@@ -4,29 +4,37 @@ This is the top of the tool described in Section 6: for every supported
 instruction variant it measures the µop count, infers the port usage with
 Algorithm 1, measures per-operand-pair latencies, measures throughput, and
 computes the Intel-style throughput from the port usage.
+
+The runner itself is a composition of *plans* (see
+:mod:`repro.core.experiment`): the isolation run, the latency chains, and
+the throughput sequences of one form are merged into a single dispatch
+through an :class:`~repro.measure.executor.ExperimentExecutor`, followed by
+the adaptive port-usage rounds.  One executor serves the runner's whole
+lifetime, so identical experiments planned by different algorithms — or by
+different forms of a sweep shard — are measured exactly once.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.core.blocking import (
     BlockingInstructions,
-    find_blocking_instructions,
+    plan_blocking_instructions,
 )
-from repro.core.codegen import measure_isolated
+from repro.core.codegen import independent_sequence
+from repro.core.experiment import ExperimentBatch, Plan, merge_plans
 from repro.core.latency import LatencyMeasurer
-from repro.core.port_usage import infer_port_usage
+from repro.core.port_usage import plan_port_usage
 from repro.core.result import InstructionCharacterization
 from repro.core.throughput import (
     compute_throughput_from_port_usage,
-    measure_throughput,
+    plan_throughput,
 )
 from repro.isa.database import InstructionDatabase, load_default_database
 from repro.isa.instruction import (
-    ATTR_CONTROL_FLOW,
     ATTR_SERIALIZING,
     ATTR_SYSTEM,
     ATTR_UNSUPPORTED,
@@ -63,44 +71,56 @@ class RunStatistics:
     cycles_simulated: int = 0
     cycles_extrapolated: int = 0
     runs_extrapolated: int = 0
+    #: Entries evicted from the backend's bounded in-process caches (see
+    #: ``MeasurementConfig.max_cached_measurements``).
+    cache_evictions: int = 0
+    #: Experiment-executor counters: how many experiments the plans
+    #: emitted, how many were deduplicated away before reaching the
+    #: backend, how many were actually dispatched, and the time split
+    #: between the planning/interpreting and executing phases.
+    experiments_planned: int = 0
+    experiments_deduped: int = 0
+    experiments_measured: int = 0
+    batches_dispatched: int = 0
+    plan_seconds: float = 0.0
+    execute_seconds: float = 0.0
 
     def merge(self, other: "RunStatistics") -> None:
         """Fold in the statistics of another run (e.g. a sweep worker)."""
-        self.characterized += other.characterized
-        self.skipped += other.skipped
-        self.seconds += other.seconds
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.cache_invalidations += other.cache_invalidations
-        self.memo_hits += other.memo_hits
-        self.memo_misses += other.memo_misses
-        self.cycles_simulated += other.cycles_simulated
-        self.cycles_extrapolated += other.cycles_extrapolated
-        self.runs_extrapolated += other.runs_extrapolated
-
-    def fold_backend(self, before, after) -> None:
-        """Add the delta of two :meth:`HardwareBackend.stats_tuple`
-        snapshots taken around a stretch of measurement work."""
-        (
-            self.memo_hits,
-            self.memo_misses,
-            self.cycles_simulated,
-            self.cycles_extrapolated,
-            self.runs_extrapolated,
-        ) = (
-            current + (b - a)
-            for current, a, b in zip(
-                (
-                    self.memo_hits,
-                    self.memo_misses,
-                    self.cycles_simulated,
-                    self.cycles_extrapolated,
-                    self.runs_extrapolated,
-                ),
-                before,
-                after,
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
             )
-        )
+
+    def fold_snapshot(self, before, after) -> None:
+        """Add the delta of two stats snapshots taken around a stretch of
+        measurement work.
+
+        *before* and *after* are matching NamedTuples
+        (:class:`~repro.measure.backend.BackendStats` or
+        :class:`~repro.measure.executor.ExecutorStats`); fields are
+        matched to this dataclass *by name*, so reordering or extending a
+        snapshot type cannot silently misattribute a counter.
+        """
+        names = after._fields
+        if len(before) != len(names):
+            raise ValueError(
+                f"snapshot length mismatch: {len(before)} != {len(names)}"
+            )
+        for name, a, b in zip(names, before, after):
+            setattr(self, name, getattr(self, name) + (b - a))
+
+    #: Backwards-compatible alias (the zip-by-position version this
+    #: replaces was specific to the backend snapshot).
+    fold_backend = fold_snapshot
+
+    def as_dict(self) -> Dict[str, float]:
+        """All counters, JSON-serializable (for ``--stats-json``)."""
+        return {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
+        }
 
 
 class CharacterizationRunner:
@@ -110,19 +130,27 @@ class CharacterizationRunner:
         self,
         backend,
         database: Optional[InstructionDatabase] = None,
+        executor=None,
     ):
         self.backend = backend
         self.database = database or load_default_database()
         self._blocking: Optional[BlockingInstructions] = None
         self._latency = LatencyMeasurer(self.database, backend)
+        if executor is None:
+            from repro.measure.executor import ExperimentExecutor
+
+            executor = ExperimentExecutor(backend)
+        #: The executor all of this runner's plans flow through; shared
+        #: across forms so cross-form duplicates are measured once.
+        self.executor = executor
         self.statistics = RunStatistics()
 
     @property
     def blocking(self) -> BlockingInstructions:
         """Blocking instructions, discovered once per backend (5.1.1)."""
         if self._blocking is None:
-            self._blocking = find_blocking_instructions(
-                self.database, self.backend
+            self._blocking = self.executor.drive(
+                plan_blocking_instructions(self.database, self.backend)
             )
         return self._blocking
 
@@ -142,31 +170,60 @@ class CharacterizationRunner:
         if not self.can_measure(form):
             self.statistics.skipped += 1
             return None
-        started = time.perf_counter()
-        notes: List[str] = []
-
-        isolation = measure_isolated(form, self.backend)
-        uop_count = isolation.uops
-
-        # infer() itself returns an empty result for forms whose latency
-        # cannot be measured (control flow, REP, system, serializing).
-        latency = self._latency.infer(form)
-
-        port_usage = None
-        throughput = None
         measurable_ports = not (
             form.has_attribute(ATTR_SERIALIZING)
             or form.has_attribute(ATTR_SYSTEM)
         )
+        # The blocking-instruction discovery is a one-time backend-wide
+        # cost, not part of this form's measurement time.
+        blocking = self.blocking if measurable_ports else None
+        started = time.perf_counter()
+        outcome = self.executor.drive(
+            self._plan_characterization(form, blocking, measurable_ports)
+        )
+        self.statistics.characterized += 1
+        self.statistics.seconds += time.perf_counter() - started
+        return outcome
+
+    def _plan_isolation(self, form: InstructionForm) -> Plan:
+        batch = ExperimentBatch()
+        code = independent_sequence(form, 4)
+        handle = batch.add(code, tag=f"iso:{form.uid}")
+        results = yield batch
+        return results[handle].scaled(len(code))
+
+    def _plan_characterization(
+        self,
+        form: InstructionForm,
+        blocking: Optional[BlockingInstructions],
+        measurable_ports: bool,
+    ) -> Plan:
+        """One form's characterization as a composed plan.
+
+        Round 1 merges the isolation run, every latency chain, and the
+        throughput sequences into a single dispatch; the adaptive
+        port-usage rounds (which need the measured maximum latency)
+        follow.
+        """
+        notes: List[str] = []
+        plans = [self._plan_isolation(form), self._latency.plan(form)]
+        if measurable_ports:
+            plans.append(plan_throughput(form, self.database))
+        merged = yield from merge_plans(plans)
+        if measurable_ports:
+            isolation, latency, throughput = merged
+        else:
+            isolation, latency = merged
+            throughput = None
+        uop_count = isolation.uops
+
+        port_usage = None
         if measurable_ports:
             max_latency = (
                 latency.max_latency() if latency and latency.pairs else 1.0
             )
-            port_usage = infer_port_usage(
-                form, self.backend, self.blocking, max_latency
-            )
-            throughput = measure_throughput(
-                form, self.backend, self.database
+            port_usage = yield from plan_port_usage(
+                form, blocking, max_latency
             )
             if form.category not in ("div", "vec_fp_div", "vec_fp_sqrt"):
                 computed = compute_throughput_from_port_usage(
@@ -176,8 +233,6 @@ class CharacterizationRunner:
             else:
                 notes.append("divider: Intel-style throughput undefined")
 
-        self.statistics.characterized += 1
-        self.statistics.seconds += time.perf_counter() - started
         return InstructionCharacterization(
             form_uid=form.uid,
             uarch_name=self.backend.uarch.name,

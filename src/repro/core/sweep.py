@@ -37,7 +37,12 @@ from repro.core.result import (
 from repro.core.runner import CharacterizationRunner, RunStatistics
 from repro.isa.database import InstructionDatabase, load_default_database
 from repro.isa.instruction import InstructionForm
-from repro.measure.backend import HardwareBackend, MeasurementConfig
+from repro.measure.backend import (
+    BackendStats,
+    HardwareBackend,
+    MeasurementConfig,
+)
+from repro.measure.executor import ExecutorStats
 from repro.uarch.configs import get_uarch
 from repro.uarch.model import UarchConfig
 
@@ -90,8 +95,11 @@ def _characterize_shard(payload: _ShardPayload):
             (uid, encode_characterization(outcome)
              if outcome is not None else None)
         )
-    runner.statistics.fold_backend(
-        (0, 0, 0, 0, 0), backend.stats_tuple()
+    runner.statistics.fold_snapshot(
+        BackendStats.zero(), backend.stats_tuple()
+    )
+    runner.statistics.fold_snapshot(
+        ExecutorStats.zero(), runner.executor.stats_tuple()
     )
     return entries, runner.statistics
 
@@ -170,7 +178,11 @@ class SweepEngine:
 
         backend_base = (
             self._backend.stats_tuple()
-            if self._backend is not None else (0, 0, 0, 0, 0)
+            if self._backend is not None else BackendStats.zero()
+        )
+        executor_base = (
+            self._runner.executor.stats_tuple()
+            if self._runner is not None else ExecutorStats.zero()
         )
         results: Dict[str, InstructionCharacterization] = {}
         pending: List[InstructionForm] = []
@@ -197,8 +209,12 @@ class SweepEngine:
         if self._backend is not None:
             # In-process measurement work this sweep performed (serial
             # shards and the sharded path's memo pre-warm).
-            self.statistics.fold_backend(
+            self.statistics.fold_snapshot(
                 backend_base, self._backend.stats_tuple()
+            )
+        if self._runner is not None:
+            self.statistics.fold_snapshot(
+                executor_base, self._runner.executor.stats_tuple()
             )
 
         return {uid: results[uid] for uid in sorted(results)}

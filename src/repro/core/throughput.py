@@ -19,7 +19,7 @@ solved as an LP with scipy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 from scipy.optimize import linprog
@@ -30,11 +30,8 @@ from repro.core.codegen import (
     independent_sequence,
     instantiate,
 )
-from repro.core.latency import (
-    DIVISOR_VALUE,
-    FAST_DIVIDER_VALUE,
-    SLOW_DIVIDER_VALUE,
-)
+from repro.core.experiment import ExperimentBatch, Plan
+from repro.core.latency import DIVISOR_VALUE, FAST_DIVIDER_VALUE
 from repro.core.result import PortUsage, ThroughputResult
 from repro.isa.instruction import InstructionForm
 from repro.isa.operands import Immediate, OperandKind, RegisterOperand
@@ -48,34 +45,70 @@ def measure_throughput(
     backend,
     database=None,
 ) -> ThroughputResult:
-    """Fog-style throughput over several independent-sequence lengths."""
-    by_length: Dict[int, float] = {}
+    """Fog-style throughput over several independent-sequence lengths.
+
+    One-shot wrapper around :func:`plan_throughput`.
+    """
+    from repro.measure.executor import ExperimentExecutor
+
+    return ExperimentExecutor(backend).drive(
+        plan_throughput(form, database)
+    )
+
+
+def plan_throughput(
+    form: InstructionForm,
+    database=None,
+) -> Plan:
+    """Plan the throughput measurements of Section 5.3.1 as one batch:
+    the four sequence lengths, the dependency-breaking variant, and the
+    fast/slow divider sequences where applicable."""
+    batch = ExperimentBatch()
+    lengths = []
     for length in _SEQUENCE_LENGTHS:
         code = independent_sequence(form, length)
-        counters = backend.measure(code)
-        by_length[length] = counters.cycles / length
-
-    same_kind = min(by_length.values())
-    best = same_kind
+        handle = batch.add(code, tag=f"tp:L{length}:{form.uid}")
+        lengths.append((length, handle))
 
     # Variant with dependency-breaking instructions for implicit
     # read+write operands (Section 5.3.1).
+    broken_handle = None
     if database is not None and _has_implicit_rw(form):
         broken = _sequence_with_breakers(form, database, 4)
         if broken is not None:
             code, per_copy_instructions = broken
-            counters = backend.measure(code)
-            cycles = counters.cycles / per_copy_instructions
-            if cycles < best:
-                best = cycles
+            broken_handle = batch.add(code, tag=f"tp:breakers:{form.uid}")
 
-    fast = None
+    divider = []
     if form.category in ("div", "vec_fp_div", "vec_fp_sqrt") and \
             database is not None:
-        fast, slow = _divider_throughput(form, backend, database)
-        if slow is not None:
-            best = slow
-            same_kind = slow
+        for klass, value in (("fast", FAST_DIVIDER_VALUE),
+                             ("slow", 0x7FFFFFFF)):
+            code, init, copies = _divider_sequence(form, database, value)
+            handle = batch.add(code, init, tag=f"tp:{klass}:{form.uid}")
+            divider.append((klass, handle, copies))
+
+    results = yield batch
+
+    by_length: Dict[int, float] = {
+        length: results[handle].cycles / length
+        for length, handle in lengths
+    }
+    same_kind = min(by_length.values())
+    best = same_kind
+    if broken_handle is not None:
+        cycles = results[broken_handle].cycles / per_copy_instructions
+        if cycles < best:
+            best = cycles
+
+    fast = None
+    for klass, handle, copies in divider:
+        cycles = results[handle].cycles / copies
+        if klass == "fast":
+            fast = cycles
+        else:
+            best = cycles
+            same_kind = cycles
     return ThroughputResult(
         measured=best,
         measured_same_kind=same_kind,
@@ -129,15 +162,14 @@ def _sequence_with_breakers(form, database, length):
     return code, length
 
 
-def _divider_throughput(form, backend, database):
-    """(fast, slow) cycles/instruction for divider instructions.
+def _divider_sequence(form, database, value):
+    """``(code, init, copies)`` of one pinned divider sequence.
 
     Implicit read+write operands (``RAX``/``RDX`` for DIV) serialize plain
     sequences, so dependency-breaking ``MOV reg, imm`` instructions re-pin
-    the operand values between instances; the pin value selects the fast or
-    the slow divider path (Section 5.2.5).
+    the operand values between instances; the pin *value* selects the fast
+    or the slow divider path (Section 5.2.5).
     """
-    fast = slow = None
     mov = database.by_uid("MOV_R64_I32")
     avx = form.is_avx
     if avx:
@@ -146,80 +178,72 @@ def _divider_throughput(form, backend, database):
     else:
         vec_zero = database.by_uid("PXOR_XMM_XMM")
         vec_pin = database.by_uid("POR_XMM_XMM")
-    for klass, value in (("fast", FAST_DIVIDER_VALUE),
-                         ("slow", 0x7FFFFFFF)):
-        allocator_pin = None
-        instances = independent_sequence(form, 4)
-        code = []
-        init: Dict[str, int] = {}
-        for instr in instances:
-            code.append(instr)
-            for i, spec in enumerate(instr.form.operands):
-                if not spec.read:
-                    continue
-                operand = instr.operands[i]
-                if not isinstance(operand, RegisterOperand):
-                    continue
-                name = operand.register.canonical
-                pin = (
-                    DIVISOR_VALUE
-                    if (i == 0 and form.category == "div")
-                    else value
+    allocator_pin = None
+    instances = independent_sequence(form, 4)
+    code = []
+    init: Dict[str, int] = {}
+    for instr in instances:
+        code.append(instr)
+        for i, spec in enumerate(instr.form.operands):
+            if not spec.read:
+                continue
+            operand = instr.operands[i]
+            if not isinstance(operand, RegisterOperand):
+                continue
+            name = operand.register.canonical
+            pin = (
+                DIVISOR_VALUE
+                if (i == 0 and form.category == "div")
+                else value
+            )
+            init.setdefault(name, pin)
+            if not spec.written:
+                continue
+            if spec.kind == OperandKind.GPR:
+                code.append(
+                    mov.instantiate(
+                        RegisterOperand(
+                            sized_view(operand.register, 64)
+                        ),
+                        Immediate(pin, 32),
+                    )
                 )
-                init.setdefault(name, pin)
-                if not spec.written:
-                    continue
-                if spec.kind == OperandKind.GPR:
+            elif spec.kind == OperandKind.VEC:
+                # PXOR reg,reg breaks the dependency; POR reg,pin
+                # restores the pinned value.
+                if allocator_pin is None:
+                    allocator_pin = register_by_name("XMM0")
+                    init.setdefault(allocator_pin.canonical, pin)
+                view = sized_view(operand.register, 128)
+                if avx:
                     code.append(
-                        mov.instantiate(
-                            RegisterOperand(
-                                sized_view(operand.register, 64)
-                            ),
-                            Immediate(pin, 32),
+                        vec_zero.instantiate(
+                            RegisterOperand(view),
+                            RegisterOperand(view),
+                            RegisterOperand(view),
                         )
                     )
-                elif spec.kind == OperandKind.VEC:
-                    # PXOR reg,reg breaks the dependency; POR reg,pin
-                    # restores the pinned value.
-                    if allocator_pin is None:
-                        allocator_pin = register_by_name("XMM0")
-                        init.setdefault(allocator_pin.canonical, pin)
-                    view = sized_view(operand.register, 128)
-                    if avx:
-                        code.append(
-                            vec_zero.instantiate(
-                                RegisterOperand(view),
-                                RegisterOperand(view),
-                                RegisterOperand(view),
-                            )
+                    code.append(
+                        vec_pin.instantiate(
+                            RegisterOperand(view),
+                            RegisterOperand(view),
+                            RegisterOperand(allocator_pin),
                         )
-                        code.append(
-                            vec_pin.instantiate(
-                                RegisterOperand(view),
-                                RegisterOperand(view),
-                                RegisterOperand(allocator_pin),
-                            )
+                    )
+                else:
+                    code.append(
+                        vec_zero.instantiate(
+                            RegisterOperand(view),
+                            RegisterOperand(view),
                         )
-                    else:
-                        code.append(
-                            vec_zero.instantiate(
-                                RegisterOperand(view),
-                                RegisterOperand(view),
-                            )
+                    )
+                    code.append(
+                        vec_pin.instantiate(
+                            RegisterOperand(view),
+                            RegisterOperand(allocator_pin),
                         )
-                        code.append(
-                            vec_pin.instantiate(
-                                RegisterOperand(view),
-                                RegisterOperand(allocator_pin),
-                            )
-                        )
-        counters = backend.measure(code, init)
-        cycles = counters.cycles / len(instances)
-        if klass == "fast":
-            fast = cycles
-        else:
-            slow = cycles
-    return fast, slow
+                    )
+    return code, init, len(instances)
 
 
 def compute_throughput_from_port_usage(

@@ -11,7 +11,7 @@ with ``ports=``, ``uops=``, ``TP=`` attributes and per-operand-pair
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from repro.core.result import InstructionCharacterization
 from repro.isa.database import InstructionDatabase

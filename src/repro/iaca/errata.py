@@ -16,7 +16,7 @@ Two sources:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional
 
 from repro.isa.instruction import InstructionForm
 from repro.uarch.model import UarchConfig

@@ -17,7 +17,7 @@ from repro.iaca import errata
 from repro.isa.instruction import InstructionForm
 from repro.uarch.model import UarchConfig
 from repro.uarch.tables import build_entry
-from repro.uarch.uops import UarchEntry, UopSpec
+from repro.uarch.uops import UarchEntry
 
 
 @dataclass(frozen=True)

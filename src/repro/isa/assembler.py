@@ -9,7 +9,7 @@ Intel assembler syntax (``mnemonic op1, op2, ...``; memory operands written
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.isa.instruction import Instruction, InstructionForm
 from repro.isa.operands import (

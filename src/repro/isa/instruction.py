@@ -11,11 +11,10 @@ produce sequences of these.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.isa.operands import (
-    Immediate,
     Memory,
     Operand,
     OperandKind,

@@ -11,9 +11,20 @@ runs.  On the deterministic simulator a single repetition suffices; the
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    List,
+    NamedTuple,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
+from repro.core.experiment import Experiment, ExperimentFailure
 from repro.core.result import decode_counters, encode_counters
 from repro.isa.instruction import Instruction, InstructionForm
 from repro.measure.extrapolate import unrolled_counters
@@ -28,12 +39,19 @@ class MeasurementConfig:
     The paper uses ``unroll_small=10``, ``unroll_large=110`` and 100
     repetitions; the defaults here are scaled down because the simulator is
     deterministic and cycle-exact, which the tests verify.
+
+    ``max_cached_measurements`` bounds the backend's two in-process
+    result stores (final per-copy averages and per-run unroll counters)
+    with LRU eviction, so a full-catalog sweep cannot grow memory without
+    limit.  It is a resource knob, not part of the measurement protocol:
+    persistent cache keys are derived from :meth:`protocol_fields` only.
     """
 
     unroll_small: int = 5
     unroll_large: int = 25
     repeats: int = 1
     warmup: bool = True
+    max_cached_measurements: Optional[int] = 100_000
 
     #: The paper's exact configuration, for protocol-fidelity tests.
     @classmethod
@@ -41,9 +59,75 @@ class MeasurementConfig:
         return cls(unroll_small=10, unroll_large=110, repeats=3,
                    warmup=True)
 
+    def protocol_fields(self) -> Dict[str, object]:
+        """The fields that define the measurement protocol — and thus
+        participate in persistent cache/memo keys."""
+        return {
+            "unroll_small": self.unroll_small,
+            "unroll_large": self.unroll_large,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+        }
+
+
+class LRUDict(OrderedDict):
+    """A mapping bounded by least-recently-used eviction.
+
+    Reads refresh recency; inserting beyond ``max_entries`` evicts the
+    stalest entry and counts it in ``evictions``.  ``max_entries=None``
+    is unbounded (but still counts recency, so bounds can be compared
+    against an unbounded baseline in tests).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        super().__init__()
+        self.max_entries = max_entries
+        self.evictions = 0
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        if self.max_entries is not None and len(self) > self.max_entries:
+            self.popitem(last=False)
+            self.evictions += 1
+
+
+class BackendStats(NamedTuple):
+    """Snapshot of the perf counters RunStatistics aggregates."""
+
+    memo_hits: int
+    memo_misses: int
+    cycles_simulated: int
+    cycles_extrapolated: int
+    runs_extrapolated: int
+    cache_evictions: int
+
+    @classmethod
+    def zero(cls) -> "BackendStats":
+        return cls(0, 0, 0, 0, 0, 0)
+
 
 class MeasurementBackend(Protocol):
-    """What the inference algorithms need from an execution substrate."""
+    """What the inference algorithms need from an execution substrate.
+
+    Backends may additionally provide the optional batch entry point
+    ``measure_many(experiments) -> list`` of the executor protocol
+    (:class:`~repro.measure.executor.ExperimentExecutor`); when absent,
+    the executor's default implementation loops over :meth:`measure`.
+    Both concrete backends (:class:`HardwareBackend` and
+    :class:`~repro.iaca.analyzer.IacaBackend`) provide it.
+    """
 
     name: str
     uarch: UarchConfig
@@ -91,10 +175,11 @@ class HardwareBackend:
         self.name = f"hw-{uarch.name}"
         self.config = config or MeasurementConfig()
         self._core = Core(uarch, kernel=kernel)
-        self._cache: Dict = {}
+        bound = self.config.max_cached_measurements
+        self._cache = LRUDict(bound)
         #: Per-(code, init) full-run counters at each simulated unroll
         #: factor — the run-level memo that collapses repeats/warmup.
-        self._run_memo: Dict = {}
+        self._run_memo = LRUDict(bound)
         self.memo = memo
         #: Number of measure() invocations over the backend's lifetime.
         #: The sweep engine's tests use this to prove that a warm-cache
@@ -115,14 +200,19 @@ class HardwareBackend:
     def cycles_simulated(self) -> int:
         return self._core.cycles_simulated
 
-    def stats_tuple(self) -> Tuple[int, int, int, int, int]:
+    @property
+    def cache_evictions(self) -> int:
+        return self._cache.evictions + self._run_memo.evictions
+
+    def stats_tuple(self) -> BackendStats:
         """Snapshot of the perf counters RunStatistics aggregates."""
-        return (
+        return BackendStats(
             self.memo_hits,
             self.memo_misses,
             self.cycles_simulated,
             self.cycles_extrapolated,
             self.runs_extrapolated,
+            self.cache_evictions,
         )
 
     def measure(
@@ -140,6 +230,43 @@ class HardwareBackend:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        return self._measure_miss(key, code, init)
+
+    def measure_many(self, experiments: Sequence[Experiment]) -> List[Any]:
+        """Batch entry point of the executor protocol.
+
+        An :class:`~repro.core.experiment.Experiment`'s identity tuple is
+        already the backend's cache key (same normalization), so the
+        per-call key construction of :meth:`measure` is hoisted away;
+        per-experiment errors become
+        :class:`~repro.core.experiment.ExperimentFailure` outcomes so one
+        bad chain cannot abort the rest of a batch.
+        """
+        outcomes: List[Any] = []
+        for experiment in experiments:
+            self.measure_calls += 1
+            key = (experiment.code, experiment.init)
+            cached = self._cache.get(key)
+            if cached is not None:
+                outcomes.append(cached)
+                continue
+            try:
+                outcomes.append(
+                    self._measure_miss(
+                        key, experiment.code, experiment.init_dict()
+                    )
+                )
+            except Exception as error:
+                outcomes.append(ExperimentFailure(error))
+        return outcomes
+
+    def _measure_miss(
+        self,
+        key,
+        code: Tuple[Instruction, ...],
+        init: Optional[Dict[str, int]],
+    ) -> CounterValues:
+        """Resolve a cache miss: memo probe, then simulation."""
         memo_key = None
         if self.memo is not None:
             memo_key = self.memo.key_for(
@@ -214,7 +341,9 @@ class HardwareBackend:
             )
             self.runs_extrapolated += stats.runs_extrapolated
             self.cycles_extrapolated += stats.cycles_extrapolated
-            runs = self._run_memo.setdefault(key, {})
+            if runs is None:
+                runs = {}
+                self._run_memo[key] = runs
             runs.update(fresh)
         delta = runs[cfg.unroll_large] - runs[cfg.unroll_small]
         totals = delta

@@ -1,0 +1,169 @@
+"""The batch executor between planning and interpretation.
+
+:class:`ExperimentExecutor` sits between the inference algorithms' plans
+(:mod:`repro.core.experiment`) and a measurement backend.  It owns the
+third caching layer of the stack (after the persistent result cache and
+the cross-process measurement memo): a content-addressed dedup memo over
+:class:`~repro.core.experiment.Experiment` identity, so an identical
+``(code, init)`` pair planned by two algorithms — or by two forms of the
+same sweep shard — is dispatched to the backend once.
+
+Dispatch goes through the optional ``measure_many`` protocol when the
+backend provides it (both :class:`~repro.measure.backend.HardwareBackend`
+and :class:`~repro.iaca.analyzer.IacaBackend` do), falling back to a loop
+over ``measure()``.  Per-experiment exceptions are captured as
+:class:`~repro.core.experiment.ExperimentFailure` and re-raised only when
+an interpreter reads the failed experiment, so batched execution keeps
+the inline path's exception semantics.
+
+``REPRO_EXECUTOR=inline`` disables deduplication: every planned
+experiment is dispatched in plan order, replaying the seed algorithms'
+exact measure-call sequence.  This is the differential-testing baseline
+(see tests/test_experiment_executor.py) and the escape hatch when
+debugging a suspected dedup mismatch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence
+
+from repro.core.experiment import (
+    Experiment,
+    ExperimentBatch,
+    ExperimentFailure,
+    Plan,
+    ResultMap,
+)
+
+#: Environment variable selecting the execution mode.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+EXECUTOR_BATCHED = "batched"
+EXECUTOR_INLINE = "inline"
+
+
+def executor_mode(explicit: Optional[str] = None) -> str:
+    """Resolve the executor-mode selection.
+
+    ``REPRO_EXECUTOR=inline`` forces one backend dispatch per planned
+    experiment in plan order (the seed behaviour, and the baseline the
+    differential tests compare against); anything else selects the
+    deduplicating batched mode.
+    """
+    mode = explicit or os.environ.get(EXECUTOR_ENV) or EXECUTOR_BATCHED
+    if mode not in (EXECUTOR_BATCHED, EXECUTOR_INLINE):
+        raise ValueError(
+            f"unknown executor mode {mode!r} "
+            f"(expected {EXECUTOR_BATCHED!r} or {EXECUTOR_INLINE!r})"
+        )
+    return mode
+
+
+class ExecutorStats(NamedTuple):
+    """Snapshot of the executor counters RunStatistics aggregates."""
+
+    experiments_planned: int
+    experiments_deduped: int
+    experiments_measured: int
+    batches_dispatched: int
+    plan_seconds: float
+    execute_seconds: float
+
+    @classmethod
+    def zero(cls) -> "ExecutorStats":
+        return cls(0, 0, 0, 0, 0.0, 0.0)
+
+
+class ExperimentExecutor:
+    """Deduplicating dispatcher of experiment batches to one backend.
+
+    The dedup memo spans the executor's lifetime, which is what makes
+    sharing an executor across a whole sweep shard (see
+    :class:`~repro.core.sweep.SweepEngine`) collapse repeated chain,
+    isolation, and blocking sub-measurements across forms — the inline
+    algorithms could only ever reuse them per call site.
+    """
+
+    def __init__(self, backend, mode: Optional[str] = None):
+        self.backend = backend
+        self.mode = executor_mode(mode)
+        self.dedup = self.mode == EXECUTOR_BATCHED
+        #: Lifetime outcome memo, keyed by experiment content.
+        self._memo: Dict[Experiment, Any] = {}
+        self.experiments_planned = 0
+        self.experiments_deduped = 0
+        self.experiments_measured = 0
+        self.batches_dispatched = 0
+        self.plan_seconds = 0.0
+        self.execute_seconds = 0.0
+
+    def stats_tuple(self) -> ExecutorStats:
+        return ExecutorStats(
+            self.experiments_planned,
+            self.experiments_deduped,
+            self.experiments_measured,
+            self.batches_dispatched,
+            self.plan_seconds,
+            self.execute_seconds,
+        )
+
+    def execute(self, batch: ExperimentBatch) -> ResultMap:
+        """Measure one batch, deduped against everything seen so far."""
+        self.experiments_planned += len(batch)
+        if self.dedup:
+            pending: List[Experiment] = []
+            seen = set()
+            for experiment in batch:
+                if experiment in self._memo or experiment in seen:
+                    self.experiments_deduped += 1
+                else:
+                    seen.add(experiment)
+                    pending.append(experiment)
+        else:
+            pending = list(batch)
+        if pending:
+            started = time.perf_counter()
+            outcomes = self._dispatch(pending)
+            self.execute_seconds += time.perf_counter() - started
+            self.batches_dispatched += 1
+            self.experiments_measured += len(pending)
+            for experiment, outcome in zip(pending, outcomes):
+                self._memo[experiment] = outcome
+        results = ResultMap()
+        for experiment in batch:
+            results.put(experiment, self._memo[experiment])
+        return results
+
+    def _dispatch(self, pending: Sequence[Experiment]) -> List[Any]:
+        measure_many = getattr(self.backend, "measure_many", None)
+        if measure_many is not None:
+            return list(measure_many(pending))
+        outcomes: List[Any] = []
+        for experiment in pending:
+            try:
+                outcomes.append(
+                    self.backend.measure(
+                        list(experiment.code), experiment.init_dict()
+                    )
+                )
+            except Exception as error:
+                outcomes.append(ExperimentFailure(error))
+        return outcomes
+
+    def drive(self, plan: Plan) -> Any:
+        """Run a plan to completion: execute every batch it yields and
+        feed the results back, returning the plan's interpretation."""
+        results: Optional[ResultMap] = None
+        while True:
+            started = time.perf_counter()
+            try:
+                if results is None:
+                    batch = next(plan)
+                else:
+                    batch = plan.send(results)
+            except StopIteration as stop:
+                self.plan_seconds += time.perf_counter() - started
+                return stop.value
+            self.plan_seconds += time.perf_counter() - started
+            results = self.execute(batch)

@@ -33,18 +33,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.isa.instruction import ATTR_MOVE, Instruction
 from repro.isa.operands import Memory, OperandKind, RegisterOperand
 from repro.pipeline.event_kernel import timing_event
-from repro.pipeline.semantics import MemAccess, evaluate
+from repro.pipeline.semantics import evaluate
 from repro.pipeline.state import MachineState
 from repro.uarch.model import UarchConfig
 from repro.uarch.tables import build_entry
-from repro.uarch.uops import (
-    DOMAIN_FVEC,
-    DOMAIN_INT,
-    DOMAIN_IVEC,
-    KIND_LOAD,
-    KIND_STORE_DATA,
-    UarchEntry,
-)
+from repro.uarch.uops import DOMAIN_INT, KIND_LOAD, UarchEntry
 
 #: Values at or below this are "fast" divider operands (Section 5.2.5).
 _FAST_VALUE_LIMIT = 0xFFFFF

@@ -12,7 +12,7 @@ only through addresses and the divider (see :mod:`repro.pipeline.state`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.isa.instruction import Instruction
 from repro.isa.operands import (

@@ -15,7 +15,7 @@ generators exploit:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.isa.operands import Memory
 from repro.isa.registers import (

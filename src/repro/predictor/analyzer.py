@@ -15,17 +15,12 @@ characterization tool measures:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.result import InstructionCharacterization
 from repro.core.throughput import solve_port_assignment
 from repro.isa.instruction import Instruction
-from repro.isa.operands import (
-    Immediate,
-    Memory,
-    OperandKind,
-    RegisterOperand,
-)
+from repro.isa.operands import Memory, OperandKind, RegisterOperand
 from repro.uarch.model import UarchConfig
 
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Mapping, Tuple
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ function ``(form, uarch, entry) -> entry`` registered for a specific
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.isa.instruction import InstructionForm
 from repro.uarch.model import UarchConfig

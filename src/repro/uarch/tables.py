@@ -22,7 +22,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.instruction import (
     ATTR_DEP_BREAKING,
-    ATTR_MOVE,
     ATTR_UNSUPPORTED,
     ATTR_ZERO_IDIOM,
     InstructionForm,

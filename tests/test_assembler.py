@@ -9,12 +9,11 @@ from repro.core.codegen import instantiate
 from repro.isa.assembler import (
     AssemblerError,
     format_instruction,
-    format_sequence,
     parse_instruction,
     parse_operand,
     parse_sequence,
 )
-from repro.isa.operands import Immediate, Memory, RegisterOperand
+from repro.isa.operands import Memory, RegisterOperand
 from repro.isa.registers import register_by_name as reg
 
 

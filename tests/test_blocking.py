@@ -1,6 +1,5 @@
 """Blocking-instruction discovery tests (Section 5.1.1)."""
 
-import pytest
 
 from repro.core.blocking import CONTEXT_AVX, CONTEXT_SSE
 

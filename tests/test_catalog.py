@@ -2,7 +2,6 @@
 
 from collections import Counter
 
-import pytest
 
 from repro.isa.catalog import build_catalog
 from repro.isa.instruction import (

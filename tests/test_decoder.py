@@ -11,7 +11,6 @@ from repro.core.decoder import (
     decoder_report,
 )
 from repro.uarch.configs import get_uarch
-from tests.conftest import backend_for
 
 _DECODER_BACKENDS = {}
 

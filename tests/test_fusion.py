@@ -1,6 +1,5 @@
 """Micro/macro-fusion characterization tests (the future-work extension)."""
 
-import pytest
 
 from repro.core.fusion import (
     detect_macro_fusion,
@@ -9,7 +8,6 @@ from repro.core.fusion import (
     measure_micro_fusion,
 )
 from repro.uarch.configs import get_uarch
-from tests.conftest import backend_for
 
 _FUSION_BACKENDS = {}
 

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.isa.instruction import Instruction, InstructionForm
 from repro.isa.operands import (
-    Immediate,
     Memory,
     OperandKind,
     OperandSpec,

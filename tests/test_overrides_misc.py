@@ -5,9 +5,8 @@ import pytest
 
 from repro.analysis.casestudies import CaseStudyResult
 from repro.core.result import LatencyValue
-from repro.isa.instruction import InstructionForm
 from repro.uarch import build_entry, get_uarch
-from repro.uarch.overrides import _OVERRIDES, apply_overrides, override
+from repro.uarch.overrides import _OVERRIDES, override
 from repro.uarch.uops import UarchEntry, UopSpec
 
 

@@ -7,7 +7,6 @@ from repro.isa.operands import Immediate, Memory, RegisterOperand
 from repro.isa.registers import register_by_name as reg
 from repro.pipeline import simulate
 from repro.pipeline.core import Core
-from repro.pipeline.state import MachineState, SCRATCH_BASE
 from repro.uarch.configs import get_uarch
 
 

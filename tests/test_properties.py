@@ -14,7 +14,7 @@ from repro.core.codegen import (
 from repro.isa.registers import FLAG_NAMES, register_by_name
 from repro.pipeline import simulate
 from repro.pipeline.state import MachineState, scratch_address
-from repro.uarch.configs import ALL_UARCHES, get_uarch
+from repro.uarch.configs import get_uarch
 from repro.uarch.tables import build_entry
 
 

@@ -1,6 +1,5 @@
 """Sampling utilities and environment-switch tests."""
 
-import pytest
 
 from repro.analysis.sampling import (
     default_sample,
@@ -8,7 +7,7 @@ from repro.analysis.sampling import (
     stratified_sample,
 )
 from repro.iaca.analyzer import iaca_versions_for
-from repro.uarch.configs import ALL_UARCHES, get_uarch
+from repro.uarch.configs import ALL_UARCHES
 
 
 class TestFullRunSwitch:

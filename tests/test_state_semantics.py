@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.isa.operands import Immediate, Memory, RegisterOperand
+from repro.isa.operands import Memory, RegisterOperand
 from repro.isa.registers import register_by_name as reg
 from repro.pipeline.semantics import evaluate
 from repro.pipeline.state import (

@@ -14,7 +14,6 @@ from repro.core.cache import ResultCache, cache_key
 from repro.core.runner import CharacterizationRunner
 from repro.core.sweep import SweepEngine, shard_uids
 from repro.measure.backend import MeasurementConfig
-from tests.conftest import backend_for
 
 #: Sampled so the differential covers ALU, vector, divider, branch,
 #: serializing, latency edge cases (SHLD), and an unmeasurable form.
