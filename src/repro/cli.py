@@ -76,6 +76,11 @@ _STATS_LINES = (
      "{experiments_measured} measured in {batches_dispatched} batches; "
      "plan {plan_seconds:.1f}s, execute {execute_seconds:.1f}s; "
      "{cache_evictions} evictions"),
+    ("faults",
+     "{forms_failed} quarantined, {retries} retries, "
+     "{experiments_gave_up} gave up, {shards_respawned} shards "
+     "respawned; {corrupt_lines} corrupt lines, "
+     "{lock_timeouts} lock timeouts"),
 )
 
 
@@ -85,11 +90,14 @@ def _print_cache_stats(statistics) -> None:
         print(f"{label}: {template.format(**values)}", file=sys.stderr)
 
 
-def _write_stats_json(statistics, path: Optional[str]) -> None:
+def _write_stats_json(statistics, path: Optional[str],
+                      failures=None) -> None:
     """Dump one or many :class:`RunStatistics` to *path* as JSON.
 
     *statistics* is either a single statistics object (``sweep``) or a
     dict of them keyed by microarchitecture name (``table1``).
+    *failures* is an optional ``{uid: FormFailure}`` of quarantined
+    forms, serialized under a ``"failures"`` key (``sweep`` only).
     """
     if not path:
         return
@@ -101,9 +109,19 @@ def _write_stats_json(statistics, path: Optional[str]) -> None:
         }
     else:
         payload = statistics.as_dict()
+        if failures:
+            payload["failures"] = [
+                failures[uid].as_dict() for uid in sorted(failures)
+            ]
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def _report_quarantine(failures) -> None:
+    """One stderr line per quarantined form (``{uid: FormFailure}``)."""
+    for uid in sorted(failures):
+        print(f"quarantined: {failures[uid].summary()}", file=sys.stderr)
 
 
 def _cmd_sweep(args) -> int:
@@ -113,12 +131,19 @@ def _cmd_sweep(args) -> int:
     from repro.core.xml_output import results_to_xml, write_xml
     from repro.isa.database import load_default_database
 
+    if args.resume and args.no_cache:
+        raise SystemExit(
+            "error: --resume needs the persistent cache "
+            "(incompatible with --no-cache)"
+        )
     database = load_default_database()
     engine = SweepEngine(
         get_uarch(args.uarch),
         database,
         jobs=args.jobs,
         cache=_make_cache(args),
+        fault_spec=args.fault_spec,
+        shard_timeout=args.shard_timeout,
     )
     supported = engine.supported_forms()
     forms = (
@@ -132,15 +157,31 @@ def _cmd_sweep(args) -> int:
         progress=(lambda line: print(line, file=sys.stderr))
         if args.verbose else None,
     )
+    if args.resume:
+        print(
+            f"resume: {engine.statistics.cache_hits} form(s) from "
+            f"cache, {engine.statistics.characterized} re-measured",
+            file=sys.stderr,
+        )
+    _report_quarantine(engine.failures)
     _print_cache_stats(engine.statistics)
-    _write_stats_json(engine.statistics, args.stats_json)
-    root = results_to_xml({engine.uarch.name: results}, database)
+    _write_stats_json(engine.statistics, args.stats_json, engine.failures)
+    failures_by_uarch = (
+        {engine.uarch.name: engine.failures} if engine.failures else None
+    )
+    root = results_to_xml(
+        {engine.uarch.name: results}, database,
+        failures=failures_by_uarch,
+    )
     write_xml(root, args.output)
     print(f"wrote {len(results)} characterizations to {args.output}")
     if args.html:
         from repro.core.html_output import write_html
 
-        write_html({engine.uarch.name: results}, args.html, database)
+        write_html(
+            {engine.uarch.name: results}, args.html, database,
+            failures=failures_by_uarch,
+        )
         print(f"wrote HTML report to {args.html}")
     if args.llvm:
         from repro.core.llvm_export import write_tablegen
@@ -161,7 +202,11 @@ def _cmd_table1(args) -> int:
     print(f"{'Arch':4s} {'Processor':18s} {'#Instr':>6s}  "
           f"{'IACA':8s} {'µops':>8s} {'Ports':>8s}")
     for uarch in ALL_UARCHES:
-        engine = SweepEngine(uarch, jobs=args.jobs, cache=cache)
+        engine = SweepEngine(
+            uarch, jobs=args.jobs, cache=cache,
+            fault_spec=args.fault_spec,
+            shard_timeout=args.shard_timeout,
+        )
         supported = engine.supported_forms()
         sample = (
             supported if args.sample == 0
@@ -288,6 +333,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--stats-json", default=None, metavar="PATH",
                        help="write the full run statistics as JSON "
                             "(table1: one object per generation)")
+        p.add_argument("--fault-spec", default=None, metavar="SPEC",
+                       help="inject deterministic faults for chaos "
+                            "testing, e.g. 'seed=7,transient=0.1' "
+                            "(same syntax as $REPRO_FAULTS)")
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="watchdog: respawn a sweep shard that "
+                            "makes no progress for this long")
 
     p = sub.add_parser("sweep", help="characterize many variants -> XML")
     p.add_argument("uarch", nargs="?", default="SKL")
@@ -298,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write an HTML report (uops.info-style)")
     p.add_argument("--llvm", default=None,
                    help="also write an LLVM-style scheduling model (.td)")
+    p.add_argument("--resume", action="store_true",
+                   help="re-run only forms missing from the persistent "
+                        "cache (e.g. quarantined by a faulty run) and "
+                        "report the resumed/re-measured split")
     p.add_argument("--verbose", action="store_true")
     add_sweep_options(p)
     p.set_defaults(func=_cmd_sweep)

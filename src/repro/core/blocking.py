@@ -23,7 +23,6 @@ from repro.isa.instruction import (
     ATTR_SYSTEM,
     ATTR_UNSUPPORTED,
     ATTR_ZERO_IDIOM,
-    Instruction,
     InstructionForm,
 )
 from repro.core.codegen import (
@@ -140,7 +139,14 @@ def plan_blocking_instructions(
 
     groups: Dict[Tuple[str, FrozenSet[int]], List] = {}
     for form, handle, copies in planned:
-        counters = results[handle].scaled(copies)
+        # A candidate whose isolation run failed (after the executor's
+        # retry budget) is simply not available as a blocking
+        # instruction: the discovery degrades instead of aborting the
+        # whole backend's characterization.
+        measured = results.get(handle)
+        if measured is None:
+            continue
+        counters = measured.scaled(copies)
         uops = counters.uops
         if not 0.9 < uops < 1.1:
             continue

@@ -21,9 +21,15 @@ Entries live in JSON-lines files, one per microarchitecture, under
 
 Because the salt participates in the key, bumping :data:`CACHE_SCHEMA`
 (or the package version) invalidates every existing entry; stale lines
-are counted as invalidations and dropped on load.  The file is append-
-only: re-characterized entries are appended and the last line for a key
-wins.
+are counted as invalidations and dropped on load, while lines that do
+not decode at all — torn concurrent appends, truncation, garbage, or
+well-formed JSON missing its envelope fields — are counted separately
+as ``corrupt_lines``.  The file is append-only: re-characterized
+entries are appended and the last line for a key wins.  Appends take an
+advisory ``flock`` with a **bounded** wait (:data:`LOCK_TIMEOUT`): a
+writer that cannot get the lock proceeds unlocked (counted in
+``lock_timeouts``) rather than deadlocking the sweep behind a crashed
+lock holder.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from typing import Any, Dict, Optional, Sequence
 
 from repro.measure.backend import MeasurementConfig
@@ -44,7 +51,47 @@ except ImportError:  # non-POSIX: appends are not locked
 #: every cache key, together with the package version.
 CACHE_SCHEMA = 1
 
+#: Longest a writer waits for the advisory file lock before appending
+#: unlocked (single-line ``write()`` appends interleave at line
+#: granularity anyway, so a missed lock degrades to at worst one torn
+#: line — which the loader drops — rather than a deadlocked sweep).
+LOCK_TIMEOUT = 5.0
+
 _MISS = object()
+
+
+def _flock_bounded(handle, timeout: float = LOCK_TIMEOUT) -> bool:
+    """Try to take an exclusive flock, giving up after *timeout* seconds.
+
+    Returns ``True`` when the lock was acquired.  A plain blocking
+    ``flock`` can park a sweep forever behind a worker that died while
+    holding the lock; polling a non-blocking attempt bounds the damage.
+    """
+    if fcntl is None:
+        return False
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True
+        except OSError:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.01)
+
+
+def _decode_line(line: str):
+    """Parse one JSONL entry; returns ``(entry, None)`` or
+    ``(None, reason)`` for a line that must be skipped."""
+    try:
+        entry = json.loads(line)
+    except ValueError:
+        return None, "corrupt"  # truncated/torn/garbage line
+    if not isinstance(entry, dict):
+        return None, "corrupt"
+    if not isinstance(entry.get("key"), str) or "data" not in entry:
+        return None, "corrupt"  # well-formed JSON, malformed payload
+    return entry, None
 
 
 def cache_salt() -> str:
@@ -103,6 +150,12 @@ class ResultCache:
         self.salt = salt if salt is not None else cache_salt()
         #: Entries loaded under a different salt, dropped on load.
         self.invalidations = 0
+        #: Lines that could not be decoded at all (truncated writes,
+        #: garbage, malformed payloads) — distinct from invalidations,
+        #: which are *valid* entries from another code version.
+        self.corrupt_lines = 0
+        #: Appends that proceeded unlocked after the bounded flock wait.
+        self.lock_timeouts = 0
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._loaded: set = set()
 
@@ -123,10 +176,9 @@ class ResultCache:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    self.invalidations += 1  # truncated/corrupt line
+                entry, problem = _decode_line(line)
+                if problem is not None:
+                    self.corrupt_lines += 1
                     continue
                 if entry.get("salt") != self.salt:
                     self.invalidations += 1
@@ -175,9 +227,17 @@ class ResultCache:
         }
         self._entries[key] = entry
         os.makedirs(self.cache_dir, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True) + "\n"
         with open(self.path_for(uarch_name), "a",
                   encoding="utf-8") as handle:
-            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            locked = _flock_bounded(handle)
+            if not locked and fcntl is not None:
+                self.lock_timeouts += 1
+            try:
+                handle.write(line)
+            finally:
+                if locked:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -254,6 +314,11 @@ class MeasurementMemo:
             )
         self.salt = salt if salt is not None else cache_salt()
         self.invalidations = 0
+        #: Undecodable lines (torn concurrent writes, garbage) skipped
+        #: on load — see :class:`ResultCache`.
+        self.corrupt_lines = 0
+        #: Appends that proceeded unlocked after the bounded flock wait.
+        self.lock_timeouts = 0
         self._entries: Dict[str, Any] = {}
         self._loaded: set = set()
 
@@ -272,10 +337,9 @@ class MeasurementMemo:
                 line = line.strip()
                 if not line:
                     continue
-                try:
-                    entry = json.loads(line)
-                except ValueError:
-                    self.invalidations += 1  # torn/corrupt line
+                entry, problem = _decode_line(line)
+                if problem is not None:
+                    self.corrupt_lines += 1
                     continue
                 if entry.get("salt") != self.salt:
                     self.invalidations += 1
@@ -311,12 +375,17 @@ class MeasurementMemo:
         ) + "\n"
         with open(self.path_for(uarch_name), "a",
                   encoding="utf-8") as handle:
-            if fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            # Bounded wait: a writer that died holding the advisory lock
+            # must not park the whole sweep; a lockless single-line
+            # append interleaves at line granularity, and a torn tail is
+            # dropped (and counted) by the next load.
+            locked = _flock_bounded(handle)
+            if not locked and fcntl is not None:
+                self.lock_timeouts += 1
             try:
                 handle.write(line)
             finally:
-                if fcntl is not None:
+                if locked:
                     fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     def __len__(self) -> int:

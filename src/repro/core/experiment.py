@@ -88,6 +88,19 @@ class Experiment:
     def init_dict(self) -> Optional[Dict[str, int]]:
         return dict(self.init) if self.init else None
 
+    def content_key(self) -> str:
+        """Short stable digest of the measurement content — the handle
+        failure messages and retry bookkeeping refer to."""
+        import hashlib
+
+        payload = ";".join(
+            f"{instruction.form.uid}|{instruction}"
+            for instruction in self.code
+        )
+        if self.init:
+            payload += f";init={self.init!r}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
 
 @dataclass(frozen=True)
 class ExperimentFailure:
@@ -96,13 +109,34 @@ class ExperimentFailure:
     Batch execution completes the remaining experiments instead of
     aborting; the original exception is re-raised only when an interpreter
     actually *reads* the failed experiment, preserving the exception type
-    (and therefore the callers' existing ``except`` clauses).
+    (and therefore the callers' existing ``except`` clauses).  ``key``,
+    ``tag`` and ``attempts`` carry the experiment's content digest and the
+    executor's retry count into the re-raised message, so a quarantined
+    form's report says *which* measurement died and how hard it was tried.
     """
 
     error: Exception = field(compare=False)
+    key: str = ""
+    tag: str = field(default="", compare=False)
+    attempts: int = 1
 
     def reraise(self) -> None:
-        raise self.error
+        context = (
+            f"experiment {self.key or '<unkeyed>'}"
+            + (f" [{self.tag}]" if self.tag else "")
+            + f" failed after {self.attempts} attempt(s)"
+        )
+        try:
+            augmented = type(self.error)(f"{self.error} ({context})")
+        except Exception:
+            # Exception types with non-message constructors: annotate the
+            # original instead of risking a mis-constructed clone.
+            self.error.add_note(context)
+            raise self.error
+        augmented.experiment_tag = self.tag
+        augmented.experiment_key = self.key
+        augmented.attempts = self.attempts
+        raise augmented from self.error
 
 
 class ExperimentBatch:

@@ -24,6 +24,7 @@ tr:nth-child(even) { background: #fafafa; }
 td.num { text-align: right; }
 caption { font-weight: bold; margin-bottom: 0.5em; text-align: left; }
 .lat { color: #444; font-size: 12px; }
+td.quarantine { background: #fdecea; color: #a02020; font-size: 12px; }
 """
 
 
@@ -48,11 +49,19 @@ def results_to_html(
     ],
     database: Optional[InstructionDatabase] = None,
     title: str = "Instruction characterizations",
+    failures: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> str:
-    """Render results as a standalone HTML page."""
-    uarch_names = sorted(results_by_uarch)
+    """Render results as a standalone HTML page.
+
+    *failures* is an optional ``{uarch name: {form uid: FormFailure}}``
+    of quarantined forms, rendered as highlighted cells so a report
+    accounts for every requested variant.
+    """
+    failures = failures or {}
+    uarch_names = sorted(set(results_by_uarch) | set(failures))
     all_uids = sorted(
         {uid for results in results_by_uarch.values() for uid in results}
+        | {uid for per_uarch in failures.values() for uid in per_uarch}
     )
     rows = []
     for uid in all_uids:
@@ -64,9 +73,18 @@ def results_to_html(
             f"<td>{html.escape(extension)}</td>",
         ]
         for name in uarch_names:
-            outcome = results_by_uarch[name].get(uid)
+            outcome = results_by_uarch.get(name, {}).get(uid)
             if outcome is None:
-                cells.append('<td colspan="4">-</td>')
+                failure = failures.get(name, {}).get(uid)
+                if failure is not None:
+                    cells.append(
+                        '<td colspan="4" class="quarantine">'
+                        f"quarantined ({html.escape(failure.phase)}): "
+                        f"{html.escape(failure.error_type)} after "
+                        f"{failure.attempts} attempt(s)</td>"
+                    )
+                else:
+                    cells.append('<td colspan="4">-</td>')
                 continue
             ports = (
                 outcome.port_usage.notation()
@@ -121,6 +139,9 @@ def write_html(
     path: str,
     database: Optional[InstructionDatabase] = None,
     title: str = "Instruction characterizations",
+    failures: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> None:
     with open(path, "w") as handle:
-        handle.write(results_to_html(results_by_uarch, database, title))
+        handle.write(
+            results_to_html(results_by_uarch, database, title, failures)
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, fields
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.core.blocking import (
     BlockingInstructions,
@@ -84,6 +84,17 @@ class RunStatistics:
     batches_dispatched: int = 0
     plan_seconds: float = 0.0
     execute_seconds: float = 0.0
+    #: Fault-tolerance counters: transient-failure re-dispatches, the
+    #: experiments that exhausted the retry budget, forms quarantined
+    #: instead of characterized, sweep worker shards respawned after a
+    #: crash or watchdog timeout, and cache hygiene (malformed JSONL
+    #: lines skipped, bounded flock waits that timed out).
+    retries: int = 0
+    experiments_gave_up: int = 0
+    forms_failed: int = 0
+    shards_respawned: int = 0
+    corrupt_lines: int = 0
+    lock_timeouts: int = 0
 
     def merge(self, other: "RunStatistics") -> None:
         """Fold in the statistics of another run (e.g. a sweep worker)."""
@@ -121,6 +132,61 @@ class RunStatistics:
         return {
             spec.name: getattr(self, spec.name) for spec in fields(self)
         }
+
+
+@dataclass(frozen=True)
+class FormFailure:
+    """The structured record of one quarantined instruction form.
+
+    Produced instead of a characterization when a form's plan ultimately
+    fails (after the executor's retry budget); a sweep collects these,
+    reports them in the statistics table and ``--stats-json``, and emits
+    them as annotated XML/HTML entries instead of silently dropping the
+    form.  All fields are primitives so the record crosses the sweep
+    engine's process boundary unchanged.
+    """
+
+    uid: str
+    #: The characterization stage that died: an experiment-tag prefix
+    #: (``iso``, ``lat``, ``ports``, ``tp``, ``blocking``), ``shard`` for
+    #: a lost worker, or ``characterize`` when unattributable.
+    phase: str
+    error_type: str
+    message: str
+    attempts: int = 1
+    #: Shard index for worker-loss failures, ``None`` otherwise.
+    shard: Optional[int] = None
+
+    @classmethod
+    def from_error(cls, uid: str, error: BaseException) -> "FormFailure":
+        tag = getattr(error, "experiment_tag", "")
+        phase = tag.split(":", 1)[0] if tag else "characterize"
+        return cls(
+            uid=uid,
+            phase=phase,
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=getattr(error, "attempts", 1),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "uid": self.uid,
+            "phase": self.phase,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "shard": self.shard,
+        }
+
+    def summary(self) -> str:
+        where = (
+            f"shard {self.shard}" if self.shard is not None else self.phase
+        )
+        return (
+            f"{self.uid}: quarantined in {where} after "
+            f"{self.attempts} attempt(s): {self.error_type}: {self.message}"
+        )
 
 
 class CharacterizationRunner:
@@ -184,6 +250,23 @@ class CharacterizationRunner:
         self.statistics.characterized += 1
         self.statistics.seconds += time.perf_counter() - started
         return outcome
+
+    def characterize_resilient(
+        self, form: InstructionForm
+    ) -> Union[InstructionCharacterization, FormFailure, None]:
+        """Like :meth:`characterize`, but degrade instead of raising.
+
+        A form whose plan ultimately fails — after the executor's
+        transient-retry budget — becomes a :class:`FormFailure` record
+        rather than aborting the caller's whole sweep.  The sweep paths
+        (serial and sharded) run through this entry point; direct API
+        users keep :meth:`characterize`'s raising behaviour.
+        """
+        try:
+            return self.characterize(form)
+        except Exception as error:
+            self.statistics.forms_failed += 1
+            return FormFailure.from_error(form.uid, error)
 
     def _plan_isolation(self, form: InstructionForm) -> Plan:
         batch = ExperimentBatch()

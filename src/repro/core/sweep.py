@@ -1,4 +1,4 @@
-"""Parallel sharded characterization sweeps with persistent caching.
+"""Parallel sharded characterization sweeps: cached, supervised, resumable.
 
 :class:`CharacterizationRunner` walks the catalog serially; at the scale
 of the paper's tool (thousands of variants per generation, Section 6)
@@ -13,19 +13,38 @@ configuration):
   *own* backend from the picklable microarchitecture name — simulator
   state is never shared between processes, so parallel results are
   bit-identical to a serial run;
-* workers return results in the canonical
+* workers stream results back **one form at a time** in the canonical
   :func:`~repro.core.result.encode_characterization` encoding (also the
-  cache's wire format), and the parent merges them in stable uid order;
+  cache's wire format); the parent merges them in stable uid order and
+  writes each through to the persistent cache as it arrives, so a sweep
+  interrupted at any point resumes from everything already finished;
 * an optional :class:`~repro.core.cache.ResultCache` is consulted before
-  any shard is formed, and populated afterwards, so warm sweeps perform
-  zero backend measurements.
+  any shard is formed, so warm sweeps perform zero backend measurements.
+
+Fault tolerance (see ``docs/robustness.md``): the parent supervises the
+worker fleet.  A form whose plan ultimately fails — after the
+executor's transient-retry budget — is **quarantined** as a
+:class:`~repro.core.runner.FormFailure` instead of aborting the sweep.
+A worker that dies (crash) or stops making progress for
+``shard_timeout`` seconds (watchdog) has its completed results salvaged
+— they already arrived — and its remaining uids respawned into a fresh
+worker exactly once; a second loss quarantines the remainder.  Because
+quarantined forms are never written to the cache, re-running the same
+sweep against the same cache (``sweep --resume``) re-measures only the
+missing and failed forms.
 
 ``jobs=1`` runs in-process (no pool, optionally on an injected backend),
 which is both the debugging path and the differential-test reference.
+The chaos harness (:mod:`repro.measure.faults`, ``REPRO_FAULTS`` /
+``--fault-spec``) injects deterministic failures at every one of these
+seams; nothing is injected unless explicitly requested.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import os
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.cache import MeasurementMemo, ResultCache
@@ -34,7 +53,11 @@ from repro.core.result import (
     decode_characterization,
     encode_characterization,
 )
-from repro.core.runner import CharacterizationRunner, RunStatistics
+from repro.core.runner import (
+    CharacterizationRunner,
+    FormFailure,
+    RunStatistics,
+)
 from repro.isa.database import InstructionDatabase, load_default_database
 from repro.isa.instruction import InstructionForm
 from repro.measure.backend import (
@@ -43,8 +66,13 @@ from repro.measure.backend import (
     MeasurementConfig,
 )
 from repro.measure.executor import ExecutorStats
+from repro.measure.faults import FaultPlan, maybe_faulty
 from repro.uarch.configs import get_uarch
 from repro.uarch.model import UarchConfig
+
+#: Exit code of a worker killed by an injected ``kill`` fault — chosen
+#: distinctive so a chaos log reads unambiguously.
+KILL_EXIT_CODE = 23
 
 
 def shard_uids(uids: List[str], n_shards: int) -> List[List[str]]:
@@ -62,14 +90,16 @@ def shard_uids(uids: List[str], n_shards: int) -> List[List[str]]:
 
 
 #: Worker payload: (uarch name, measurement config, shard of form uids,
-#: measurement-memo directory or None, memo salt).
+#: measurement-memo directory or None, memo salt, fault spec or None,
+#: whether this worker is a respawn, shard index).
 _ShardPayload = Tuple[
-    str, MeasurementConfig, List[str], Optional[str], Optional[str]
+    str, MeasurementConfig, List[str], Optional[str], Optional[str],
+    Optional[str], bool, int,
 ]
 
 
-def _characterize_shard(payload: _ShardPayload):
-    """Characterize one shard in a worker process.
+def _shard_worker(payload: _ShardPayload, out_queue) -> None:
+    """Characterize one shard in a worker process, streaming results.
 
     Module-level so it is picklable under every multiprocessing start
     method.  The backend (and its blocking-instruction discovery) is
@@ -77,35 +107,92 @@ def _characterize_shard(payload: _ShardPayload):
     measurement memo, the worker attaches to the shared memo file, so
     the blocking/chain sub-measurements the parent pre-warmed (and
     anything previous sweeps measured) are decoded instead of
-    re-simulated.  Nothing but the payload and the returned encodings
-    ever crosses the process boundary.
+    re-simulated.  Each finished form is put on *out_queue* immediately
+    (one message per uid), so the parent can salvage everything a dying
+    worker completed; a final ``done`` message carries the statistics.
     """
-    uarch_name, config, uids, memo_dir, memo_salt = payload
+    (
+        uarch_name, config, uids, memo_dir, memo_salt,
+        fault_spec, respawned, shard_id,
+    ) = payload
+    plan = FaultPlan.parse(fault_spec) if fault_spec else None
     database = load_default_database()
     memo = (
         MeasurementMemo(memo_dir, salt=memo_salt)
         if memo_dir is not None else None
     )
     backend = HardwareBackend(get_uarch(uarch_name), config, memo=memo)
+    backend = maybe_faulty(backend, fault_spec, respawned=respawned)
     runner = CharacterizationRunner(backend, database)
-    entries = []
     for uid in uids:
-        outcome = runner.characterize(database.by_uid(uid))
-        entries.append(
-            (uid, encode_characterization(outcome)
-             if outcome is not None else None)
-        )
+        if plan is not None:
+            stall = plan.stall_seconds(uid, respawned)
+            if stall:
+                time.sleep(stall)
+            if plan.should_kill(uid, respawned):
+                # A hard crash (no interpreter cleanup) — but flush the
+                # queue feeder first so already-reported results reach
+                # the parent as complete messages rather than a torn
+                # pipe write the supervisor could never parse.
+                out_queue.close()
+                out_queue.join_thread()
+                os._exit(KILL_EXIT_CODE)
+        outcome = runner.characterize_resilient(database.by_uid(uid))
+        if isinstance(outcome, FormFailure):
+            out_queue.put((
+                "failure", shard_id, uid,
+                dataclasses.replace(outcome, shard=shard_id),
+            ))
+        else:
+            out_queue.put((
+                "result", shard_id, uid,
+                encode_characterization(outcome)
+                if outcome is not None else None,
+            ))
     runner.statistics.fold_snapshot(
         BackendStats.zero(), backend.stats_tuple()
     )
     runner.statistics.fold_snapshot(
         ExecutorStats.zero(), runner.executor.stats_tuple()
     )
-    return entries, runner.statistics
+    out_queue.put(("done", shard_id, runner.statistics))
+
+
+class _ShardState:
+    """The parent's view of one supervised worker shard.
+
+    Each shard gets its **own** queue: a worker dying mid-``put`` can
+    tear only its own channel, never stall a sibling shard's reporting
+    — and a respawn starts on a fresh queue, so a torn pipe from the
+    first incarnation cannot confuse the second.
+    """
+
+    def __init__(self, shard_id: int, uids: List[str]):
+        self.shard_id = shard_id
+        self.remaining = set(uids)
+        self.process = None
+        self.queue = None
+        self.respawned = False
+        self.done = False
+        self.last_progress = time.monotonic()
+        #: The watchdog only arms once this incarnation streamed its
+        #: first form: worker startup (backend construction plus the
+        #: blocking-instruction discovery, folded into the first form)
+        #: is catalog-sized work, not form-sized, and must not be
+        #: mistaken for a wedged measurement.
+        self.armed = False
 
 
 class SweepEngine:
-    """Sharded, cached characterization of many forms on one uarch."""
+    """Sharded, cached, fault-tolerant characterization of many forms.
+
+    ``failures`` maps quarantined form uids to their
+    :class:`~repro.core.runner.FormFailure` records after a sweep; a
+    fully healthy run leaves it empty.
+    """
+
+    #: How often the supervisor wakes to check worker health (seconds).
+    POLL_INTERVAL = 0.2
 
     def __init__(
         self,
@@ -116,6 +203,8 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         backend: Optional[HardwareBackend] = None,
         measure_memo: Optional[MeasurementMemo] = None,
+        fault_spec: Optional[str] = None,
+        shard_timeout: Optional[float] = None,
     ):
         self.uarch = get_uarch(uarch) if isinstance(uarch, str) else uarch
         self.database = database or load_default_database()
@@ -131,19 +220,40 @@ class SweepEngine:
         if measure_memo is None and cache is not None:
             measure_memo = MeasurementMemo(cache.cache_dir, salt=cache.salt)
         self.measure_memo = measure_memo
+        # Chaos harness: never active unless a spec is given explicitly
+        # or via REPRO_FAULTS (maybe_faulty re-checks the environment so
+        # worker processes see the same spec through the payload).
+        from repro.measure.faults import FAULTS_ENV
+
+        self.fault_spec = (
+            fault_spec if fault_spec is not None
+            else os.environ.get(FAULTS_ENV)
+        )
+        #: Watchdog: a shard making no progress for this many seconds is
+        #: terminated and treated like a crashed worker (None disables).
+        self.shard_timeout = shard_timeout
         self.statistics = RunStatistics()
+        #: Quarantined forms: uid -> FormFailure.
+        self.failures: Dict[str, FormFailure] = {}
         self._backend = backend
         self._runner: Optional[CharacterizationRunner] = None
+        #: Cached payloads that failed to decode (counted separately
+        #: from line-level corruption, which the cache itself tracks).
+        self._decode_corrupt = 0
 
     # ------------------------------------------------------------------
 
     @property
     def backend(self) -> HardwareBackend:
         """The in-process backend (built lazily: a fully warm sweep never
-        needs one)."""
+        needs one).  Wrapped in the chaos harness when a fault spec is
+        active; an explicitly injected backend is never wrapped."""
         if self._backend is None:
-            self._backend = HardwareBackend(
-                self.uarch, self.config, memo=self.measure_memo
+            self._backend = maybe_faulty(
+                HardwareBackend(
+                    self.uarch, self.config, memo=self.measure_memo
+                ),
+                self.fault_spec,
             )
         return self._backend
 
@@ -171,7 +281,8 @@ class SweepEngine:
         regardless of cache state, job count, or shard completion order —
         and therefore identical to a serial
         :meth:`CharacterizationRunner.characterize_all` run over the same
-        forms.
+        forms.  Forms that could not be characterized despite retries are
+        absent from the result and recorded in :attr:`failures`.
         """
         requested = list(forms if forms is not None else self.database)
         requested.sort(key=lambda form: form.uid)
@@ -191,10 +302,19 @@ class SweepEngine:
             if ResultCache.is_miss(data):
                 pending.append(form)
                 continue
-            self.statistics.cache_hits += 1
             if data is not None:
-                results[form.uid] = decode_characterization(data)
+                try:
+                    outcome = decode_characterization(data)
+                except (KeyError, TypeError, ValueError):
+                    # A malformed payload that survived the cache's
+                    # line-level checks: re-measure rather than crash.
+                    self._decode_corrupt += 1
+                    pending.append(form)
+                    continue
+                results[form.uid] = outcome
+                self.statistics.cache_hits += 1
             else:
+                self.statistics.cache_hits += 1
                 self.statistics.skipped += 1
 
         if pending:
@@ -206,6 +326,17 @@ class SweepEngine:
                 self._sweep_sharded(pending, results, progress)
         if self.cache is not None:
             self.statistics.cache_invalidations = self.cache.invalidations
+        corrupt = self._decode_corrupt
+        lock_timeouts = 0
+        if self.cache is not None:
+            corrupt += self.cache.corrupt_lines
+            lock_timeouts += self.cache.lock_timeouts
+        if self.measure_memo is not None:
+            corrupt += self.measure_memo.corrupt_lines
+            lock_timeouts += self.measure_memo.lock_timeouts
+        self.statistics.corrupt_lines = corrupt
+        self.statistics.lock_timeouts = lock_timeouts
+        self.statistics.forms_failed = len(self.failures)
         if self._backend is not None:
             # In-process measurement work this sweep performed (serial
             # shards and the sharded path's memo pre-warm).
@@ -249,7 +380,12 @@ class SweepEngine:
             seconds=runner.statistics.seconds,
         )
         for form in pending:
-            outcome = runner.characterize(form)
+            outcome = runner.characterize_resilient(form)
+            if isinstance(outcome, FormFailure):
+                # Quarantined — and deliberately NOT cached, so the next
+                # run against this cache re-attempts exactly this form.
+                self.failures[form.uid] = outcome
+                continue
             if outcome is not None:
                 results[form.uid] = outcome
                 if progress is not None:
@@ -269,13 +405,17 @@ class SweepEngine:
             runner.statistics.seconds - before.seconds
         )
 
+    # ------------------------------------------------------------------
+
     def _sweep_sharded(
         self,
         pending: List[InstructionForm],
         results: Dict[str, InstructionCharacterization],
         progress: Optional[Callable[[str], None]],
     ) -> None:
+        """Supervised worker fleet: stream, salvage, respawn, quarantine."""
         import multiprocessing
+        import queue as queue_module
 
         memo = self.measure_memo
         if memo is not None:
@@ -286,32 +426,140 @@ class SweepEngine:
             # the shared memo file before the workers attach to it.
             _ = self.runner.blocking
 
-        shards = shard_uids([form.uid for form in pending], self.jobs)
-        payloads: List[_ShardPayload] = [
-            (
-                self.uarch.name,
-                self.config,
-                shard,
-                memo.cache_dir if memo is not None else None,
-                memo.salt if memo is not None else None,
-            )
-            for shard in shards
-        ]
         # fork (where available) lets workers inherit the already-built
         # instruction database; spawn-only platforms re-import it.
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        with context.Pool(processes=len(payloads)) as pool:
-            for entries, stats in pool.imap_unordered(
-                _characterize_shard, payloads
+
+        def spawn(state: _ShardState, uids: List[str],
+                  respawned: bool) -> None:
+            payload: _ShardPayload = (
+                self.uarch.name,
+                self.config,
+                uids,
+                memo.cache_dir if memo is not None else None,
+                memo.salt if memo is not None else None,
+                self.fault_spec,
+                respawned,
+                state.shard_id,
+            )
+            state.queue = context.Queue()
+            state.process = context.Process(
+                target=_shard_worker, args=(payload, state.queue),
+                daemon=True,
+            )
+            state.process.start()
+            state.last_progress = time.monotonic()
+            state.armed = False
+
+        shards = shard_uids([form.uid for form in pending], self.jobs)
+        states = []
+        for shard_id, uids in enumerate(shards):
+            state = _ShardState(shard_id, uids)
+            spawn(state, uids, False)
+            states.append(state)
+
+        def handle(state: _ShardState, message) -> None:
+            kind = message[0]
+            if kind == "done":
+                state.done = True
+                self.statistics.merge(message[2])
+                state.process.join()
+                return
+            uid, payload_data = message[2], message[3]
+            state.remaining.discard(uid)
+            state.last_progress = time.monotonic()
+            state.armed = True
+            if kind == "failure":
+                self.failures[uid] = payload_data
+                return
+            if payload_data is not None:
+                outcome = decode_characterization(payload_data)
+                results[uid] = outcome
+                if progress is not None:
+                    progress(outcome.summary())
+            # Written through immediately: everything finished so far
+            # survives a later crash of this very sweep (resumability).
+            self._cache_store(uid, payload_data)
+
+        def drain(state: _ShardState) -> int:
+            handled = 0
+            while not state.done:
+                try:
+                    message = state.queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (EOFError, OSError):
+                    break  # torn channel; the health check takes over
+                handle(state, message)
+                handled += 1
+            return handled
+
+        while not all(state.done for state in states):
+            if not any(drain(state) for state in states):
+                self._check_shards(states, spawn, drain)
+                time.sleep(self.POLL_INTERVAL)
+        for state in states:
+            if state.queue is not None:
+                state.queue.close()
+
+    def _check_shards(self, states, spawn, drain) -> None:
+        """Dead-worker detection and the no-progress watchdog."""
+        now = time.monotonic()
+        for state in states:
+            if state.done:
+                continue
+            process = state.process
+            phase = None
+            if not process.is_alive():
+                # Messages may still be in flight from before the death
+                # (or the worker finished and its `done` is queued):
+                # drain first, then re-check.
+                drain(state)
+                if state.done:
+                    continue
+                phase = "shard"
+            elif (
+                self.shard_timeout is not None
+                and state.armed
+                and now - state.last_progress > self.shard_timeout
             ):
-                self.statistics.merge(stats)
-                for uid, data in entries:
-                    if data is not None:
-                        outcome = decode_characterization(data)
-                        results[uid] = outcome
-                        if progress is not None:
-                            progress(outcome.summary())
-                    self._cache_store(uid, data)
+                process.terminate()
+                process.join(5)
+                drain(state)
+                phase = "watchdog"
+            if phase is None:
+                continue
+            exitcode = process.exitcode
+            state.queue.close()
+            salvage = sorted(state.remaining)
+            if not salvage:
+                # Everything arrived; only the final stats were lost.
+                state.done = True
+                continue
+            if not state.respawned:
+                self.statistics.shards_respawned += 1
+                state.respawned = True
+                spawn(state, salvage, True)
+                continue
+            # Second loss of the same shard: quarantine the remainder.
+            reason = (
+                "watchdog timeout" if phase == "watchdog"
+                else f"worker died (exit code {exitcode})"
+            )
+            for uid in salvage:
+                self.failures[uid] = FormFailure(
+                    uid=uid,
+                    phase=phase,
+                    error_type="WorkerLost",
+                    message=(
+                        f"{reason}; shard lost twice, "
+                        f"{len(salvage)} forms unfinished"
+                    ),
+                    attempts=2,
+                    shard=state.shard_id,
+                )
+            state.remaining.clear()
+            state.done = True

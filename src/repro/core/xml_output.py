@@ -6,6 +6,11 @@ the uops.info format: one ``<instruction>`` element per variant, with one
 (hardware) and optionally ``<iaca>`` elements (per analyzed IACA version),
 with ``ports=``, ``uops=``, ``TP=`` attributes and per-operand-pair
 ``<latency>`` children.
+
+Quarantined forms (see :class:`~repro.core.runner.FormFailure`) appear as
+annotated ``<failure>`` elements instead of silently vanishing, so a
+results file always accounts for every requested variant.  A run without
+failures produces byte-identical output to the pre-quarantine format.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ def results_to_xml(
     iaca_results: Optional[
         Mapping[str, Mapping[str, Mapping[str, object]]]
     ] = None,
+    failures: Optional[Mapping[str, Mapping[str, object]]] = None,
 ) -> ET.Element:
     """Build the results document.
 
@@ -33,10 +39,14 @@ def results_to_xml(
         database: used to annotate forms with extension/category metadata.
         iaca_results: optional {uarch: {version: {form uid: result}}} from
             the IACA backend, stored alongside hardware measurements.
+        failures: optional {uarch name: {form uid: FormFailure}} of
+            quarantined forms, emitted as ``<failure>`` elements.
     """
+    failures = failures or {}
     root = ET.Element("root")
     all_uids = sorted(
         {uid for results in results_by_uarch.values() for uid in results}
+        | {uid for per_uarch in failures.values() for uid in per_uarch}
     )
     for uid in all_uids:
         instruction = ET.SubElement(root, "instruction")
@@ -46,15 +56,23 @@ def results_to_xml(
             instruction.set("mnemonic", form.mnemonic)
             instruction.set("extension", form.extension)
             instruction.set("category", form.category)
-        for uarch_name in sorted(results_by_uarch):
-            results = results_by_uarch[uarch_name]
-            if uid not in results:
+        for uarch_name in sorted(
+            set(results_by_uarch) | set(failures)
+        ):
+            results = results_by_uarch.get(uarch_name, {})
+            quarantined = failures.get(uarch_name, {})
+            if uid not in results and uid not in quarantined:
                 continue
-            outcome = results[uid]
             architecture = ET.SubElement(instruction, "architecture")
             architecture.set("name", uarch_name)
-            measurement = ET.SubElement(architecture, "measurement")
-            _fill_measurement(measurement, outcome)
+            if uid in results:
+                outcome = results[uid]
+                measurement = ET.SubElement(architecture, "measurement")
+                _fill_measurement(measurement, outcome)
+            else:
+                failure = ET.SubElement(architecture, "failure")
+                _fill_failure(failure, quarantined[uid])
+                continue
             if iaca_results is not None:
                 for version, per_form in sorted(
                     iaca_results.get(uarch_name, {}).items()
@@ -105,6 +123,17 @@ def _fill_measurement(
             latency.set("target_op", dst)
             latency.set("cycles", f"{value.cycles:g}")
             latency.set("value_class", "fast")
+
+
+def _fill_failure(element: ET.Element, failure) -> None:
+    """Annotate one quarantined form (a
+    :class:`~repro.core.runner.FormFailure`)."""
+    element.set("phase", failure.phase)
+    element.set("error_type", failure.error_type)
+    element.set("attempts", str(failure.attempts))
+    if failure.shard is not None:
+        element.set("shard", str(failure.shard))
+    element.set("message", failure.message)
 
 
 def _fill_iaca(element: ET.Element, result) -> None:

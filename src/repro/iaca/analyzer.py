@@ -129,5 +129,11 @@ class IacaBackend:
                     )
                 )
             except Exception as error:
-                outcomes.append(ExperimentFailure(error))
+                outcomes.append(
+                    ExperimentFailure(
+                        error,
+                        key=experiment.content_key(),
+                        tag=experiment.tag,
+                    )
+                )
         return outcomes

@@ -6,6 +6,25 @@ the paper's two execution substrates: the actual hardware (here: the pipeline
 simulator, measured through performance counters with the unroll-difference
 protocol of Section 6.2) and Intel IACA (here: the static analyzer of
 :mod:`repro.iaca`, Section 6.3).
+
+The exception taxonomy below classifies backend failures the way a
+production characterization run needs them classified (Section 5 notes
+unreliable counters and per-instruction pitfalls on real hardware):
+
+* :class:`TransientBackendError` — the measurement *might* succeed if
+  repeated (counter glitch, interrupted run, timeout).  The
+  :class:`~repro.measure.executor.ExperimentExecutor` retries these with
+  capped exponential backoff.
+* :class:`PermanentBackendError` — repeating is pointless (the substrate
+  cannot execute the sequence at all).  Never retried; the affected form
+  is quarantined by the sweep engine.
+* :class:`BackendTimeout` — a run that exceeded its deadline; transient,
+  because a busy machine may simply have starved the measurement.
+
+Deliberately *not* rooted in :class:`RuntimeError`: the inference
+algorithms swallow ``RuntimeError`` in a few per-pair fallbacks, and a
+backend fault must surface as a quarantined form, not as a silently
+missing latency pair.
 """
 
 from repro.measure.backend import (
@@ -14,4 +33,29 @@ from repro.measure.backend import (
     MeasurementConfig,
 )
 
-__all__ = ["HardwareBackend", "MeasurementBackend", "MeasurementConfig"]
+
+class BackendError(Exception):
+    """Base of all classified measurement-backend failures."""
+
+
+class TransientBackendError(BackendError):
+    """A failure that may not repeat: worth retrying."""
+
+
+class PermanentBackendError(BackendError):
+    """A failure that will repeat: retrying is pointless."""
+
+
+class BackendTimeout(TransientBackendError):
+    """A measurement that exceeded its deadline (simulated hang)."""
+
+
+__all__ = [
+    "BackendError",
+    "BackendTimeout",
+    "HardwareBackend",
+    "MeasurementBackend",
+    "MeasurementConfig",
+    "PermanentBackendError",
+    "TransientBackendError",
+]

@@ -257,7 +257,13 @@ class HardwareBackend:
                     )
                 )
             except Exception as error:
-                outcomes.append(ExperimentFailure(error))
+                outcomes.append(
+                    ExperimentFailure(
+                        error,
+                        key=experiment.content_key(),
+                        tag=experiment.tag,
+                    )
+                )
         return outcomes
 
     def _measure_miss(

@@ -25,6 +25,8 @@ debugging a suspected dedup mismatch.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import os
 import time
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence
@@ -41,6 +43,60 @@ from repro.core.experiment import (
 EXECUTOR_ENV = "REPRO_EXECUTOR"
 EXECUTOR_BATCHED = "batched"
 EXECUTOR_INLINE = "inline"
+
+#: Environment variable overriding the retry policy:
+#: ``REPRO_RETRY=attempts[:base_delay[:max_delay]]``.
+RETRY_ENV = "REPRO_RETRY"
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for transient backend failures.
+
+    A failed experiment whose error is a
+    :class:`~repro.measure.TransientBackendError` is re-dispatched up to
+    ``max_attempts`` times in total, sleeping
+    ``min(max_delay, base_delay * 2**(attempt-1))`` — plus a
+    deterministic jitter fraction derived from the experiment contents,
+    so concurrent shards retrying the same flaky measurement do not
+    thunder in lock-step — between rounds.  Permanent failures and
+    unclassified exceptions are never retried.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.02
+    max_delay: float = 1.0
+    jitter: float = 0.25
+
+    def delay_for(self, attempt: int, salt: str) -> float:
+        """Backoff before retry round *attempt* (1-based)."""
+        base = min(
+            self.max_delay, self.base_delay * (2 ** (attempt - 1))
+        )
+        digest = hashlib.sha256(
+            f"{attempt}:{salt}".encode("utf-8")
+        ).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        return base * (1.0 + self.jitter * fraction)
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        spec = os.environ.get(RETRY_ENV)
+        if not spec:
+            return cls()
+        parts = spec.split(":")
+        try:
+            kwargs: Dict[str, Any] = {"max_attempts": int(parts[0])}
+            if len(parts) > 1:
+                kwargs["base_delay"] = float(parts[1])
+            if len(parts) > 2:
+                kwargs["max_delay"] = float(parts[2])
+        except ValueError as error:
+            raise ValueError(
+                f"bad {RETRY_ENV} spec {spec!r} "
+                f"(expected attempts[:base_delay[:max_delay]])"
+            ) from error
+        return cls(**kwargs)
 
 
 def executor_mode(explicit: Optional[str] = None) -> str:
@@ -69,10 +125,12 @@ class ExecutorStats(NamedTuple):
     batches_dispatched: int
     plan_seconds: float
     execute_seconds: float
+    retries: int
+    experiments_gave_up: int
 
     @classmethod
     def zero(cls) -> "ExecutorStats":
-        return cls(0, 0, 0, 0, 0.0, 0.0)
+        return cls(0, 0, 0, 0, 0.0, 0.0, 0, 0)
 
 
 class ExperimentExecutor:
@@ -85,10 +143,16 @@ class ExperimentExecutor:
     algorithms could only ever reuse them per call site.
     """
 
-    def __init__(self, backend, mode: Optional[str] = None):
+    def __init__(
+        self,
+        backend,
+        mode: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.backend = backend
         self.mode = executor_mode(mode)
         self.dedup = self.mode == EXECUTOR_BATCHED
+        self.retry = retry if retry is not None else RetryPolicy.from_env()
         #: Lifetime outcome memo, keyed by experiment content.
         self._memo: Dict[Experiment, Any] = {}
         self.experiments_planned = 0
@@ -97,6 +161,8 @@ class ExperimentExecutor:
         self.batches_dispatched = 0
         self.plan_seconds = 0.0
         self.execute_seconds = 0.0
+        self.retries = 0
+        self.experiments_gave_up = 0
 
     def stats_tuple(self) -> ExecutorStats:
         return ExecutorStats(
@@ -106,6 +172,8 @@ class ExperimentExecutor:
             self.batches_dispatched,
             self.plan_seconds,
             self.execute_seconds,
+            self.retries,
+            self.experiments_gave_up,
         )
 
     def execute(self, batch: ExperimentBatch) -> ResultMap:
@@ -124,7 +192,7 @@ class ExperimentExecutor:
             pending = list(batch)
         if pending:
             started = time.perf_counter()
-            outcomes = self._dispatch(pending)
+            outcomes = self._dispatch_with_retry(pending)
             self.execute_seconds += time.perf_counter() - started
             self.batches_dispatched += 1
             self.experiments_measured += len(pending)
@@ -134,6 +202,40 @@ class ExperimentExecutor:
         for experiment in batch:
             results.put(experiment, self._memo[experiment])
         return results
+
+    def _dispatch_with_retry(
+        self, pending: Sequence[Experiment]
+    ) -> List[Any]:
+        """Dispatch a batch, re-dispatching transient failures with
+        capped exponential backoff until the retry budget is spent."""
+        from repro.measure import TransientBackendError
+
+        outcomes = self._dispatch(pending)
+        for attempt in range(1, self.retry.max_attempts):
+            failed = [
+                index
+                for index, outcome in enumerate(outcomes)
+                if isinstance(outcome, ExperimentFailure)
+                and isinstance(outcome.error, TransientBackendError)
+            ]
+            if not failed:
+                break
+            salt = pending[failed[0]].content_key()
+            time.sleep(self.retry.delay_for(attempt, salt))
+            self.retries += len(failed)
+            retried = self._dispatch([pending[i] for i in failed])
+            for index, outcome in zip(failed, retried):
+                if isinstance(outcome, ExperimentFailure):
+                    outcome = dataclasses.replace(
+                        outcome, attempts=attempt + 1
+                    )
+                outcomes[index] = outcome
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, ExperimentFailure) and isinstance(
+                outcome.error, TransientBackendError
+            ):
+                self.experiments_gave_up += 1
+        return outcomes
 
     def _dispatch(self, pending: Sequence[Experiment]) -> List[Any]:
         measure_many = getattr(self.backend, "measure_many", None)
@@ -148,7 +250,13 @@ class ExperimentExecutor:
                     )
                 )
             except Exception as error:
-                outcomes.append(ExperimentFailure(error))
+                outcomes.append(
+                    ExperimentFailure(
+                        error,
+                        key=experiment.content_key(),
+                        tag=experiment.tag,
+                    )
+                )
         return outcomes
 
     def drive(self, plan: Plan) -> Any:

@@ -199,7 +199,9 @@ class TestCache:
         warm = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
         warm.sweep(forms)
         assert warm.statistics.cache_hits == 1
-        assert warm.statistics.cache_invalidations == 1
+        # Garbage is corruption, not a (salt/version) invalidation.
+        assert warm.statistics.corrupt_lines == 1
+        assert warm.statistics.cache_invalidations == 0
 
     def test_cache_dir_collides_with_file(self, tmp_path):
         path = tmp_path / "not-a-dir"
