@@ -9,12 +9,20 @@ Commands mirror the workflows of the paper:
 * ``table1 [--sample N]``          — regenerate Table 1 (same flags),
 * ``case-studies``                 — all Section 7.3 case studies,
 * ``list [MNEMONIC]``              — catalog queries,
-* ``analyze FILE [UARCH]``         — predict a loop kernel's performance.
+* ``analyze FILE [UARCH]``         — predict a loop kernel's performance,
+* ``lint [PATHS]``                 — the repo's own invariant checker
+  (:mod:`repro.lint`): AST code-contract rules plus the uarch model
+  consistency pass.
+
+Exit codes are uniform: 0 on success, 1 on findings or user errors
+(including a consumer closing our stdout mid-print), 2 on internal
+errors.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -66,7 +74,8 @@ _STATS_LINES = (
     ("cache",
      "{cache_hits} hits, {cache_misses} misses, "
      "{cache_invalidations} invalidated; "
-     "measured {seconds:.1f}s over {characterized} variants"),
+     "measured {seconds:.1f}s over {characterized} variants "
+     "({skipped} skipped)"),
     ("memo",
      "{memo_hits} hits, {memo_misses} misses; "
      "kernel: {cycles_simulated} cycles simulated, "
@@ -113,9 +122,12 @@ def _write_stats_json(statistics, path: Optional[str],
             payload["failures"] = [
                 failures[uid].as_dict() for uid in sorted(failures)
             ]
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write --stats-json: {exc}")
 
 
 def _report_quarantine(failures) -> None:
@@ -309,6 +321,40 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    """Run :mod:`repro.lint`.  0 = clean, 1 = findings, 2 = lint crash."""
+    from repro.lint import all_rules, run_lint
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name} [{rule.severity}] — "
+                  f"{rule.summary}")
+        return 0
+    def split(spec):
+        return [c for c in spec.split(",") if c] if spec else None
+
+    model = False if args.no_model else None
+    try:
+        report = run_lint(
+            paths=args.paths or None,
+            select=split(args.select),
+            ignore=split(args.ignore),
+            baseline_path=args.baseline,
+            cache_path=args.cache,
+            model=model,
+        )
+    except (BrokenPipeError, SystemExit, KeyboardInterrupt):
+        raise
+    except Exception as exc:
+        # A crash of the linter itself must be distinguishable from
+        # "the tree has findings" (exit 1), so CI can tell a broken
+        # gate from a failing one.
+        print(f"repro lint: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render_text())
+    return 1 if report.violations else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,13 +426,51 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use characterizations from a results XML "
                         "instead of measuring")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("lint", help="run the repo's invariant checker")
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to lint (default: the "
+                        "installed repro package + the model "
+                        "consistency pass)")
+    p.add_argument("--select", default=None, metavar="CODES",
+                   help="comma-separated rule-code prefixes to "
+                        "enable, e.g. RPR1,RPR203")
+    p.add_argument("--ignore", default=None, metavar="CODES",
+                   help="comma-separated rule-code prefixes to skip")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON on stdout")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="a previous --json report whose findings are "
+                        "accepted and filtered out")
+    p.add_argument("--cache", default=None, metavar="PATH",
+                   help="per-file result cache (JSON, keyed by "
+                        "content hash) to speed up repeated runs")
+    p.add_argument("--no-model", action="store_true",
+                   help="skip the uarch model consistency pass")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # The stdout consumer went away (`repro lint | head`).  Point
+        # the real stdout at devnull so interpreter shutdown does not
+        # raise a second time, and fail cleanly without a traceback.
+        # When stdout is already redirected (tests, embedding), there
+        # is nothing to protect.
+        try:
+            fd = sys.stdout.fileno()
+        except (OSError, ValueError):
+            fd = None
+        if fd == 1:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), fd)
+        return 1
 
 
 if __name__ == "__main__":

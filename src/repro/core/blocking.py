@@ -25,11 +25,7 @@ from repro.isa.instruction import (
     ATTR_ZERO_IDIOM,
     InstructionForm,
 )
-from repro.core.codegen import (
-    independent_sequence,
-    measure_isolated,
-    used_ports,
-)
+from repro.core.codegen import independent_sequence, used_ports
 from repro.core.experiment import ExperimentBatch, Plan
 
 #: Vector-context keys for the two blocking sets (Section 5.1.1: "for SSE
@@ -204,41 +200,3 @@ def _find_store_blocker(database, backend) -> Optional[InstructionForm]:
     return None
 
 
-def _store_port_combinations(
-    database, backend, store_form
-) -> Tuple[FrozenSet[int], ...]:
-    """Identify the store-address and store-data port sets by measurement.
-
-    The store µops are the ports used by ``MOV [mem], reg`` beyond those
-    used by a pure load (``MOV reg, [mem]``), with the store-data port
-    distinguished by comparing against a load-free ALU baseline.
-    """
-    counters = measure_isolated(store_form, backend)
-    store_ports = used_ports(counters)
-    load_form = next(
-        (
-            f
-            for f in database.forms_for_mnemonic("MOV")
-            if f.category == "load" and f.explicit_operands[0].width == 64
-        ),
-        None,
-    )
-    load_ports: FrozenSet[int] = frozenset()
-    if load_form is not None and backend.supports(load_form):
-        load_ports = used_ports(measure_isolated(load_form, backend))
-    # Heuristic split: ports used by stores but never by loads that carry
-    # ~1 µop per store are the store-data ports; the rest (address
-    # generation) may overlap with the load ports.
-    data_ports = frozenset(
-        p
-        for p in store_ports
-        if p not in load_ports
-        and counters.port_uops.get(p, 0) > 0.9
-    )
-    addr_ports = frozenset(p for p in store_ports if p not in data_ports)
-    combos = []
-    if addr_ports:
-        combos.append(addr_ports)
-    if data_ports:
-        combos.append(data_ports)
-    return tuple(combos)

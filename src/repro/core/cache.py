@@ -30,6 +30,13 @@ advisory ``flock`` with a **bounded** wait (:data:`LOCK_TIMEOUT`): a
 writer that cannot get the lock proceeds unlocked (counted in
 ``lock_timeouts``) rather than deadlocking the sweep behind a crashed
 lock holder.
+
+Contract (enforced by ``repro lint``, RPR101/RPR102): keys and encoded
+entries must be deterministic functions of their inputs — no wall-clock
+reads, no unseeded randomness, no iteration over unordered sets on any
+path that feeds a digest or a serialized line.  ``time.monotonic`` /
+``time.sleep`` are exempt because the flock retry loop paces with them;
+they never reach a key.
 """
 
 from __future__ import annotations

@@ -27,6 +27,12 @@ where ``T`` is the algorithm's result type.  Plans compose: sequential
 phases via ``yield from``, and concurrent single-round phases via
 :func:`merge_plans`, which advances several plans in lock-step and merges
 their per-round batches into one dispatch.
+
+Contract (enforced by ``repro lint``): experiment content hashes must be
+deterministic (RPR101/RPR102 — no clocks, no unseeded randomness, no raw
+set iteration here), and plan generators must stay measurement-free
+(RPR110) — a plan that calls a backend directly defeats the executor's
+cross-algorithm deduplication.
 """
 
 from __future__ import annotations

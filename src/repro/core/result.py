@@ -8,7 +8,13 @@ be lossless: every field — port-usage maps keyed by frozensets,
 per-operand-pair latency dicts keyed by tuples, notes — survives
 ``decode(encode(x)) == x`` exactly, preserving numeric types (ints stay
 ints, floats stay floats; JSON's ``repr``-based float serialization is
-exact)."""
+exact).
+
+Contract (enforced by ``repro lint``, RPR101/RPR102): the encoding must
+be byte-deterministic — equal values encode to equal JSON — because the
+persistent cache compares and content-hashes these strings.  Frozenset
+keys are therefore serialized through ``sorted(...)``, never iterated
+raw."""
 
 from __future__ import annotations
 

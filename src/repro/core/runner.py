@@ -12,6 +12,13 @@ through an :class:`~repro.measure.executor.ExperimentExecutor`, followed by
 the adaptive port-usage rounds.  One executor serves the runner's whole
 lifetime, so identical experiments planned by different algorithms — or by
 different forms of a sweep shard — are measured exactly once.
+
+Contract (enforced by ``repro lint``): :class:`RunStatistics` and
+:class:`FormFailure` cross the sweep worker queues, so their fields must
+stay picklable (RPR120), and every counter added to ``RunStatistics``
+must also be rendered by a ``cli._STATS_LINES`` template (RPR140) and
+folded from the worker ``*Stats`` snapshots (RPR141) — silent counters
+were the PR-3 bug.
 """
 
 from __future__ import annotations

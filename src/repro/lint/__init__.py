@@ -1,0 +1,46 @@
+"""repro-lint: the repo's own invariant checker (``repro lint``).
+
+Generic linters know Python; they do not know this repository's
+contracts — that content-key and codec modules must be deterministic,
+that plan generators never measure, that every ``RunStatistics`` counter
+is rendered, or that a port-usage table may only name ports the
+microarchitecture has.  Two past bugs (the parallel-tuple ``zip`` in the
+stats fold, the dead-list iteration in ``_next_event``) were violations
+of exactly such contracts; this package encodes them as checkable rules.
+
+Two rule families:
+
+* **Code invariants** (``RPR1xx``, :mod:`repro.lint.code_rules`) —
+  ``ast``-visitor checks over the source tree, with inline
+  ``# repro-lint: disable=RPRnnn (justification)`` suppressions.
+* **Model consistency** (``RPR2xx``, :mod:`repro.lint.model_rules`) — a
+  data-driven pass that imports the ground-truth tables
+  (:mod:`repro.uarch`) and the instruction catalog and cross-checks
+  them.
+
+Entry points: :func:`run_lint` (everything, as the CLI does it),
+:func:`lint_paths` (code rules only), and
+:func:`~repro.lint.model_rules.model_violations` (model pass only).
+"""
+
+from repro.lint.framework import (
+    LINT_VERSION,
+    LintReport,
+    Rule,
+    Violation,
+    all_rules,
+    lint_paths,
+    run_lint,
+)
+from repro.lint.model_rules import model_violations
+
+__all__ = [
+    "LINT_VERSION",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "lint_paths",
+    "model_violations",
+    "run_lint",
+]

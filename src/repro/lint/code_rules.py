@@ -1,0 +1,770 @@
+"""RPR1xx: AST checkers for this repository's code contracts.
+
+Each rule encodes an invariant that some subsystem relies on but that no
+generic linter can know:
+
+* ``RPR101``/``RPR102`` — the content-key, codec, and cache modules must
+  be deterministic: no wall clocks, no entropy sources, no ``id()``, and
+  no unordered-set iteration feeding serialized output.
+* ``RPR110`` — plan generators (the *plan* stage of the
+  plan/execute/interpret split) must stay measurement-free.
+* ``RPR112`` — loops must not iterate freshly concatenated sequences
+  (the PR-2 ``_next_event`` bug class: a per-call copy of two live
+  containers).
+* ``RPR120`` — classes crossing the sweep worker queues must not carry
+  unpicklable state (lambdas, locks, open handles, generators).
+* ``RPR130``/``RPR131`` — the measurement layer raises only the
+  ``BackendError`` taxonomy, and no broad ``except`` may silently
+  swallow a ``TransientBackendError``.
+* ``RPR140``/``RPR141`` — every ``RunStatistics`` counter is rendered
+  by ``cli._STATS_LINES``, and every backend snapshot field folded by
+  ``fold_snapshot`` has a matching counter (the PR-3 ``zip`` bug class).
+
+Facts for the cross-file rules (and for the ``RPR203`` catalog-reference
+check in :mod:`repro.lint.model_rules`) are extracted here so they ride
+the per-file cache.
+"""
+
+from __future__ import annotations
+
+import ast
+from itertools import chain
+from string import Formatter
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Violation,
+    fact_extractor,
+    file_rule,
+    fileset_rule,
+    register_rule,
+)
+
+#: Modules that build content keys, serialize results, or persist caches.
+DETERMINISM_MODULES = (
+    "core/cache.py",
+    "core/result.py",
+    "core/experiment.py",
+)
+
+#: Modules holding the plan stage of the four inference algorithms.
+PLAN_MODULES = (
+    "core/latency.py",
+    "core/port_usage.py",
+    "core/throughput.py",
+    "core/blocking.py",
+)
+
+#: Classes whose instances cross the sweep worker queues (``core/sweep.py``
+#: puts them on ``out_queue``).  Fixtures can opt a class in with a
+#: ``# repro-lint: queue-crossing`` marker on its ``class`` line.
+QUEUE_CLASSES = frozenset(
+    {
+        ("core/runner.py", "FormFailure"),
+        ("core/runner.py", "RunStatistics"),
+        ("measure/backend.py", "MeasurementConfig"),
+    }
+)
+
+QUEUE_MARKER = "repro-lint: queue-crossing"
+
+#: The only exception types the measurement path may construct and raise
+#: (plus ``NotImplementedError`` for abstract methods).
+ALLOWED_RAISES = frozenset(
+    {
+        "BackendError",
+        "TransientBackendError",
+        "PermanentBackendError",
+        "BackendTimeout",
+        "NotImplementedError",
+    }
+)
+
+RPR101 = register_rule(
+    "RPR101",
+    "nondeterministic-call",
+    SEVERITY_ERROR,
+    "wall clock / entropy / id() call inside a determinism-contract "
+    "module",
+)
+RPR102 = register_rule(
+    "RPR102",
+    "unordered-set-serialization",
+    SEVERITY_ERROR,
+    "unordered set iteration or serialization inside a "
+    "determinism-contract module",
+)
+RPR110 = register_rule(
+    "RPR110",
+    "impure-plan-generator",
+    SEVERITY_ERROR,
+    "plan generator measures or touches an executor",
+)
+RPR112 = register_rule(
+    "RPR112",
+    "loop-over-concatenation",
+    SEVERITY_WARNING,
+    "loop iterates a freshly concatenated sequence",
+)
+RPR120 = register_rule(
+    "RPR120",
+    "unpicklable-queue-field",
+    SEVERITY_ERROR,
+    "queue-crossing class stores unpicklable state in a field",
+)
+RPR130 = register_rule(
+    "RPR130",
+    "non-taxonomy-raise",
+    SEVERITY_ERROR,
+    "measurement path raises outside the BackendError taxonomy",
+)
+RPR131 = register_rule(
+    "RPR131",
+    "swallowed-transient",
+    SEVERITY_ERROR,
+    "broad except silently swallows TransientBackendError",
+)
+RPR140 = register_rule(
+    "RPR140",
+    "unrendered-stat-counter",
+    SEVERITY_ERROR,
+    "RunStatistics counter missing from cli._STATS_LINES",
+)
+RPR141 = register_rule(
+    "RPR141",
+    "unregistered-snapshot-field",
+    SEVERITY_ERROR,
+    "snapshot field has no RunStatistics counter for fold_snapshot",
+)
+
+
+def _dotted(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a","b","c"]`` for pure Name/Attribute chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Descendants of *root* without crossing into nested function or
+    class scopes (their bodies have their own contracts)."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _violation(rule, path: str, node: ast.AST, message: str) -> Violation:
+    return Violation(
+        code=rule.code,
+        severity=rule.severity,
+        path=path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        message=message,
+    )
+
+
+# ---------------------------------------------------------------------------
+# RPR101 — determinism: banned calls
+# ---------------------------------------------------------------------------
+
+#: (module, attribute) call suffixes that read a wall clock or entropy.
+#: ``time.monotonic``/``time.sleep`` stay legal: the flock retry loop in
+#: ``core/cache.py`` uses them for pacing, never for key material.
+_BANNED_SUFFIXES = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("date", "today"),
+        ("os", "urandom"),
+        ("uuid", "uuid1"),
+        ("uuid", "uuid4"),
+    }
+)
+
+
+@file_rule(RPR101, DETERMINISM_MODULES)
+def check_nondeterministic_calls(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if isinstance(node.func, ast.Name) and node.func.id == "id":
+            violations.append(
+                _violation(
+                    RPR101, path, node,
+                    "id() is address-dependent and must not reach "
+                    "content keys or serialized output",
+                )
+            )
+            continue
+        parts = _dotted(node.func)
+        if parts is None or len(parts) < 2:
+            continue
+        suffix = (parts[-2], parts[-1])
+        if suffix in _BANNED_SUFFIXES:
+            violations.append(
+                _violation(
+                    RPR101, path, node,
+                    f"call to {'.'.join(parts)} is nondeterministic; "
+                    "determinism-contract modules must not read clocks "
+                    "or entropy",
+                )
+            )
+        elif parts[0] == "random":
+            violations.append(
+                _violation(
+                    RPR101, path, node,
+                    f"call to {'.'.join(parts)} uses the unseeded "
+                    "module-level random generator",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR102 — determinism: unordered sets reaching iteration/serialization
+# ---------------------------------------------------------------------------
+
+
+def _is_unordered(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+def _scan_serialized(node: ast.AST, path: str,
+                     out: List[Violation]) -> None:
+    if _is_unordered(node):
+        out.append(
+            _violation(
+                RPR102, path, node,
+                "unordered set reaches json serialization; wrap it in "
+                "sorted(...) to fix the element order",
+            )
+        )
+        return
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "sorted"
+    ):
+        return  # sorted(...) fixes the order of whatever is inside
+    for child in ast.iter_child_nodes(node):
+        _scan_serialized(child, path, out)
+
+
+@file_rule(RPR102, DETERMINISM_MODULES)
+def check_set_serialization(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+        ):
+            iters = [gen.iter for gen in node.generators]
+        for it in iters:
+            if _is_unordered(it):
+                violations.append(
+                    _violation(
+                        RPR102, path, it,
+                        "iteration over an unordered set; iterate "
+                        "sorted(...) so downstream output is "
+                        "deterministic",
+                    )
+                )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("dump", "dumps")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "json"
+        ):
+            for arg in chain(
+                node.args, (k.value for k in node.keywords)
+            ):
+                _scan_serialized(arg, path, violations)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR110 — plan purity
+# ---------------------------------------------------------------------------
+
+
+def _has_own_yield(func: ast.AST) -> bool:
+    return any(
+        isinstance(node, (ast.Yield, ast.YieldFrom))
+        for node in _own_nodes(func)
+    )
+
+
+@file_rule(RPR110, PLAN_MODULES)
+def check_plan_purity(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for stmt in getattr(tree, "body", []):
+        if isinstance(stmt, ast.ImportFrom) and stmt.module and (
+            stmt.module == "repro.measure.executor"
+        ):
+            violations.append(
+                _violation(
+                    RPR110, path, stmt,
+                    "module-level executor import in a plan module; "
+                    "defer it into the one-shot drive wrapper",
+                )
+            )
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        is_plan = (
+            node.name.startswith("plan")
+            or node.name.startswith("_plan")
+            or _has_own_yield(node)
+        )
+        if not is_plan:
+            continue
+        for inner in _own_nodes(node):
+            if (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr.startswith("measure")
+            ):
+                violations.append(
+                    _violation(
+                        RPR110, path, inner,
+                        f"plan generator {node.name}() calls "
+                        f".{inner.func.attr}(); measurements must flow "
+                        "through the yielded batch",
+                    )
+                )
+            elif isinstance(inner, ast.Name) and inner.id in (
+                "measure_isolated",
+                "ExperimentExecutor",
+            ):
+                violations.append(
+                    _violation(
+                        RPR110, path, inner,
+                        f"plan generator {node.name}() references "
+                        f"{inner.id}; plans must not execute",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR112 — loops over fresh concatenations
+# ---------------------------------------------------------------------------
+
+
+@file_rule(RPR112)
+def check_concat_loops(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters = [node.iter]
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+        ):
+            iters = [gen.iter for gen in node.generators]
+        for it in iters:
+            if isinstance(it, ast.BinOp) and isinstance(it.op, ast.Add):
+                violations.append(
+                    _violation(
+                        RPR112, path, it,
+                        "loop iterates a freshly concatenated sequence "
+                        "(builds a throwaway copy each call); iterate "
+                        "itertools.chain(...) over the live containers",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR120 — picklability of queue-crossing classes
+# ---------------------------------------------------------------------------
+
+_UNPICKLABLE_FACTORIES = frozenset(
+    {"Lock", "RLock", "Event", "Condition", "Semaphore",
+     "BoundedSemaphore", "Queue", "open"}
+)
+
+
+def _queue_crossing(path: str, node: ast.ClassDef,
+                    lines: Sequence[str]) -> bool:
+    if any(
+        path.endswith(suffix) and node.name == name
+        for suffix, name in QUEUE_CLASSES
+    ):
+        return True
+    def_line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+    return QUEUE_MARKER in def_line
+
+
+@file_rule(RPR120)
+def check_queue_picklability(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _queue_crossing(path, node, lines):
+            continue
+        for stmt in node.body:
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            for inner in ast.walk(value):
+                reason = None
+                if isinstance(inner, ast.Lambda):
+                    reason = "a lambda (unpicklable as instance state)"
+                elif isinstance(inner, ast.GeneratorExp):
+                    reason = "a generator (unpicklable)"
+                elif isinstance(inner, ast.Call):
+                    parts = _dotted(inner.func)
+                    if parts and parts[-1] in _UNPICKLABLE_FACTORIES:
+                        reason = (
+                            f"{'.'.join(parts)}() (locks, queues, and "
+                            "open handles do not pickle)"
+                        )
+                if reason is not None:
+                    violations.append(
+                        _violation(
+                            RPR120, path, inner,
+                            f"queue-crossing class {node.name} stores "
+                            f"{reason} in a field default",
+                        )
+                    )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR130 — measurement-path raise taxonomy
+# ---------------------------------------------------------------------------
+
+
+def _in_measure_layer(path: str) -> bool:
+    return "/measure/" in path or path.startswith("measure/")
+
+
+def _measurement_functions(
+    tree: ast.AST,
+) -> Iterator[ast.AST]:
+    """Functions bound by the taxonomy contract: ``measure*`` /
+    ``_measure*`` / ``_dispatch*`` functions anywhere, plus every method
+    of a ``*Backend`` class."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name.endswith(
+            "Backend"
+        ):
+            for stmt in node.body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield stmt
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.lstrip("_").startswith(
+                "measure"
+            ) or node.name.startswith("_dispatch"):
+                yield node
+
+
+@file_rule(RPR130)
+def check_raise_taxonomy(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    if not _in_measure_layer(path):
+        return []
+    violations: List[Violation] = []
+    seen: set = set()
+    for func in _measurement_functions(tree):
+        if func in seen:
+            continue
+        seen.add(func)
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            if not isinstance(node.exc, ast.Call):
+                continue  # re-raise of a caught object
+            parts = _dotted(node.exc.func)
+            if parts is None:
+                continue
+            if parts[-1] not in ALLOWED_RAISES:
+                violations.append(
+                    _violation(
+                        RPR130, path, node,
+                        f"measurement path raises {parts[-1]}; only "
+                        "the BackendError taxonomy may cross this "
+                        "layer (retry/quarantine dispatch on it)",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR131 — broad except swallowing transients
+# ---------------------------------------------------------------------------
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+        for t in types
+    )
+
+
+@file_rule(RPR131)
+def check_swallowed_transients(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler) or not _is_broad(node):
+            continue
+        body_nodes = []
+        for stmt in node.body:
+            body_nodes.append(stmt)
+            body_nodes.extend(_own_nodes(stmt))
+        reraises = any(isinstance(n, ast.Raise) for n in body_nodes)
+        uses_error = node.name is not None and any(
+            isinstance(n, ast.Name) and n.id == node.name
+            for n in body_nodes
+        )
+        if not reraises and not uses_error:
+            violations.append(
+                _violation(
+                    RPR131, path, node,
+                    "broad except neither re-raises nor records the "
+                    "error; a TransientBackendError would be silently "
+                    "swallowed instead of retried",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Facts for the cross-file stats rules and the catalog-reference check
+# ---------------------------------------------------------------------------
+
+
+def _class_fields(node: ast.ClassDef) -> List[str]:
+    fields = []
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            fields.append(stmt.target.id)
+    return fields
+
+
+def _template_fields(template: str) -> List[str]:
+    fields = []
+    for _, name, _, _ in Formatter().parse(template):
+        if not name:
+            continue
+        base = name.split(".")[0].split("[")[0]
+        if base and not base.isdigit():
+            fields.append(base)
+    return fields
+
+
+@fact_extractor
+def extract_stats_facts(path: str, tree: ast.AST) -> Dict[str, Any]:
+    facts: Dict[str, Any] = {}
+    snapshots: Dict[str, Any] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if node.name == "RunStatistics":
+                facts["run_statistics"] = {
+                    "line": node.lineno,
+                    "fields": _class_fields(node),
+                }
+            elif node.name.endswith("Stats") and any(
+                isinstance(base, ast.Name) and base.id == "NamedTuple"
+                for base in node.bases
+            ):
+                snapshots[node.name] = {
+                    "line": node.lineno,
+                    "fields": _class_fields(node),
+                }
+        elif isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "_STATS_LINES"
+            for t in node.targets
+        ):
+            fields = []
+            for inner in ast.walk(node.value):
+                if isinstance(inner, ast.Constant) and isinstance(
+                    inner.value, str
+                ):
+                    fields.extend(_template_fields(inner.value))
+            facts["stats_lines"] = {
+                "line": node.lineno,
+                "fields": sorted(set(fields)),
+            }
+    if snapshots:
+        facts["snapshots"] = snapshots
+    return facts
+
+
+@fact_extractor
+def extract_catalog_refs(path: str, tree: ast.AST) -> Dict[str, Any]:
+    refs: List[Dict[str, Any]] = []
+
+    def literal(node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        if not parts:
+            continue
+        name = parts[-1]
+        if name in ("by_uid", "forms_for_mnemonic", "get_uarch"):
+            if len(node.args) >= 1:
+                value = literal(node.args[0])
+                if value is not None:
+                    kind = {
+                        "by_uid": "uid",
+                        "forms_for_mnemonic": "mnemonic",
+                        "get_uarch": "uarch",
+                    }[name]
+                    refs.append(
+                        {"kind": kind, "value": value,
+                         "line": node.lineno}
+                    )
+        elif name == "override" and len(node.args) == 2:
+            uarch = literal(node.args[0])
+            uid = literal(node.args[1])
+            if uarch is not None:
+                refs.append(
+                    {"kind": "uarch", "value": uarch,
+                     "line": node.lineno}
+                )
+            if uid is not None:
+                refs.append(
+                    {"kind": "uid", "value": uid, "line": node.lineno}
+                )
+    return {"catalog_refs": refs} if refs else {}
+
+
+# ---------------------------------------------------------------------------
+# RPR140 / RPR141 — stats registration (fileset rules)
+# ---------------------------------------------------------------------------
+
+
+def _gather(facts_by_path: Dict[str, Dict[str, Any]],
+            key: str) -> List[Tuple[str, Dict[str, Any]]]:
+    return [
+        (path, facts[key])
+        for path, facts in sorted(facts_by_path.items())
+        if key in facts
+    ]
+
+
+@fileset_rule(RPR140)
+def check_stats_rendered(
+    facts_by_path: Dict[str, Dict[str, Any]]
+) -> List[Violation]:
+    violations = []
+    stats = _gather(facts_by_path, "run_statistics")
+    lines = _gather(facts_by_path, "stats_lines")
+    for lines_path, lines_fact in lines:
+        rendered = set(lines_fact["fields"])
+        for stats_path, stats_fact in stats:
+            for fld in stats_fact["fields"]:
+                if fld not in rendered:
+                    violations.append(
+                        Violation(
+                            code=RPR140.code,
+                            severity=RPR140.severity,
+                            path=lines_path,
+                            line=lines_fact["line"],
+                            col=1,
+                            message=(
+                                f"RunStatistics counter {fld!r} "
+                                f"(declared in {stats_path}) is not "
+                                "rendered by any _STATS_LINES "
+                                "template; add a row or placeholder"
+                            ),
+                        )
+                    )
+    return violations
+
+
+@fileset_rule(RPR141)
+def check_snapshot_registered(
+    facts_by_path: Dict[str, Dict[str, Any]]
+) -> List[Violation]:
+    violations = []
+    stats = _gather(facts_by_path, "run_statistics")
+    if not stats:
+        return []
+    counters: set = set()
+    for _, fact in stats:
+        counters.update(fact["fields"])
+    for path, facts in sorted(facts_by_path.items()):
+        for cls, snap in sorted(facts.get("snapshots", {}).items()):
+            for fld in snap["fields"]:
+                if fld not in counters:
+                    violations.append(
+                        Violation(
+                            code=RPR141.code,
+                            severity=RPR141.severity,
+                            path=path,
+                            line=snap["line"],
+                            col=1,
+                            message=(
+                                f"snapshot field {cls}.{fld} has no "
+                                "RunStatistics counter; fold_snapshot "
+                                "folds by field name and would fail "
+                                "on it"
+                            ),
+                        )
+                    )
+    return violations

@@ -1,0 +1,550 @@
+"""The repro-lint engine: rules, suppressions, caching, reports.
+
+The engine is deliberately small: a **file rule** is a function run over
+one parsed module (``(path, tree, lines) -> violations``); a **fact
+extractor** distills per-file facts (stats counters, snapshot fields,
+hard-coded catalog references) that **fileset rules** cross-check after
+every file was visited.  Each phase is pure and deterministic: the same
+file set produces the same report regardless of traversal order, which
+the property tests assert by shuffling.
+
+Per-file results (violations + facts) are cached in a JSON file keyed by
+the file's SHA-256 and :data:`LINT_VERSION`, so a CI run on an unchanged
+tree skips the AST pass entirely.  Fileset rules re-run from cached
+facts — they are cheap dictionary comparisons.
+
+Suppressions are inline and justified::
+
+    risky_line()  # repro-lint: disable=RPR101 (clock feeds a log, not a key)
+
+A suppression without a justification is itself a violation
+(:data:`RPR100`): the acceptance bar for this repo is *few* suppressions,
+each explaining why the contract is intentionally bent.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+#: Bumped whenever a rule changes behaviour: invalidates every cache
+#: entry written by older rule sets.
+LINT_VERSION = "1"
+
+#: Severity tiers.  Both fail the run (exit 1); the tier tells a reader
+#: whether the finding is a broken contract (``error``) or a smell the
+#: contract merely discourages (``warning``).
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: The meta-rule for suppressions without a justification.
+RPR100 = "RPR100"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=("
+    r"[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule code anchored to a file position."""
+
+    code: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.col, self.code, self.message)
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Identity for ``--baseline`` matching: deliberately excludes
+        line/col so accepted findings survive unrelated edits above
+        them."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        return cls(
+            code=data["code"],
+            severity=data["severity"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata of one rule code (the catalog ``repro lint --list-rules``
+    and ``docs/static-analysis.md`` present)."""
+
+    code: str
+    name: str
+    severity: str
+    summary: str
+
+
+#: code -> Rule, populated by the registration decorators.
+_RULES: Dict[str, Rule] = {}
+
+#: (rule code, path-suffix filter or None, checker) triples.
+_FILE_RULES: List[Tuple[Rule, Optional[Tuple[str, ...]], Callable]] = []
+
+#: Per-file fact extractors: ``(posix_path, tree) -> dict``.
+_FACT_EXTRACTORS: List[Callable[[str, ast.AST], Dict[str, Any]]] = []
+
+#: Fileset rules: ``(rule, fn(facts_by_path) -> violations)``.
+_FILESET_RULES: List[Tuple[Rule, Callable]] = []
+
+_RULES[RPR100] = Rule(
+    code=RPR100,
+    name="unjustified-suppression",
+    severity=SEVERITY_ERROR,
+    summary="a repro-lint suppression comment carries no justification",
+)
+
+#: Emitted when a file cannot be parsed at all.
+RPR999 = "RPR999"
+_RULES[RPR999] = Rule(
+    code=RPR999,
+    name="unparseable-file",
+    severity=SEVERITY_ERROR,
+    summary="the file does not parse; no rule can check it",
+)
+
+
+def register_rule(code: str, name: str, severity: str,
+                  summary: str) -> Rule:
+    if code in _RULES:
+        raise AssertionError(f"duplicate lint rule code {code}")
+    rule = Rule(code=code, name=name, severity=severity, summary=summary)
+    _RULES[code] = rule
+    return rule
+
+
+def file_rule(
+    rule: Rule, path_suffixes: Optional[Sequence[str]] = None
+) -> Callable:
+    """Register ``fn(path, tree, lines) -> Iterable[Violation]`` to run
+    on every linted file (or only those whose posix path ends with one
+    of *path_suffixes*)."""
+
+    def decorate(fn: Callable) -> Callable:
+        _FILE_RULES.append(
+            (rule, tuple(path_suffixes) if path_suffixes else None, fn)
+        )
+        return fn
+
+    return decorate
+
+
+def fact_extractor(fn: Callable) -> Callable:
+    _FACT_EXTRACTORS.append(fn)
+    return fn
+
+
+def fileset_rule(rule: Rule) -> Callable:
+    def decorate(fn: Callable) -> Callable:
+        _FILESET_RULES.append((rule, fn))
+        return fn
+
+    return decorate
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule modules (registration happens at import time)."""
+    from repro.lint import code_rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    _ensure_rules_loaded()
+    from repro.lint.model_rules import MODEL_RULES  # registered lazily
+
+    catalog = dict(_RULES)
+    for rule in MODEL_RULES.values():
+        catalog.setdefault(rule.code, rule)
+    return [catalog[code] for code in sorted(catalog)]
+
+
+def rule_for(code: str) -> Rule:
+    return _RULES[code]
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def parse_suppressions(
+    posix_path: str, lines: Sequence[str]
+) -> Tuple[Dict[int, Set[str]], List[Violation]]:
+    """Per-line suppressed codes, plus RPR100 findings for suppressions
+    whose trailing text carries no justification."""
+    suppressed: Dict[int, Set[str]] = {}
+    meta: List[Violation] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {part.strip() for part in match.group(1).split(",")}
+        suppressed[lineno] = codes
+        justification = match.group(2).strip().strip("—-:() .")
+        if not justification:
+            meta.append(
+                Violation(
+                    code=RPR100,
+                    severity=SEVERITY_ERROR,
+                    path=posix_path,
+                    line=lineno,
+                    col=line.index("#") + 1,
+                    message=(
+                        "suppression of "
+                        f"{', '.join(sorted(codes))} has no "
+                        "justification; append one, e.g. "
+                        "`# repro-lint: disable=RPR101 (why it is safe)`"
+                    ),
+                )
+            )
+    return suppressed, meta
+
+
+# ---------------------------------------------------------------------------
+# The per-file pass
+# ---------------------------------------------------------------------------
+
+
+def _lint_one_file(
+    posix_path: str, source: str
+) -> Tuple[List[Violation], Dict[str, Any], int]:
+    """(violations, facts, suppressed_count) for one module."""
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return (
+            [
+                Violation(
+                    code="RPR999",
+                    severity=SEVERITY_ERROR,
+                    path=posix_path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            {},
+            0,
+        )
+    suppressed_lines, violations = parse_suppressions(posix_path, lines)
+    raw: List[Violation] = []
+    for rule, suffixes, checker in _FILE_RULES:
+        if suffixes is not None and not any(
+            posix_path.endswith(suffix) for suffix in suffixes
+        ):
+            continue
+        raw.extend(checker(posix_path, tree, lines))
+    suppressed_count = 0
+    for violation in raw:
+        if violation.code in suppressed_lines.get(violation.line, ()):
+            suppressed_count += 1
+            continue
+        violations.append(violation)
+    facts: Dict[str, Any] = {}
+    for extractor in _FACT_EXTRACTORS:
+        facts.update(extractor(posix_path, tree))
+    return violations, facts, suppressed_count
+
+
+# ---------------------------------------------------------------------------
+# File collection and caching
+# ---------------------------------------------------------------------------
+
+
+def collect_files(paths: Sequence[str]) -> List[str]:
+    """All ``.py`` files under *paths*, sorted, ``__pycache__`` skipped."""
+    found: Set[str] = set()
+    for path in paths:
+        if os.path.isfile(path):
+            found.add(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d != "__pycache__" and not d.endswith(".egg-info")
+            )
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def display_path(path: str) -> str:
+    """Posix-normalized path, relative to the working directory when the
+    file lives under it (stable across shuffled input order)."""
+    absolute = os.path.abspath(path)
+    relative = os.path.relpath(absolute, os.getcwd())
+    chosen = absolute if relative.startswith("..") else relative
+    return chosen.replace(os.sep, "/")
+
+
+class LintCache:
+    """Sha-keyed per-file memo of (violations, facts, suppressed)."""
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path and os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    stored = json.load(handle)
+            except (OSError, ValueError):
+                stored = None
+            if (
+                isinstance(stored, dict)
+                and stored.get("version") == LINT_VERSION
+                and isinstance(stored.get("files"), dict)
+            ):
+                self._entries = stored["files"]
+
+    def get(self, posix_path: str, sha: str):
+        entry = self._entries.get(posix_path)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return (
+            [Violation.from_dict(v) for v in entry["violations"]],
+            entry["facts"],
+            entry["suppressed"],
+        )
+
+    def put(
+        self,
+        posix_path: str,
+        sha: str,
+        violations: List[Violation],
+        facts: Dict[str, Any],
+        suppressed: int,
+    ) -> None:
+        self._entries[posix_path] = {
+            "sha": sha,
+            "violations": [v.as_dict() for v in violations],
+            "facts": facts,
+            "suppressed": suppressed,
+        }
+
+    def save(self) -> None:
+        if not self.path:
+            return
+        payload = {"version": LINT_VERSION, "files": self._entries}
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The outcome of a lint run, already sorted and filtered."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for violation in self.violations:
+            totals[violation.code] = totals.get(violation.code, 0) + 1
+        return totals
+
+    def to_json(self) -> str:
+        payload = {
+            "violations": [v.as_dict() for v in self.violations],
+            "counts": self.counts(),
+            "files": self.files,
+            "suppressed": self.suppressed,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = [v.render() for v in self.violations]
+        counts = self.counts()
+        summary = (
+            f"{len(self.violations)} violation(s) in {self.files} "
+            f"file(s), {self.suppressed} suppressed"
+        )
+        if counts:
+            summary += " (" + ", ".join(
+                f"{code}: {n}" for code, n in sorted(counts.items())
+            ) + ")"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def _selected(code: str, select: Optional[Sequence[str]],
+              ignore: Optional[Sequence[str]]) -> bool:
+    """Prefix-based code filtering, like ruff's --select/--ignore."""
+    if select and not any(code.startswith(p) for p in select):
+        return False
+    if ignore and any(code.startswith(p) for p in ignore):
+        return False
+    return True
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    """Fingerprints of a previously accepted ``--json`` report."""
+    with open(path, "r", encoding="utf-8") as handle:
+        stored = json.load(handle)
+    entries = stored.get("violations", []) if isinstance(stored, dict) \
+        else stored
+    return {
+        Violation.from_dict(entry).fingerprint() for entry in entries
+    }
+
+
+def filter_violations(
+    violations: Iterable[Violation],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline: Optional[Set[Tuple[str, str, str]]] = None,
+) -> List[Violation]:
+    kept = [
+        violation
+        for violation in violations
+        if _selected(violation.code, select, ignore)
+        and (baseline is None or violation.fingerprint() not in baseline)
+    ]
+    return sorted(kept, key=Violation.sort_key)
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def lint_paths(
+    paths: Sequence[str],
+    cache_path: Optional[str] = None,
+    catalog_refs: bool = True,
+) -> LintReport:
+    """Run the code-invariant rules (and the catalog-reference fileset
+    check, unless disabled) over every ``.py`` file under *paths*.
+
+    Returns an **unfiltered** report; ``--select/--ignore/--baseline``
+    are applied by :func:`run_lint` so the cache stores complete runs.
+    """
+    _ensure_rules_loaded()
+    cache = LintCache(cache_path)
+    violations: List[Violation] = []
+    facts_by_path: Dict[str, Dict[str, Any]] = {}
+    suppressed = 0
+    files = collect_files(paths)
+    for path in files:
+        posix_path = display_path(path)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        sha = hashlib.sha256(blob).hexdigest()
+        cached = cache.get(posix_path, sha)
+        if cached is None:
+            result = _lint_one_file(
+                posix_path, blob.decode("utf-8", errors="replace")
+            )
+            cache.put(posix_path, sha, *result)
+            cached = result
+        file_violations, facts, file_suppressed = cached
+        violations.extend(file_violations)
+        facts_by_path[posix_path] = facts
+        suppressed += file_suppressed
+    for rule, checker in _FILESET_RULES:
+        violations.extend(checker(facts_by_path))
+    if catalog_refs:
+        from repro.lint.model_rules import catalog_reference_violations
+
+        violations.extend(catalog_reference_violations(facts_by_path))
+    cache.save()
+    return LintReport(
+        violations=sorted(violations, key=Violation.sort_key),
+        files=len(files),
+        suppressed=suppressed,
+        cache_hits=cache.hits,
+        cache_misses=cache.misses,
+    )
+
+
+def default_target() -> str:
+    """The package source tree, found from the installed location."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def run_lint(
+    paths: Optional[Sequence[str]] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    baseline_path: Optional[str] = None,
+    cache_path: Optional[str] = None,
+    model: Optional[bool] = None,
+) -> LintReport:
+    """Everything ``repro lint`` does: code rules over *paths* (default:
+    the installed ``repro`` package) plus — by default when linting the
+    package itself — the model-consistency pass."""
+    if model is None:
+        model = paths is None
+    target = list(paths) if paths else [default_target()]
+    report = lint_paths(target, cache_path=cache_path)
+    violations = list(report.violations)
+    if model:
+        from repro.lint.model_rules import model_violations
+
+        violations.extend(model_violations())
+    baseline = load_baseline(baseline_path) if baseline_path else None
+    report.violations = filter_violations(
+        violations, select=select, ignore=ignore, baseline=baseline
+    )
+    return report

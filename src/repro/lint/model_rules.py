@@ -1,0 +1,336 @@
+"""RPR2xx: consistency of the ground-truth model against itself.
+
+Unlike the ``RPR1xx`` family these rules do not read source text: they
+import the machine-facing tables (:mod:`repro.uarch`), the instruction
+catalog (:mod:`repro.isa`), and the IACA version registry, build every
+``(form, microarchitecture)`` entry, and cross-check the results — the
+same internal-consistency discipline the paper applies to its published
+port mappings.
+
+* ``RPR201`` — every port named by a functional-unit map or a built
+  µop decomposition exists on that microarchitecture.
+* ``RPR202`` — every µop that occupies the divider has a value class
+  the generation's :meth:`~repro.uarch.model.UarchConfig.divider_timing`
+  can resolve.
+* ``RPR203`` — hard-coded catalog references in the source
+  (``by_uid("...")``, ``forms_for_mnemonic("...")``, ``@override(...)``)
+  resolve against the real catalog.  Harvested per-file by
+  :mod:`repro.lint.code_rules`, checked here.
+* ``RPR204`` — cross-table references hold: overrides name real
+  generations and forms, declared IACA versions are known to the
+  analyzer, and the blocking-instruction discovery's prerequisites
+  (store units in every port map, a MOV store blocker, at least one
+  candidate) are satisfiable.
+* ``RPR205`` — every catalog category has a table rule, so
+  ``build_entry`` cannot raise ``KeyError`` mid-sweep.
+
+:func:`model_violations` accepts injected *uarches*/*database* so tests
+can seed a fake port (``p9``) or an uncovered category and watch the
+pass fail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Rule,
+    Violation,
+    display_path,
+    register_rule,
+)
+
+RPR201 = register_rule(
+    "RPR201",
+    "nonexistent-port",
+    SEVERITY_ERROR,
+    "port map or µop table references a port the uarch does not have",
+)
+RPR202 = register_rule(
+    "RPR202",
+    "missing-divider-class",
+    SEVERITY_ERROR,
+    "divider µop without a resolvable value class",
+)
+RPR203 = register_rule(
+    "RPR203",
+    "dangling-catalog-reference",
+    SEVERITY_ERROR,
+    "hard-coded uid/mnemonic/uarch literal not found in the catalog",
+)
+RPR204 = register_rule(
+    "RPR204",
+    "broken-cross-table-reference",
+    SEVERITY_ERROR,
+    "override / IACA-version / blocking prerequisite is inconsistent",
+)
+RPR205 = register_rule(
+    "RPR205",
+    "uncovered-category",
+    SEVERITY_ERROR,
+    "catalog category without a table rule (build_entry would raise)",
+)
+
+MODEL_RULES: Dict[str, Rule] = {
+    rule.code: rule for rule in (RPR201, RPR202, RPR203, RPR204, RPR205)
+}
+
+#: The value classes :meth:`UarchConfig.divider_timing` can resolve.
+DIVIDER_CLASSES = ("int_div", "fp_div", "fp_sqrt")
+
+
+def _violation(rule: Rule, path: str, line: int,
+               message: str) -> Violation:
+    return Violation(
+        code=rule.code,
+        severity=rule.severity,
+        path=path,
+        line=line,
+        col=1,
+        message=message,
+    )
+
+
+def _default_database():
+    from repro.isa.database import load_default_database
+
+    return load_default_database()
+
+
+# ---------------------------------------------------------------------------
+# RPR203 — catalog references harvested from source facts
+# ---------------------------------------------------------------------------
+
+
+def catalog_reference_violations(
+    facts_by_path: Dict[str, Dict[str, Any]],
+    database=None,
+    uarch_names: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Check every harvested ``catalog_refs`` fact against the catalog.
+
+    Imports nothing when no file contained a hard-coded reference, so
+    linting a plain fixture tree stays import-free.
+    """
+    refs = [
+        (path, ref)
+        for path, facts in sorted(facts_by_path.items())
+        for ref in facts.get("catalog_refs", [])
+    ]
+    if not refs:
+        return []
+    if database is None:
+        database = _default_database()
+    if uarch_names is None:
+        from repro.uarch.configs import ALL_UARCHES
+
+        uarch_names = set()
+        for uarch in ALL_UARCHES:
+            uarch_names.add(uarch.name)
+            uarch_names.add(uarch.full_name)
+    violations = []
+    for path, ref in refs:
+        kind, value, line = ref["kind"], ref["value"], ref["line"]
+        if kind == "uid" and value not in database:
+            violations.append(
+                _violation(
+                    RPR203, path, line,
+                    f"uid {value!r} is not in the instruction catalog",
+                )
+            )
+        elif kind == "mnemonic" and not database.forms_for_mnemonic(
+            value
+        ):
+            violations.append(
+                _violation(
+                    RPR203, path, line,
+                    f"mnemonic {value!r} has no forms in the "
+                    "instruction catalog",
+                )
+            )
+        elif kind == "uarch" and value not in uarch_names:
+            violations.append(
+                _violation(
+                    RPR203, path, line,
+                    f"{value!r} names no known microarchitecture",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR201/202/204/205 — the imported-model pass
+# ---------------------------------------------------------------------------
+
+
+def model_violations(
+    uarches=None, database=None
+) -> List[Violation]:
+    """Cross-check the ground-truth tables; empty list means consistent.
+
+    *uarches*/*database* are injectable for tests (e.g. a
+    ``dataclasses.replace``-d generation with a fake port 9).
+    """
+    from repro.core.blocking import _find_store_blocker, _is_candidate
+    from repro.iaca.analyzer import ALL_VERSIONS
+    from repro.uarch import configs as configs_mod
+    from repro.uarch import overrides as overrides_mod
+    from repro.uarch import tables
+
+    if uarches is None:
+        uarches = configs_mod.ALL_UARCHES
+    if database is None:
+        database = _default_database()
+
+    configs_path = display_path(configs_mod.__file__)
+    tables_path = display_path(tables.__file__)
+    violations: List[Violation] = []
+
+    # RPR205: every category the catalog uses has a rule.
+    categories = sorted({form.category for form in database})
+    covered = set(tables._RULES)
+    for category in categories:
+        if category not in covered:
+            violations.append(
+                _violation(
+                    RPR205, tables_path, 1,
+                    f"category {category!r} has no table rule; "
+                    "build_entry raises KeyError for every form in it",
+                )
+            )
+
+    uarch_names = set()
+    for uarch in uarches:
+        uarch_names.add(uarch.name)
+        ports = set(uarch.ports)
+
+        # RPR201: functional-unit maps stay inside the real port set.
+        for unit, unit_ports in sorted(
+            uarch.fu_map.items(), key=lambda item: item[0]
+        ):
+            ghost = sorted(set(unit_ports) - ports)
+            if ghost:
+                violations.append(
+                    _violation(
+                        RPR201, configs_path, 1,
+                        f"functional unit {unit!r} on {uarch.name} "
+                        f"references nonexistent port(s) "
+                        f"{', '.join(map(str, ghost))} "
+                        f"(has {sorted(ports)})",
+                    )
+                )
+
+        # RPR204: declared IACA versions are known to the analyzer.
+        for version in uarch.iaca_versions:
+            if version not in ALL_VERSIONS:
+                violations.append(
+                    _violation(
+                        RPR204, configs_path, 1,
+                        f"{uarch.name} declares IACA version "
+                        f"{version!r}, unknown to the analyzer "
+                        f"(knows {', '.join(ALL_VERSIONS)})",
+                    )
+                )
+
+        # RPR204: blocking discovery needs the store units (the store
+        # combinations come from the documented port layout).
+        for unit in ("store_addr", "store_data"):
+            if unit not in uarch.fu_map:
+                violations.append(
+                    _violation(
+                        RPR204, configs_path, 1,
+                        f"{uarch.name} has no {unit!r} functional "
+                        "unit; blocking discovery cannot block the "
+                        "store ports",
+                    )
+                )
+
+        # RPR201/RPR202 over every built entry.  Ghost ports are
+        # aggregated per (uarch, port): one seeded fake port would
+        # otherwise drown the report in per-form repeats.
+        ghost_uids: Dict[int, List[str]] = {}
+        for form in database:
+            try:
+                entry = tables.build_entry(form, uarch)
+            except KeyError:
+                continue  # reported once by RPR205 above
+            if entry is None:
+                continue
+            uops = entry.uops + (entry.same_reg_uops or ())
+            occupies_divider = False
+            for uop in uops:
+                for port in sorted(set(uop.ports) - ports):
+                    ghost_uids.setdefault(port, []).append(form.uid)
+                if uop.divider_cycles > 0:
+                    occupies_divider = True
+            if entry.divider_class is not None and (
+                entry.divider_class not in DIVIDER_CLASSES
+            ):
+                violations.append(
+                    _violation(
+                        RPR202, tables_path, 1,
+                        f"{form.uid} on {uarch.name} has divider "
+                        f"class {entry.divider_class!r}; "
+                        "divider_timing() resolves only "
+                        f"{', '.join(DIVIDER_CLASSES)}",
+                    )
+                )
+            elif occupies_divider and entry.divider_class is None:
+                violations.append(
+                    _violation(
+                        RPR202, tables_path, 1,
+                        f"{form.uid} on {uarch.name} occupies the "
+                        "divider but has no value class; latency "
+                        "inference cannot pick operand values for it",
+                    )
+                )
+        for port, uids in sorted(ghost_uids.items()):
+            violations.append(
+                _violation(
+                    RPR201, tables_path, 1,
+                    f"{len(uids)} entr{'y' if len(uids) == 1 else 'ies'}"
+                    f" on {uarch.name} dispatch to nonexistent port "
+                    f"{port} (e.g. {uids[0]})",
+                )
+            )
+
+    # RPR204: overrides reference real generations and forms.
+    overrides_path = display_path(overrides_mod.__file__)
+    for override_uarch, override_uid in sorted(overrides_mod._OVERRIDES):
+        if override_uarch not in uarch_names:
+            violations.append(
+                _violation(
+                    RPR204, overrides_path, 1,
+                    f"override registered for unknown "
+                    f"microarchitecture {override_uarch!r}",
+                )
+            )
+        if override_uid not in database:
+            violations.append(
+                _violation(
+                    RPR204, overrides_path, 1,
+                    f"override registered for unknown form "
+                    f"{override_uid!r}",
+                )
+            )
+
+    # RPR204: blocking discovery is satisfiable on this catalog.
+    if not any(_is_candidate(form) for form in database):
+        violations.append(
+            _violation(
+                RPR204, tables_path, 1,
+                "no instruction in the catalog qualifies as a "
+                "blocking-instruction candidate",
+            )
+        )
+    if _find_store_blocker(database, None) is None:
+        violations.append(
+            _violation(
+                RPR204, tables_path, 1,
+                "no MOV store form qualifies as the store blocker "
+                "(64-bit GPR store required)",
+            )
+        )
+
+    return sorted(violations, key=Violation.sort_key)

@@ -7,6 +7,12 @@ block, and the difference of two replication factors (10 and 110 in the
 paper) cancels the constant overhead.  A warm-up run precedes the measured
 runs.  On the deterministic simulator a single repetition suffices; the
 100-fold averaging of the paper is kept as a configuration knob.
+
+Contract (enforced by ``repro lint``, RPR130): measurement entry points
+here raise only the :class:`BackendError` taxonomy (transient /
+permanent / timeout) — the executor's retry logic and the sweep
+engine's quarantine dispatch on those exact types, so a foreign
+exception escaping a backend bypasses both.
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ change.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.core import (
@@ -78,7 +79,7 @@ def _uses_divider(core: Core, code: Sequence) -> bool:
             return True  # unsupported: let the simulation raise
         if entry.divider_class is not None:
             return True
-        for spec in entry.uops + (entry.same_reg_uops or ()):
+        for spec in chain(entry.uops, entry.same_reg_uops or ()):
             if spec.divider_cycles:
                 return True
     return False
@@ -155,8 +156,9 @@ def _extrapolated_counters(
     port_uops = dict(base.port_uops)
     uops = base.uops
     fused = base.uops_fused
-    for weight, signature in (
-        [(full, s) for s in pattern] + [(1, s) for s in pattern[:rem]]
+    for weight, signature in chain(
+        ((full, s) for s in pattern),
+        ((1, s) for s in pattern[:rem]),
     ):
         delta, port_items, uop_count, fused_count = signature
         cycles += weight * delta

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import ATTR_MOVE, Instruction
@@ -466,7 +467,7 @@ class Core:
                 # Loads: pointer into memory + store-to-load forwarding.
                 if spec.kind == KIND_LOAD:
                     access = None
-                    for ref in spec.outputs + spec.inputs:
+                    for ref in chain(spec.outputs, spec.inputs):
                         if ref[0] in ("ld", "addr") and ref[1] in reads:
                             access = reads[ref[1]]
                             break
