@@ -78,6 +78,10 @@ class RunStatistics:
     cycles_simulated: int = 0
     cycles_extrapolated: int = 0
     runs_extrapolated: int = 0
+    #: Closed-form analytic fast path (the third simulation tier): runs
+    #: answered with no kernel run at all, and the cycles they cover.
+    runs_analytic: int = 0
+    cycles_analytic: int = 0
     #: Entries evicted from the backend's bounded in-process caches (see
     #: ``MeasurementConfig.max_cached_measurements``).
     cache_evictions: int = 0

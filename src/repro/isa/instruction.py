@@ -93,6 +93,25 @@ class InstructionForm:
             tokens.append(_shape_token(spec))
         return "_".join(tokens)
 
+    def __hash__(self) -> int:
+        # Forms are interned in practice but hashed constantly as parts
+        # of measurement cache keys; the generated dataclass hash walks
+        # every operand spec and frozenset each time.  Cache it (writing
+        # through __dict__ bypasses the frozen-instance __setattr__).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.mnemonic,
+                self.operands,
+                self.flags_read,
+                self.flags_written,
+                self.extension,
+                self.category,
+                self.attributes,
+            ))
+            self.__dict__["_hash"] = h
+        return h
+
     @property
     def explicit_operands(self) -> Tuple[OperandSpec, ...]:
         return tuple(s for s in self.operands if not s.implicit)
@@ -189,6 +208,16 @@ class Instruction:
                 f"{self.form.uid}: {len(self.form.operands)} slots, "
                 f"{len(self.operands)} operands given"
             )
+
+    def __hash__(self) -> int:
+        # Measurement cache keys are tuples of instructions; cache the
+        # per-instruction hash so repeated lookups don't re-walk the
+        # operand structure (see InstructionForm.__hash__).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.form, self.operands))
+            self.__dict__["_hash"] = h
+        return h
 
     # ------------------------------------------------------------------
     # Dependency queries (canonical register names)

@@ -136,6 +136,12 @@ def all_registers() -> List[Register]:
     return list(_BY_NAME.values())
 
 
+_GPR_ORDER64 = (
+    "RAX RCX RDX RBX RSP RBP RSI RDI "
+    "R8 R9 R10 R11 R12 R13 R14 R15"
+).split()
+
+
 def gpr(width: int, index: int) -> Register:
     """The *index*-th general-purpose register of the given *width* in bits.
 
@@ -143,24 +149,29 @@ def gpr(width: int, index: int) -> Register:
     RSI, RDI, R8..R15.  The 8-bit views are the low bytes (``AL``-style, not
     ``AH``-style).
     """
-    order64 = (
-        "RAX RCX RDX RBX RSP RBP RSI RDI "
-        "R8 R9 R10 R11 R12 R13 R14 R15"
-    ).split()
-    base = register_by_name(order64[index])
+    base = register_by_name(_GPR_ORDER64[index])
     return sized_view(base, width)
+
+
+_SIZED_VIEWS: Dict[Tuple[str, int], Register] = {}
 
 
 def sized_view(reg: Register, width: int) -> Register:
     """The *width*-bit view of ``reg``'s canonical container (offset 0)."""
-    for candidate in _BY_NAME.values():
-        if (
-            candidate.canonical == reg.canonical
-            and candidate.width == width
-            and candidate.offset == 0
-        ):
-            return candidate
-    raise ValueError(f"no {width}-bit view of {reg.canonical}")
+    key = (reg.canonical, width)
+    view = _SIZED_VIEWS.get(key)
+    if view is None:
+        for candidate in _BY_NAME.values():
+            if (
+                candidate.canonical == reg.canonical
+                and candidate.width == width
+                and candidate.offset == 0
+            ):
+                view = _SIZED_VIEWS[key] = candidate
+                break
+        else:
+            raise ValueError(f"no {width}-bit view of {reg.canonical}")
+    return view
 
 
 def vec(width: int, index: int) -> Register:

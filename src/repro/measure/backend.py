@@ -118,10 +118,12 @@ class BackendStats(NamedTuple):
     cycles_extrapolated: int
     runs_extrapolated: int
     cache_evictions: int
+    runs_analytic: int = 0
+    cycles_analytic: int = 0
 
     @classmethod
     def zero(cls) -> "BackendStats":
-        return cls(0, 0, 0, 0, 0, 0)
+        return cls(0, 0, 0, 0, 0, 0, 0, 0)
 
 
 class MeasurementBackend(Protocol):
@@ -195,6 +197,10 @@ class HardwareBackend:
         self.memo_misses = 0
         self.runs_extrapolated = 0
         self.cycles_extrapolated = 0
+        #: Measure-level closed-form resolutions (the extrapolator's
+        #: analytic fast path; core-level ones live on the core).
+        self._runs_analytic = 0
+        self._cycles_analytic = 0
 
     @property
     def kernel(self) -> str:
@@ -205,6 +211,14 @@ class HardwareBackend:
     @property
     def cycles_simulated(self) -> int:
         return self._core.cycles_simulated
+
+    @property
+    def runs_analytic(self) -> int:
+        return self._runs_analytic + self._core.runs_analytic
+
+    @property
+    def cycles_analytic(self) -> int:
+        return self._cycles_analytic + self._core.cycles_analytic
 
     @property
     def cache_evictions(self) -> int:
@@ -219,6 +233,8 @@ class HardwareBackend:
             self.cycles_extrapolated,
             self.runs_extrapolated,
             self.cache_evictions,
+            self.runs_analytic,
+            self.cycles_analytic,
         )
 
     def measure(
@@ -353,6 +369,8 @@ class HardwareBackend:
             )
             self.runs_extrapolated += stats.runs_extrapolated
             self.cycles_extrapolated += stats.cycles_extrapolated
+            self._runs_analytic += stats.runs_analytic
+            self._cycles_analytic += stats.cycles_analytic
             if runs is None:
                 runs = {}
                 self._run_memo[key] = runs

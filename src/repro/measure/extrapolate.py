@@ -36,12 +36,17 @@ from dataclasses import dataclass
 from itertools import chain
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.pipeline.analytic import schedule_arrays
+from repro.pipeline.event_kernel import timing_event_arrays
 from repro.pipeline.core import (
-    KERNEL_EVENT,
+    KERNEL_ANALYTIC,
+    KERNEL_REFERENCE,
     Core,
     CounterValues,
     ProbeResult,
+    RenameContext,
 )
+from repro.uarch.uops import KIND_STORE_ADDR, KIND_STORE_DATA
 
 #: Minimum number of copies simulated by the instrumented probe.  Large
 #: enough that issue-rate transients (ROB/RS fill, SSE/AVX transition
@@ -57,14 +62,53 @@ def _window(period: int) -> int:
     return max(6, 3 * period)
 
 
+#: Copies structurally renamed while searching for a rename-state period
+#: (the analytic tier's probe budget; see :func:`_analytic_unrolled`).
+SNAPSHOT_BUDGET = 12
+
+
 @dataclass
 class ExtrapolationStats:
     """What one :func:`unrolled_counters` call did (for RunStatistics)."""
 
-    #: Unroll targets served analytically (no simulation of their own).
+    #: Unroll targets served off a periodic event-kernel probe (no
+    #: simulation of their own).
     runs_extrapolated: int = 0
-    #: Cycles of the analytic tails (would have been simulated otherwise).
+    #: Cycles of the extrapolated tails (would have been simulated).
     cycles_extrapolated: int = 0
+    #: Unroll targets served entirely in closed form — structural
+    #: rename plus the analytic recurrence, no kernel run at all.
+    runs_analytic: int = 0
+    #: Cycles those closed-form answers cover.
+    cycles_analytic: int = 0
+
+
+def _form_blockers(core: Core, instruction) -> Tuple[bool, bool]:
+    """(divider, stores) fast-path guard flags for one instruction form.
+
+    Pure functions of the form's ground-truth entry, so they are cached
+    per form on the core (one dict probe per instruction thereafter).
+    """
+    form = instruction.form
+    flags = core.fastpath_blockers.get(form)
+    if flags is not None:
+        return flags
+    entry = core._entries.get(instruction)
+    if entry is None:
+        flags = (True, True)  # unsupported: let the simulation raise
+    else:
+        divider = entry.divider_class is not None or any(
+            spec.divider_cycles
+            for spec in chain(entry.uops, entry.same_reg_uops or ())
+        )
+        stores = any(
+            spec.kind in (KIND_STORE_ADDR, KIND_STORE_DATA)
+            or any(out[0] == "mem" for out in spec.outputs)
+            for spec in chain(entry.uops, entry.same_reg_uops or ())
+        )
+        flags = (divider, stores)
+    core.fastpath_blockers[form] = flags
+    return flags
 
 
 def _uses_divider(core: Core, code: Sequence) -> bool:
@@ -73,16 +117,290 @@ def _uses_divider(core: Core, code: Sequence) -> bool:
     Divider occupancy breaks the prefix property and divider timing is
     operand-value dependent, so these forms never extrapolate.
     """
-    for instruction in code:
-        entry = core._entries.get(instruction)
-        if entry is None:
-            return True  # unsupported: let the simulation raise
-        if entry.divider_class is not None:
-            return True
-        for spec in chain(entry.uops, entry.same_reg_uops or ()):
-            if spec.divider_cycles:
-                return True
-    return False
+    return any(_form_blockers(core, i)[0] for i in code)
+
+
+def _uses_stores(core: Core, code: Sequence) -> bool:
+    """Static guard: any µop of *code* writes memory.
+
+    Stores make rename value-dependent (store-to-load forwarding keys on
+    effective addresses), so the structural-rename fast path refuses
+    them and leaves such bodies to the event-kernel probe.
+    """
+    return any(_form_blockers(core, i)[1] for i in code)
+
+
+def _rename_snapshot(context: RenameContext) -> Tuple:
+    """Canonical relative view of everything rename carries forward.
+
+    Producer references are encoded as *ages* (distance from the current
+    stream end), so two equal snapshots at copies ``k`` and ``k - p``
+    prove — rename being a deterministic fold of this state over the
+    block — that the rename output is exactly periodic with period ``p``
+    from copy ``k - p + 1`` on.  No heuristic window needed.
+    """
+    n = len(context.uops)
+    regs = tuple(sorted(
+        (
+            name,
+            -1 if writer[0] is None else n - writer[0].index,
+            writer[1],
+            writer[2],
+        )
+        for name, writer in context.reg_writer.items()
+    ))
+    flags = tuple(sorted(
+        (
+            name,
+            -1 if writer[0] is None else n - writer[0].index,
+            writer[1],
+        )
+        for name, writer in context.flag_writer.items()
+    ))
+    serialize = context.serialize_dep
+    return (
+        regs,
+        flags,
+        -1 if serialize is None else n - serialize.index,
+        context.move_elim_counter % 3,
+        context.vec_mode,
+    )
+
+
+def _copy_template(
+    context: RenameContext, start: int, fr_base: int, fused_base: int
+) -> Tuple:
+    """Relative encoding of one renamed copy, replayable at any offset.
+
+    Per µop: candidate ports (sorted — binding is order-independent),
+    completion latency, ``min_issue`` relative to the copy's starting
+    ``frontend_release``, and deps as (age, offset) pairs.  Per copy:
+    the ``frontend_release`` and fused-µop deltas.
+    """
+    items = []
+    for uop in context.uops[start:]:
+        items.append((
+            tuple(sorted(uop.ports)),
+            uop.complete_lat,
+            uop.min_issue - fr_base,
+            tuple(
+                (
+                    None if producer is None else uop.index - producer.index,
+                    offset,
+                )
+                for producer, offset in uop.deps
+            ),
+        ))
+    return (
+        tuple(items),
+        context.frontend_release - fr_base,
+        context.fused_total - fused_base,
+    )
+
+
+def _template_order(copies: int, transient: int, period: int) -> List[int]:
+    """Template index (0-based) for each of ``copies`` copies."""
+    base = transient - period
+    return [
+        c - 1 if c <= transient else base + (c - base - 1) % period
+        for c in range(1, copies + 1)
+    ]
+
+
+def _synthesize(templates: List[Tuple], order: List[int]):
+    """Parallel scheduling arrays for the given template sequence."""
+    ports: List[Tuple] = []
+    lat: List[int] = []
+    mins: List[int] = []
+    deps: List[List[Tuple[Optional[int], int]]] = []
+    boundaries: List[int] = []
+    frontend_release = 0
+    g = 0
+    for ti in order:
+        items, fr_delta, _fused = templates[ti]
+        for pset, complete_lat, min_rel, rel_deps in items:
+            ports.append(pset)
+            lat.append(complete_lat)
+            mins.append(frontend_release + min_rel)
+            deps.append([
+                (None if rel is None else g - rel, offset)
+                for rel, offset in rel_deps
+            ])
+            g += 1
+        frontend_release += fr_delta
+        boundaries.append(g)
+    return ports, lat, mins, deps, boundaries
+
+
+def _analytic_unrolled(
+    core: Core,
+    code: Sequence,
+    targets: Sequence[int],
+    stats: "ExtrapolationStats",
+) -> Optional[Dict[int, CounterValues]]:
+    """Serve every unroll target in closed form, or ``None`` to fall back.
+
+    The plan: structurally rename the block copy by copy until two
+    rename-state snapshots match (proof of exact periodicity), encode
+    the transient plus one period as relative templates, synthesize the
+    probe-length µop stream from them, and schedule it with the analytic
+    recurrence — no kernel run, no value emulation, and rename cost
+    bounded by :data:`SNAPSHOT_BUDGET` copies instead of the unroll
+    factor.  Guards: divider forms (value-dependent timing), stores
+    (value-dependent forwarding), and the fusion/decoder extensions
+    (front-end state not covered by the snapshot) all return ``None``,
+    as does a recurrence abort or a missing snapshot match.
+
+    ``init`` register values are deliberately not consulted: under the
+    guards above, values influence neither the dependence graph nor any
+    latency, so the counters are identical for every initial state.
+    """
+    if core.enable_macro_fusion or core.enable_decoder_model:
+        return None
+    if _uses_divider(core, code) or _uses_stores(core, code):
+        return None
+
+    context = RenameContext(None, emulate=False)
+    snapshots: List[Tuple] = []
+    templates: List[Tuple] = []
+    transient = period = 0
+    for k in range(1, SNAPSHOT_BUDGET + 1):
+        start = len(context.uops)
+        fr_base = context.frontend_release
+        fused_base = context.fused_total
+        core.rename_block(code, context)
+        templates.append(
+            _copy_template(context, start, fr_base, fused_base)
+        )
+        snapshot = _rename_snapshot(context)
+        for p in range(1, len(snapshots) + 1):
+            if snapshots[-p] == snapshot:
+                transient, period = k, p
+                break
+        if period:
+            break
+        snapshots.append(snapshot)
+    if not period:
+        return None
+
+    block_len = len(code)
+    # Structural memo: experiments that differ only in register choice
+    # rename to identical relative templates, so the schedule (and every
+    # derived counter) is shared.  Keyed per core, which also scopes it
+    # to one uarch/extension configuration.
+    key = (tuple(templates), transient, period, tuple(targets), block_len)
+    memo = core.analytic_memo
+    hit = memo.get(key)
+    if hit is not None:
+        results, a_runs, a_cycles, e_runs, e_cycles = hit
+        stats.runs_analytic += a_runs
+        stats.cycles_analytic += a_cycles
+        stats.runs_extrapolated += e_runs
+        stats.cycles_extrapolated += e_cycles
+        return results
+
+    uarch_ports = core.uarch.ports
+    probe_copies = min(targets[-1], max(MIN_PROBE, targets[0] + 2))
+    order = _template_order(probe_copies, transient, period)
+    arrays = _synthesize(templates, order)
+    closed_form = True
+    scheduled = schedule_arrays(core.uarch, *arrays)
+    if scheduled is None:
+        # No closed form (a per-port ready-order inversion) — but the
+        # synthesized stream is still exact, so run it through the
+        # array event kernel: no value emulation, no µop objects, and
+        # rename still bounded by the snapshot budget.
+        closed_form = False
+        ports_a, lat_a, mins_a, deps_a, boundaries_a = arrays
+        total_cycles, _counts, finishes, bound_arr = timing_event_arrays(
+            core.uarch, ports_a, lat_a, mins_a, deps_a,
+            [0] * len(lat_a), boundaries_a,
+        )
+        core.cycles_simulated += total_cycles
+        bounds = [b if b >= 0 else None for b in bound_arr]
+    else:
+        total_cycles, _counts, finishes, bounds = scheduled
+
+    per_ports: List[Dict[int, int]] = []
+    per_uops: List[int] = []
+    per_fused: List[int] = []
+    g = 0
+    for ti in order:
+        items, _fr, fused_delta = templates[ti]
+        counts: Dict[int, int] = {}
+        for _ in items:
+            bound = bounds[g]
+            if bound is not None:
+                counts[bound] = counts.get(bound, 0) + 1
+            g += 1
+        per_ports.append(counts)
+        per_uops.append(len(items))
+        per_fused.append(fused_delta)
+    probe = ProbeResult(
+        copies=probe_copies,
+        finish=list(finishes or []),
+        ports=per_ports,
+        uops=per_uops,
+        fused=per_fused,
+        total_cycles=total_cycles,
+    )
+
+    results: Dict[int, CounterValues] = {}
+    beyond = [t for t in targets if t > probe_copies]
+    timing_period = _detect_period(_signatures(probe)) if beyond else None
+    if beyond and timing_period is None:
+        # The schedule is not periodic within the probe window: extend
+        # to each long target exactly (cost is O(µops), not O(cycles)).
+        for t in beyond:
+            order_t = _template_order(t, transient, period)
+            arrays_t = _synthesize(templates, order_t)
+            scheduled_t = (
+                schedule_arrays(core.uarch, *arrays_t)
+                if closed_form else None
+            )
+            if scheduled_t is not None:
+                cycles_t, counts_t = scheduled_t[0], scheduled_t[1]
+            else:
+                ports_t, lat_t, mins_t, deps_t, _bounds = arrays_t
+                cycles_t, counts_t, _f, _b = timing_event_arrays(
+                    core.uarch, ports_t, lat_t, mins_t, deps_t,
+                    [0] * len(lat_t),
+                )
+                core.cycles_simulated += cycles_t
+                closed_form = False
+            results[t] = CounterValues(
+                cycles=cycles_t,
+                port_uops=counts_t,
+                uops=sum(len(templates[ti][0]) for ti in order_t),
+                instructions=t * block_len,
+                uops_fused=sum(templates[ti][2] for ti in order_t),
+            )
+    a_runs = a_cycles = e_runs = e_cycles = 0
+    if not closed_form:
+        # The probe was simulated (array event kernel); only targets
+        # served off its periodic tail count as extrapolated, matching
+        # the event-probe path's accounting.
+        e_runs = sum(1 for t in beyond if t not in results)
+    for t in targets:
+        if t in results:
+            continue
+        if t <= probe_copies:
+            results[t] = _prefix_counters(probe, t, block_len, uarch_ports)
+        else:
+            results[t] = _extrapolated_counters(
+                probe, timing_period, t, block_len, uarch_ports
+            )
+            if not closed_form:
+                e_cycles += results[t].cycles - probe.total_cycles
+    if closed_form:
+        a_runs = len(targets)
+        a_cycles = sum(int(results[t].cycles) for t in targets)
+    stats.runs_analytic += a_runs
+    stats.cycles_analytic += a_cycles
+    stats.runs_extrapolated += e_runs
+    stats.cycles_extrapolated += e_cycles
+    memo[key] = (results, a_runs, a_cycles, e_runs, e_cycles)
+    return results
 
 
 def _signatures(probe: ProbeResult) -> List[Tuple]:
@@ -183,12 +501,16 @@ def unrolled_counters(
 ) -> Tuple[Dict[int, CounterValues], ExtrapolationStats]:
     """Exact counters of ``code * t`` for every unroll factor in *targets*.
 
-    Runs one instrumented probe simulation and serves every target either
-    as an integer prefix of the probe or by extrapolating the periodic
-    steady state; each returned :class:`CounterValues` is bit-identical
-    to ``core.run(list(code) * t, init)``.  Falls back to full
-    simulation per target when extrapolation does not apply (reference
-    kernel, divider forms, no detected period).
+    With the analytic kernel the whole ladder is attempted first in
+    closed form (:func:`_analytic_unrolled`): structural rename with a
+    snapshot-proved period plus the analytic recurrence, no kernel run
+    at all.  Otherwise (or on analytic fallback) one instrumented probe
+    simulation serves every target either as an integer prefix of the
+    probe or by extrapolating the periodic steady state; each returned
+    :class:`CounterValues` is bit-identical to
+    ``core.run(list(code) * t, init)``.  Falls back to full simulation
+    per target when extrapolation does not apply (reference kernel,
+    divider forms, no detected period).
     """
     stats = ExtrapolationStats()
     targets = sorted(set(targets))
@@ -198,12 +520,13 @@ def unrolled_counters(
             t: core.run(list(code) * t, init) for t in targets
         }
 
-    if (
-        not code
-        or not targets
-        or core.kernel != KERNEL_EVENT
-        or _uses_divider(core, code)
-    ):
+    if not code or not targets or core.kernel == KERNEL_REFERENCE:
+        return simulate_all(), stats
+    if core.kernel == KERNEL_ANALYTIC:
+        analytic = _analytic_unrolled(core, code, targets, stats)
+        if analytic is not None:
+            return analytic, stats
+    if _uses_divider(core, code):
         return simulate_all(), stats
 
     probe_copies = min(targets[-1], max(MIN_PROBE, targets[0] + 2))

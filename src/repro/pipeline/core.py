@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.instruction import ATTR_MOVE, Instruction
 from repro.isa.operands import Memory, OperandKind, RegisterOperand
+from repro.pipeline.analytic import schedule_analytic
 from repro.pipeline.event_kernel import timing_event
 from repro.pipeline.semantics import evaluate
 from repro.pipeline.state import MachineState
@@ -45,6 +46,7 @@ _FAST_VALUE_LIMIT = 0xFFFFF
 
 #: Environment variable selecting the timing kernel.
 KERNEL_ENV = "REPRO_SIM"
+KERNEL_ANALYTIC = "analytic"
 KERNEL_EVENT = "event"
 KERNEL_REFERENCE = "reference"
 
@@ -54,14 +56,17 @@ def kernel_mode(explicit: Optional[str] = None) -> str:
 
     ``REPRO_SIM=reference`` forces the original per-cycle loop (the
     differential-test baseline and the escape hatch when debugging a
-    suspected event-kernel mismatch); anything else selects the
-    event-driven scheduler.
+    suspected kernel mismatch); ``REPRO_SIM=analytic`` opts into the
+    closed-form fast path (which falls back to the event kernel per run
+    when no closed form exists); anything else selects the event-driven
+    scheduler.
     """
     mode = explicit or os.environ.get(KERNEL_ENV) or KERNEL_EVENT
-    if mode not in (KERNEL_EVENT, KERNEL_REFERENCE):
+    if mode not in (KERNEL_ANALYTIC, KERNEL_EVENT, KERNEL_REFERENCE):
         raise ValueError(
             f"unknown timing kernel {mode!r}; expected "
-            f"{KERNEL_EVENT!r} or {KERNEL_REFERENCE!r}"
+            f"{KERNEL_ANALYTIC!r}, {KERNEL_EVENT!r} or "
+            f"{KERNEL_REFERENCE!r}"
         )
     return mode
 
@@ -195,6 +200,61 @@ class _EntryCache:
         return self._cache[uid]
 
 
+class RenameContext:
+    """Resumable rename-stage state.
+
+    :meth:`Core.rename_block` folds instruction blocks into a context one
+    block at a time, so a caller can observe (and snapshot) the rename
+    state at block boundaries — the analytic measure path uses this to
+    prove that an unrolled block's rename output is periodic without
+    renaming the whole unroll.
+
+    ``emulate=False`` selects *structural* rename: architectural values
+    are never computed (no :func:`~repro.pipeline.semantics.evaluate`
+    call, no divider operand classification, no store-address tracking).
+    Sound only for code without stores and without divider µops — there,
+    values influence neither the dependence graph nor any latency, so
+    the structural output is bit-identical to the emulating one.
+    """
+
+    __slots__ = (
+        "state",
+        "emulate",
+        "reg_writer",
+        "flag_writer",
+        "mem_writer",
+        "uops",
+        "marks",
+        "move_elim_counter",
+        "serialize_dep",
+        "vec_mode",
+        "frontend_release",
+        "prev_form",
+        "fused_total",
+        "decode_cycle",
+        "decode_slots",
+        "complex_used",
+    )
+
+    def __init__(self, state: Optional[MachineState], emulate: bool = True):
+        self.state = state
+        self.emulate = emulate
+        self.reg_writer: Dict[str, Tuple[Optional[_RUop], int, str]] = {}
+        self.flag_writer: Dict[str, Tuple[Optional[_RUop], int]] = {}
+        self.mem_writer: Dict[int, Tuple[_RUop, int]] = {}
+        self.uops: List[_RUop] = []
+        self.marks: List[Tuple[int, int]] = []
+        self.move_elim_counter = 0
+        self.serialize_dep: Optional[_RUop] = None
+        self.vec_mode = "clean"
+        self.frontend_release = 0
+        self.prev_form = None
+        self.fused_total = 0
+        self.decode_cycle = 0
+        self.decode_slots = 0
+        self.complex_used = False
+
+
 class Core:
     """A simulated core of one microarchitecture generation.
 
@@ -238,6 +298,17 @@ class Core:
         self.last_marks: List[Tuple[int, int]] = []
         #: Total cycles simulated by this core (for RunStatistics).
         self.cycles_simulated = 0
+        #: Runs / cycles resolved by the closed-form analytic schedule
+        #: (only ever non-zero with ``kernel="analytic"``).
+        self.runs_analytic = 0
+        self.cycles_analytic = 0
+        #: Structural memo of the measure-level analytic fast path:
+        #: relative rename templates -> closed-form unroll results
+        #: (see repro.measure.extrapolate._analytic_unrolled).
+        self.analytic_memo: Dict = {}
+        #: Per-form cache of the fast-path guards (divider / store µops),
+        #: filled lazily by repro.measure.extrapolate.
+        self.fastpath_blockers: Dict = {}
 
     # ------------------------------------------------------------------
     # Rename: program-order construction of the µop dataflow graph
@@ -248,30 +319,50 @@ class Core:
         instructions: Sequence[Instruction],
         state: MachineState,
     ) -> List[_RUop]:
+        context = RenameContext(state)
+        self.rename_block(instructions, context)
+        return context.uops
+
+    def rename_block(
+        self,
+        instructions: Sequence[Instruction],
+        context: RenameContext,
+    ) -> None:
+        """Fold *instructions* into *context*, appending renamed µops.
+
+        The incremental form of :meth:`_rename`: calling this once per
+        block with a shared context renames exactly the concatenation of
+        the blocks (the rename stage is a pure fold over its state).
+        Also refreshes ``last_fused_uops`` / ``last_marks`` from the
+        context's cumulative totals.
+        """
         uarch = self.uarch
-        reg_writer: Dict[str, Tuple[Optional[_RUop], int, str]] = {}
-        flag_writer: Dict[str, Tuple[Optional[_RUop], int]] = {}
-        mem_writer: Dict[int, Tuple[_RUop, int]] = {}
-        uops: List[_RUop] = []
-        marks: List[Tuple[int, int]] = []
-        move_elim_counter = 0
-        serialize_dep: Optional[_RUop] = None
+        state = context.state
+        emulate = context.emulate
+        reg_writer = context.reg_writer
+        flag_writer = context.flag_writer
+        mem_writer = context.mem_writer
+        uops = context.uops
+        marks = context.marks
+        move_elim_counter = context.move_elim_counter
+        serialize_dep = context.serialize_dep
         # SSE/AVX transition state machine (Sandy Bridge .. Broadwell):
         # "clean" -> AVX-256 write -> "avx_dirty"; executing legacy SSE in
         # that state saves the upper halves (penalty, -> "sse_saved");
         # returning to AVX restores them (penalty, -> "avx_dirty").
-        vec_mode = "clean"
-        frontend_release = 0
+        vec_mode = context.vec_mode
+        frontend_release = context.frontend_release
         bypass = uarch.vec_bypass_delay
-        prev_form = None
-        fused_total = 0
+        prev_form = context.prev_form
+        fused_total = context.fused_total
         # Legacy decoder model (extension): per cycle, up to four
         # instructions decode, at most one of them multi-µop (the complex
         # decoder); >4-µop instructions come from the Microcode ROM and
         # block the decoders for ceil(µops/4) cycles.
-        decode_cycle = 0
-        decode_slots = 0
-        complex_used = False
+        decode_cycle = context.decode_cycle
+        decode_slots = context.decode_slots
+        complex_used = context.complex_used
+        next_index = len(uops)
 
         for instruction in instructions:
             form = instruction.form
@@ -294,9 +385,10 @@ class Core:
                 and form.flags_read
                 and form.flags_read <= prev_form.flags_written
             ):
-                evaluate(instruction, state)
+                if emulate:
+                    evaluate(instruction, state)
                 prev_form = form
-                marks.append((len(uops), fused_total))
+                marks.append((next_index, fused_total))
                 continue
             fused_total += entry.fused_uops
             prev_form = form
@@ -322,13 +414,19 @@ class Core:
 
             # Divider value dependence, classified before execution.
             divider_fast = False
-            if entry.divider_class is not None:
+            if entry.divider_class is not None and emulate:
                 divider_fast = _divider_operands_fast(instruction, state)
 
             # Architectural execution (also yields memory addresses).
-            accesses = evaluate(instruction, state)
-            reads = {a.slot: a for a in accesses if a.kind == "R"}
-            writes = {a.slot: a for a in accesses if a.kind == "W"}
+            # Structural rename skips it: without stores there is
+            # nothing to forward, and addresses never gate timing.
+            if emulate:
+                accesses = evaluate(instruction, state)
+                reads = {a.slot: a for a in accesses if a.kind == "R"}
+                writes = {a.slot: a for a in accesses if a.kind == "W"}
+            else:
+                reads = {}
+                writes = {}
 
             specs = entry.uops_for(same_regs)
             break_reg_deps = same_regs and (
@@ -486,6 +584,8 @@ class Core:
                                 )
                             )
 
+                ruop.index = next_index
+                next_index += 1
                 uops.append(ruop)
                 local.append(ruop)
                 # Register intra-instruction result refs.
@@ -542,10 +642,19 @@ class Core:
 
             if entry.serializing:
                 serialize_dep = uops[-1] if uops else None
-            marks.append((len(uops), fused_total))
+            marks.append((next_index, fused_total))
+
+        context.move_elim_counter = move_elim_counter
+        context.serialize_dep = serialize_dep
+        context.vec_mode = vec_mode
+        context.frontend_release = frontend_release
+        context.prev_form = prev_form
+        context.fused_total = fused_total
+        context.decode_cycle = decode_cycle
+        context.decode_slots = decode_slots
+        context.complex_used = complex_used
         self.last_fused_uops = fused_total
         self.last_marks = marks
-        return uops
 
     # ------------------------------------------------------------------
     # Timing: the cycle loop
@@ -554,10 +663,24 @@ class Core:
     def _timing(self, uops: List[_RUop]) -> CounterValues:
         """Resolve the timing of a renamed µop stream.
 
-        Dispatches to the selected kernel; both produce bit-identical
-        counters (pinned by tests/test_sim_differential.py).
+        Dispatches to the selected kernel; all tiers produce
+        bit-identical counters (pinned by tests/test_sim_differential.py
+        and tests/test_sim_fuzz.py).  The analytic tier falls back to
+        the event kernel per run when no closed form exists.
         """
-        if self.kernel == KERNEL_EVENT:
+        if self.kernel == KERNEL_ANALYTIC:
+            analytic = schedule_analytic(self.uarch, uops)
+            if analytic is not None:
+                cycles, port_counts, _ = analytic
+                self.cycles_analytic += cycles
+                self.runs_analytic += 1
+                return CounterValues(
+                    cycles=cycles,
+                    port_uops=port_counts,
+                    uops=len(uops),
+                    instructions=0,
+                )
+        if self.kernel != KERNEL_REFERENCE:
             cycles, port_counts, _ = timing_event(self.uarch, uops)
             self.cycles_simulated += cycles
             return CounterValues(
@@ -761,16 +884,17 @@ class Core:
     ) -> ProbeResult:
         """Simulate ``code`` unrolled ``copies`` times, per-copy observed.
 
-        One event-kernel simulation of the unrolled stream, instrumented
-        with per-copy retire cycles, port bindings, and µop counts.  The
-        steady-state extrapolator reads both unroll factors of Algorithm 2
-        off this single probe instead of running separate simulations.
-        Requires the event kernel (the reference loop records no
-        per-retirement boundaries).
+        One simulation of the unrolled stream (closed-form when the
+        analytic kernel is selected and applies, event kernel
+        otherwise), instrumented with per-copy retire cycles, port
+        bindings, and µop counts.  The steady-state extrapolator reads
+        both unroll factors of Algorithm 2 off this single probe instead
+        of running separate simulations.  Unavailable with the reference
+        loop, which records no per-retirement boundaries.
         """
-        if self.kernel != KERNEL_EVENT:
+        if self.kernel == KERNEL_REFERENCE:
             raise RuntimeError(
-                "run_instrumented requires the event kernel "
+                "run_instrumented requires the event or analytic kernel "
                 f"(this core uses {self.kernel!r})"
             )
         stream = list(code) * copies
@@ -779,10 +903,18 @@ class Core:
         length = len(code)
         marks = self.last_marks
         boundaries = [marks[k * length - 1][0] for k in range(1, copies + 1)]
-        cycles, port_counts, finishes = timing_event(
-            self.uarch, uops, boundaries
-        )
-        self.cycles_simulated += cycles
+        scheduled = None
+        if self.kernel == KERNEL_ANALYTIC:
+            scheduled = schedule_analytic(self.uarch, uops, boundaries)
+        if scheduled is not None:
+            cycles, port_counts, finishes = scheduled
+            self.cycles_analytic += cycles
+            self.runs_analytic += 1
+        else:
+            cycles, port_counts, finishes = timing_event(
+                self.uarch, uops, boundaries
+            )
+            self.cycles_simulated += cycles
 
         per_uops: List[int] = []
         per_fused: List[int] = []
@@ -856,6 +988,29 @@ def _divider_operands_fast(
         if value > _FAST_VALUE_LIMIT:
             return False
     return True
+
+
+def build_core(
+    uarch: UarchConfig,
+    *,
+    enable_macro_fusion: bool = False,
+    enable_decoder_model: bool = False,
+    kernel: Optional[str] = None,
+) -> Core:
+    """The timing-tier selection entry point.
+
+    All code outside :mod:`repro.pipeline` / :mod:`repro.measure` must
+    construct cores through this factory instead of calling
+    :class:`Core` directly (enforced by ``repro lint`` rule RPR113), so
+    tier selection — ``REPRO_SIM`` and explicit ``kernel=`` overrides —
+    stays observable and in one place.
+    """
+    return Core(
+        uarch,
+        enable_macro_fusion=enable_macro_fusion,
+        enable_decoder_model=enable_decoder_model,
+        kernel=kernel,
+    )
 
 
 def simulate(

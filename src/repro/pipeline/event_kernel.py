@@ -18,7 +18,12 @@ This kernel replaces the scans with a ready-event scheduler:
   exactly when its last producer dispatches.
 
 Cost scales with µop events (issue/dispatch/complete/retire), not with
-cycles or occupancy.
+cycles or occupancy.  Per-µop state lives in preallocated parallel int
+lists indexed by µop id (``disp`` / ``comp`` / ``bound`` / latency /
+dependency-index pairs, extracted once up front by
+:func:`repro.pipeline.analytic.extract_arrays`) rather than attribute
+reads on the renamed µop objects — the scheduling loop touches only
+plain ints and lists.
 
 Equivalence contract: for the same renamed µop stream this kernel
 produces **bit-identical** counters (total cycles and per-port µop
@@ -38,6 +43,12 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Tuple
 
+from repro.pipeline.analytic import extract_arrays
+
+#: ``bound`` sentinels (the array analogue of ``_RUop.bound``).
+_UNBOUND = -2
+_PORTLESS = -1
+
 
 def timing_event(
     uarch,
@@ -52,6 +63,35 @@ def timing_event(
     extrapolator uses this to observe per-copy deltas of an unrolled
     block from a single simulation.
     """
+    port_sets, lat, min_issue, deps, divider = extract_arrays(uops)
+    cycles, port_counts, finishes, bound = timing_event_arrays(
+        uarch, port_sets, lat, min_issue, deps, divider, boundaries
+    )
+    # Publish the schedule back onto the µop objects (the instrumented
+    # probe reads per-copy port bindings off ``bound``).
+    for idx, uop in enumerate(uops):
+        b = bound[idx]
+        uop.bound = b if b >= 0 else None
+    return cycles, port_counts, finishes
+
+
+def timing_event_arrays(
+    uarch,
+    port_sets,
+    lat,
+    min_issue,
+    deps,
+    divider,
+    boundaries: Optional[List[int]] = None,
+) -> Tuple[int, Dict[int, int], Optional[List[int]], List[int]]:
+    """The scheduling loop proper, on parallel arrays indexed by µop id.
+
+    Takes the same array layout as the analytic recurrence (see
+    :func:`repro.pipeline.analytic.extract_arrays`), so the measure-level
+    fast path can run synthesized streams that have no closed form
+    without materializing µop objects.  Additionally returns the
+    ``bound`` array (port id per µop, negative sentinels otherwise).
+    """
     issue_width = uarch.issue_width
     retire_width = uarch.retire_width
     rob_size = uarch.rob_size
@@ -59,16 +99,19 @@ def timing_event(
     port_order = tuple(uarch.ports)
     port_pos = {p: i for i, p in enumerate(port_order)}
 
-    n = len(uops)
+    n = len(lat)
     port_counts: Dict[int, int] = {p: 0 for p in port_order}
     finishes: Optional[List[int]] = (
         [-1] * len(boundaries) if boundaries is not None else None
     )
     if n == 0:
-        return 0, port_counts, finishes
+        return 0, port_counts, finishes, []
 
-    for index, uop in enumerate(uops):
-        uop.index = index
+    # Structure-of-arrays µop state, preallocated and indexed by µop id.
+    disp = [-1] * n
+    comp = [-1] * n
+    bound = [_UNBOUND] * n
+    ready_cache = [-1] * n
 
     #: consumer edges / pending-producer counts, built lazily at issue.
     consumers: List[List[int]] = [[] for _ in range(n)]
@@ -88,6 +131,29 @@ def timing_event(
     last_retire = 0
     b_ptr = 0
 
+    def ready_time(idx: int) -> int:
+        """Cycle at which all inputs are available, or -1 if unknown.
+
+        Once every producer has dispatched the value is final and can be
+        cached (dispatch times never change).
+        """
+        cached = ready_cache[idx]
+        if cached >= 0:
+            return cached
+        value = 0
+        for j, offset in deps[idx]:
+            if j is None:
+                t = offset
+            else:
+                dj = disp[j]
+                if dj < 0:
+                    return -1
+                t = dj + offset
+            if t > value:
+                value = t
+        ready_cache[idx] = value
+        return value
+
     def schedule_known(idx: int, t: int, c: int, pos: int) -> None:
         """Place a µop whose ready time ``t`` just became known.
 
@@ -97,9 +163,8 @@ def timing_event(
         the remainder of cycle ``c`` (the reference computes ready times
         live while scanning).
         """
-        uop = uops[idx]
-        bound = uop.bound
-        if bound is None:  # portless: completes in the ROB
+        b = bound[idx]
+        if b < 0:  # portless: completes in the ROB
             if pos == -2:
                 # Issued this cycle; the portless pass runs next.
                 if t > c:
@@ -117,9 +182,9 @@ def timing_event(
         if t > c:
             bucket.setdefault(t, []).append(idx)
             push(t)
-        elif pos == -2 or pos == -1 or port_pos[bound] > pos:
+        elif pos == -2 or pos == -1 or port_pos[b] > pos:
             # Still visible to this cycle's dispatch phase.
-            heapq.heappush(ready[bound], idx)
+            heapq.heappush(ready[b], idx)
         else:
             # This port's dispatch slot for cycle c is already decided.
             bucket.setdefault(c + 1, []).append(idx)
@@ -133,10 +198,10 @@ def timing_event(
         for cidx in waiters:
             pending[cidx] -= 1
             if pending[cidx] == 0:
-                schedule_known(cidx, uops[cidx].ready_time(), c, pos)
+                schedule_known(cidx, ready_time(cidx), c, pos)
         consumers[pidx] = []
 
-    push(uops[0].min_issue)
+    push(min_issue[0])
     current = -1
 
     while retire_ptr < n:
@@ -156,12 +221,12 @@ def timing_event(
         woken = bucket.pop(c, None)
         if woken is not None:
             for idx in woken:
-                heapq.heappush(ready[uops[idx].bound], idx)
+                heapq.heappush(ready[bound[idx]], idx)
 
         # --- Retire in order -----------------------------------------
         retired = 0
         while retired < retire_width and retire_ptr < n:
-            completion = uops[retire_ptr].completion
+            completion = comp[retire_ptr]
             if completion < 0 or completion > c:
                 break
             retire_ptr += 1
@@ -175,7 +240,7 @@ def timing_event(
         if (
             retired == retire_width
             and retire_ptr < n
-            and 0 <= uops[retire_ptr].completion <= c
+            and 0 <= comp[retire_ptr] <= c
         ):
             push(c + 1)
 
@@ -187,17 +252,18 @@ def timing_event(
             and in_rob < rob_size
             and in_rs < rs_size
         ):
-            uop = uops[issue_ptr]
-            if uop.min_issue > c:
-                push(uop.min_issue)
+            if min_issue[issue_ptr] > c:
+                push(min_issue[issue_ptr])
                 break
+            idx = issue_ptr
             issue_ptr += 1
             in_rob += 1
             issued += 1
-            if uop.ports:
+            pset = port_sets[idx]
+            if pset:
                 port = -1
                 best_count = -1
-                for p in uop.ports:
+                for p in pset:
                     count = port_counts[p]
                     if port < 0 or count < best_count or (
                         count == best_count and p < port
@@ -205,39 +271,39 @@ def timing_event(
                         port = p
                         best_count = count
                 port_counts[port] += 1
-                uop.bound = port
+                bound[idx] = port
                 in_rs += 1
             else:
-                uop.bound = None
-                portless.append(uop.index)
-            t = uop.ready_time()
+                bound[idx] = _PORTLESS
+                portless.append(idx)
+            t = ready_time(idx)
             if t >= 0:
-                schedule_known(uop.index, t, c, -2)
+                schedule_known(idx, t, c, -2)
             else:
                 count = 0
-                for producer, _offset in uop.deps:
-                    if producer is not None and producer.dispatch < 0:
-                        consumers[producer.index].append(uop.index)
+                for j, _offset in deps[idx]:
+                    if j is not None and disp[j] < 0:
+                        consumers[j].append(idx)
                         count += 1
-                pending[uop.index] = count
+                pending[idx] = count
         else:
-            if (
-                issued == issue_width
-                and issue_ptr < n
-                and uops[issue_ptr].min_issue <= c
-            ):
-                push(c + 1)
+            if issued == issue_width and issue_ptr < n:
+                # Width exhausted: the next µop can issue no earlier than
+                # the next cycle, or its own front-end release if that is
+                # later still (nothing else would schedule that wake-up).
+                nxt = min_issue[issue_ptr]
+                push(nxt if nxt > c else c + 1)
 
         # --- Portless µops complete in the ROB -----------------------
         if portless:
             still: List[int] = []
             for idx in portless:
-                uop = uops[idx]
-                t = uop.ready_time()
+                t = ready_time(idx)
                 if 0 <= t <= c:
-                    uop.dispatch = c
-                    uop.completion = c + uop.complete_lat
-                    push(uop.completion if uop.completion > c else c + 1)
+                    disp[idx] = c
+                    completion = c + lat[idx]
+                    comp[idx] = completion
+                    push(completion if completion > c else c + 1)
                     notify(idx, c, -1)
                 else:
                     still.append(idx)
@@ -253,7 +319,7 @@ def timing_event(
             chosen = -1
             while heap:
                 idx = heapq.heappop(heap)
-                if uops[idx].divider_cycles and divider_free > c:
+                if divider[idx] and divider_free > c:
                     stash.append(idx)
                     continue
                 chosen = idx
@@ -264,14 +330,14 @@ def timing_event(
                 push(divider_free)
             if chosen < 0:
                 continue
-            uop = uops[chosen]
-            uop.dispatch = c
-            uop.completion = c + uop.complete_lat
-            if uop.divider_cycles:
-                divider_free = c + uop.divider_cycles
+            disp[chosen] = c
+            completion = c + lat[chosen]
+            comp[chosen] = completion
+            if divider[chosen]:
+                divider_free = c + divider[chosen]
             in_rs -= 1
             dispatched_any = True
-            push(uop.completion if uop.completion > c else c + 1)
+            push(completion if completion > c else c + 1)
             notify(chosen, c, pos)
             if heap:
                 push(c + 1)
@@ -279,4 +345,4 @@ def timing_event(
             # Freed reservation-station slots admit issue next cycle.
             push(c + 1)
 
-    return last_retire + 1, port_counts, finishes
+    return last_retire + 1, port_counts, finishes, bound

@@ -10,7 +10,7 @@ from repro.analysis.casestudies import (
 )
 from repro.core.runner import CharacterizationRunner
 from repro.uarch.configs import get_uarch
-from tests.conftest import backend_for
+from tests.conftest import backend_for, fast_backend_for
 
 
 class TestSampling:
@@ -37,10 +37,13 @@ class TestSampling:
         assert len(stratified_sample(forms, 500)) == 50
 
 
+@pytest.mark.slow
 class TestAgreement:
     @pytest.fixture(scope="class")
     def skl_row(self, db):
-        backend = backend_for("SKL")
+        # Agreement is about the analysis tables, not the kernel: use
+        # the shared analytic-tier backend to keep the sweep affordable.
+        backend = fast_backend_for("SKL")
         runner = CharacterizationRunner(backend, db)
         supported = runner.supported_forms()
         sample = stratified_sample(supported, 60)

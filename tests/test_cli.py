@@ -74,7 +74,11 @@ class TestCommands:
         assert "cycles/iteration" in out
         assert "loop-carried dependency" in out
 
-    def test_sweep_writes_xml(self, tmp_path, capsys):
+    @pytest.mark.slow
+    def test_sweep_writes_xml(self, tmp_path, capsys, monkeypatch):
+        # The analytic tier is bit-identical (pinned elsewhere); this
+        # test is about the sweep CLI, caching and XML output.
+        monkeypatch.setenv("REPRO_SIM", "analytic")
         output = tmp_path / "out.xml"
         cache_dir = tmp_path / "cache"
         assert main([

@@ -94,8 +94,13 @@ def _forms(uarch_name):
 
 
 def _characterize(uarch_name, forms, mode):
-    """A fresh backend/runner pair driven in the given executor mode."""
-    backend = HardwareBackend(get_uarch(uarch_name))
+    """A fresh backend/runner pair driven in the given executor mode.
+
+    Pinned to the analytic tier: this differential compares executor
+    dispatch strategies, not kernels (tier bit-identity has its own
+    suites), and the fast tier keeps the sweep-sized run affordable.
+    """
+    backend = HardwareBackend(get_uarch(uarch_name), kernel="analytic")
     executor = ExperimentExecutor(backend, mode=mode)
     runner = CharacterizationRunner(backend, DATABASE, executor=executor)
     encoded = {}
@@ -107,6 +112,7 @@ def _characterize(uarch_name, forms, mode):
     return encoded, backend, executor
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("uarch_name", UARCH_NAMES)
 def test_batched_bit_identical_to_inline(uarch_name):
     """The whole point of the refactor: dedup is a pure optimization."""

@@ -359,6 +359,7 @@ class TestRetryPolicy:
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 class TestRecovery:
     def test_retry_then_succeed_is_bit_identical(
         self, db, memo_dir, reference
@@ -488,6 +489,7 @@ class TestQuarantine:
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 class TestShardSupervision:
     def test_killed_shard_respawns_and_completes(
         self, db, memo_dir, reference

@@ -67,6 +67,7 @@ class TestMemoryUops:
         assert inferred == truth
 
 
+@pytest.mark.slow
 class TestBroadSample:
     """Ground-truth recovery over a mixed sample on several generations."""
 

@@ -199,6 +199,7 @@ class TestMeasureDifferential:
         )
         assert fast.runs_extrapolated == 0  # divider never extrapolates
 
+    @pytest.mark.slow
     def test_characterization_identical(self, uarch_name):
         """End to end: full characterizations agree exactly."""
         uarch = get_uarch(uarch_name)

@@ -1,0 +1,406 @@
+"""Cross-kernel differential fuzz harness (generative tier equivalence).
+
+The three timing tiers — analytic closed form
+(:mod:`repro.pipeline.analytic`), event kernel
+(:mod:`repro.pipeline.event_kernel`) and the seed per-cycle reference
+loop — claim **bit-identical** ``CounterValues``.  The fixed-uid
+sampling in ``test_sim_differential.py`` pins that claim on catalog
+slices; this module promotes it to generative coverage with Hypothesis
+strategies over
+
+* synthetic renamed µop streams (random port sets, latencies 1–30,
+  portless/load/store µops, divider occupancy, dependency DAGs),
+* synthetic instruction forms (1–4 µops per instruction, random port
+  sets and latencies, divider value classes) injected into the ground
+  truth entry cache, and
+* real-catalog experiment bodies (chains, parallel mixes, blocking-style
+  bodies) through the full measure path,
+
+asserting exact equality across all three tiers on SKL and NHM.
+
+Budget: ``REPRO_FUZZ_EXAMPLES`` scales every strategy (default 100 →
+100 + 80 + 34 = 214 generated cases per microarchitecture; the CI
+``sim-fuzz`` job raises it).  Failures print a ``@reproduce_failure``
+blob (``print_blob``); run CI with ``--hypothesis-seed=random`` so the
+seed itself is printed too.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.codegen import independent_sequence, instantiate
+from repro.isa.database import load_default_database
+from repro.measure.backend import HardwareBackend
+from repro.pipeline.analytic import schedule_analytic
+from repro.pipeline.core import Core, _RUop
+from repro.pipeline.event_kernel import timing_event
+from repro.uarch.configs import get_uarch
+from repro.uarch.uops import (
+    KIND_ALU,
+    KIND_LOAD,
+    KIND_STORE_ADDR,
+    KIND_STORE_DATA,
+    UarchEntry,
+    UopSpec,
+)
+
+from tests.test_sim_differential import assert_identical
+
+DATABASE = load_default_database()
+
+UARCH_NAMES = ["SKL", "NHM"]
+
+KERNELS = ("analytic", "event", "reference")
+
+#: Example budget per strategy; the CI sim-fuzz job raises this.
+_BUDGET = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "100"))
+
+_SETTINGS = dict(
+    deadline=None,
+    print_blob=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.data_too_large,
+        HealthCheck.filter_too_much,
+    ],
+)
+
+
+# ----------------------------------------------------------------------
+# Strategy 1: synthetic renamed µop streams, straight into the kernels.
+# ----------------------------------------------------------------------
+
+@st.composite
+def stream_plans(draw, port_pool):
+    """A plan for a renamed µop stream: per µop
+    ``(ports, latency, kind, divider_cycles, min_issue, deps)`` where
+    deps are ``(producer index | None, offset)`` pairs on older µops.
+    """
+    n = draw(st.integers(min_value=1, max_value=24))
+    max_set = min(3, len(port_pool))
+    plan = []
+    min_issue = 0
+    for i in range(n):
+        if draw(st.integers(0, 7)) == 0:
+            ports = ()  # portless: NOP / eliminated µop
+        else:
+            ports = tuple(sorted(draw(st.sets(
+                st.sampled_from(port_pool), min_size=1, max_size=max_set
+            ))))
+        latency = draw(st.integers(1, 30))
+        kind = draw(st.sampled_from(
+            (KIND_ALU,) * 5 + (KIND_LOAD, KIND_STORE_ADDR, KIND_STORE_DATA)
+        ))
+        divider = draw(st.sampled_from((0,) * 8 + (5, 12, 25, 40)))
+        # The rename stage only ever emits non-decreasing min_issue
+        # (frontend release / decode cycles are monotone).
+        min_issue += draw(st.sampled_from((0,) * 6 + (1, 2, 3)))
+        deps = []
+        for _ in range(draw(st.integers(0, min(i, 3)))):
+            deps.append((
+                draw(st.integers(0, i - 1)),
+                draw(st.integers(0, 30)),
+            ))
+        if draw(st.integers(0, 9)) == 0:
+            # Constant-ready input (serialization / architectural state).
+            deps.append((None, draw(st.integers(0, 12))))
+        plan.append((ports, latency, kind, divider, min_issue, tuple(deps)))
+    return tuple(plan)
+
+
+def build_stream(plan):
+    """Materialize a plan as fresh ``_RUop`` objects with deps wired."""
+    uops = []
+    for ports, latency, kind, divider, min_issue, _deps in plan:
+        uop = _RUop(frozenset(ports), latency, kind, divider)
+        uop.min_issue = min_issue
+        uops.append(uop)
+    for uop, (*_fields, deps) in zip(uops, plan):
+        for producer, offset in deps:
+            uop.deps.append(
+                (None if producer is None else uops[producer], offset)
+            )
+    return uops
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("uarch_name", UARCH_NAMES)
+class TestSyntheticStreams:
+    """Kernel level: arbitrary µop DAGs through all three tiers."""
+
+    @given(data=st.data())
+    @settings(max_examples=_BUDGET, **_SETTINGS)
+    def test_three_tiers_identical(self, uarch_name, data):
+        uarch = get_uarch(uarch_name)
+        plan = data.draw(stream_plans(uarch.ports), label="stream")
+        results = {}
+        for kernel in KERNELS:
+            # Fresh stream per kernel: the reference loop mutates
+            # dispatch/completion state in place.
+            core = Core(uarch, kernel=kernel)
+            results[kernel] = core._timing(build_stream(plan))
+        assert_identical(
+            results["event"], results["reference"],
+            f"({uarch_name} stream, event vs reference)",
+        )
+        assert_identical(
+            results["analytic"], results["event"],
+            f"({uarch_name} stream, analytic vs event)",
+        )
+
+    @given(data=st.data())
+    @settings(max_examples=max(_BUDGET // 4, 10), **_SETTINGS)
+    def test_boundary_finishes_identical(self, uarch_name, data):
+        """When the analytic recurrence answers, its per-boundary finish
+        cycles (what the extrapolator consumes) match the event kernel."""
+        uarch = get_uarch(uarch_name)
+        plan = data.draw(stream_plans(uarch.ports), label="stream")
+        n = len(plan)
+        cut = data.draw(st.integers(1, n), label="boundary")
+        boundaries = sorted({cut, n})
+        analytic = schedule_analytic(
+            uarch, build_stream(plan), boundaries
+        )
+        if analytic is None:
+            return  # no closed form: the fallback ladder covers it
+        cycles, port_counts, finishes = analytic
+        e_cycles, e_ports, e_finishes = timing_event(
+            uarch, build_stream(plan), boundaries
+        )
+        assert cycles == e_cycles
+        assert port_counts == e_ports
+        assert finishes == e_finishes
+
+
+# ----------------------------------------------------------------------
+# Strategy 2: synthetic instruction forms through Core.run.
+# ----------------------------------------------------------------------
+
+#: Host form for synthetic entries: two explicit 64-bit register
+#: operands, no memory operand, writes flags — the rename stage takes
+#: ports/latencies/divider behaviour from the injected entry only.
+_HOST_UID = "ADD_R64_R64"
+
+_DIVIDER_CLASSES = (None, None, None, "int_div", "fp_div", "fp_sqrt")
+
+
+@st.composite
+def synthetic_entries(draw, port_pool):
+    """A ground-truth entry: 1–4 µops, random ports/latencies, optional
+    divider value class, intra-instruction result chaining."""
+    n_uops = draw(st.integers(1, 4))
+    max_set = min(3, len(port_pool))
+    divider_class = draw(st.sampled_from(_DIVIDER_CLASSES))
+    divider_uop = (
+        draw(st.integers(0, n_uops - 1))
+        if divider_class is not None
+        else -1
+    )
+    specs = []
+    for k in range(n_uops):
+        if draw(st.integers(0, 7)) == 0:
+            ports = frozenset()
+        else:
+            ports = frozenset(draw(st.sets(
+                st.sampled_from(port_pool), min_size=1, max_size=max_set
+            )))
+        inputs = []
+        if draw(st.booleans()):
+            inputs.append(("op", 0))
+        if draw(st.booleans()):
+            inputs.append(("op", 1))
+        if k > 0 and draw(st.booleans()):
+            inputs.append(("uop", k - 1))
+        outputs = [("uop", k)]
+        if k == n_uops - 1:
+            outputs = [("op", 0)]
+            if draw(st.booleans()):
+                outputs.append(("flags",))
+        specs.append(UopSpec(
+            ports=ports,
+            inputs=tuple(inputs),
+            outputs=tuple(outputs),
+            latency=draw(st.integers(1, 30)),
+            divider_cycles=(
+                draw(st.integers(5, 40)) if k == divider_uop else 0
+            ),
+        ))
+    return UarchEntry(tuple(specs), divider_class=divider_class)
+
+
+@st.composite
+def synthetic_bodies(draw, form):
+    """Chains, parallel mixes, and interleavings of both."""
+    shape = draw(st.sampled_from(("chain", "parallel", "mixed")))
+    n = draw(st.integers(1, 16))
+    if shape == "chain":
+        return [instantiate(form)] * n
+    if shape == "parallel":
+        return independent_sequence(form, n)
+    chain_inst = instantiate(form)
+    body = []
+    for inst in independent_sequence(form, n):
+        body.append(inst)
+        if draw(st.booleans()):
+            body.append(chain_inst)
+    return body
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("uarch_name", UARCH_NAMES)
+class TestSyntheticForms:
+    """Core.run over generated ground-truth entries: the rename stage,
+    divider value classes and all three kernels agree exactly."""
+
+    @given(data=st.data())
+    @settings(max_examples=max(_BUDGET * 4 // 5, 10), **_SETTINGS)
+    def test_three_tiers_identical(self, uarch_name, data):
+        uarch = get_uarch(uarch_name)
+        form = DATABASE.by_uid(_HOST_UID)
+        entry = data.draw(synthetic_entries(uarch.ports), label="entry")
+        body = data.draw(synthetic_bodies(form), label="body")
+        # Divider value dependence: classified from operand values.
+        init = None
+        if entry.divider_class is not None:
+            regs = [op.register.name for op in body[0].operands]
+            values = data.draw(st.tuples(
+                st.sampled_from((0, 1, 3, 0xFFFF, 0xDEADBEEFCAFE)),
+                st.sampled_from((0, 1, 3, 0xFFFF, 0xDEADBEEFCAFE)),
+            ), label="init")
+            init = dict(zip(regs, values))
+        results = {}
+        for kernel in KERNELS:
+            core = Core(uarch, kernel=kernel)
+            core._entries._cache[_HOST_UID] = entry
+            results[kernel] = core.run(body, init)
+        assert_identical(
+            results["event"], results["reference"],
+            f"({uarch_name} synthetic form, event vs reference)",
+        )
+        assert_identical(
+            results["analytic"], results["event"],
+            f"({uarch_name} synthetic form, analytic vs event)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Strategy 3: real-catalog bodies through the full measure path.
+# ----------------------------------------------------------------------
+
+#: Catalog slice for body fuzz: GPR/SSE arithmetic, shifts, divider,
+#: loads, stores, read-modify-write, idioms.
+_BODY_UIDS = [
+    "ADD_R64_R64",
+    "IMUL_R64_R64",
+    "SHLD_R64_R64_I8",
+    "ADDPS_XMM_XMM",
+    "DIV_R32",
+    "MOV_R64_M64",
+    "MOV_M64_R64",
+    "ADD_R64_M64",
+    "XOR_R64_R64",
+    "NOP",
+]
+
+
+def _body_forms(uarch_name):
+    core = Core(get_uarch(uarch_name))
+    forms = []
+    for uid in _BODY_UIDS:
+        try:
+            form = DATABASE.by_uid(uid)
+        except KeyError:
+            continue
+        if core.supports(form):
+            forms.append(form)
+    assert len(forms) >= 8
+    return forms
+
+
+@st.composite
+def measure_bodies(draw, forms):
+    """Experiment bodies as the runner builds them: latency chains,
+    throughput parallel mixes, and blocking-style A+B·k bodies."""
+    shape = draw(st.sampled_from(("chain", "parallel", "blocking")))
+    form = draw(st.sampled_from(forms))
+    n = draw(st.integers(1, 8))
+    if shape == "chain":
+        return [instantiate(form)] * n
+    if shape == "parallel":
+        return independent_sequence(form, n)
+    blocker = draw(st.sampled_from(forms))
+    return independent_sequence(form, 1) + independent_sequence(blocker, n)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("uarch_name", UARCH_NAMES)
+class TestMeasureBodies:
+    """HardwareBackend.measure: the tier ladder (analytic unroll,
+    event probe, reference loop) over generated catalog bodies."""
+
+    @given(data=st.data())
+    @settings(max_examples=max(_BUDGET // 3 + 1, 10), **_SETTINGS)
+    def test_three_tiers_identical(self, uarch_name, data):
+        uarch = get_uarch(uarch_name)
+        body = data.draw(
+            measure_bodies(_body_forms(uarch_name)), label="body"
+        )
+        results = {
+            kernel: HardwareBackend(uarch, kernel=kernel).measure(body)
+            for kernel in KERNELS
+        }
+        assert_identical(
+            results["event"], results["reference"],
+            f"({uarch_name} measure body, event vs reference)",
+        )
+        assert_identical(
+            results["analytic"], results["event"],
+            f"({uarch_name} measure body, analytic vs event)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Deterministic anchors: the analytic tier must actually fire.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("uarch_name", UARCH_NAMES)
+def test_analytic_answers_common_shapes(uarch_name):
+    """The closed form must cover the bread-and-butter shapes (else the
+    fuzz suite would vacuously compare event against itself)."""
+    uarch = get_uarch(uarch_name)
+    core = Core(uarch, kernel="analytic")
+    for uid, build in (
+        ("ADD_R64_R64", lambda f: independent_sequence(f, 12)),
+        ("IMUL_R64_R64", lambda f: [instantiate(f)] * 12),
+        ("ADDPS_XMM_XMM", lambda f: independent_sequence(f, 6)),
+    ):
+        form = DATABASE.by_uid(uid)
+        before = core.runs_analytic
+        core.run(build(form))
+        assert core.runs_analytic > before, (
+            f"analytic tier never fired for {uid} on {uarch_name}"
+        )
+
+
+@pytest.mark.parametrize("uarch_name", UARCH_NAMES)
+def test_divider_streams_fall_back(uarch_name):
+    """Divider occupancy has no closed form: schedule_analytic refuses
+    and the analytic core falls back to the event kernel."""
+    uarch = get_uarch(uarch_name)
+    form = DATABASE.by_uid("DIV_R32")
+    core = Core(uarch, kernel="analytic")
+    if not core.supports(form):
+        pytest.skip(f"DIV_R32 unsupported on {uarch_name}")
+    code = [instantiate(form)] * 4
+    before = core.runs_analytic
+    counters = core.run(code)
+    assert core.runs_analytic == before
+    reference = Core(uarch, kernel="reference")
+    assert_identical(
+        counters, reference.run(code), f"({uarch_name} DIV_R32 fallback)"
+    )

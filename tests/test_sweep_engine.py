@@ -56,7 +56,17 @@ class TestSharding:
         assert shard_uids(["b", "a"], 1) == [["a", "b"]]
 
 
+@pytest.mark.slow
 class TestDifferential:
+    @pytest.fixture(autouse=True)
+    def _fast_workers(self, monkeypatch):
+        # Worker processes build their own cores; pin them to the
+        # analytic tier (bit-identical, pinned by the differential and
+        # fuzz suites) so the sharded sweeps don't dominate tier-1 time.
+        # The serial baseline keeps the default kernel, which makes the
+        # equality assertions below cross-tier checks for free.
+        monkeypatch.setenv("REPRO_SIM", "analytic")
+
     @pytest.fixture(scope="class")
     def serial_results(self, db, skl_backend):
         runner = CharacterizationRunner(skl_backend, db)
