@@ -4,9 +4,15 @@ Commands mirror the workflows of the paper:
 
 * ``characterize FORM [UARCH]``    — one variant, full report,
 * ``sweep [UARCH] [--sample N] [--jobs N] [--cache-dir D | --no-cache]``
-  — many variants → XML (Section 6.4), sharded over worker processes
-  with a persistent result cache,
+  — many variants → XML (Section 6.4), parallelized through a shared
+  work queue of content-keyed units next to the persistent result
+  cache; ``--enqueue-only`` / ``--drain`` split the coordinator and
+  worker roles across processes (or machines sharing the cache
+  directory), and ``--incremental`` re-measures only forms whose input
+  fingerprints changed since the last recorded sweep,
 * ``table1 [--sample N]``          — regenerate Table 1 (same flags),
+* ``cache gc``                     — compact the cache stores: drop
+  orphaned/stale/superseded entries and drained work queues,
 * ``case-studies``                 — all Section 7.3 case studies,
 * ``list [MNEMONIC]``              — catalog queries,
 * ``analyze FILE [UARCH]``         — predict a loop kernel's performance,
@@ -91,6 +97,11 @@ _STATS_LINES = (
      "{experiments_gave_up} gave up, {shards_respawned} shards "
      "respawned; {corrupt_lines} corrupt lines, "
      "{lock_timeouts} lock timeouts"),
+    ("queue",
+     "{units_leased} leased, {units_stolen} stolen, "
+     "{units_acked} acked, {lease_expirations} lease expirations; "
+     "{incremental_skips} incremental skips, "
+     "{gc_keys_dropped} keys GC'd"),
 )
 
 
@@ -144,10 +155,15 @@ def _cmd_sweep(args) -> int:
     from repro.core.xml_output import results_to_xml, write_xml
     from repro.isa.database import load_default_database
 
-    if args.resume and args.no_cache:
+    for flag in ("resume", "drain", "enqueue_only", "incremental"):
+        if getattr(args, flag) and args.no_cache:
+            raise SystemExit(
+                f"error: --{flag.replace('_', '-')} needs the "
+                "persistent cache (incompatible with --no-cache)"
+            )
+    if args.drain and args.enqueue_only:
         raise SystemExit(
-            "error: --resume needs the persistent cache "
-            "(incompatible with --no-cache)"
+            "error: --drain and --enqueue-only are mutually exclusive"
         )
     database = load_default_database()
     engine = SweepEngine(
@@ -157,12 +173,42 @@ def _cmd_sweep(args) -> int:
         cache=_make_cache(args),
         fault_spec=args.fault_spec,
         shard_timeout=args.shard_timeout,
+        mode=args.sweep_mode,
+        lease_timeout=args.lease_timeout,
+        incremental=args.incremental,
     )
+    if args.drain:
+        # Worker role: execute queued units until the shared queue is
+        # drained.  No XML — the coordinating (or a final, warm) sweep
+        # collects the full result set from the cache.
+        results = engine.drain(
+            progress=(lambda line: print(line, file=sys.stderr))
+            if args.verbose else None,
+        )
+        _report_quarantine(engine.failures)
+        _print_cache_stats(engine.statistics)
+        _write_stats_json(
+            engine.statistics, args.stats_json, engine.failures
+        )
+        print(
+            f"drained {len(results)} characterization(s) into "
+            f"{engine.cache.cache_dir}"
+        )
+        return 0
     supported = engine.supported_forms()
     forms = (
         supported if args.sample == 0
         else stratified_sample(supported, args.sample)
     )
+    if args.enqueue_only:
+        counts = engine.enqueue_pending(forms)
+        print(
+            f"enqueued {counts['enqueued']} unit(s) for "
+            f"{engine.uarch.name}: {counts['pending']} pending of "
+            f"{counts['requested']} requested "
+            f"({counts['cached']} already cached)"
+        )
+        return 0
     print(f"characterizing {len(forms)} of {len(supported)} variants on "
           f"{engine.uarch.full_name} ({args.jobs} jobs)", file=sys.stderr)
     results = engine.sweep(
@@ -219,6 +265,8 @@ def _cmd_table1(args) -> int:
             uarch, jobs=args.jobs, cache=cache,
             fault_spec=args.fault_spec,
             shard_timeout=args.shard_timeout,
+            mode=args.sweep_mode,
+            lease_timeout=args.lease_timeout,
         )
         supported = engine.supported_forms()
         sample = (
@@ -322,6 +370,32 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_cache_gc(args) -> int:
+    """Compact the persistent cache stores (``repro cache gc``)."""
+    from repro.core.cache import collect_garbage
+    from repro.core.runner import RunStatistics
+
+    stats = collect_garbage(args.cache_dir)
+    summary = stats.as_dict()
+    print(
+        f"gc: kept {summary['result_kept']} result(s) and "
+        f"{summary['memo_kept']} memo line(s); dropped "
+        f"{summary['result_dropped_orphan']} orphaned, "
+        f"{summary['result_dropped_stale']} stale, "
+        f"{summary['result_dropped_superseded']} superseded, "
+        f"{summary['memo_dropped']} memo, "
+        f"{summary['corrupt_dropped']} corrupt line(s); "
+        f"removed {summary['queues_removed']} drained queue(s); "
+        f"{summary['bytes_before']} -> {summary['bytes_after']} bytes"
+    )
+    if args.stats_json:
+        _write_stats_json(
+            RunStatistics(gc_keys_dropped=stats.keys_dropped),
+            args.stats_json,
+        )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     """Run :mod:`repro.lint`.  0 = clean, 1 = findings, 2 = lint crash."""
     from repro.lint import all_rules, run_lint
@@ -386,8 +460,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "(same syntax as $REPRO_FAULTS)")
         p.add_argument("--shard-timeout", type=float, default=None,
                        metavar="SECONDS",
-                       help="watchdog: respawn a sweep shard that "
-                            "makes no progress for this long")
+                       help="static mode watchdog: respawn a sweep "
+                            "shard that makes no progress for this "
+                            "long")
+        p.add_argument("--sweep-mode", default=None,
+                       choices=("queue", "static"),
+                       help="parallel execution mode for --jobs>1: "
+                            "the shared work queue (default) or the "
+                            "fork-join static sharding "
+                            "(default: $REPRO_SWEEP_MODE or queue)")
+        p.add_argument("--lease-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="queue mode: how long a leased work unit "
+                            "is protected from being stolen by "
+                            "another drainer (default: 60)")
 
     p = sub.add_parser("sweep", help="characterize many variants -> XML")
     p.add_argument("uarch", nargs="?", default="SKL")
@@ -402,6 +488,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-run only forms missing from the persistent "
                         "cache (e.g. quarantined by a faulty run) and "
                         "report the resumed/re-measured split")
+    p.add_argument("--incremental", action="store_true",
+                   help="diff per-form input fingerprints against the "
+                        "sweep manifest and re-measure only forms "
+                        "whose inputs (catalog entry, µop tables, "
+                        "uarch knobs, protocol) changed")
+    p.add_argument("--drain", action="store_true",
+                   help="worker role: execute units from the shared "
+                        "work queue in the cache directory until it "
+                        "is drained (no XML output; any number of "
+                        "drainers may share one cache directory)")
+    p.add_argument("--enqueue-only", action="store_true",
+                   help="coordinator role: enqueue the pending work "
+                        "units for --drain processes instead of "
+                        "executing them")
     p.add_argument("--verbose", action="store_true")
     add_sweep_options(p)
     p.set_defaults(func=_cmd_sweep)
@@ -427,6 +527,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="use characterizations from a results XML "
                         "instead of measuring")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("cache",
+                       help="manage the persistent result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    g = cache_sub.add_parser(
+        "gc",
+        help="compact the cache stores: drop orphaned, stale, "
+             "superseded, and corrupt entries; remove drained work "
+             "queues",
+    )
+    g.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: ~/.cache/repro)")
+    g.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write the run statistics (gc_keys_dropped) "
+                        "as JSON")
+    g.set_defaults(func=_cmd_cache_gc)
 
     p = sub.add_parser("lint", help="run the repo's invariant checker")
     p.add_argument("paths", nargs="*",

@@ -31,12 +31,23 @@ writer that cannot get the lock proceeds unlocked (counted in
 ``lock_timeouts``) rather than deadlocking the sweep behind a crashed
 lock holder.
 
+Beyond the result store this module also holds the *incremental sweep*
+machinery: :func:`form_fingerprint` digests every input of one form's
+characterization (catalog entry, ground-truth µop tables, uarch knobs,
+measurement protocol, code-version salt), :class:`SweepManifest`
+persists those fingerprints per (uarch, config) so the next sweep can
+diff them and re-measure only affected forms, and
+:func:`collect_garbage` compacts the JSONL stores, dropping orphaned
+keys (no manifest references them) and superseded or stale lines.
+
 Contract (enforced by ``repro lint``, RPR101/RPR102): keys and encoded
 entries must be deterministic functions of their inputs — no wall-clock
 reads, no unseeded randomness, no iteration over unordered sets on any
 path that feeds a digest or a serialized line.  ``time.monotonic`` /
 ``time.sleep`` are exempt because the flock retry loop paces with them;
-they never reach a key.
+they never reach a key.  (The sweep *work queue* needs wall-clock lease
+expiry and therefore lives in :mod:`repro.core.workqueue`, outside this
+contract.)
 """
 
 from __future__ import annotations
@@ -397,3 +408,380 @@ class MeasurementMemo:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-characterization: per-form input fingerprints + manifest
+# ---------------------------------------------------------------------------
+
+
+def catalog_context_digest(database, uarch) -> str:
+    """Digest of everything the *blocking-instruction discovery* reads.
+
+    The port-usage algorithm measures every form against blocking
+    instructions selected from the whole catalog (Section 5.1.1), so a
+    form's characterization depends not only on its own entry but on the
+    µop decompositions of every potential blocker.  This digest covers
+    the sorted (uid, encoded entry) pairs of the full catalog on one
+    generation: any edit that could shift the blocking selection — an
+    entry's ports, a form added or removed — changes it, conservatively
+    re-characterizing everything.  Catalog edits that leave all entries
+    intact (an attribute toggle, a flags fix) leave it unchanged, so
+    only the edited forms re-measure.
+    """
+    from repro.uarch.tables import build_entry
+    from repro.uarch.uops import encode_entry
+
+    pairs = []
+    for form in database:
+        try:
+            encoded = encode_entry(build_entry(form, uarch))
+        except KeyError:
+            encoded = f"error:{form.category}"
+        pairs.append([form.uid, encoded])
+    pairs.sort(key=lambda pair: pair[0])
+    payload = json.dumps(
+        {"uarch": uarch.name, "entries": pairs}, sort_keys=True
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def form_fingerprint(
+    form,
+    uarch,
+    config: MeasurementConfig,
+    salt: Optional[str] = None,
+    context: Optional[str] = None,
+) -> str:
+    """Digest of every input of one form's characterization.
+
+    Covers the catalog entry (:meth:`InstructionForm.fingerprint_payload`),
+    the ground-truth µop tables (``build_entry``, overrides included),
+    the generation's simulation knobs, the measurement protocol, the
+    code-version salt, and optionally the catalog-wide blocking
+    *context* (:func:`catalog_context_digest`).  Two sweeps whose
+    fingerprints agree for a form would measure byte-identical results,
+    so the incremental path may serve the cached one; any input edit
+    flips the fingerprint and re-enqueues exactly the affected forms.
+    """
+    from repro.uarch.tables import build_entry
+    from repro.uarch.uops import encode_entry
+
+    try:
+        entry = encode_entry(build_entry(form, uarch))
+    except KeyError:
+        entry = f"error:{form.category}"
+    payload = json.dumps(
+        {
+            "catalog": form.fingerprint_payload(),
+            "entry": entry,
+            "uarch": uarch.fingerprint_fields(),
+            "config": config.protocol_fields(),
+            "salt": salt if salt is not None else cache_salt(),
+            "context": context,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepManifest:
+    """Persistent record of the input fingerprints of the last sweep.
+
+    One JSON file per microarchitecture next to the result cache,
+    holding — per measurement-config digest — the ``uid ->
+    {fingerprint, key}`` map of every form the last sweep(s) resolved.
+    The incremental sweep path diffs current fingerprints against it to
+    enqueue only affected forms, and :func:`collect_garbage` uses the
+    union of recorded ``key`` values as the *root set*: a result-cache
+    entry no manifest references is an orphan.
+
+    Updates are read-modify-write transactions under an advisory flock
+    on a sibling lock file, merged per config digest, and published
+    atomically via ``os.replace`` — concurrent sweeps of different
+    configs (or samples) never clobber each other's entries.
+    """
+
+    SUFFIX = ".manifest.json"
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        salt: Optional[str] = None,
+    ):
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.salt = salt if salt is not None else cache_salt()
+
+    def path_for(self, uarch_name: str) -> str:
+        return os.path.join(
+            self.cache_dir, f"{uarch_name}{self.SUFFIX}"
+        )
+
+    def config_digest(self, config: MeasurementConfig) -> str:
+        payload = json.dumps(
+            {"config": config.protocol_fields(), "salt": self.salt},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def _load(self, uarch_name: str) -> Dict[str, Any]:
+        try:
+            with open(self.path_for(uarch_name), "r",
+                      encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            state = None
+        if (
+            not isinstance(state, dict)
+            or state.get("salt") != self.salt
+            or not isinstance(state.get("configs"), dict)
+        ):
+            # Missing, torn, or another code version: an empty manifest
+            # (a full sweep will rebuild it; GC keeps everything
+            # current-salt when no manifest exists).
+            return {"salt": self.salt, "configs": {}}
+        return state
+
+    def entries_for(
+        self, uarch_name: str, config: MeasurementConfig
+    ) -> Dict[str, Dict[str, str]]:
+        """``uid -> {"fingerprint": ..., "key": ...}`` of the previous
+        sweep under *config* (empty when none was recorded)."""
+        state = self._load(uarch_name)
+        recorded = state["configs"].get(self.config_digest(config))
+        if not isinstance(recorded, dict):
+            return {}
+        entries = recorded.get("entries")
+        return dict(entries) if isinstance(entries, dict) else {}
+
+    def update(
+        self,
+        uarch_name: str,
+        config: MeasurementConfig,
+        entries: Dict[str, Dict[str, str]],
+    ) -> None:
+        """Merge *entries* into the manifest for (*uarch*, *config*)."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        path = self.path_for(uarch_name)
+        with open(path + ".lock", "a+", encoding="utf-8") as lock:
+            locked = _flock_bounded(lock)
+            try:
+                state = self._load(uarch_name)
+                digest = self.config_digest(config)
+                recorded = state["configs"].setdefault(
+                    digest, {"config": config.protocol_fields(),
+                             "entries": {}},
+                )
+                recorded["entries"].update(entries)
+                blob = json.dumps(state, sort_keys=True)
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    handle.write(blob)
+                os.replace(tmp, path)
+            finally:
+                if locked and fcntl is not None:
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def live_keys(self, uarch_name: str) -> Optional[set]:
+        """Every result-cache key any recorded sweep references, or
+        ``None`` when no manifest exists for *uarch* (in which case GC
+        must keep all current-salt entries — orphanhood is unprovable).
+        """
+        if not os.path.exists(self.path_for(uarch_name)):
+            return None
+        state = self._load(uarch_name)
+        if not state["configs"]:
+            return None
+        keys = set()
+        for recorded in state["configs"].values():
+            entries = recorded.get("entries")
+            if isinstance(entries, dict):
+                for entry in entries.values():
+                    if isinstance(entry, dict) and "key" in entry:
+                        keys.add(entry["key"])
+        return keys
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection / compaction
+# ---------------------------------------------------------------------------
+
+
+class GCStats:
+    """Counters of one :func:`collect_garbage` run."""
+
+    def __init__(self):
+        self.result_kept = 0
+        self.result_dropped_orphan = 0
+        self.result_dropped_stale = 0
+        self.result_dropped_superseded = 0
+        self.memo_kept = 0
+        self.memo_dropped = 0
+        self.corrupt_dropped = 0
+        self.queues_removed = 0
+        self.bytes_before = 0
+        self.bytes_after = 0
+
+    @property
+    def keys_dropped(self) -> int:
+        """Total lines dropped across every store (the ``gc_keys_dropped``
+        statistics counter)."""
+        return (
+            self.result_dropped_orphan
+            + self.result_dropped_stale
+            + self.result_dropped_superseded
+            + self.memo_dropped
+            + self.corrupt_dropped
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "result_kept": self.result_kept,
+            "result_dropped_orphan": self.result_dropped_orphan,
+            "result_dropped_stale": self.result_dropped_stale,
+            "result_dropped_superseded": self.result_dropped_superseded,
+            "memo_kept": self.memo_kept,
+            "memo_dropped": self.memo_dropped,
+            "corrupt_dropped": self.corrupt_dropped,
+            "queues_removed": self.queues_removed,
+            "keys_dropped": self.keys_dropped,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+        }
+
+
+def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
+    """Rewrite one JSONL store in place, keeping the last entry per key
+    for which ``keep(entry)`` is true.
+
+    The rewrite happens under the same advisory flock the appenders
+    take, *in place* (seek + truncate, not replace), so a concurrent
+    well-behaved writer blocks on the lock instead of appending to a
+    doomed inode.
+    """
+    with open(path, "r+", encoding="utf-8") as handle:
+        locked = _flock_bounded(handle)
+        try:
+            raw_lines = handle.read().splitlines()
+            last: Dict[str, Any] = {}
+            order: Dict[str, int] = {}
+            for index, line in enumerate(raw_lines):
+                line = line.strip()
+                if not line:
+                    continue
+                entry, problem = _decode_line(line)
+                if problem is not None:
+                    stats.corrupt_dropped += 1
+                    continue
+                key = entry["key"]
+                if key in last:
+                    stats.result_dropped_superseded += (
+                        1 if kind == "result" else 0
+                    )
+                    stats.memo_dropped += 1 if kind == "memo" else 0
+                last[key] = entry
+                order.setdefault(key, index)
+            kept_lines = []
+            for key in sorted(last, key=lambda k: order[k]):
+                entry = last[key]
+                verdict = keep(entry)
+                if verdict == "keep":
+                    kept_lines.append(
+                        json.dumps(entry, sort_keys=True)
+                    )
+                    if kind == "result":
+                        stats.result_kept += 1
+                    else:
+                        stats.memo_kept += 1
+                elif verdict == "stale":
+                    if kind == "result":
+                        stats.result_dropped_stale += 1
+                    else:
+                        stats.memo_dropped += 1
+                else:  # orphan
+                    if kind == "result":
+                        stats.result_dropped_orphan += 1
+                    else:
+                        stats.memo_dropped += 1
+            handle.seek(0)
+            handle.truncate()
+            if kept_lines:
+                handle.write("\n".join(kept_lines) + "\n")
+        finally:
+            if locked and fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def collect_garbage(
+    cache_dir: Optional[str] = None,
+    salt: Optional[str] = None,
+) -> GCStats:
+    """Compact the persistent stores under *cache_dir*.
+
+    * **Result stores** (``<uarch>.jsonl``): drop lines written under
+      another salt, superseded lines (append-only last-wins history),
+      undecodable lines, and — when a :class:`SweepManifest` exists for
+      the generation — *orphans*: keys no recorded sweep references
+      (stale configs, forms renamed or removed from the catalog).
+      Without a manifest every current-salt entry is kept: a key's
+      liveness cannot be proven, and GC must never drop a live key.
+    * **Measurement memos** (``<uarch>.measure.jsonl``): stale-salt,
+      duplicate, and corrupt lines are dropped (memo keys are raw
+      measurement content; no per-form root set exists for them).
+    * **Work queues** (``<uarch>.queue.json``): fully drained queue
+      files are removed.
+
+    Returns the per-store :class:`GCStats`.
+    """
+    from repro.core.workqueue import WorkQueue
+
+    cache_dir = cache_dir or default_cache_dir()
+    salt = salt if salt is not None else cache_salt()
+    stats = GCStats()
+    if not os.path.isdir(cache_dir):
+        return stats
+    manifest = SweepManifest(cache_dir, salt=salt)
+    names = sorted(os.listdir(cache_dir))
+
+    def tally(path: str, attr: str) -> None:
+        try:
+            setattr(stats, attr,
+                    getattr(stats, attr) + os.path.getsize(path))
+        except OSError:
+            pass
+
+    for name in names:
+        path = os.path.join(cache_dir, name)
+        if name.endswith(MeasurementMemo.SUFFIX):
+            tally(path, "bytes_before")
+
+            def keep_memo(entry):
+                return "keep" if entry.get("salt") == salt else "stale"
+
+            _compact_jsonl(path, keep_memo, stats, "memo")
+            tally(path, "bytes_after")
+        elif name.endswith(".jsonl"):
+            uarch_name = name[: -len(".jsonl")]
+            tally(path, "bytes_before")
+            live = manifest.live_keys(uarch_name)
+
+            def keep_result(entry):
+                if entry.get("salt") != salt:
+                    return "stale"
+                if live is not None and entry["key"] not in live:
+                    return "orphan"
+                return "keep"
+
+            _compact_jsonl(path, keep_result, stats, "result")
+            tally(path, "bytes_after")
+        elif name.endswith(WorkQueue.SUFFIX):
+            uarch_name = name[: -len(WorkQueue.SUFFIX)]
+            queue = WorkQueue(cache_dir, uarch_name, salt=salt)
+            if queue.drained:
+                queue.clear()
+                try:
+                    os.remove(queue.lock_path)
+                except OSError:
+                    pass
+                stats.queues_removed += 1
+    return stats

@@ -106,6 +106,19 @@ class RunStatistics:
     shards_respawned: int = 0
     corrupt_lines: int = 0
     lock_timeouts: int = 0
+    #: Distributed-sweep queue health (see
+    #: :mod:`repro.core.workqueue`): work units this sweep leased,
+    #: leases reclaimed from dead/stalled drainers (and the expirations
+    #: that enabled the steals), units acknowledged as done, forms
+    #: served from cache because their input fingerprints were
+    #: unchanged (``--incremental``), and cache lines dropped by
+    #: ``repro cache gc``.
+    units_leased: int = 0
+    units_stolen: int = 0
+    units_acked: int = 0
+    lease_expirations: int = 0
+    incremental_skips: int = 0
+    gc_keys_dropped: int = 0
 
     def merge(self, other: "RunStatistics") -> None:
         """Fold in the statistics of another run (e.g. a sweep worker)."""

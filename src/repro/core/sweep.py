@@ -1,40 +1,50 @@
-"""Parallel sharded characterization sweeps: cached, supervised, resumable.
+"""Parallel characterization sweeps: cached, distributed, incremental.
 
 :class:`CharacterizationRunner` walks the catalog serially; at the scale
 of the paper's tool (thousands of variants per generation, Section 6)
 that leaves both cores and determinism on the table.  The
 :class:`SweepEngine` exploits that every characterization is an
 independent pure function of (form, microarchitecture, measurement
-configuration):
+configuration).  Three execution modes share one result contract —
+results are bit-identical to a serial run regardless of mode, job
+count, cache state, or completion order:
 
-* the requested forms are sorted by uid and dealt round-robin into
-  ``jobs`` deterministic shards (:func:`shard_uids`);
-* each shard is characterized by a worker process that constructs its
-  *own* backend from the picklable microarchitecture name — simulator
-  state is never shared between processes, so parallel results are
-  bit-identical to a serial run;
-* workers stream results back **one form at a time** in the canonical
-  :func:`~repro.core.result.encode_characterization` encoding (also the
-  cache's wire format); the parent merges them in stable uid order and
-  writes each through to the persistent cache as it arrives, so a sweep
-  interrupted at any point resumes from everything already finished;
-* an optional :class:`~repro.core.cache.ResultCache` is consulted before
-  any shard is formed, so warm sweeps perform zero backend measurements.
+* **serial** (``jobs=1``): in-process, optionally on an injected
+  backend — the debugging path and the differential-test reference;
+* **queue** (``jobs>1``, the default parallel mode): the pending forms
+  become content-keyed :class:`~repro.core.workqueue.WorkUnit` entries
+  in a persistent, flock-guarded work queue next to the result cache.
+  Worker processes — spawned by this engine, or by independent
+  ``repro sweep --drain`` invocations on machines sharing the cache
+  directory — *lease* units, characterize them, write the result
+  through the shared cache, and *ack*.  A worker that dies or stalls
+  lets its lease expire; any surviving worker **steals** the unit,
+  subsuming the static path's watchdog/respawn machinery.  A unit that
+  reliably kills workers is poisoned after
+  :data:`~repro.core.workqueue.MAX_UNIT_LEASES` leases and quarantined;
+* **static** (``jobs>1`` with ``mode="static"`` or
+  ``REPRO_SWEEP_MODE=static``): the original fork-join sharding — uids
+  are dealt cost-ordered round-robin into ``jobs`` shards
+  (:func:`shard_uids`, :func:`estimate_cost`), each characterized by
+  one supervised worker with watchdog/respawn (kept as the
+  bit-identity reference for the queue path).
 
-Fault tolerance (see ``docs/robustness.md``): the parent supervises the
-worker fleet.  A form whose plan ultimately fails — after the
-executor's transient-retry budget — is **quarantined** as a
-:class:`~repro.core.runner.FormFailure` instead of aborting the sweep.
-A worker that dies (crash) or stops making progress for
-``shard_timeout`` seconds (watchdog) has its completed results salvaged
-— they already arrived — and its remaining uids respawned into a fresh
-worker exactly once; a second loss quarantines the remainder.  Because
-quarantined forms are never written to the cache, re-running the same
-sweep against the same cache (``sweep --resume``) re-measures only the
-missing and failed forms.
+*Incremental re-characterization* (``incremental=True`` /
+``--incremental``): every cached sweep records a per-form *input
+fingerprint* (:func:`~repro.core.cache.form_fingerprint` — catalog
+entry, ground-truth µop tables, uarch knobs, measurement protocol,
+salt) in a :class:`~repro.core.cache.SweepManifest`.  An incremental
+sweep diffs current fingerprints against the manifest and re-measures
+exactly the forms whose inputs changed, serving everything else from
+the cache (counted as ``incremental_skips``).  The manifest doubles as
+the root set for ``repro cache gc``
+(:func:`~repro.core.cache.collect_garbage`).
 
-``jobs=1`` runs in-process (no pool, optionally on an injected backend),
-which is both the debugging path and the differential-test reference.
+Fault tolerance (see ``docs/robustness.md``): a form whose plan
+ultimately fails — after the executor's transient-retry budget — is
+**quarantined** as a :class:`~repro.core.runner.FormFailure` instead of
+aborting the sweep; quarantined forms are never written to the cache,
+so ``sweep --resume`` re-measures only the missing and failed forms.
 The chaos harness (:mod:`repro.measure.faults`, ``REPRO_FAULTS`` /
 ``--fault-spec``) injects deterministic failures at every one of these
 seams; nothing is injected unless explicitly requested.
@@ -44,10 +54,20 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import shutil
+import tempfile
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.core.cache import MeasurementMemo, ResultCache
+from repro.core.cache import (
+    MeasurementMemo,
+    ResultCache,
+    SweepManifest,
+    cache_key,
+    catalog_context_digest,
+    form_fingerprint,
+)
+from repro.core.workqueue import WorkQueue, WorkUnit
 from repro.core.result import (
     InstructionCharacterization,
     decode_characterization,
@@ -74,17 +94,67 @@ from repro.uarch.model import UarchConfig
 #: distinctive so a chaos log reads unambiguously.
 KILL_EXIT_CODE = 23
 
+#: Environment variable selecting the parallel sweep mode
+#: (``queue``, the default, or ``static``).
+SWEEP_MODE_ENV = "REPRO_SWEEP_MODE"
 
-def shard_uids(uids: List[str], n_shards: int) -> List[List[str]]:
-    """Deal sorted uids round-robin into at most *n_shards* chunks.
+#: Default lease window for queue-mode work units (seconds).  Generous
+#: relative to one form's characterization so healthy workers are never
+#: preempted; the coordinating engine force-expires the leases of
+#: workers it *knows* died, so only cross-machine losses wait this out.
+DEFAULT_LEASE_SECONDS = 60.0
 
-    Round-robin (rather than contiguous slices) spreads the uid-adjacent
-    forms of one mnemonic family — which tend to have similar
-    characterization cost — across shards, balancing worker runtimes.
-    Empty shards are dropped.
+
+def estimate_cost(form: InstructionForm, uarch: UarchConfig) -> int:
+    """Relative characterization cost of *form* (dimensionless).
+
+    Orders the static path's shard deal stragglers-first.  The dominant
+    costs in the simulated measurement are the non-pipelined divider
+    (value-dependent forms are measured once per value class, Section
+    5.2.5, and each occupancy run is long) and the µop count (more µops
+    mean more ports, hence more Algorithm 1 rounds); forms without a
+    ground-truth entry are skipped almost for free.
     """
-    ordered = sorted(uids)
+    from repro.uarch.tables import build_entry
+
+    try:
+        entry = build_entry(form, uarch)
+    except KeyError:
+        return 1
+    if entry is None:
+        return 0
+    cost = len(entry.uops) + len(form.operands)
+    if entry.divider_class is not None:
+        cost += 64
+    if entry.same_reg_uops is not None:
+        cost += 2
+    return cost
+
+
+def shard_uids(
+    uids: List[str],
+    n_shards: int,
+    costs: Optional[Dict[str, int]] = None,
+) -> List[List[str]]:
+    """Deal uids round-robin into at most *n_shards* chunks.
+
+    Without *costs* the uids are dealt in sorted order: round-robin
+    (rather than contiguous slices) spreads the uid-adjacent forms of
+    one mnemonic family — which tend to have similar characterization
+    cost — across shards, balancing worker runtimes.  With *costs* (a
+    ``uid -> relative cost`` map, see :func:`estimate_cost`) the deal
+    is most-expensive-first with uid tie-breaks: the stragglers land in
+    distinct shards *and* at the front of each shard's work list, so no
+    worker starts a divider form last.  Either way the partition is a
+    deterministic function of the inputs.  Empty shards are dropped.
+    """
     n_shards = max(1, n_shards)
+    if costs is None:
+        ordered = sorted(uids)
+    else:
+        ordered = sorted(
+            uids, key=lambda uid: (-costs.get(uid, 0), uid)
+        )
     shards = [ordered[i::n_shards] for i in range(n_shards)]
     return [shard for shard in shards if shard]
 
@@ -158,6 +228,94 @@ def _shard_worker(payload: _ShardPayload, out_queue) -> None:
     out_queue.put(("done", shard_id, runner.statistics))
 
 
+#: Queue-drainer payload: (uarch name, measurement config, queue/store
+#: directory, salt, memo directory or None, memo salt, fault spec or
+#: None, lease window in seconds, worker id).
+_DrainPayload = Tuple[
+    str, MeasurementConfig, str, str, Optional[str], Optional[str],
+    Optional[str], float, int,
+]
+
+
+def _drain_worker(payload: _DrainPayload, out_queue) -> None:
+    """Drain the shared work queue from a worker process.
+
+    The queue-mode sibling of :func:`_shard_worker`: instead of a
+    pre-dealt uid list, the worker leases units from the persistent
+    :class:`~repro.core.workqueue.WorkQueue` one at a time until the
+    queue is drained, so a slow form never idles the rest of the fleet.
+    Results are written through the shared result cache *before* the
+    ack — a worker dying between the two leaves the unit leased, and
+    whoever steals it re-measures (deterministically identical) bytes —
+    and additionally streamed to the coordinating engine (when there is
+    one) for progress reporting.
+
+    Chaos faults map onto queue semantics: a ``kill``/``kill_once``/
+    ``stall`` fault considers a unit "respawned" when it was leased
+    more than once, i.e. the first lease crashed and this worker stole
+    the unit.
+    """
+    (
+        uarch_name, config, store_dir, salt, memo_dir, memo_salt,
+        fault_spec, lease_seconds, worker_id,
+    ) = payload
+    plan = FaultPlan.parse(fault_spec) if fault_spec else None
+    database = load_default_database()
+    memo = (
+        MeasurementMemo(memo_dir, salt=memo_salt)
+        if memo_dir is not None else None
+    )
+    backend = HardwareBackend(get_uarch(uarch_name), config, memo=memo)
+    backend = maybe_faulty(backend, fault_spec)
+    runner = CharacterizationRunner(backend, database)
+    cache = ResultCache(store_dir, salt=salt)
+    work = WorkQueue(store_dir, uarch_name, salt=salt)
+    owner = f"{os.getpid()}.{worker_id}"
+    while True:
+        units = work.lease(
+            owner, limit=1, lease_seconds=lease_seconds
+        )
+        if not units:
+            if work.drained:
+                break
+            # Other drainers hold live leases; poll until they finish
+            # (or their leases expire and become stealable).
+            time.sleep(SweepEngine.POLL_INTERVAL)
+            continue
+        for unit in units:
+            respawned = unit.leases > 1
+            if plan is not None:
+                stall = plan.stall_seconds(unit.uid, respawned)
+                if stall:
+                    time.sleep(stall)
+                if plan.should_kill(unit.uid, respawned):
+                    out_queue.close()
+                    out_queue.join_thread()
+                    os._exit(KILL_EXIT_CODE)
+            outcome = runner.characterize_resilient(
+                database.by_uid(unit.uid)
+            )
+            if isinstance(outcome, FormFailure):
+                failure = dataclasses.replace(outcome, shard=worker_id)
+                work.fail(unit.key, owner, failure.as_dict())
+                out_queue.put(("failure", worker_id, unit.uid, failure))
+                continue
+            data = (
+                encode_characterization(outcome)
+                if outcome is not None else None
+            )
+            cache.put(unit.key, unit.uid, uarch_name, data)
+            work.ack(unit.key, owner)
+            out_queue.put(("result", worker_id, unit.uid, data))
+    runner.statistics.fold_snapshot(
+        BackendStats.zero(), backend.stats_tuple()
+    )
+    runner.statistics.fold_snapshot(
+        ExecutorStats.zero(), runner.executor.stats_tuple()
+    )
+    out_queue.put(("done", worker_id, runner.statistics))
+
+
 class _ShardState:
     """The parent's view of one supervised worker shard.
 
@@ -183,12 +341,29 @@ class _ShardState:
         self.armed = False
 
 
+class _DrainerState:
+    """The coordinating engine's view of one queue-mode worker."""
+
+    def __init__(self, worker_id: int, owner: str):
+        self.worker_id = worker_id
+        self.owner = owner
+        self.process = None
+        self.queue = None
+        self.done = False
+        self.dead = False
+
+
 class SweepEngine:
-    """Sharded, cached, fault-tolerant characterization of many forms.
+    """Distributed, cached, fault-tolerant characterization of many forms.
 
     ``failures`` maps quarantined form uids to their
     :class:`~repro.core.runner.FormFailure` records after a sweep; a
     fully healthy run leaves it empty.
+
+    ``mode`` selects the parallel execution path for ``jobs > 1``:
+    ``"queue"`` (default — the shared work queue any drainer can join)
+    or ``"static"`` (the fork-join sharding).  ``None`` consults
+    ``$REPRO_SWEEP_MODE`` and falls back to ``"queue"``.
     """
 
     #: How often the supervisor wakes to check worker health (seconds).
@@ -205,6 +380,9 @@ class SweepEngine:
         measure_memo: Optional[MeasurementMemo] = None,
         fault_spec: Optional[str] = None,
         shard_timeout: Optional[float] = None,
+        mode: Optional[str] = None,
+        lease_timeout: Optional[float] = None,
+        incremental: bool = False,
     ):
         self.uarch = get_uarch(uarch) if isinstance(uarch, str) else uarch
         self.database = database or load_default_database()
@@ -229,9 +407,26 @@ class SweepEngine:
             fault_spec if fault_spec is not None
             else os.environ.get(FAULTS_ENV)
         )
-        #: Watchdog: a shard making no progress for this many seconds is
-        #: terminated and treated like a crashed worker (None disables).
+        #: Watchdog (static mode): a shard making no progress for this
+        #: many seconds is terminated and treated like a crashed worker
+        #: (None disables).  Queue mode subsumes it with lease expiry.
         self.shard_timeout = shard_timeout
+        mode = mode or os.environ.get(SWEEP_MODE_ENV) or "queue"
+        if mode not in ("queue", "static"):
+            raise ValueError(
+                f"unknown sweep mode {mode!r} (queue or static)"
+            )
+        self.mode = mode
+        #: Queue-mode lease window; an expired lease makes the unit
+        #: stealable by any other drainer.
+        self.lease_timeout = (
+            lease_timeout if lease_timeout is not None
+            else DEFAULT_LEASE_SECONDS
+        )
+        #: Incremental re-characterization: diff per-form input
+        #: fingerprints against the sweep manifest and re-measure only
+        #: changed forms (needs a cache; a no-cache engine ignores it).
+        self.incremental = incremental
         self.statistics = RunStatistics()
         #: Quarantined forms: uid -> FormFailure.
         self.failures: Dict[str, FormFailure] = {}
@@ -240,6 +435,11 @@ class SweepEngine:
         #: Cached payloads that failed to decode (counted separately
         #: from line-level corruption, which the cache itself tracks).
         self._decode_corrupt = 0
+        self._manifest: Optional[SweepManifest] = None
+        #: Memoized per-form input fingerprints (+ the catalog context
+        #: digest they embed) — computing them walks the µop tables.
+        self._fingerprint_memo: Dict[str, str] = {}
+        self._context_digest: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -296,34 +496,18 @@ class SweepEngine:
             if self._runner is not None else ExecutorStats.zero()
         )
         results: Dict[str, InstructionCharacterization] = {}
-        pending: List[InstructionForm] = []
-        for form in requested:
-            data = self._cache_lookup(form)
-            if ResultCache.is_miss(data):
-                pending.append(form)
-                continue
-            if data is not None:
-                try:
-                    outcome = decode_characterization(data)
-                except (KeyError, TypeError, ValueError):
-                    # A malformed payload that survived the cache's
-                    # line-level checks: re-measure rather than crash.
-                    self._decode_corrupt += 1
-                    pending.append(form)
-                    continue
-                results[form.uid] = outcome
-                self.statistics.cache_hits += 1
-            else:
-                self.statistics.cache_hits += 1
-                self.statistics.skipped += 1
+        pending = self._resolve_pending(requested, results)
 
         if pending:
             if self.cache is not None:
                 self.statistics.cache_misses += len(pending)
             if self.jobs == 1:
                 self._sweep_serial(pending, results, progress)
-            else:
+            elif self.mode == "static":
                 self._sweep_sharded(pending, results, progress)
+            else:
+                self._sweep_queue(pending, results, progress)
+        self._record_manifest(requested)
         if self.cache is not None:
             self.statistics.cache_invalidations = self.cache.invalidations
         corrupt = self._decode_corrupt
@@ -366,6 +550,112 @@ class SweepEngine:
             return
         key = self.cache.key_for(uid, self.uarch.name, self.config)
         self.cache.put(key, uid, self.uarch.name, data)
+
+    # -- incremental re-characterization -------------------------------
+
+    def _fingerprint(self, form: InstructionForm) -> str:
+        """This form's input fingerprint (memoized; see
+        :func:`~repro.core.cache.form_fingerprint`)."""
+        fingerprint = self._fingerprint_memo.get(form.uid)
+        if fingerprint is None:
+            if self._context_digest is None:
+                self._context_digest = catalog_context_digest(
+                    self.database, self.uarch
+                )
+            fingerprint = form_fingerprint(
+                form,
+                self.uarch,
+                self.config,
+                salt=self.cache.salt if self.cache is not None else None,
+                context=self._context_digest,
+            )
+            self._fingerprint_memo[form.uid] = fingerprint
+        return fingerprint
+
+    def _get_manifest(self) -> SweepManifest:
+        if self._manifest is None:
+            self._manifest = SweepManifest(
+                self.cache.cache_dir, salt=self.cache.salt
+            )
+        return self._manifest
+
+    def _resolve_pending(
+        self,
+        requested: List[InstructionForm],
+        results: Dict[str, InstructionCharacterization],
+    ) -> List[InstructionForm]:
+        """Split *requested* into cache-served *results* and the pending
+        work list.
+
+        A form is pending when the cache misses — or, in incremental
+        mode, when its input fingerprint differs from the one the sweep
+        manifest recorded (the cached bytes were produced from different
+        inputs and must not be served).  Incremental cache hits whose
+        fingerprints match are counted as ``incremental_skips``.
+        """
+        incremental = self.incremental and self.cache is not None
+        prior: Dict[str, Dict[str, str]] = {}
+        if incremental:
+            prior = self._get_manifest().entries_for(
+                self.uarch.name, self.config
+            )
+        pending: List[InstructionForm] = []
+        for form in requested:
+            stale = False
+            if incremental:
+                recorded = prior.get(form.uid)
+                stale = (
+                    recorded is None
+                    or recorded.get("fingerprint")
+                    != self._fingerprint(form)
+                )
+            data = self._cache_lookup(form)
+            if ResultCache.is_miss(data) or stale:
+                pending.append(form)
+                continue
+            if data is not None:
+                try:
+                    outcome = decode_characterization(data)
+                except (KeyError, TypeError, ValueError):
+                    # A malformed payload that survived the cache's
+                    # line-level checks: re-measure rather than crash.
+                    self._decode_corrupt += 1
+                    pending.append(form)
+                    continue
+                results[form.uid] = outcome
+                self.statistics.cache_hits += 1
+            else:
+                self.statistics.cache_hits += 1
+                self.statistics.skipped += 1
+            if incremental:
+                self.statistics.incremental_skips += 1
+        return pending
+
+    def _record_manifest(self, requested: List[InstructionForm]) -> None:
+        """Record the input fingerprints of every resolved form.
+
+        Runs after *every* cached sweep (not only incremental ones), so
+        a plain sweep establishes the baseline the next ``--incremental``
+        run diffs against — and the root set ``repro cache gc`` keeps.
+        Quarantined forms are excluded: they were not resolved, and the
+        next sweep must re-attempt them.
+        """
+        if self.cache is None:
+            return
+        entries: Dict[str, Dict[str, str]] = {}
+        for form in requested:
+            if form.uid in self.failures:
+                continue
+            entries[form.uid] = {
+                "fingerprint": self._fingerprint(form),
+                "key": self.cache.key_for(
+                    form.uid, self.uarch.name, self.config
+                ),
+            }
+        if entries:
+            self._get_manifest().update(
+                self.uarch.name, self.config, entries
+            )
 
     def _sweep_serial(
         self,
@@ -454,7 +744,12 @@ class SweepEngine:
             state.last_progress = time.monotonic()
             state.armed = False
 
-        shards = shard_uids([form.uid for form in pending], self.jobs)
+        costs = {
+            form.uid: estimate_cost(form, self.uarch) for form in pending
+        }
+        shards = shard_uids(
+            [form.uid for form in pending], self.jobs, costs=costs
+        )
         states = []
         for shard_id, uids in enumerate(shards):
             state = _ShardState(shard_id, uids)
@@ -563,3 +858,405 @@ class SweepEngine:
                 )
             state.remaining.clear()
             state.done = True
+
+    # ------------------------------------------------------------------
+    # Queue mode: shared work queue, lease/steal, external drainers
+    # ------------------------------------------------------------------
+
+    def _queue_store(self) -> Tuple[str, Optional[str], bool]:
+        """``(store_dir, salt, owns_store)`` — where the work queue and
+        the workers' write-through result store live.
+
+        With a cache this is the cache directory itself (so external
+        ``--drain`` processes find the same queue and store); without
+        one, a temporary directory removed after the sweep.  ``salt``
+        is ``None`` for the temporary store (every component defaults
+        to the current code-version salt consistently).
+        """
+        if self.cache is not None:
+            return self.cache.cache_dir, self.cache.salt, False
+        return (
+            tempfile.mkdtemp(prefix="repro-sweep-queue-"), None, True
+        )
+
+    def _sweep_queue(
+        self,
+        pending: List[InstructionForm],
+        results: Dict[str, InstructionCharacterization],
+        progress: Optional[Callable[[str], None]],
+    ) -> None:
+        """Queue-mode execution: enqueue, spawn drainers, supervise.
+
+        The parent enqueues one content-keyed unit per pending form and
+        spawns up to ``jobs`` drainer processes — then mostly stays out
+        of the way: lease expiry and stealing replace the static path's
+        watchdog, and external ``repro sweep --drain`` processes may
+        join (or even finish) the work.  What remains of supervision:
+        progress/statistics plumbing, force-expiring the leases of
+        workers the parent *reaped* (so siblings steal immediately
+        instead of waiting out the lease window), respawning drainers
+        while pending work remains (bounded by ``jobs`` extra spawns),
+        and salvaging externally-acked results from the shared store.
+        """
+        import multiprocessing
+        import queue as queue_module
+
+        memo = self.measure_memo
+        if memo is not None:
+            # Pre-warm the measurements every drainer would otherwise
+            # repeat — the blocking-instruction discovery walks the
+            # whole catalog (Section 5.1.1) and is identical in all
+            # workers.
+            _ = self.runner.blocking
+
+        store_dir, salt, owns_store = self._queue_store()
+        work = WorkQueue(store_dir, self.uarch.name, salt=salt)
+        base_counters = work.counters()
+        key_by_uid = {
+            form.uid: cache_key(
+                form.uid, self.uarch.name, self.config, salt
+            )
+            for form in pending
+        }
+        work.enqueue([
+            WorkUnit(key=key_by_uid[form.uid], uid=form.uid)
+            for form in pending
+        ])
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        workers: List[_DrainerState] = []
+        #: Skip markers (data=None) reported by our own workers — they
+        #: never enter ``results``, but they are resolved and must not
+        #: be salvaged (and re-counted) from the store afterwards.
+        reported_skips: set = set()
+
+        def spawn(worker_id: int) -> None:
+            payload: _DrainPayload = (
+                self.uarch.name,
+                self.config,
+                store_dir,
+                salt,
+                memo.cache_dir if memo is not None else None,
+                memo.salt if memo is not None else None,
+                self.fault_spec,
+                self.lease_timeout,
+                worker_id,
+            )
+            state = _DrainerState(worker_id, owner="")
+            state.queue = context.Queue()
+            state.process = context.Process(
+                target=_drain_worker, args=(payload, state.queue),
+                daemon=True,
+            )
+            state.process.start()
+            # The worker identifies itself by its own pid (matches
+            # _drain_worker's owner string).
+            state.owner = f"{state.process.pid}.{worker_id}"
+            workers.append(state)
+
+        for worker_id in range(max(1, min(self.jobs, len(pending)))):
+            spawn(worker_id)
+        next_worker_id = len(workers)
+        respawns_left = self.jobs
+
+        def handle(state: _DrainerState, message) -> None:
+            kind = message[0]
+            if kind == "done":
+                state.done = True
+                self.statistics.merge(message[2])
+                state.process.join()
+                return
+            uid, payload_data = message[2], message[3]
+            if kind == "failure":
+                self.failures[uid] = message[3]
+                return
+            if payload_data is None:
+                reported_skips.add(uid)
+            elif uid not in results:
+                outcome = decode_characterization(payload_data)
+                results[uid] = outcome
+                if progress is not None:
+                    progress(outcome.summary())
+
+        def drain(state: _DrainerState) -> int:
+            handled = 0
+            while not state.done:
+                try:
+                    message = state.queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (EOFError, OSError):
+                    break  # torn channel; the health check takes over
+                handle(state, message)
+                handled += 1
+            return handled
+
+        drained_since = None
+        while True:
+            progressed = 0
+            for state in workers:
+                progressed += drain(state)
+            for state in workers:
+                if state.done or state.dead:
+                    continue
+                if state.process.is_alive():
+                    continue
+                # Death after the final put: messages may still be in
+                # flight — drain before declaring the worker lost.
+                drain(state)
+                if state.done:
+                    continue
+                state.process.join()
+                state.dead = True
+                work.expire_owner(state.owner)
+            active = [s for s in workers if not s.done and not s.dead]
+            if work.outstanding() == 0:
+                if not active:
+                    break
+                # Live workers exit on their own once they observe the
+                # drained queue; bound the wait in case one is wedged
+                # in an injected stall on an already-stolen unit.
+                if drained_since is None:
+                    drained_since = time.monotonic()
+                elif (
+                    time.monotonic() - drained_since
+                    > max(self.lease_timeout, 5.0)
+                ):
+                    for state in active:
+                        state.process.terminate()
+                        state.process.join(5)
+                        drain(state)
+                        state.dead = True
+                    break
+            else:
+                drained_since = None
+                if not active:
+                    if respawns_left > 0:
+                        respawns_left -= 1
+                        self.statistics.shards_respawned += 1
+                        spawn(next_worker_id)
+                        next_worker_id += 1
+                    else:
+                        # The fleet died repeatedly with work left;
+                        # quarantine the remainder so the sweep (and
+                        # any external drainer) terminates.
+                        for unit in work.remaining_units():
+                            failure = FormFailure(
+                                uid=unit.uid,
+                                phase="queue",
+                                error_type="WorkerLost",
+                                message=(
+                                    "drainer fleet exhausted its "
+                                    f"respawn budget ({self.jobs}); "
+                                    "unit abandoned"
+                                ),
+                                attempts=unit.leases,
+                                shard=None,
+                            )
+                            work.fail(
+                                unit.key, "coordinator",
+                                failure.as_dict(),
+                            )
+                        break
+            if not progressed:
+                time.sleep(self.POLL_INTERVAL)
+
+        for state in workers:
+            if state.queue is not None:
+                state.queue.close()
+
+        # Quarantines recorded only in the queue: poisoned units, and
+        # failures reported by external drainers.
+        queue_failures = work.snapshot()["failures"]
+        for form in pending:
+            if form.uid in results or form.uid in self.failures:
+                continue
+            record = queue_failures.get(form.uid)
+            if record is not None:
+                self.failures[form.uid] = FormFailure(**record)
+
+        # Results acked without a message reaching us: units drained by
+        # external processes, or a worker lost between its ack and its
+        # report.  The shared store has the bytes either way.
+        missing = [
+            form for form in pending
+            if form.uid not in results
+            and form.uid not in self.failures
+            and form.uid not in reported_skips
+        ]
+        if missing:
+            store = ResultCache(store_dir, salt=salt)
+            for form in missing:
+                data = store.get(key_by_uid[form.uid], self.uarch.name)
+                if ResultCache.is_miss(data):
+                    self.failures[form.uid] = FormFailure(
+                        uid=form.uid,
+                        phase="queue",
+                        error_type="ResultMissing",
+                        message=(
+                            "work unit resolved but no stored "
+                            "result was found"
+                        ),
+                    )
+                    continue
+                if data is None:
+                    self.statistics.skipped += 1
+                    continue
+                try:
+                    outcome = decode_characterization(data)
+                except (KeyError, TypeError, ValueError):
+                    self._decode_corrupt += 1
+                    self.failures[form.uid] = FormFailure(
+                        uid=form.uid,
+                        phase="queue",
+                        error_type="DecodeError",
+                        message="stored result failed to decode",
+                    )
+                    continue
+                results[form.uid] = outcome
+                if progress is not None:
+                    progress(outcome.summary())
+
+        delta = work.counters().delta(base_counters)
+        self.statistics.units_leased += delta["units_leased"]
+        self.statistics.units_stolen += delta["units_stolen"]
+        self.statistics.units_acked += delta["units_acked"]
+        self.statistics.lease_expirations += delta["lease_expirations"]
+        if owns_store:
+            shutil.rmtree(store_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    # Distributed entry points: --enqueue-only and --drain
+    # ------------------------------------------------------------------
+
+    def enqueue_pending(
+        self, forms: Optional[Iterable[InstructionForm]] = None
+    ) -> Dict[str, int]:
+        """Plan a sweep and enqueue its pending work — without executing.
+
+        The ``repro sweep --enqueue-only`` entry point: computes the
+        pending set exactly like :meth:`sweep` (cache misses, plus
+        fingerprint-stale forms in incremental mode) and enqueues one
+        content-keyed unit per form for ``--drain`` processes to
+        execute.  Requires a cache — the queue must live somewhere the
+        drainers can find it.  Returns counts for reporting.
+        """
+        if self.cache is None:
+            raise ValueError(
+                "enqueue-only needs a persistent cache directory"
+            )
+        requested = list(forms if forms is not None else self.database)
+        requested.sort(key=lambda form: form.uid)
+        results: Dict[str, InstructionCharacterization] = {}
+        pending = self._resolve_pending(requested, results)
+        work = WorkQueue(
+            self.cache.cache_dir, self.uarch.name, salt=self.cache.salt
+        )
+        enqueued = work.enqueue([
+            WorkUnit(
+                key=self.cache.key_for(
+                    form.uid, self.uarch.name, self.config
+                ),
+                uid=form.uid,
+            )
+            for form in pending
+        ])
+        return {
+            "requested": len(requested),
+            "cached": len(requested) - len(pending),
+            "pending": len(pending),
+            "enqueued": enqueued,
+        }
+
+    def drain(
+        self,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, InstructionCharacterization]:
+        """Drain the shared work queue in-process until it is empty.
+
+        The ``repro sweep --drain`` entry point: attach to the queue
+        next to the cache and lease/characterize/ack units until no
+        pending or leased work remains — cooperating (and competing)
+        with every other drainer of the same cache directory, stealing
+        expired leases along the way.  Returns the results *this*
+        process produced, keyed by uid; quarantines land in
+        :attr:`failures` and the lease/steal/ack counters in
+        :attr:`statistics`.
+        """
+        if self.cache is None:
+            raise ValueError("drain needs a persistent cache directory")
+        backend_base = self.backend.stats_tuple()
+        executor_base = self.runner.executor.stats_tuple()
+        runner = self.runner
+        before = RunStatistics(
+            characterized=runner.statistics.characterized,
+            skipped=runner.statistics.skipped,
+            seconds=runner.statistics.seconds,
+        )
+        work = WorkQueue(
+            self.cache.cache_dir, self.uarch.name, salt=self.cache.salt
+        )
+        plan = (
+            FaultPlan.parse(self.fault_spec) if self.fault_spec else None
+        )
+        owner = f"{os.getpid()}.drain"
+        results: Dict[str, InstructionCharacterization] = {}
+        while True:
+            units = work.lease(
+                owner, limit=1, lease_seconds=self.lease_timeout
+            )
+            if not units:
+                if work.drained:
+                    break
+                time.sleep(self.POLL_INTERVAL)
+                continue
+            for unit in units:
+                self.statistics.units_leased += 1
+                if unit.stolen_now:
+                    self.statistics.units_stolen += 1
+                    self.statistics.lease_expirations += 1
+                respawned = unit.leases > 1
+                if plan is not None:
+                    stall = plan.stall_seconds(unit.uid, respawned)
+                    if stall:
+                        time.sleep(stall)
+                    if plan.should_kill(unit.uid, respawned):
+                        os._exit(KILL_EXIT_CODE)
+                outcome = runner.characterize_resilient(
+                    self.database.by_uid(unit.uid)
+                )
+                if isinstance(outcome, FormFailure):
+                    self.failures[unit.uid] = outcome
+                    work.fail(unit.key, owner, outcome.as_dict())
+                    continue
+                data = (
+                    encode_characterization(outcome)
+                    if outcome is not None else None
+                )
+                self._cache_store(unit.uid, data)
+                work.ack(unit.key, owner)
+                self.statistics.units_acked += 1
+                if outcome is not None:
+                    results[unit.uid] = outcome
+                    if progress is not None:
+                        progress(outcome.summary())
+        self.statistics.characterized += (
+            runner.statistics.characterized - before.characterized
+        )
+        self.statistics.skipped += (
+            runner.statistics.skipped - before.skipped
+        )
+        self.statistics.seconds += (
+            runner.statistics.seconds - before.seconds
+        )
+        self.statistics.forms_failed = len(self.failures)
+        self.statistics.fold_snapshot(
+            backend_base, self.backend.stats_tuple()
+        )
+        self.statistics.fold_snapshot(
+            executor_base, self.runner.executor.stats_tuple()
+        )
+        return {uid: results[uid] for uid in sorted(results)}

@@ -1,0 +1,461 @@
+"""Persistent, flock-guarded work queue for distributed sweeps.
+
+The :class:`~repro.core.sweep.SweepEngine`'s original sharding was
+fork-join: uids were dealt to workers up front, so one slow form (a
+divider class, the blocking discovery) idled every other worker, and a
+dead worker needed a bespoke watchdog/respawn path.  This module turns
+the sweep into a *shared queue* of content-keyed work units that any
+number of worker processes — spawned by one engine, or by independent
+``repro sweep --drain`` invocations on machines sharing the cache
+directory — **lease**, execute, and **ack**:
+
+* a unit is leased for a bounded wall-clock window; a worker that dies
+  or stalls simply lets the lease expire, and the next ``lease()`` call
+  by any surviving worker *steals* the unit (counted per unit and in
+  the queue totals) — no supervisor involvement required;
+* acks are idempotent: when a stalled worker finally finishes a unit
+  that was stolen from it, the duplicate ack is ignored (results are
+  deterministic pure functions, so both acks carry the same bytes);
+* a unit whose lease was claimed :data:`MAX_UNIT_LEASES` times without
+  an ack is poisoned — it reliably takes workers down with it — and is
+  marked failed with a ``WorkerLost`` record instead of starving the
+  fleet forever;
+* the whole state lives in one JSON file next to the result cache,
+  mutated only in read-modify-write transactions under an exclusive
+  ``flock`` on a sibling lock file and published atomically via
+  ``os.replace``, so concurrent drainers on one filesystem never
+  observe a torn queue.
+
+Lease expiry uses ``time.time()`` (the wall clock) rather than
+``time.monotonic()`` deliberately: monotonic clocks are not comparable
+across machines sharing a cache directory.  This module is therefore
+*not* part of the cache/result determinism contract (``repro lint``
+RPR101) — nothing here ever feeds a content key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.cache import _flock_bounded, cache_salt
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: transactions are not locked
+    fcntl = None
+
+#: How many times a unit may be leased before it is declared poisoned
+#: and quarantined with a ``WorkerLost`` failure record.  Three leases
+#: tolerate one crash plus one steal-then-crash before giving up.
+MAX_UNIT_LEASES = 3
+
+_PENDING = "pending"
+_LEASED = "leased"
+_ACKED = "acked"
+_FAILED = "failed"
+
+
+@dataclasses.dataclass
+class WorkUnit:
+    """One unit of sweep work: characterize ``uid`` and store it under
+    the content-addressed result-cache ``key``.
+
+    ``leases`` counts how many times the unit was handed out (including
+    the current lease); ``stolen`` counts how many of those were
+    reclaims of an expired lease.  ``failure`` carries the
+    :meth:`~repro.core.runner.FormFailure.as_dict` record of a failed
+    unit so independent drainers and the coordinating engine see the
+    same quarantine.
+    """
+
+    key: str
+    uid: str
+    state: str = _PENDING
+    owner: Optional[str] = None
+    expires: float = 0.0
+    leases: int = 0
+    stolen: int = 0
+    failure: Optional[Dict[str, Any]] = None
+    #: Transient (not persisted): whether the lease that returned this
+    #: unit reclaimed an expired lease — i.e. the caller just stole it.
+    stolen_now: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data.pop("stolen_now", None)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkUnit":
+        return cls(**{
+            key: value for key, value in data.items()
+            if key in cls.__dataclass_fields__
+        })
+
+
+class QueueCounters(Dict[str, int]):
+    """Cumulative queue-lifetime counters (a plain dict with defaults).
+
+    Keys mirror the :class:`~repro.core.runner.RunStatistics` fields the
+    sweep engine folds them into: ``units_leased``, ``units_stolen``,
+    ``units_acked``, ``lease_expirations``.
+    """
+
+    FIELDS = (
+        "units_leased", "units_stolen", "units_acked",
+        "lease_expirations",
+    )
+
+    def __init__(self, values: Optional[Dict[str, int]] = None):
+        super().__init__({field: 0 for field in self.FIELDS})
+        if values:
+            for field in self.FIELDS:
+                self[field] = int(values.get(field, 0))
+
+    def delta(self, since: "QueueCounters") -> Dict[str, int]:
+        return {
+            field: self[field] - since[field] for field in self.FIELDS
+        }
+
+
+class WorkQueue:
+    """A persistent queue of :class:`WorkUnit` shared by drainers.
+
+    One queue per (cache directory, microarchitecture); the salt ties
+    the queue to the code version exactly like the result cache, so a
+    drainer built from different code refuses stale work wholesale (the
+    queue file is reset rather than merged).
+    """
+
+    #: File suffix distinguishing queue files from cache/memo files.
+    SUFFIX = ".queue.json"
+
+    def __init__(
+        self,
+        cache_dir: str,
+        uarch_name: str,
+        salt: Optional[str] = None,
+        max_unit_leases: int = MAX_UNIT_LEASES,
+    ):
+        self.cache_dir = cache_dir
+        self.uarch_name = uarch_name
+        self.salt = salt if salt is not None else cache_salt()
+        self.max_unit_leases = max_unit_leases
+        #: Transactions that proceeded unlocked after the bounded wait.
+        self.lock_timeouts = 0
+
+    # -- file layout ----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return os.path.join(
+            self.cache_dir, f"{self.uarch_name}{self.SUFFIX}"
+        )
+
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    def _read_state(self) -> Dict[str, Any]:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            state = None
+        if (
+            not isinstance(state, dict)
+            or state.get("salt") != self.salt
+            or not isinstance(state.get("units"), dict)
+        ):
+            # Missing, torn, or written by another code version: start
+            # fresh.  Work enqueued under an old salt must be re-planned
+            # anyway (its result-cache keys are stale too).
+            return {
+                "salt": self.salt,
+                "units": {},
+                "counters": dict(QueueCounters()),
+            }
+        return state
+
+    def _write_state(self, state: Dict[str, Any]) -> None:
+        os.makedirs(self.cache_dir, exist_ok=True)
+        blob = json.dumps(state, sort_keys=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def _transaction(self, mutate):
+        """Run ``mutate(state)`` under the queue lock; publish the state
+        atomically when *mutate* returns ``(result, True)``."""
+        os.makedirs(self.cache_dir, exist_ok=True)
+        with open(self.lock_path, "a+", encoding="utf-8") as lock:
+            locked = _flock_bounded(lock)
+            if not locked and fcntl is not None:
+                self.lock_timeouts += 1
+            try:
+                state = self._read_state()
+                result, dirty = mutate(state)
+                if dirty:
+                    self._write_state(state)
+                return result
+            finally:
+                if locked:
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    # -- unit helpers ---------------------------------------------------
+
+    @staticmethod
+    def _units(state: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+        return state["units"]
+
+    @staticmethod
+    def _counters(state: Dict[str, Any]) -> Dict[str, int]:
+        counters = state.setdefault("counters", {})
+        for field in QueueCounters.FIELDS:
+            counters.setdefault(field, 0)
+        return counters
+
+    # -- operations -----------------------------------------------------
+
+    def enqueue(self, units: List[WorkUnit]) -> int:
+        """Add work; returns how many units became pending.
+
+        A unit already known to the queue is *reset to pending* when it
+        is acked, failed, or expired-leased (the caller re-requesting it
+        means the previous outcome is stale — e.g. an incremental
+        re-sweep of a diffed form); a live lease or an existing pending
+        entry is left untouched so concurrent drainers are never
+        preempted.
+        """
+
+        def mutate(state):
+            stored = self._units(state)
+            now = time.time()
+            added = 0
+            for unit in units:
+                existing = stored.get(unit.key)
+                if existing is not None:
+                    if existing["state"] == _PENDING:
+                        continue
+                    if (
+                        existing["state"] == _LEASED
+                        and existing["expires"] > now
+                    ):
+                        continue
+                    existing["state"] = _PENDING
+                    existing["owner"] = None
+                    existing["failure"] = None
+                    added += 1
+                    continue
+                stored[unit.key] = WorkUnit(
+                    key=unit.key, uid=unit.uid
+                ).as_dict()
+                added += 1
+            return added, added > 0
+
+        return self._transaction(mutate)
+
+    def lease(
+        self,
+        owner: str,
+        limit: int = 1,
+        lease_seconds: float = 60.0,
+    ) -> List[WorkUnit]:
+        """Claim up to *limit* units for *owner*.
+
+        Units are handed out in sorted uid order (stable across
+        drainers).  An expired lease is reclaimed — *stolen* — exactly
+        like pending work; a unit reaching ``max_unit_leases`` claims is
+        instead marked failed with a ``WorkerLost`` record, so a
+        poisoned unit cannot crash the fleet indefinitely.
+        """
+
+        def mutate(state):
+            stored = self._units(state)
+            counters = self._counters(state)
+            now = time.time()
+            claimed: List[WorkUnit] = []
+            dirty = False
+            order = sorted(
+                stored.values(), key=lambda u: (u["uid"], u["key"])
+            )
+            for raw in order:
+                if len(claimed) >= limit:
+                    break
+                state_name = raw["state"]
+                expired = (
+                    state_name == _LEASED and raw["expires"] <= now
+                )
+                if state_name != _PENDING and not expired:
+                    continue
+                if expired:
+                    counters["lease_expirations"] += 1
+                if raw["leases"] >= self.max_unit_leases:
+                    raw["state"] = _FAILED
+                    raw["owner"] = None
+                    raw["failure"] = {
+                        "uid": raw["uid"],
+                        "phase": "queue",
+                        "error_type": "WorkerLost",
+                        "message": (
+                            f"unit leased {raw['leases']} times without "
+                            "an ack; poisoned work quarantined"
+                        ),
+                        "attempts": raw["leases"],
+                        "shard": None,
+                    }
+                    dirty = True
+                    continue
+                raw["state"] = _LEASED
+                raw["owner"] = owner
+                raw["expires"] = now + lease_seconds
+                raw["leases"] += 1
+                counters["units_leased"] += 1
+                if expired:
+                    raw["stolen"] += 1
+                    counters["units_stolen"] += 1
+                unit = WorkUnit.from_dict(raw)
+                unit.stolen_now = expired
+                claimed.append(unit)
+                dirty = True
+            return claimed, dirty
+
+        return self._transaction(mutate)
+
+    def ack(self, key: str, owner: str) -> bool:
+        """Mark *key* done.  Returns ``False`` for a duplicate ack (the
+        unit was stolen and already acked by the thief — harmless, the
+        results are identical)."""
+
+        def mutate(state):
+            stored = self._units(state)
+            counters = self._counters(state)
+            raw = stored.get(key)
+            if raw is None or raw["state"] == _ACKED:
+                return False, False
+            raw["state"] = _ACKED
+            raw["owner"] = owner
+            raw["failure"] = None
+            counters["units_acked"] += 1
+            return True, True
+
+        return self._transaction(mutate)
+
+    def fail(
+        self, key: str, owner: str, failure: Dict[str, Any]
+    ) -> bool:
+        """Record a quarantine for *key* (idempotent like :meth:`ack`;
+        an ack always wins over a late failure report)."""
+
+        def mutate(state):
+            stored = self._units(state)
+            raw = stored.get(key)
+            if raw is None or raw["state"] in (_ACKED, _FAILED):
+                return False, False
+            raw["state"] = _FAILED
+            raw["owner"] = owner
+            raw["failure"] = failure
+            return True, True
+
+        return self._transaction(mutate)
+
+    def expire_owner(self, owner: str) -> int:
+        """Force-expire every live lease held by *owner*.
+
+        The coordinating engine calls this when it *knows* a worker died
+        (it reaped the process), so siblings can steal the dead worker's
+        units immediately instead of waiting out the lease window.  The
+        units stay leased with ``expires=0``; the next :meth:`lease`
+        reclaims them through the ordinary steal path, keeping the
+        steal/expiration counters truthful.
+        """
+
+        def mutate(state):
+            now = time.time()
+            released = 0
+            for raw in self._units(state).values():
+                if (
+                    raw["state"] == _LEASED
+                    and raw["owner"] == owner
+                    and raw["expires"] > now
+                ):
+                    raw["expires"] = 0.0
+                    released += 1
+            return released, released > 0
+
+        return self._transaction(mutate)
+
+    # -- introspection --------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent read: per-state unit counts, cumulative
+        counters, and the failure records of failed units."""
+
+        def mutate(state):
+            stored = self._units(state)
+            counts = {
+                _PENDING: 0, _LEASED: 0, _ACKED: 0, _FAILED: 0,
+            }
+            failures = {}
+            for raw in stored.values():
+                counts[raw["state"]] += 1
+                if raw["state"] == _FAILED and raw["failure"]:
+                    failures[raw["uid"]] = dict(raw["failure"])
+            return {
+                "counts": counts,
+                "counters": QueueCounters(self._counters(state)),
+                "failures": failures,
+                "units": len(stored),
+            }, False
+
+        return self._transaction(mutate)
+
+    def counters(self) -> QueueCounters:
+        return self.snapshot()["counters"]
+
+    def remaining_units(self) -> List[WorkUnit]:
+        """Units still pending or leased, in stable uid order."""
+
+        def mutate(state):
+            units = [
+                WorkUnit.from_dict(raw)
+                for raw in sorted(
+                    self._units(state).values(),
+                    key=lambda u: (u["uid"], u["key"]),
+                )
+                if raw["state"] in (_PENDING, _LEASED)
+            ]
+            return units, False
+
+        return self._transaction(mutate)
+
+    @property
+    def drained(self) -> bool:
+        """No unit is pending or leased (everything acked or failed)."""
+        counts = self.snapshot()["counts"]
+        return counts[_PENDING] == 0 and counts[_LEASED] == 0
+
+    def outstanding(self) -> int:
+        """Units still pending or leased."""
+        counts = self.snapshot()["counts"]
+        return counts[_PENDING] + counts[_LEASED]
+
+    def clear(self) -> None:
+        """Remove the queue file (e.g. after a drained sweep is GC'd)."""
+
+        def mutate(state):
+            state["units"] = {}
+            return None, True
+
+        self._transaction(mutate)
+        try:
+            os.remove(self.path)
+        except OSError:
+            pass

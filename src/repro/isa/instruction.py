@@ -152,6 +152,35 @@ class InstructionForm:
     def has_attribute(self, attr: str) -> bool:
         return attr in self.attributes
 
+    def fingerprint_payload(self) -> dict:
+        """A canonical, JSON-stable description of this catalog entry.
+
+        Feeds the per-form input fingerprints of the incremental sweep
+        manifest (:func:`repro.core.cache.form_fingerprint`): any edit
+        to the catalog definition of a form — operand shapes, flags,
+        extension, category, attributes — must change this payload, and
+        nothing else may.  All unordered containers are sorted.
+        """
+        return {
+            "mnemonic": self.mnemonic,
+            "operands": [
+                {
+                    "kind": spec.kind.value,
+                    "width": spec.width,
+                    "read": spec.read,
+                    "written": spec.written,
+                    "implicit": spec.implicit,
+                    "fixed": spec.fixed,
+                }
+                for spec in self.operands
+            ],
+            "flags_read": sorted(self.flags_read),
+            "flags_written": sorted(self.flags_written),
+            "extension": self.extension,
+            "category": self.category,
+            "attributes": sorted(self.attributes),
+        }
+
     def source_operand_indices(self) -> List[int]:
         """Indices of operand slots the instruction reads.
 

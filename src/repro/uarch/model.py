@@ -92,5 +92,46 @@ class UarchConfig:
             "fp_sqrt": self.fp_sqrt,
         }[divider_class]
 
+    def fingerprint_fields(self) -> dict:
+        """Every simulation-relevant knob, as a canonical JSON-stable
+        dict (all unordered containers sorted).
+
+        Feeds the per-form fingerprints of the incremental sweep
+        manifest (:func:`repro.core.cache.form_fingerprint`).  These
+        fields are generation-global, so editing any of them (a port
+        added to ``fu_map``, a latency bumped, a divider timing changed)
+        re-characterizes the whole generation — which is correct, since
+        they affect every measurement.
+        """
+
+        def timing(t: DividerTiming) -> list:
+            return [t.fast_latency, t.fast_occupancy,
+                    t.slow_latency, t.slow_occupancy]
+
+        return {
+            "name": self.name,
+            "ports": list(self.ports),
+            "fu_map": {
+                unit: sorted(ports)
+                for unit, ports in sorted(self.fu_map.items())
+            },
+            "extensions": sorted(self.extensions),
+            "issue_width": self.issue_width,
+            "retire_width": self.retire_width,
+            "rob_size": self.rob_size,
+            "rs_size": self.rs_size,
+            "load_latency": self.load_latency,
+            "vec_load_latency": self.vec_load_latency,
+            "store_forward_latency": self.store_forward_latency,
+            "move_elimination": self.move_elimination,
+            "vec_bypass_delay": self.vec_bypass_delay,
+            "sse_avx_transition_penalty": self.sse_avx_transition_penalty,
+            "zero_idiom_elimination": self.zero_idiom_elimination,
+            "macro_fusible": sorted(self.macro_fusible),
+            "int_div": timing(self.int_div),
+            "fp_div": timing(self.fp_div),
+            "fp_sqrt": timing(self.fp_sqrt),
+        }
+
     def __str__(self) -> str:
         return self.name

@@ -154,3 +154,54 @@ class UarchEntry:
             if uop.uses_port:
                 usage[uop.ports] = usage.get(uop.ports, 0) + 1
         return usage
+
+
+def encode_uop_spec(uop: UopSpec) -> dict:
+    """A canonical, JSON-stable encoding of one µop spec.
+
+    Used by the incremental-sweep fingerprints
+    (:func:`repro.core.cache.form_fingerprint`): every field that could
+    change a simulated measurement participates, and all unordered
+    containers (port sets, delay mappings) are sorted so the encoding is
+    deterministic across processes and dict orders.
+    """
+    return {
+        "ports": sorted(uop.ports),
+        "inputs": [list(ref) for ref in uop.inputs],
+        "outputs": [list(ref) for ref in uop.outputs],
+        "latency": uop.latency,
+        "input_delays": sorted(
+            ([list(ref), delay] for ref, delay in uop.input_delays.items()),
+            key=repr,
+        ),
+        "output_latencies": sorted(
+            (
+                [list(ref), lat]
+                for ref, lat in uop.output_latencies.items()
+            ),
+            key=repr,
+        ),
+        "kind": uop.kind,
+        "divider_cycles": uop.divider_cycles,
+        "domain": uop.domain,
+    }
+
+
+def encode_entry(entry: Optional[UarchEntry]) -> Optional[dict]:
+    """Canonical encoding of a ground-truth entry (``None`` passes
+    through, for forms without an entry on a generation)."""
+    if entry is None:
+        return None
+    return {
+        "uops": [encode_uop_spec(uop) for uop in entry.uops],
+        "same_reg_uops": (
+            [encode_uop_spec(uop) for uop in entry.same_reg_uops]
+            if entry.same_reg_uops is not None else None
+        ),
+        "zero_idiom": entry.zero_idiom,
+        "zero_idiom_eliminated": entry.zero_idiom_eliminated,
+        "dep_breaking": entry.dep_breaking,
+        "divider_class": entry.divider_class,
+        "serializing": entry.serializing,
+        "fused_uop_count": entry.fused_uop_count,
+    }

@@ -101,3 +101,129 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "0 misses" in err
         assert rerun.read_bytes() == output.read_bytes()
+
+
+class TestDistributedFlags:
+    def test_parser_accepts_queue_flags(self):
+        args = build_parser().parse_args([
+            "sweep", "SKL", "--sweep-mode", "static",
+            "--lease-timeout", "2.5", "--incremental",
+        ])
+        assert args.sweep_mode == "static"
+        assert args.lease_timeout == 2.5
+        assert args.incremental
+        args = build_parser().parse_args(["sweep", "--drain"])
+        assert args.drain and not args.enqueue_only
+        args = build_parser().parse_args(["sweep", "--enqueue-only"])
+        assert args.enqueue_only and not args.drain
+
+    def test_drain_and_enqueue_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "SKL", "--drain", "--enqueue-only"])
+
+    def test_queue_flags_need_cache(self):
+        for flag in ("--drain", "--enqueue-only", "--incremental"):
+            with pytest.raises(SystemExit):
+                main(["sweep", "SKL", flag, "--no-cache"])
+
+    def test_cache_gc_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_cache_gc_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kept 0 result(s)" in out
+
+    @pytest.mark.slow
+    def test_enqueue_drain_gc_round_trip(self, tmp_path, capsys,
+                                         monkeypatch):
+        import json
+        import re
+
+        monkeypatch.setenv("REPRO_SIM", "analytic")
+        cache_dir = tmp_path / "cache"
+        # Coordinator plans the work without measuring anything.
+        # (--sample is per stratum, so the unit count is catalog-sized.)
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--enqueue-only",
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"enqueued (\d+) unit\(s\)", out)
+        assert match
+        enqueued = int(match.group(1))
+        assert enqueued > 0
+        assert not cache_dir.joinpath("SKL.jsonl").exists()
+
+        # A worker drains the queue into the shared cache.
+        stats_json = tmp_path / "drain.json"
+        assert main([
+            "sweep", "SKL", "--drain", "--cache-dir", str(cache_dir),
+            "--stats-json", str(stats_json),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "drained" in out
+        stats = json.loads(stats_json.read_text())
+        assert stats["units_leased"] == enqueued
+        assert stats["units_acked"] == enqueued
+
+        # The final (warm) sweep collects the XML from the cache only.
+        output = tmp_path / "out.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output", str(output),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert "0 misses" in capsys.readouterr().err
+
+        # ... and is byte-identical to a from-scratch serial sweep.
+        reference_dir = tmp_path / "reference-cache"
+        reference = tmp_path / "reference.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output",
+            str(reference), "--cache-dir", str(reference_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert output.read_bytes() == reference.read_bytes()
+
+        # GC finds nothing live to drop and removes the drained queue.
+        gc_json = tmp_path / "gc.json"
+        assert main([
+            "cache", "gc", "--cache-dir", str(cache_dir),
+            "--stats-json", str(gc_json),
+        ]) == 0
+        assert "removed 1 drained queue(s)" in capsys.readouterr().out
+        assert not cache_dir.joinpath("SKL.queue.json").exists()
+        rerun = tmp_path / "rerun.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output", str(rerun),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert "0 misses" in capsys.readouterr().err
+        assert rerun.read_bytes() == output.read_bytes()
+
+    @pytest.mark.slow
+    def test_incremental_flag_skips_unchanged(self, tmp_path, capsys,
+                                              monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_SIM", "analytic")
+        cache_dir = tmp_path / "cache"
+        output = tmp_path / "out.xml"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--output", str(output),
+            "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        rerun = tmp_path / "rerun.xml"
+        stats_json = tmp_path / "incr.json"
+        assert main([
+            "sweep", "SKL", "--sample", "5", "--incremental",
+            "--output", str(rerun), "--cache-dir", str(cache_dir),
+            "--stats-json", str(stats_json),
+        ]) == 0
+        assert "incremental skips" in capsys.readouterr().err
+        stats = json.loads(stats_json.read_text())
+        assert stats["cache_misses"] == 0
+        assert stats["incremental_skips"] == stats["cache_hits"] > 0
+        assert rerun.read_bytes() == output.read_bytes()

@@ -19,7 +19,7 @@ from repro.core.codegen import independent_sequence
 from repro.core.experiment import ExperimentBatch, ExperimentFailure
 from repro.core.html_output import results_to_html
 from repro.core.runner import CharacterizationRunner, FormFailure
-from repro.core.sweep import SweepEngine, shard_uids
+from repro.core.sweep import SweepEngine, estimate_cost, shard_uids
 from repro.core.xml_output import results_to_xml
 from repro.measure import (
     BackendError,
@@ -491,11 +491,21 @@ class TestQuarantine:
 
 @pytest.mark.slow
 class TestShardSupervision:
+    """Static-mode supervision: watchdog, respawn, shard quarantine.
+
+    These semantics are specific to the fork-join sharding path (kept
+    as the queue mode's bit-identity reference), so every engine here
+    pins ``mode="static"``; the queue path's lease/steal equivalents
+    are covered in ``tests/test_workqueue.py`` and
+    ``tests/test_sweep_engine.py``.
+    """
+
     def test_killed_shard_respawns_and_completes(
         self, db, memo_dir, reference
     ):
         engine = _engine(
-            db, memo_dir, jobs=2, fault_spec="kill_once=NOP"
+            db, memo_dir, jobs=2, fault_spec="kill_once=NOP",
+            mode="static",
         )
         results = engine.sweep(_forms(db))
         assert engine.statistics.shards_respawned == 1
@@ -505,14 +515,23 @@ class TestShardSupervision:
     def test_persistently_killed_shard_quarantines_remainder(
         self, db, memo_dir, reference
     ):
-        engine = _engine(db, memo_dir, jobs=2, fault_spec="kill=NOP")
+        engine = _engine(
+            db, memo_dir, jobs=2, fault_spec="kill=NOP", mode="static"
+        )
         results = engine.sweep(_forms(db))
         assert engine.statistics.shards_respawned == 1
+        # The static path deals cost-ordered shards and workers walk
+        # them in that order, so the unfinished suffix starts at NOP's
+        # position within its (cost-sorted) shard.
+        costs = {
+            form.uid: estimate_cost(form, engine.uarch)
+            for form in _forms(db)
+        }
         kill_shard = next(
-            shard for shard in shard_uids(sorted(UIDS), 2)
+            shard for shard in shard_uids(sorted(UIDS), 2, costs=costs)
             if "NOP" in shard
         )
-        unfinished = [uid for uid in kill_shard if uid >= "NOP"]
+        unfinished = sorted(kill_shard[kill_shard.index("NOP"):])
         assert sorted(engine.failures) == unfinished
         for failure in engine.failures.values():
             assert failure.error_type == "WorkerLost"
@@ -532,6 +551,7 @@ class TestShardSupervision:
         engine = _engine(
             db, memo_dir, jobs=2,
             fault_spec="stall=NOP:60", shard_timeout=3.0,
+            mode="static",
         )
         results = engine.sweep(_forms(db))
         assert engine.statistics.shards_respawned == 1
@@ -545,6 +565,7 @@ class TestShardSupervision:
         crashed = _engine(
             db, memo_dir, jobs=2,
             cache=ResultCache(cache_dir), fault_spec="kill=NOP",
+            mode="static",
         )
         partial = crashed.sweep(_forms(db))
         assert crashed.failures

@@ -12,8 +12,9 @@ import pytest
 
 from repro.core.cache import ResultCache, cache_key
 from repro.core.runner import CharacterizationRunner
-from repro.core.sweep import SweepEngine, shard_uids
+from repro.core.sweep import SweepEngine, estimate_cost, shard_uids
 from repro.measure.backend import MeasurementConfig
+from repro.uarch.configs import get_uarch
 
 #: Sampled so the differential covers ALU, vector, divider, branch,
 #: serializing, latency edge cases (SHLD), and an unmeasurable form.
@@ -54,6 +55,31 @@ class TestSharding:
 
     def test_single_shard(self):
         assert shard_uids(["b", "a"], 1) == [["a", "b"]]
+
+    def test_cost_ordered_deals_stragglers_first(self):
+        costs = {"a": 1, "b": 10, "c": 5, "d": 1}
+        # Descending cost (ties by uid), then round-robin: the most
+        # expensive forms land on distinct shards up front instead of
+        # queueing behind each other at the tail of one shard.
+        assert shard_uids(["a", "b", "c", "d"], 2, costs=costs) == [
+            ["b", "a"],
+            ["c", "d"],
+        ]
+        # A uid missing from the cost map defaults to 0 (cheapest).
+        assert shard_uids(["a", "z"], 1, costs={"a": 1}) == [["a", "z"]]
+
+    def test_cost_ordered_is_deterministic(self):
+        costs = {"a": 2, "b": 2, "c": 2}
+        first = shard_uids(["c", "a", "b"], 2, costs=costs)
+        assert shard_uids(["b", "c", "a"], 2, costs=costs) == first
+        assert first == [["a", "c"], ["b"]]  # equal costs: uid order
+
+    def test_estimate_cost_ranks_divider_forms_highest(self, db):
+        skl = get_uarch("SKL")
+        add = estimate_cost(db.by_uid("ADD_R64_R64"), skl)
+        div = estimate_cost(db.by_uid("DIV_R64"), skl)
+        assert add >= 1
+        assert div > add  # divider classes are the classic stragglers
 
 
 @pytest.mark.slow
@@ -106,6 +132,129 @@ class TestDifferential:
         warm = SweepEngine("NHM", db, jobs=2,
                            cache=ResultCache(str(tmp_path)))
         assert warm.sweep(_forms(db, NHM_UIDS)) == serial
+
+    def test_static_mode_matches_serial(self, db, serial_results):
+        # The fork-join sharding is kept as the queue mode's
+        # bit-identity reference; pin it explicitly.
+        engine = SweepEngine("SKL", db, jobs=4, mode="static")
+        assert engine.sweep(_forms(db, SAMPLE_UIDS)) == serial_results
+
+    def test_queue_counters(self, db, serial_results):
+        engine = SweepEngine("SKL", db, jobs=2)
+        assert engine.mode == "queue"
+        engine.sweep(_forms(db, SAMPLE_UIDS))
+        assert engine.statistics.units_leased == len(SAMPLE_UIDS)
+        assert engine.statistics.units_acked == len(SAMPLE_UIDS)
+        assert engine.statistics.units_stolen == 0
+        assert engine.statistics.lease_expirations == 0
+
+    def test_unknown_mode_rejected(self, db):
+        with pytest.raises(ValueError):
+            SweepEngine("SKL", db, mode="frobnicate")
+
+
+@pytest.mark.slow
+class TestQueueChaos:
+    """Queue-mode fault tolerance: lease expiry + stealing replace the
+    static path's watchdog/respawn supervision."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM", "analytic")
+
+    @pytest.fixture(scope="class")
+    def serial_results(self, db, skl_backend):
+        runner = CharacterizationRunner(skl_backend, db)
+        return runner.characterize_all(_forms(db, SAMPLE_UIDS))
+
+    def test_killed_worker_units_are_stolen(self, db, serial_results):
+        # One worker hard-crashes on NOP; the parent reaps it and
+        # force-expires its lease, so the surviving sibling steals the
+        # unit (kill_once does not re-fire on a stolen unit) and the
+        # sweep still completes with the full, bit-identical result set.
+        engine = SweepEngine(
+            "SKL", db, jobs=2, fault_spec="kill_once=NOP",
+            lease_timeout=120.0,
+        )
+        results = engine.sweep(_forms(db, SAMPLE_UIDS))
+        assert engine.failures == {}
+        assert results == serial_results
+        assert engine.statistics.units_stolen >= 1
+        assert engine.statistics.lease_expirations >= 1
+        assert engine.statistics.units_acked == len(SAMPLE_UIDS)
+
+    def test_poisoned_unit_quarantined_fleet_survives(self, db,
+                                                      serial_results):
+        # A unit that reliably kills its worker is quarantined after
+        # MAX_UNIT_LEASES claims; everything else still completes.
+        engine = SweepEngine(
+            "SKL", db, jobs=2, fault_spec="kill=NOP",
+            lease_timeout=120.0,
+        )
+        results = engine.sweep(_forms(db, SAMPLE_UIDS))
+        assert set(engine.failures) == {"NOP"}
+        failure = engine.failures["NOP"]
+        assert failure.error_type == "WorkerLost"
+        assert failure.phase == "queue"
+        assert results == {
+            uid: outcome for uid, outcome in serial_results.items()
+            if uid != "NOP"
+        }
+
+
+@pytest.mark.slow
+class TestDistributedDrain:
+    """The --enqueue-only / --drain API: independent processes sharing
+    one cache directory cooperate through the persistent queue."""
+
+    @pytest.fixture(autouse=True)
+    def _fast_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM", "analytic")
+
+    def test_enqueue_then_drain_round_trip(self, db, skl_backend,
+                                           tmp_path):
+        cache_dir = str(tmp_path)
+        forms = _forms(db, SAMPLE_UIDS)
+        planner = SweepEngine("SKL", db, cache=ResultCache(cache_dir))
+        counts = planner.enqueue_pending(forms)
+        assert counts == {
+            "requested": len(SAMPLE_UIDS),
+            "cached": 0,
+            "pending": len(SAMPLE_UIDS),
+            "enqueued": len(SAMPLE_UIDS),
+        }
+
+        drainer = SweepEngine("SKL", db, backend=skl_backend,
+                              cache=ResultCache(cache_dir))
+        drained = drainer.drain()
+        assert drainer.failures == {}
+        assert drainer.statistics.units_leased == len(SAMPLE_UIDS)
+        assert drainer.statistics.units_acked == len(SAMPLE_UIDS)
+        assert sorted(drained) == sorted(
+            uid for uid in SAMPLE_UIDS if uid != "UD2"  # skip marker
+        )
+
+        # A warm sweep over the same cache now serves everything —
+        # bit-identical to the serial reference.
+        warm = SweepEngine("SKL", db, cache=ResultCache(cache_dir))
+        results = warm.sweep(forms)
+        assert warm.statistics.cache_hits == len(SAMPLE_UIDS)
+        serial = CharacterizationRunner(
+            skl_backend, db
+        ).characterize_all(forms)
+        assert results == serial
+
+        # Re-planning finds nothing left to enqueue.
+        replanner = SweepEngine("SKL", db,
+                                cache=ResultCache(cache_dir))
+        assert replanner.enqueue_pending(forms)["enqueued"] == 0
+
+    def test_drain_requires_cache(self, db):
+        engine = SweepEngine("SKL", db)
+        with pytest.raises(ValueError):
+            engine.drain()
+        with pytest.raises(ValueError):
+            engine.enqueue_pending([])
 
 
 class TestWarmCacheDoesNotMeasure:
