@@ -12,7 +12,11 @@ Commands mirror the workflows of the paper:
   fingerprints changed since the last recorded sweep,
 * ``table1 [--sample N]``          — regenerate Table 1 (same flags),
 * ``cache gc``                     — compact the cache stores: drop
-  orphaned/stale/superseded entries and drained work queues,
+  orphaned/stale/superseded entries and drained work queues (refuses
+  under live drainer leases; ``--force`` overrides),
+* ``doctor [--repair]``            — scan every persistent store for
+  crash damage (torn tails, CRC failures, orphaned leases, stale
+  locks, manifest/cache disagreement) and optionally repair it,
 * ``case-studies``                 — all Section 7.3 case studies,
 * ``list [MNEMONIC]``              — catalog queries,
 * ``analyze FILE [UARCH]``         — predict a loop kernel's performance,
@@ -22,7 +26,9 @@ Commands mirror the workflows of the paper:
 
 Exit codes are uniform: 0 on success, 1 on findings or user errors
 (including a consumer closing our stdout mid-print), 2 on internal
-errors.
+errors.  ``sweep --strict`` adds exit 3: the sweep itself succeeded
+but some forms were quarantined — distinct from both "clean" and
+"broken invocation" so CI cannot silently pass on a partial sweep.
 """
 
 from __future__ import annotations
@@ -96,10 +102,12 @@ _STATS_LINES = (
      "{forms_failed} quarantined, {retries} retries, "
      "{experiments_gave_up} gave up, {shards_respawned} shards "
      "respawned; {corrupt_lines} corrupt lines, "
-     "{lock_timeouts} lock timeouts"),
+     "{torn_tails} torn tails, "
+     "{lock_timeouts} lock timeouts ({lock_retries} retries)"),
     ("queue",
      "{units_leased} leased, {units_stolen} stolen, "
-     "{units_acked} acked, {lease_expirations} lease expirations; "
+     "{units_acked} acked, {lease_expirations} lease expirations, "
+     "{leases_renewed} renewed, {zombie_writes} zombie writes; "
      "{incremental_skips} incremental skips, "
      "{gc_keys_dropped} keys GC'd"),
 )
@@ -194,6 +202,12 @@ def _cmd_sweep(args) -> int:
             f"drained {len(results)} characterization(s) into "
             f"{engine.cache.cache_dir}"
         )
+        if args.strict and engine.failures:
+            print(
+                f"strict: {len(engine.failures)} form(s) quarantined",
+                file=sys.stderr,
+            )
+            return 3
         return 0
     supported = engine.supported_forms()
     forms = (
@@ -247,6 +261,12 @@ def _cmd_sweep(args) -> int:
 
         write_tablegen(results, engine.uarch, args.llvm)
         print(f"wrote LLVM-style scheduling model to {args.llvm}")
+    if args.strict and engine.failures:
+        print(
+            f"strict: {len(engine.failures)} form(s) quarantined",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -372,10 +392,19 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_cache_gc(args) -> int:
     """Compact the persistent cache stores (``repro cache gc``)."""
-    from repro.core.cache import collect_garbage
+    from repro.core.cache import LiveLeaseError, collect_garbage
     from repro.core.runner import RunStatistics
 
-    stats = collect_garbage(args.cache_dir)
+    try:
+        stats = collect_garbage(args.cache_dir, force=args.force)
+    except LiveLeaseError as exc:
+        print(f"gc: refusing to compact: {exc}", file=sys.stderr)
+        print(
+            "gc: drainers appear to be live; wait for them to finish "
+            "(or pass --force if they are known dead)",
+            file=sys.stderr,
+        )
+        return 1
     summary = stats.as_dict()
     print(
         f"gc: kept {summary['result_kept']} result(s) and "
@@ -394,6 +423,42 @@ def _cmd_cache_gc(args) -> int:
             args.stats_json,
         )
     return 0
+
+
+def _cmd_doctor(args) -> int:
+    """Scan (and optionally repair) the persistent stores.
+
+    Exit 0 when every store is healthy (after repair, if requested),
+    1 when findings remain, 2 on an internal error.
+    """
+    import json
+
+    from repro.core.cache import LiveLeaseError
+    from repro.core.doctor import diagnose, repair
+
+    try:
+        if args.repair:
+            report = repair(args.cache_dir, force=args.force)
+        else:
+            report = diagnose(args.cache_dir)
+    except LiveLeaseError as exc:
+        print(f"doctor: refusing to repair: {exc}", file=sys.stderr)
+        print(
+            "doctor: drainers appear to be live; wait for them to "
+            "finish (or pass --force if they are known dead)",
+            file=sys.stderr,
+        )
+        return 1
+    except (BrokenPipeError, SystemExit, KeyboardInterrupt):
+        raise
+    except Exception as exc:
+        print(f"repro doctor: internal error: {exc!r}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.healthy else 1
 
 
 def _cmd_lint(args) -> int:
@@ -502,6 +567,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coordinator role: enqueue the pending work "
                         "units for --drain processes instead of "
                         "executing them")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 3 when any form was quarantined or "
+                        "failed, so CI cannot silently pass on a "
+                        "partial sweep")
     p.add_argument("--verbose", action="store_true")
     add_sweep_options(p)
     p.set_defaults(func=_cmd_sweep)
@@ -542,7 +611,31 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--stats-json", default=None, metavar="PATH",
                    help="write the run statistics (gc_keys_dropped) "
                         "as JSON")
+    g.add_argument("--force", action="store_true",
+                   help="compact even when work queues hold unexpired "
+                        "leases (only when the drainers are known "
+                        "dead)")
     g.set_defaults(func=_cmd_cache_gc)
+
+    p = sub.add_parser(
+        "doctor",
+        help="scan the persistent stores for crash damage (torn "
+             "tails, CRC failures, orphaned leases, stale locks, "
+             "manifest/cache disagreement) and optionally repair it",
+    )
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: ~/.cache/repro)")
+    p.add_argument("--repair", action="store_true",
+                   help="apply the repair plan (truncate torn tails, "
+                        "quarantine corrupt lines, release orphaned "
+                        "leases, re-enqueue missing results)")
+    p.add_argument("--force", action="store_true",
+                   help="repair even when work queues hold unexpired "
+                        "leases (only when the drainers are known "
+                        "dead)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON on stdout")
+    p.set_defaults(func=_cmd_doctor)
 
     p = sub.add_parser("lint", help="run the repo's invariant checker")
     p.add_argument("paths", nargs="*",

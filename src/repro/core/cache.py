@@ -21,15 +21,19 @@ Entries live in JSON-lines files, one per microarchitecture, under
 
 Because the salt participates in the key, bumping :data:`CACHE_SCHEMA`
 (or the package version) invalidates every existing entry; stale lines
-are counted as invalidations and dropped on load, while lines that do
-not decode at all — torn concurrent appends, truncation, garbage, or
-well-formed JSON missing its envelope fields — are counted separately
-as ``corrupt_lines``.  The file is append-only: re-characterized
-entries are appended and the last line for a key wins.  Appends take an
-advisory ``flock`` with a **bounded** wait (:data:`LOCK_TIMEOUT`): a
-writer that cannot get the lock proceeds unlocked (counted in
-``lock_timeouts``) rather than deadlocking the sweep behind a crashed
-lock holder.
+are counted as invalidations and dropped on load.  Each line carries a
+CRC (see :mod:`repro.core.journal`, the shared crash-safe writer all
+appends go through): an unparsable *final* line is a **torn tail** — a
+writer died mid-append — counted in ``torn_tails`` and recovered by
+truncation, while damage anywhere else (unparsable mid-file lines,
+CRC mismatches, malformed envelopes) is counted in ``corrupt_lines``
+and left for ``repro doctor`` to quarantine.  The file is append-only:
+re-characterized entries are appended and the last line for a key
+wins.  Appends take an advisory ``flock`` with a **bounded**, jittered
+retry (:func:`~repro.core.journal.flock_bounded`): a writer that
+cannot get the lock proceeds unlocked (counted in ``lock_timeouts``,
+with the retry attempts in ``lock_retries``) rather than deadlocking
+the sweep behind a crashed lock holder.
 
 Beyond the result store this module also holds the *incremental sweep*
 machinery: :func:`form_fingerprint` digests every input of one form's
@@ -55,9 +59,18 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import time
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.journal import (
+    LOCK_TIMEOUT,
+    append_entry,
+    decode_blob,
+    decode_entry,
+    encode_entry,
+    flock_bounded,
+    publish_blob,
+    scan_journal,
+)
 from repro.measure.backend import MeasurementConfig
 
 try:
@@ -66,50 +79,30 @@ except ImportError:  # non-POSIX: appends are not locked
     fcntl = None
 
 #: Bump to invalidate every cache entry written by older code — part of
-#: every cache key, together with the package version.
-CACHE_SCHEMA = 1
-
-#: Longest a writer waits for the advisory file lock before appending
-#: unlocked (single-line ``write()`` appends interleave at line
-#: granularity anyway, so a missed lock degrades to at worst one torn
-#: line — which the loader drops — rather than a deadlocked sweep).
-LOCK_TIMEOUT = 5.0
+#: every cache key, together with the package version.  2: per-line
+#: CRCs (PR 9) — pre-CRC lines would all classify as damaged, so the
+#: salt retires them wholesale instead.
+CACHE_SCHEMA = 2
 
 _MISS = object()
 
 
-def _flock_bounded(handle, timeout: float = LOCK_TIMEOUT) -> bool:
-    """Try to take an exclusive flock, giving up after *timeout* seconds.
+class LiveLeaseError(RuntimeError):
+    """GC (or doctor ``--repair``) refused to run: a work queue in the
+    cache directory holds unexpired leases, i.e. drainers are (or very
+    recently were) live.  Compacting or repairing under them could drop
+    bytes they are about to write or read; wait, or force past the
+    check when the drainers are known dead."""
 
-    Returns ``True`` when the lock was acquired.  A plain blocking
-    ``flock`` can park a sweep forever behind a worker that died while
-    holding the lock; polling a non-blocking attempt bounds the damage.
-    """
-    if fcntl is None:
-        return False
-    deadline = time.monotonic() + timeout
-    while True:
-        try:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-            return True
-        except OSError:
-            if time.monotonic() >= deadline:
-                return False
-            time.sleep(0.01)
-
-
-def _decode_line(line: str):
-    """Parse one JSONL entry; returns ``(entry, None)`` or
-    ``(None, reason)`` for a line that must be skipped."""
-    try:
-        entry = json.loads(line)
-    except ValueError:
-        return None, "corrupt"  # truncated/torn/garbage line
-    if not isinstance(entry, dict):
-        return None, "corrupt"
-    if not isinstance(entry.get("key"), str) or "data" not in entry:
-        return None, "corrupt"  # well-formed JSON, malformed payload
-    return entry, None
+    def __init__(self, queues: List[Tuple[str, int]]):
+        self.queues = queues
+        detail = ", ".join(
+            f"{os.path.basename(path)} ({count} live lease(s))"
+            for path, count in queues
+        )
+        super().__init__(
+            f"live leases in work queue(s): {detail}"
+        )
 
 
 def cache_salt() -> str:
@@ -168,12 +161,18 @@ class ResultCache:
         self.salt = salt if salt is not None else cache_salt()
         #: Entries loaded under a different salt, dropped on load.
         self.invalidations = 0
-        #: Lines that could not be decoded at all (truncated writes,
-        #: garbage, malformed payloads) — distinct from invalidations,
-        #: which are *valid* entries from another code version.
+        #: Mid-file lines that could not be decoded (garbage, CRC
+        #: mismatches, malformed payloads) — distinct from
+        #: invalidations, which are *valid* entries from another code
+        #: version, and from torn tails, which are crash residue.
         self.corrupt_lines = 0
-        #: Appends that proceeded unlocked after the bounded flock wait.
+        #: Unparsable final lines (a writer died mid-append); the
+        #: intact prefix is served and doctor truncates the tail.
+        self.torn_tails = 0
+        #: Appends that proceeded unlocked after the bounded flock wait,
+        #: and the total lock-retry attempts behind all appends.
         self.lock_timeouts = 0
+        self.lock_retries = 0
         self._entries: Dict[str, Dict[str, Any]] = {}
         self._loaded: set = set()
 
@@ -186,22 +185,14 @@ class ResultCache:
         if uarch_name in self._loaded:
             return
         self._loaded.add(uarch_name)
-        path = self.path_for(uarch_name)
-        if not os.path.exists(path):
-            return
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                entry, problem = _decode_line(line)
-                if problem is not None:
-                    self.corrupt_lines += 1
-                    continue
-                if entry.get("salt") != self.salt:
-                    self.invalidations += 1
-                    continue
-                self._entries[entry["key"]] = entry
+        scan = scan_journal(self.path_for(uarch_name))
+        self.torn_tails += 1 if scan.torn else 0
+        self.corrupt_lines += scan.corrupt
+        for entry in scan.entries():
+            if entry.get("salt") != self.salt:
+                self.invalidations += 1
+                continue
+            self._entries[entry["key"]] = entry
 
     # -- lookup / store -------------------------------------------------
 
@@ -233,8 +224,16 @@ class ResultCache:
         form_uid: str,
         uarch_name: str,
         data: Optional[Dict[str, Any]],
+        fence: Optional[int] = None,
     ) -> None:
-        """Persist one characterization (``data=None`` marks a skip)."""
+        """Persist one characterization (``data=None`` marks a skip).
+
+        *fence* stamps the work-queue fencing token of the lease the
+        write happened under (queue-mode drainers; see
+        :meth:`~repro.core.workqueue.WorkQueue.deposit`), so a write by
+        a zombie whose lease was stolen is attributable.  Serial sweeps
+        write unfenced entries.
+        """
         self._load(uarch_name)
         entry = {
             "salt": self.salt,
@@ -243,19 +242,13 @@ class ResultCache:
             "uarch": uarch_name,
             "data": data,
         }
+        if fence is not None:
+            entry["fence"] = fence
         self._entries[key] = entry
         os.makedirs(self.cache_dir, exist_ok=True)
-        line = json.dumps(entry, sort_keys=True) + "\n"
-        with open(self.path_for(uarch_name), "a",
-                  encoding="utf-8") as handle:
-            locked = _flock_bounded(handle)
-            if not locked and fcntl is not None:
-                self.lock_timeouts += 1
-            try:
-                handle.write(line)
-            finally:
-                if locked:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        append_entry(
+            self.path_for(uarch_name), entry, kind="cache", stats=self
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -332,11 +325,16 @@ class MeasurementMemo:
             )
         self.salt = salt if salt is not None else cache_salt()
         self.invalidations = 0
-        #: Undecodable lines (torn concurrent writes, garbage) skipped
-        #: on load — see :class:`ResultCache`.
+        #: Mid-file undecodable lines skipped on load — see
+        #: :class:`ResultCache`.
         self.corrupt_lines = 0
-        #: Appends that proceeded unlocked after the bounded flock wait.
+        #: Unparsable final lines (crashed appends) — see
+        #: :class:`ResultCache`.
+        self.torn_tails = 0
+        #: Appends that proceeded unlocked after the bounded flock wait,
+        #: and the lock-retry attempts behind all appends.
         self.lock_timeouts = 0
+        self.lock_retries = 0
         self._entries: Dict[str, Any] = {}
         self._loaded: set = set()
 
@@ -347,22 +345,14 @@ class MeasurementMemo:
         if uarch_name in self._loaded:
             return
         self._loaded.add(uarch_name)
-        path = self.path_for(uarch_name)
-        if not os.path.exists(path):
-            return
-        with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                entry, problem = _decode_line(line)
-                if problem is not None:
-                    self.corrupt_lines += 1
-                    continue
-                if entry.get("salt") != self.salt:
-                    self.invalidations += 1
-                    continue
-                self._entries[entry["key"]] = entry["data"]
+        scan = scan_journal(self.path_for(uarch_name))
+        self.torn_tails += 1 if scan.torn else 0
+        self.corrupt_lines += scan.corrupt
+        for entry in scan.entries():
+            if entry.get("salt") != self.salt:
+                self.invalidations += 1
+                continue
+            self._entries[entry["key"]] = entry["data"]
 
     def key_for(
         self,
@@ -388,23 +378,12 @@ class MeasurementMemo:
             return
         self._entries[key] = data
         os.makedirs(self.cache_dir, exist_ok=True)
-        line = json.dumps(
-            {"salt": self.salt, "key": key, "data": data}, sort_keys=True
-        ) + "\n"
-        with open(self.path_for(uarch_name), "a",
-                  encoding="utf-8") as handle:
-            # Bounded wait: a writer that died holding the advisory lock
-            # must not park the whole sweep; a lockless single-line
-            # append interleaves at line granularity, and a torn tail is
-            # dropped (and counted) by the next load.
-            locked = _flock_bounded(handle)
-            if not locked and fcntl is not None:
-                self.lock_timeouts += 1
-            try:
-                handle.write(line)
-            finally:
-                if locked:
-                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        append_entry(
+            self.path_for(uarch_name),
+            {"salt": self.salt, "key": key, "data": data},
+            kind="memo",
+            stats=self,
+        )
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -528,17 +507,17 @@ class SweepManifest:
         try:
             with open(self.path_for(uarch_name), "r",
                       encoding="utf-8") as handle:
-                state = json.load(handle)
-        except (OSError, ValueError):
+                state, _ = decode_blob(handle.read())
+        except (OSError, UnicodeDecodeError):
             state = None
         if (
             not isinstance(state, dict)
             or state.get("salt") != self.salt
             or not isinstance(state.get("configs"), dict)
         ):
-            # Missing, torn, or another code version: an empty manifest
-            # (a full sweep will rebuild it; GC keeps everything
-            # current-salt when no manifest exists).
+            # Missing, torn, CRC-damaged, or another code version: an
+            # empty manifest (a full sweep will rebuild it; GC keeps
+            # everything current-salt when no manifest exists).
             return {"salt": self.salt, "configs": {}}
         return state
 
@@ -564,7 +543,7 @@ class SweepManifest:
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self.path_for(uarch_name)
         with open(path + ".lock", "a+", encoding="utf-8") as lock:
-            locked = _flock_bounded(lock)
+            locked, _ = flock_bounded(lock, salt=path)
             try:
                 state = self._load(uarch_name)
                 digest = self.config_digest(config)
@@ -573,14 +552,43 @@ class SweepManifest:
                              "entries": {}},
                 )
                 recorded["entries"].update(entries)
-                blob = json.dumps(state, sort_keys=True)
-                tmp = f"{path}.tmp.{os.getpid()}"
-                with open(tmp, "w", encoding="utf-8") as handle:
-                    handle.write(blob)
-                os.replace(tmp, path)
+                publish_blob(path, state, kind="manifest")
             finally:
                 if locked and fcntl is not None:
                     fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+
+    def prune(self, uarch_name: str, uids) -> int:
+        """Drop *uids* from every recorded config of *uarch*.
+
+        ``repro doctor --repair`` calls this when the manifest claims a
+        form was resolved but the result store has no bytes for it (a
+        crash between the write and the manifest record, or quarantined
+        damage): the false claim is withdrawn so the next sweep
+        re-measures the form instead of trusting a phantom entry.
+        Returns how many entries were removed.
+        """
+        uids = set(uids)
+        path = self.path_for(uarch_name)
+        if not uids or not os.path.exists(path):
+            return 0
+        removed = 0
+        with open(path + ".lock", "a+", encoding="utf-8") as lock:
+            locked, _ = flock_bounded(lock, salt=path)
+            try:
+                state = self._load(uarch_name)
+                for recorded in state["configs"].values():
+                    entries = recorded.get("entries")
+                    if not isinstance(entries, dict):
+                        continue
+                    for uid in uids & set(entries):
+                        del entries[uid]
+                        removed += 1
+                if removed:
+                    publish_blob(path, state, kind="manifest")
+            finally:
+                if locked and fcntl is not None:
+                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+        return removed
 
     def live_keys(self, uarch_name: str) -> Optional[set]:
         """Every result-cache key any recorded sweep references, or
@@ -657,10 +665,13 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
     The rewrite happens under the same advisory flock the appenders
     take, *in place* (seek + truncate, not replace), so a concurrent
     well-behaved writer blocks on the lock instead of appending to a
-    doomed inode.
+    doomed inode.  Undecodable lines — torn tails and mid-file
+    corruption alike — are dropped and counted: GC is an explicit
+    "compact everything" request, unlike the read path, which preserves
+    damaged bytes for ``repro doctor``.
     """
     with open(path, "r+", encoding="utf-8") as handle:
-        locked = _flock_bounded(handle)
+        locked, _ = flock_bounded(handle, salt=path)
         try:
             raw_lines = handle.read().splitlines()
             last: Dict[str, Any] = {}
@@ -669,7 +680,7 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
                 line = line.strip()
                 if not line:
                     continue
-                entry, problem = _decode_line(line)
+                entry, problem = decode_entry(line)
                 if problem is not None:
                     stats.corrupt_dropped += 1
                     continue
@@ -686,9 +697,7 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
                 entry = last[key]
                 verdict = keep(entry)
                 if verdict == "keep":
-                    kept_lines.append(
-                        json.dumps(entry, sort_keys=True)
-                    )
+                    kept_lines.append(encode_entry(entry))
                     if kind == "result":
                         stats.result_kept += 1
                     else:
@@ -715,6 +724,7 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
 def collect_garbage(
     cache_dir: Optional[str] = None,
     salt: Optional[str] = None,
+    force: bool = False,
 ) -> GCStats:
     """Compact the persistent stores under *cache_dir*.
 
@@ -731,9 +741,19 @@ def collect_garbage(
     * **Work queues** (``<uarch>.queue.json``): fully drained queue
       files are removed.
 
-    Returns the per-store :class:`GCStats`.
+    GC is **lease-aware**: it takes (and holds, for the whole run)
+    every queue's transaction lock, so no drainer can lease, ack, or
+    write through mid-compaction — and it *refuses to run at all*,
+    raising :class:`LiveLeaseError`, when any queue holds an unexpired
+    lease, i.e. drainers are live (*force* overrides, for queues whose
+    machines are known dead).  Returns the per-store :class:`GCStats`.
     """
-    from repro.core.workqueue import WorkQueue
+    from repro.core.workqueue import (
+        WorkQueue,
+        live_lease_count,
+        outstanding_count,
+        read_queue_state,
+    )
 
     cache_dir = cache_dir or default_cache_dir()
     salt = salt if salt is not None else cache_salt()
@@ -742,6 +762,10 @@ def collect_garbage(
         return stats
     manifest = SweepManifest(cache_dir, salt=salt)
     names = sorted(os.listdir(cache_dir))
+    queue_paths = [
+        os.path.join(cache_dir, name)
+        for name in names if name.endswith(WorkQueue.SUFFIX)
+    ]
 
     def tally(path: str, attr: str) -> None:
         try:
@@ -750,38 +774,68 @@ def collect_garbage(
         except OSError:
             pass
 
-    for name in names:
-        path = os.path.join(cache_dir, name)
-        if name.endswith(MeasurementMemo.SUFFIX):
-            tally(path, "bytes_before")
+    held = []
+    removed_locks = []
+    try:
+        live = []
+        for path in queue_paths:
+            lock = open(path + ".lock", "a+", encoding="utf-8")
+            locked, _ = flock_bounded(lock, salt=path)
+            held.append((lock, locked))
+            count = live_lease_count(read_queue_state(path, salt))
+            if count:
+                live.append((path, count))
+        if live and not force:
+            raise LiveLeaseError(live)
 
-            def keep_memo(entry):
-                return "keep" if entry.get("salt") == salt else "stale"
+        for name in names:
+            path = os.path.join(cache_dir, name)
+            if name.endswith(MeasurementMemo.SUFFIX):
+                tally(path, "bytes_before")
 
-            _compact_jsonl(path, keep_memo, stats, "memo")
-            tally(path, "bytes_after")
-        elif name.endswith(".jsonl"):
-            uarch_name = name[: -len(".jsonl")]
-            tally(path, "bytes_before")
-            live = manifest.live_keys(uarch_name)
+                def keep_memo(entry):
+                    return (
+                        "keep" if entry.get("salt") == salt else "stale"
+                    )
 
-            def keep_result(entry):
-                if entry.get("salt") != salt:
-                    return "stale"
-                if live is not None and entry["key"] not in live:
-                    return "orphan"
-                return "keep"
+                _compact_jsonl(path, keep_memo, stats, "memo")
+                tally(path, "bytes_after")
+            elif name.endswith(WorkQueue.SUFFIX):
+                # While the lock is held, queue state cannot move under
+                # us: drained (or missing/torn/stale-salt, which a
+                # drainer would reset to empty anyway) means removable.
+                if outstanding_count(read_queue_state(path, salt)) == 0:
+                    try:
+                        os.remove(path)
+                    except OSError:
+                        pass
+                    removed_locks.append(path + ".lock")
+                    stats.queues_removed += 1
+            elif name.endswith(".jsonl"):
+                uarch_name = name[: -len(".jsonl")]
+                tally(path, "bytes_before")
+                live_keys = manifest.live_keys(uarch_name)
 
-            _compact_jsonl(path, keep_result, stats, "result")
-            tally(path, "bytes_after")
-        elif name.endswith(WorkQueue.SUFFIX):
-            uarch_name = name[: -len(WorkQueue.SUFFIX)]
-            queue = WorkQueue(cache_dir, uarch_name, salt=salt)
-            if queue.drained:
-                queue.clear()
-                try:
-                    os.remove(queue.lock_path)
-                except OSError:
-                    pass
-                stats.queues_removed += 1
+                def keep_result(entry):
+                    if entry.get("salt") != salt:
+                        return "stale"
+                    if (
+                        live_keys is not None
+                        and entry["key"] not in live_keys
+                    ):
+                        return "orphan"
+                    return "keep"
+
+                _compact_jsonl(path, keep_result, stats, "result")
+                tally(path, "bytes_after")
+    finally:
+        for lock, locked in held:
+            if locked and fcntl is not None:
+                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            lock.close()
+        for lock_path in removed_locks:
+            try:
+                os.remove(lock_path)
+            except OSError:
+                pass
     return stats

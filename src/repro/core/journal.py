@@ -1,0 +1,455 @@
+"""Checksummed, torn-write-safe journal I/O: the shared persistence writer.
+
+Every durable byte the sweep stack writes — result-cache and memo JSONL
+lines, the sweep manifest, the work-queue state — goes through this
+module, so crash safety is implemented (and chaos-tested) exactly once:
+
+* **Per-line CRC** (:func:`encode_entry` / :func:`decode_entry`): each
+  JSONL record carries a CRC-32 of its canonical body.  A reader can
+  therefore tell a *torn tail* — an unparsable final line, the signature
+  of a writer killed mid-append — from *corruption* anywhere else (an
+  unparsable line mid-file, a parsable line whose CRC does not match, a
+  malformed envelope).  Torn tails are truncated and the sweep
+  continues; corruption is counted and surfaced by ``repro doctor``,
+  which quarantines the damaged bytes rather than silently dropping
+  them.  Whole-file JSON states (queue, manifest) get the same
+  treatment via :func:`encode_blob` / :func:`decode_blob`.
+* **One append path** (:func:`append_entry`): single-``write()`` line
+  appends under a bounded advisory flock, with a *self-healing* check
+  that the file currently ends in a newline — so an append after a torn
+  write can never merge into the garbage tail and lose its own record.
+  ``repro lint`` RPR150 forbids raw append-mode ``open()`` calls
+  anywhere else in the package.
+* **Durability policy** (``REPRO_DURABILITY``): ``fsync`` syncs every
+  append and every atomic-rename publish; ``batch`` (the default) skips
+  the per-append fsync — completed ``write()`` syscalls survive process
+  death, only machine death can lose them — but still syncs before
+  rename publishes; ``off`` never syncs (throwaway stores, tests).
+* **Crash points**: every write site calls :func:`maybe_crash` with a
+  stable site name (``cache.pre-append``, ``queue.post-rename``, ...).
+  When ``REPRO_CRASH_POINT`` is armed the process SIGKILLs itself there
+  (see :mod:`repro.measure.faults`), which is how the crash-consistency
+  suite proves doctor + resume reconverges from every named site.
+
+Determinism contract (``repro lint`` RPR101/RPR102): encoded lines are
+pure functions of their entries — the CRC covers a ``sort_keys``
+canonical serialization, and nothing here reads wall clocks or entropy
+(``time.monotonic``/``time.sleep`` pace the flock retry only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import zlib
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: appends are not locked
+    fcntl = None
+
+#: Environment variable selecting the durability mode.
+DURABILITY_ENV = "REPRO_DURABILITY"
+
+#: ``fsync`` — sync every append and rename; ``batch`` — sync renames
+#: only (appends survive process crashes, not power loss); ``off`` —
+#: never sync.
+DURABILITY_MODES = ("fsync", "batch", "off")
+
+#: Environment variable arming a crash point (``site`` or ``site:N`` to
+#: SIGKILL on the Nth hit).  The site registry and the kill itself live
+#: in :mod:`repro.measure.faults`.
+CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+
+#: Longest a writer waits for the advisory file lock before proceeding
+#: unlocked (single-line ``write()`` appends interleave at line
+#: granularity anyway, so a missed lock degrades to at worst one torn
+#: line — which the loader classifies and recovers — rather than a
+#: deadlocked sweep).
+LOCK_TIMEOUT = 5.0
+
+#: Exponential-backoff schedule of the flock retry loop (mirrors
+#: :class:`repro.measure.executor.RetryPolicy`): attempt *n* sleeps
+#: ``min(max, base * 2**(n-1))`` plus a deterministic jitter fraction.
+LOCK_RETRY_BASE = 0.005
+LOCK_RETRY_MAX = 0.1
+LOCK_RETRY_JITTER = 0.25
+
+
+def durability_mode(explicit: Optional[str] = None) -> str:
+    """The active durability mode: *explicit*, ``$REPRO_DURABILITY``,
+    or the ``batch`` default.  Unknown values fall back to ``batch``
+    (the conservative middle) rather than crashing a sweep."""
+    mode = explicit or os.environ.get(DURABILITY_ENV) or "batch"
+    return mode if mode in DURABILITY_MODES else "batch"
+
+
+def maybe_crash(site: str) -> None:
+    """SIGKILL the process at *site* when ``REPRO_CRASH_POINT`` arms it.
+
+    A no-op (without even importing the chaos harness) unless the
+    environment variable is set, so the hot append path costs one
+    ``os.environ`` lookup.
+    """
+    if not os.environ.get(CRASH_POINT_ENV):
+        return
+    from repro.measure.faults import crash_point
+
+    crash_point(site)
+
+
+def _crash_armed(site: str) -> bool:
+    """Whether *site* is the armed crash point (regardless of count)."""
+    if not os.environ.get(CRASH_POINT_ENV):
+        return False
+    from repro.measure.faults import crash_site_armed
+
+    return crash_site_armed(site)
+
+
+# ---------------------------------------------------------------------------
+# Bounded, jittered flock
+# ---------------------------------------------------------------------------
+
+
+def _retry_delay(attempt: int, salt: str) -> float:
+    """Deterministic backoff-plus-jitter delay for retry *attempt*
+    (1-based).  Mirrors ``RetryPolicy.delay_for``: the jitter fraction
+    is drawn from a digest of (attempt, salt), so two writers contending
+    for the same lock de-synchronize identically on every run."""
+    delay = min(LOCK_RETRY_MAX, LOCK_RETRY_BASE * 2 ** (attempt - 1))
+    digest = hashlib.sha256(f"{attempt}:{salt}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 2**32
+    return delay * (1.0 + LOCK_RETRY_JITTER * fraction)
+
+
+def flock_bounded(
+    handle,
+    timeout: float = LOCK_TIMEOUT,
+    salt: str = "",
+) -> Tuple[bool, int]:
+    """Try to take an exclusive flock, giving up after *timeout* seconds.
+
+    Returns ``(locked, retries)``: whether the lock was acquired, and
+    how many non-blocking attempts failed before it was (or before the
+    deadline).  A plain blocking ``flock`` can park a sweep forever
+    behind a worker that died while holding the lock; polling a
+    non-blocking attempt with capped exponential backoff (plus the
+    deterministic jitter of :func:`_retry_delay`) bounds the damage
+    without stampeding the lock.
+    """
+    if fcntl is None:
+        return False, 0
+    deadline = time.monotonic() + timeout
+    attempt = 0
+    while True:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return True, attempt
+        except OSError:
+            now = time.monotonic()
+            if now >= deadline:
+                return False, attempt
+            attempt += 1
+            time.sleep(
+                min(_retry_delay(attempt, salt), deadline - now)
+            )
+
+
+def _count(stats, field: str, amount: int) -> None:
+    """Bump ``stats.<field>`` when *stats* carries such a counter."""
+    if stats is None or amount == 0:
+        return
+    current = getattr(stats, field, None)
+    if current is not None:
+        setattr(stats, field, current + amount)
+
+
+# ---------------------------------------------------------------------------
+# Per-line CRC codec
+# ---------------------------------------------------------------------------
+
+
+def line_crc(body: str) -> str:
+    """CRC-32 of a canonical line body, as 8 hex digits."""
+    return format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
+
+
+def encode_entry(entry: Dict[str, Any]) -> str:
+    """One checksummed JSONL line (without the trailing newline).
+
+    The CRC covers the ``sort_keys`` canonical serialization of the
+    entry *without* its ``crc`` field, so decoding re-derives the same
+    bytes from the parsed JSON — no raw-line bookkeeping needed.
+    """
+    body = {key: value for key, value in entry.items() if key != "crc"}
+    crc = line_crc(json.dumps(body, sort_keys=True))
+    body["crc"] = crc
+    return json.dumps(body, sort_keys=True)
+
+
+def decode_entry(line: str):
+    """Parse one checksummed JSONL line.
+
+    Returns ``(entry, None)`` — the entry *without* its ``crc`` field —
+    or ``(None, problem)`` where *problem* is:
+
+    * ``"unparsable"`` — not JSON at all (a torn write, if it is the
+      file's final line; corruption otherwise — the caller classifies
+      by position, see :func:`scan_journal`);
+    * ``"corrupt"`` — well-formed JSON with a malformed envelope (not a
+      dict, no string ``key``, no ``data``);
+    * ``"crc"`` — envelope intact but the checksum is missing or does
+      not match the body (bit rot, a partially overwritten line, or a
+      legacy line from before checksumming).
+    """
+    try:
+        entry = json.loads(line)
+    except ValueError:
+        return None, "unparsable"
+    if not isinstance(entry, dict):
+        return None, "corrupt"
+    crc = entry.pop("crc", None)
+    if not isinstance(entry.get("key"), str) or "data" not in entry:
+        return None, "corrupt"
+    if crc != line_crc(json.dumps(entry, sort_keys=True)):
+        return None, "crc"
+    return entry, None
+
+
+# ---------------------------------------------------------------------------
+# Whole-file JSON states (queue, manifest)
+# ---------------------------------------------------------------------------
+
+
+def encode_blob(state: Dict[str, Any]) -> str:
+    """A whole-file JSON state with a top-level ``crc`` field (same
+    canonical-body scheme as :func:`encode_entry`)."""
+    body = {key: value for key, value in state.items() if key != "crc"}
+    crc = line_crc(json.dumps(body, sort_keys=True))
+    body["crc"] = crc
+    return json.dumps(body, sort_keys=True)
+
+
+def decode_blob(text: str):
+    """Parse a checksummed whole-file state; ``(state, None)`` or
+    ``(None, "unparsable" | "corrupt" | "crc")``."""
+    try:
+        state = json.loads(text)
+    except ValueError:
+        return None, "unparsable"
+    if not isinstance(state, dict):
+        return None, "corrupt"
+    crc = state.pop("crc", None)
+    if crc != line_crc(json.dumps(state, sort_keys=True)):
+        return None, "crc"
+    return state, None
+
+
+# ---------------------------------------------------------------------------
+# Scanning: torn-tail vs. mid-file classification
+# ---------------------------------------------------------------------------
+
+
+class JournalRecord(NamedTuple):
+    """One line of a scanned journal, valid or not."""
+
+    entry: Optional[Dict[str, Any]]
+    #: ``None`` (valid), ``"torn"`` (unparsable final line — a crashed
+    #: append, safe to truncate), ``"unparsable"`` / ``"corrupt"`` /
+    #: ``"crc"`` (mid-file damage — quarantine material).
+    problem: Optional[str]
+    #: Byte offset of the line start within the file.
+    offset: int
+    #: Raw line bytes (without the newline).
+    raw: bytes
+
+
+class JournalScan:
+    """The result of :func:`scan_journal`: every record, classified."""
+
+    def __init__(self):
+        self.records: List[JournalRecord] = []
+        #: Byte offset where a torn tail starts (``None`` = clean tail).
+        #: Truncating the file here recovers every intact record.
+        self.torn_offset: Optional[int] = None
+        #: Mid-file records that failed to decode (excludes the torn
+        #: tail): these need quarantine, not truncation.
+        self.corrupt = 0
+        self.size = 0
+
+    @property
+    def torn(self) -> bool:
+        return self.torn_offset is not None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The valid entries, in file order."""
+        return [
+            record.entry for record in self.records
+            if record.problem is None
+        ]
+
+
+def scan_journal(path: str) -> JournalScan:
+    """Read and classify every line of the JSONL store at *path*.
+
+    The classification rule: a line that is not even JSON *and* is the
+    file's final line is a **torn tail** — the signature of a writer
+    killed mid-append — and is safe to truncate away.  Everything else
+    that fails to decode (unparsable mid-file, bad envelope, CRC
+    mismatch anywhere) is **corruption**: bytes that claim to be a
+    record but cannot be trusted, counted and left for ``repro doctor``
+    to quarantine.  A missing file scans as empty.
+    """
+    scan = JournalScan()
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError:
+        return scan
+    scan.size = len(blob)
+    lines: List[Tuple[int, bytes]] = []
+    offset = 0
+    for raw in blob.split(b"\n"):
+        if raw.strip():
+            lines.append((offset, raw))
+        offset += len(raw) + 1
+    for index, (start, raw) in enumerate(lines):
+        try:
+            entry, problem = decode_entry(raw.decode("utf-8"))
+        except UnicodeDecodeError:
+            entry, problem = None, "unparsable"
+        if problem == "unparsable" and index == len(lines) - 1:
+            problem = "torn"
+            scan.torn_offset = start
+        elif problem is not None:
+            scan.corrupt += 1
+        scan.records.append(JournalRecord(entry, problem, start, raw))
+    return scan
+
+
+# ---------------------------------------------------------------------------
+# The one append path
+# ---------------------------------------------------------------------------
+
+
+def append_entry(
+    path: str,
+    entry: Dict[str, Any],
+    kind: str = "cache",
+    stats=None,
+    durability: Optional[str] = None,
+) -> None:
+    """Append one checksummed entry to the JSONL store at *path*.
+
+    *kind* names the store for crash-point sites (``cache``, ``memo``).
+    *stats* is any object carrying ``lock_timeouts`` / ``lock_retries``
+    counters (e.g. :class:`~repro.core.cache.ResultCache`); the bounded
+    flock's retries and timeouts are folded into it.
+
+    Crash safety: the record is a single ``write()`` of one line, taken
+    after self-healing a missing trailing newline — so a predecessor's
+    torn tail can corrupt at most *itself*, never a later append.  The
+    armed ``{kind}.mid-append`` site deliberately splits the write to
+    manufacture the torn-tail case the readers must recover from.
+    """
+    line = encode_entry(entry)
+    payload = (line + "\n").encode("utf-8")
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    mode = durability_mode(durability)
+    maybe_crash(f"{kind}.pre-append")
+    with open(path, "ab+") as handle:
+        locked, retries = flock_bounded(handle, salt=path)
+        _count(stats, "lock_retries", retries)
+        if not locked and fcntl is not None:
+            _count(stats, "lock_timeouts", 1)
+        try:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    # A previous writer died mid-line: terminate the
+                    # torn tail so this record starts on its own line
+                    # (the scan still classifies the tail as torn-or-
+                    # corrupt; it just cannot swallow this append).
+                    handle.write(b"\n")
+            if _crash_armed(f"{kind}.mid-append"):
+                half = max(1, len(payload) // 2)
+                handle.write(payload[:half])
+                handle.flush()
+                maybe_crash(f"{kind}.mid-append")
+                handle.write(payload[half:])
+            else:
+                handle.write(payload)
+            handle.flush()
+            maybe_crash(f"{kind}.pre-fsync")
+            if mode == "fsync":
+                os.fsync(handle.fileno())
+        finally:
+            if locked:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    maybe_crash(f"{kind}.post-append")
+
+
+def quarantine_lines(
+    path: str,
+    lines: List[bytes],
+    durability: Optional[str] = None,
+) -> None:
+    """Append raw damaged lines to the quarantine sidecar at *path*.
+
+    Quarantined bytes are preserved verbatim — they failed to decode,
+    so they cannot be re-encoded through :func:`append_entry` — but the
+    append still goes through this module (lint RPR150) so it shares
+    the flock and the durability policy with every other writer.
+    """
+    if not lines:
+        return
+    mode = durability_mode(durability)
+    with open(path, "ab+") as handle:
+        locked, _ = flock_bounded(handle, salt=path)
+        try:
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"\n".join(lines) + b"\n")
+            handle.flush()
+            if mode == "fsync":
+                os.fsync(handle.fileno())
+        finally:
+            if locked:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
+def publish_blob(
+    path: str,
+    state: Dict[str, Any],
+    kind: str,
+    durability: Optional[str] = None,
+) -> None:
+    """Atomically publish a checksummed whole-file JSON state.
+
+    Write-to-temp + ``os.replace``: readers observe either the old or
+    the new state, never a mixture.  Under ``fsync``/``batch`` the temp
+    file is synced before the rename (an unsynced rename can publish an
+    empty inode after power loss); ``off`` skips the sync.  The
+    ``{kind}.pre-rename`` / ``{kind}.post-rename`` crash points bracket
+    the publish.
+    """
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    mode = durability_mode(durability)
+    blob = encode_blob(state)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(blob)
+        handle.flush()
+        if mode != "off":
+            os.fsync(handle.fileno())
+    maybe_crash(f"{kind}.pre-rename")
+    os.replace(tmp, path)
+    maybe_crash(f"{kind}.post-rename")

@@ -106,17 +106,27 @@ class RunStatistics:
     shards_respawned: int = 0
     corrupt_lines: int = 0
     lock_timeouts: int = 0
+    #: Store-integrity counters (see :mod:`repro.core.journal`): torn
+    #: tails truncated-and-recovered on load (a writer died mid-append),
+    #: and bounded-flock attempts that had to back off and retry before
+    #: acquiring the lock (``lock_timeouts`` counts the waits that gave
+    #: up entirely).
+    torn_tails: int = 0
+    lock_retries: int = 0
     #: Distributed-sweep queue health (see
     #: :mod:`repro.core.workqueue`): work units this sweep leased,
     #: leases reclaimed from dead/stalled drainers (and the expirations
-    #: that enabled the steals), units acknowledged as done, forms
-    #: served from cache because their input fingerprints were
-    #: unchanged (``--incremental``), and cache lines dropped by
-    #: ``repro cache gc``.
+    #: that enabled the steals), units acknowledged as done, lease
+    #: renewals by drainer heartbeats, fenced-off writes by zombie
+    #: workers whose lease was stolen, forms served from cache because
+    #: their input fingerprints were unchanged (``--incremental``), and
+    #: cache lines dropped by ``repro cache gc``.
     units_leased: int = 0
     units_stolen: int = 0
     units_acked: int = 0
     lease_expirations: int = 0
+    leases_renewed: int = 0
+    zombie_writes: int = 0
     incremental_skips: int = 0
     gc_keys_dropped: int = 0
 

@@ -67,7 +67,12 @@ from repro.core.cache import (
     catalog_context_digest,
     form_fingerprint,
 )
-from repro.core.workqueue import WorkQueue, WorkUnit
+from repro.core.workqueue import (
+    LeaseHeartbeat,
+    QueueCounters,
+    WorkQueue,
+    WorkUnit,
+)
 from repro.core.result import (
     InstructionCharacterization,
     decode_characterization,
@@ -271,42 +276,70 @@ def _drain_worker(payload: _DrainPayload, out_queue) -> None:
     cache = ResultCache(store_dir, salt=salt)
     work = WorkQueue(store_dir, uarch_name, salt=salt)
     owner = f"{os.getpid()}.{worker_id}"
-    while True:
-        units = work.lease(
-            owner, limit=1, lease_seconds=lease_seconds
-        )
-        if not units:
-            if work.drained:
-                break
-            # Other drainers hold live leases; poll until they finish
-            # (or their leases expire and become stealable).
-            time.sleep(SweepEngine.POLL_INTERVAL)
-            continue
-        for unit in units:
-            respawned = unit.leases > 1
-            if plan is not None:
-                stall = plan.stall_seconds(unit.uid, respawned)
-                if stall:
-                    time.sleep(stall)
-                if plan.should_kill(unit.uid, respawned):
-                    out_queue.close()
-                    out_queue.join_thread()
-                    os._exit(KILL_EXIT_CODE)
-            outcome = runner.characterize_resilient(
-                database.by_uid(unit.uid)
+    heartbeat = LeaseHeartbeat(
+        work, owner, lease_seconds=lease_seconds
+    ).start()
+    try:
+        while True:
+            units = work.lease(
+                owner, limit=1, lease_seconds=lease_seconds
             )
-            if isinstance(outcome, FormFailure):
-                failure = dataclasses.replace(outcome, shard=worker_id)
-                work.fail(unit.key, owner, failure.as_dict())
-                out_queue.put(("failure", worker_id, unit.uid, failure))
+            if not units:
+                if work.drained:
+                    break
+                # Other drainers hold live leases; poll until they
+                # finish (or their leases expire and become stealable).
+                time.sleep(SweepEngine.POLL_INTERVAL)
                 continue
-            data = (
-                encode_characterization(outcome)
-                if outcome is not None else None
-            )
-            cache.put(unit.key, unit.uid, uarch_name, data)
-            work.ack(unit.key, owner)
-            out_queue.put(("result", worker_id, unit.uid, data))
+            for unit in units:
+                heartbeat.watch(unit)
+                try:
+                    respawned = unit.leases > 1
+                    if plan is not None:
+                        stall = plan.stall_seconds(unit.uid, respawned)
+                        if stall:
+                            time.sleep(stall)
+                        if plan.should_kill(unit.uid, respawned):
+                            out_queue.close()
+                            out_queue.join_thread()
+                            os._exit(KILL_EXIT_CODE)
+                    outcome = runner.characterize_resilient(
+                        database.by_uid(unit.uid)
+                    )
+                    if isinstance(outcome, FormFailure):
+                        failure = dataclasses.replace(
+                            outcome, shard=worker_id
+                        )
+                        work.fail(unit.key, owner, failure.as_dict())
+                        out_queue.put(
+                            ("failure", worker_id, unit.uid, failure)
+                        )
+                        continue
+                    data = (
+                        encode_characterization(outcome)
+                        if outcome is not None else None
+                    )
+                    verdict = work.deposit(
+                        unit.key, owner, unit.fence,
+                        lambda: cache.put(
+                            unit.key, unit.uid, uarch_name, data,
+                            fence=unit.fence,
+                        ),
+                    )
+                    if verdict in ("acked", "duplicate"):
+                        out_queue.put(
+                            ("result", worker_id, unit.uid, data)
+                        )
+                finally:
+                    heartbeat.unwatch(unit.key)
+    finally:
+        heartbeat.stop()
+    # Renewals and zombie rejections live in the shared queue counters
+    # (the coordinator folds the delta); folding them here too would
+    # double-count.  Lock retries are per-process, so they do fold.
+    runner.statistics.lock_retries += (
+        cache.lock_retries + work.lock_retries
+    )
     runner.statistics.fold_snapshot(
         BackendStats.zero(), backend.stats_tuple()
     )
@@ -511,15 +544,23 @@ class SweepEngine:
         if self.cache is not None:
             self.statistics.cache_invalidations = self.cache.invalidations
         corrupt = self._decode_corrupt
+        torn = 0
         lock_timeouts = 0
+        lock_retries = self.statistics.lock_retries
         if self.cache is not None:
             corrupt += self.cache.corrupt_lines
+            torn += self.cache.torn_tails
             lock_timeouts += self.cache.lock_timeouts
+            lock_retries += self.cache.lock_retries
         if self.measure_memo is not None:
             corrupt += self.measure_memo.corrupt_lines
+            torn += self.measure_memo.torn_tails
             lock_timeouts += self.measure_memo.lock_timeouts
+            lock_retries += self.measure_memo.lock_retries
         self.statistics.corrupt_lines = corrupt
+        self.statistics.torn_tails = torn
         self.statistics.lock_timeouts = lock_timeouts
+        self.statistics.lock_retries = lock_retries
         self.statistics.forms_failed = len(self.failures)
         if self._backend is not None:
             # In-process measurement work this sweep performed (serial
@@ -545,11 +586,13 @@ class SweepEngine:
         )
         return self.cache.get(key, self.uarch.name)
 
-    def _cache_store(self, uid: str, data) -> None:
+    def _cache_store(
+        self, uid: str, data, fence: Optional[int] = None
+    ) -> None:
         if self.cache is None:
             return
         key = self.cache.key_for(uid, self.uarch.name, self.config)
-        self.cache.put(key, uid, self.uarch.name, data)
+        self.cache.put(key, uid, self.uarch.name, data, fence=fence)
 
     # -- incremental re-characterization -------------------------------
 
@@ -1121,10 +1164,11 @@ class SweepEngine:
                     progress(outcome.summary())
 
         delta = work.counters().delta(base_counters)
-        self.statistics.units_leased += delta["units_leased"]
-        self.statistics.units_stolen += delta["units_stolen"]
-        self.statistics.units_acked += delta["units_acked"]
-        self.statistics.lease_expirations += delta["lease_expirations"]
+        for field in QueueCounters.FIELDS:
+            setattr(
+                self.statistics, field,
+                getattr(self.statistics, field) + delta[field],
+            )
         if owns_store:
             shutil.rmtree(store_dir, ignore_errors=True)
 
@@ -1204,45 +1248,71 @@ class SweepEngine:
         )
         owner = f"{os.getpid()}.drain"
         results: Dict[str, InstructionCharacterization] = {}
-        while True:
-            units = work.lease(
-                owner, limit=1, lease_seconds=self.lease_timeout
-            )
-            if not units:
-                if work.drained:
-                    break
-                time.sleep(self.POLL_INTERVAL)
-                continue
-            for unit in units:
-                self.statistics.units_leased += 1
-                if unit.stolen_now:
-                    self.statistics.units_stolen += 1
-                    self.statistics.lease_expirations += 1
-                respawned = unit.leases > 1
-                if plan is not None:
-                    stall = plan.stall_seconds(unit.uid, respawned)
-                    if stall:
-                        time.sleep(stall)
-                    if plan.should_kill(unit.uid, respawned):
-                        os._exit(KILL_EXIT_CODE)
-                outcome = runner.characterize_resilient(
-                    self.database.by_uid(unit.uid)
+        heartbeat = LeaseHeartbeat(
+            work, owner, lease_seconds=self.lease_timeout
+        ).start()
+        try:
+            while True:
+                units = work.lease(
+                    owner, limit=1, lease_seconds=self.lease_timeout
                 )
-                if isinstance(outcome, FormFailure):
-                    self.failures[unit.uid] = outcome
-                    work.fail(unit.key, owner, outcome.as_dict())
+                if not units:
+                    if work.drained:
+                        break
+                    time.sleep(self.POLL_INTERVAL)
                     continue
-                data = (
-                    encode_characterization(outcome)
-                    if outcome is not None else None
-                )
-                self._cache_store(unit.uid, data)
-                work.ack(unit.key, owner)
-                self.statistics.units_acked += 1
-                if outcome is not None:
-                    results[unit.uid] = outcome
-                    if progress is not None:
-                        progress(outcome.summary())
+                for unit in units:
+                    self.statistics.units_leased += 1
+                    if unit.stolen_now:
+                        self.statistics.units_stolen += 1
+                        self.statistics.lease_expirations += 1
+                    heartbeat.watch(unit)
+                    try:
+                        respawned = unit.leases > 1
+                        if plan is not None:
+                            stall = plan.stall_seconds(
+                                unit.uid, respawned
+                            )
+                            if stall:
+                                time.sleep(stall)
+                            if plan.should_kill(unit.uid, respawned):
+                                os._exit(KILL_EXIT_CODE)
+                        outcome = runner.characterize_resilient(
+                            self.database.by_uid(unit.uid)
+                        )
+                        if isinstance(outcome, FormFailure):
+                            self.failures[unit.uid] = outcome
+                            work.fail(unit.key, owner, outcome.as_dict())
+                            continue
+                        data = (
+                            encode_characterization(outcome)
+                            if outcome is not None else None
+                        )
+                        uid = unit.uid
+                        fence = unit.fence
+                        verdict = work.deposit(
+                            unit.key, owner, fence,
+                            lambda: self._cache_store(
+                                uid, data, fence=fence
+                            ),
+                        )
+                        if verdict == "fenced":
+                            self.statistics.zombie_writes += 1
+                            continue
+                        if verdict == "acked":
+                            self.statistics.units_acked += 1
+                        if outcome is not None:
+                            results[unit.uid] = outcome
+                            if progress is not None:
+                                progress(outcome.summary())
+                    finally:
+                        heartbeat.unwatch(unit.key)
+        finally:
+            heartbeat.stop()
+        self.statistics.leases_renewed += heartbeat.renewed
+        self.statistics.lock_retries += work.lock_retries
+        if self.cache is not None:
+            self.statistics.lock_retries += self.cache.lock_retries
         self.statistics.characterized += (
             runner.statistics.characterized - before.characterized
         )

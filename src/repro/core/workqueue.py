@@ -20,11 +20,20 @@ directory — **lease**, execute, and **ack**:
   an ack is poisoned — it reliably takes workers down with it — and is
   marked failed with a ``WorkerLost`` record instead of starving the
   fleet forever;
-* the whole state lives in one JSON file next to the result cache,
-  mutated only in read-modify-write transactions under an exclusive
-  ``flock`` on a sibling lock file and published atomically via
-  ``os.replace``, so concurrent drainers on one filesystem never
-  observe a torn queue.
+* the whole state lives in one checksummed JSON file next to the
+  result cache, mutated only in read-modify-write transactions under an
+  exclusive ``flock`` on a sibling lock file and published atomically
+  via the shared :func:`~repro.core.journal.publish_blob` writer, so
+  concurrent drainers on one filesystem never observe a torn queue and
+  a crash mid-publish is detected by the CRC, not trusted;
+* leases are **renewable** and **fenced**: a live owner heartbeats
+  (:meth:`WorkQueue.renew`, driven by :class:`LeaseHeartbeat`) to
+  extend its lease on long-running units, and every grant bumps the
+  unit's monotonically increasing *fencing token*.  Result writes go
+  through :meth:`WorkQueue.deposit`, which stamps and checks the token
+  inside the queue transaction — so a stalled-but-alive *zombie*
+  whose lease was stolen cannot silently overwrite the thief's work:
+  its post-steal deposit is rejected and counted (``zombie_writes``).
 
 Lease expiry uses ``time.time()`` (the wall clock) rather than
 ``time.monotonic()`` deliberately: monotonic clocks are not comparable
@@ -36,12 +45,13 @@ RPR101) — nothing here ever feeds a content key.
 from __future__ import annotations
 
 import dataclasses
-import json
 import os
+import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
-from repro.core.cache import _flock_bounded, cache_salt
+from repro.core.cache import cache_salt
+from repro.core.journal import decode_blob, flock_bounded, publish_blob
 
 try:
     import fcntl
@@ -79,6 +89,10 @@ class WorkUnit:
     expires: float = 0.0
     leases: int = 0
     stolen: int = 0
+    #: Fencing token: bumped on *every* lease grant (fresh, renewal not
+    #: included — renewals keep ownership, steals change it).  A deposit
+    #: carrying a stale token is a zombie write and is rejected.
+    fence: int = 0
     failure: Optional[Dict[str, Any]] = None
     #: Transient (not persisted): whether the lease that returned this
     #: unit reclaimed an expired lease — i.e. the caller just stole it.
@@ -102,12 +116,13 @@ class QueueCounters(Dict[str, int]):
 
     Keys mirror the :class:`~repro.core.runner.RunStatistics` fields the
     sweep engine folds them into: ``units_leased``, ``units_stolen``,
-    ``units_acked``, ``lease_expirations``.
+    ``units_acked``, ``lease_expirations``, ``leases_renewed``,
+    ``zombie_writes``.
     """
 
     FIELDS = (
         "units_leased", "units_stolen", "units_acked",
-        "lease_expirations",
+        "lease_expirations", "leases_renewed", "zombie_writes",
     )
 
     def __init__(self, values: Optional[Dict[str, int]] = None):
@@ -147,6 +162,8 @@ class WorkQueue:
         self.max_unit_leases = max_unit_leases
         #: Transactions that proceeded unlocked after the bounded wait.
         self.lock_timeouts = 0
+        #: Non-blocking flock attempts that had to back off and retry.
+        self.lock_retries = 0
 
     # -- file layout ----------------------------------------------------
 
@@ -161,19 +178,12 @@ class WorkQueue:
         return self.path + ".lock"
 
     def _read_state(self) -> Dict[str, Any]:
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                state = json.load(handle)
-        except (OSError, ValueError):
-            state = None
-        if (
-            not isinstance(state, dict)
-            or state.get("salt") != self.salt
-            or not isinstance(state.get("units"), dict)
-        ):
-            # Missing, torn, or written by another code version: start
-            # fresh.  Work enqueued under an old salt must be re-planned
-            # anyway (its result-cache keys are stale too).
+        state = read_queue_state(self.path, self.salt)
+        if state is None:
+            # Missing, torn, CRC-damaged, or written by another code
+            # version: start fresh.  Work enqueued under an old salt
+            # must be re-planned anyway (its result-cache keys are
+            # stale too).
             return {
                 "salt": self.salt,
                 "units": {},
@@ -183,20 +193,15 @@ class WorkQueue:
 
     def _write_state(self, state: Dict[str, Any]) -> None:
         os.makedirs(self.cache_dir, exist_ok=True)
-        blob = json.dumps(state, sort_keys=True)
-        tmp = f"{self.path}.tmp.{os.getpid()}"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
+        publish_blob(self.path, state, kind="queue")
 
     def _transaction(self, mutate):
         """Run ``mutate(state)`` under the queue lock; publish the state
         atomically when *mutate* returns ``(result, True)``."""
         os.makedirs(self.cache_dir, exist_ok=True)
         with open(self.lock_path, "a+", encoding="utf-8") as lock:
-            locked = _flock_bounded(lock)
+            locked, retries = flock_bounded(lock, salt=self.lock_path)
+            self.lock_retries += retries
             if not locked and fcntl is not None:
                 self.lock_timeouts += 1
             try:
@@ -317,6 +322,7 @@ class WorkQueue:
                 raw["owner"] = owner
                 raw["expires"] = now + lease_seconds
                 raw["leases"] += 1
+                raw["fence"] = raw.get("fence", 0) + 1
                 counters["units_leased"] += 1
                 if expired:
                     raw["stolen"] += 1
@@ -345,6 +351,94 @@ class WorkQueue:
             raw["failure"] = None
             counters["units_acked"] += 1
             return True, True
+
+        return self._transaction(mutate)
+
+    def renew(
+        self,
+        owner: str,
+        key_fences: Dict[str, int],
+        lease_seconds: float = 60.0,
+    ) -> Dict[str, List[str]]:
+        """Extend *owner*'s leases on ``{key: fence}`` units (heartbeat).
+
+        A unit renews only while it is still leased to *owner* under
+        the same fencing token — an expired-but-unstolen lease renews
+        fine (nobody else claimed it), but once a sibling stole the
+        unit the renewal is refused and the key is reported ``lost`` so
+        the worker can abandon the doomed computation early instead of
+        racing the thief to the cache.
+        """
+
+        def mutate(state):
+            stored = self._units(state)
+            counters = self._counters(state)
+            now = time.time()
+            renewed: List[str] = []
+            lost: List[str] = []
+            for key, fence in sorted(key_fences.items()):
+                raw = stored.get(key)
+                if (
+                    raw is not None
+                    and raw["state"] == _LEASED
+                    and raw["owner"] == owner
+                    and raw.get("fence", 0) == fence
+                ):
+                    raw["expires"] = now + lease_seconds
+                    counters["leases_renewed"] += 1
+                    renewed.append(key)
+                else:
+                    lost.append(key)
+            return {"renewed": renewed, "lost": lost}, bool(renewed)
+
+        return self._transaction(mutate)
+
+    def deposit(
+        self,
+        key: str,
+        owner: str,
+        fence: int,
+        write: Callable[[], None],
+    ) -> str:
+        """Fenced write-through: run *write* (the result-cache append)
+        and ack *key*, atomically, inside the queue transaction.
+
+        Returns a verdict string:
+
+        * ``"acked"`` — the token matched; *write* ran and the unit is
+          acked.
+        * ``"duplicate"`` — already acked (a benign late ack of a
+          stolen-then-finished unit whose thief's bytes are identical);
+          *write* is skipped.
+        * ``"fenced"`` — the unit's token moved past *fence*: the
+          caller is a zombie whose lease was stolen.  *write* is
+          **not** run, and ``zombie_writes`` is counted — this is the
+          detection the idempotence argument of PR 7 couldn't give.
+        * ``"missing"`` — the key is not in the queue at all (e.g. the
+          queue was reset under a new salt mid-flight).
+
+        Because the store append happens under the queue lock, a thief
+        cannot interleave between the fence check and the write: lock
+        ordering is queue lock → store lock, everywhere.
+        """
+
+        def mutate(state):
+            stored = self._units(state)
+            counters = self._counters(state)
+            raw = stored.get(key)
+            if raw is None:
+                return "missing", False
+            if raw["state"] == _ACKED:
+                return "duplicate", False
+            if raw.get("fence", 0) != fence:
+                counters["zombie_writes"] += 1
+                return "fenced", True
+            write()
+            raw["state"] = _ACKED
+            raw["owner"] = owner
+            raw["failure"] = None
+            counters["units_acked"] += 1
+            return "acked", True
 
         return self._transaction(mutate)
 
@@ -387,6 +481,31 @@ class WorkQueue:
                     and raw["expires"] > now
                 ):
                     raw["expires"] = 0.0
+                    released += 1
+            return released, released > 0
+
+        return self._transaction(mutate)
+
+    def release_expired(self) -> int:
+        """Return expired leases to pending (``repro doctor``'s
+        orphaned-lease repair).
+
+        The ordinary steal path already reclaims these lazily; doctor
+        releases them eagerly so a repaired store shows no leftover
+        lease debris.  The fencing token is untouched — it only bumps
+        on the next grant — so a zombie of the released owner is still
+        fenced out.
+        """
+
+        def mutate(state):
+            counters = self._counters(state)
+            now = time.time()
+            released = 0
+            for raw in self._units(state).values():
+                if raw["state"] == _LEASED and raw["expires"] <= now:
+                    raw["state"] = _PENDING
+                    raw["owner"] = None
+                    counters["lease_expirations"] += 1
                     released += 1
             return released, released > 0
 
@@ -436,6 +555,25 @@ class WorkQueue:
 
         return self._transaction(mutate)
 
+    def all_units(self) -> List[WorkUnit]:
+        """Every unit, any state, in stable uid order (doctor's view)."""
+
+        def mutate(state):
+            units = [
+                WorkUnit.from_dict(raw)
+                for raw in sorted(
+                    self._units(state).values(),
+                    key=lambda u: (u["uid"], u["key"]),
+                )
+            ]
+            return units, False
+
+        return self._transaction(mutate)
+
+    def live_leases(self) -> int:
+        """Units currently leased with an unexpired lease."""
+        return live_lease_count(read_queue_state(self.path, self.salt))
+
     @property
     def drained(self) -> bool:
         """No unit is pending or leased (everything acked or failed)."""
@@ -459,3 +597,157 @@ class WorkQueue:
             os.remove(self.path)
         except OSError:
             pass
+
+
+# ---------------------------------------------------------------------------
+# Lockless state readers (GC / doctor)
+# ---------------------------------------------------------------------------
+#
+# ``flock`` is advisory per open file description, so a process already
+# holding a queue's lock handle would deadlock against itself by calling
+# the transactional methods above (they open a second description).
+# Callers that must inspect queues *while holding their locks* — GC's
+# compaction phase, doctor — read the state file directly instead: the
+# atomic-rename publish guarantees any successfully read blob is a
+# consistent snapshot.
+
+
+def read_queue_state(
+    path: str, salt: str
+) -> Optional[Dict[str, Any]]:
+    """The queue state at *path*, or ``None`` when the file is missing,
+    torn, CRC-damaged, malformed, or written under another salt (all of
+    which a :class:`WorkQueue` would reset to empty)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            state, _ = decode_blob(handle.read())
+    except (OSError, UnicodeDecodeError):
+        return None
+    if (
+        not isinstance(state, dict)
+        or state.get("salt") != salt
+        or not isinstance(state.get("units"), dict)
+    ):
+        return None
+    return state
+
+
+def live_lease_count(state: Optional[Dict[str, Any]]) -> int:
+    """Unexpired leases in a :func:`read_queue_state` snapshot."""
+    if state is None:
+        return 0
+    now = time.time()
+    return sum(
+        1 for raw in state["units"].values()
+        if raw.get("state") == _LEASED and raw.get("expires", 0) > now
+    )
+
+
+def outstanding_count(state: Optional[Dict[str, Any]]) -> int:
+    """Pending-or-leased units in a :func:`read_queue_state` snapshot
+    (0 = drained; ``None`` states count as drained, matching
+    :meth:`WorkQueue._read_state`'s reset-to-empty behavior)."""
+    if state is None:
+        return 0
+    return sum(
+        1 for raw in state["units"].values()
+        if raw.get("state") in (_PENDING, _LEASED)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Lease heartbeat
+# ---------------------------------------------------------------------------
+
+
+class LeaseHeartbeat:
+    """A daemon thread renewing a drainer's leases while units run.
+
+    PR 7's fixed lease window forced an ugly choice: long enough for
+    the slowest form (slow steals after real crashes) or short enough
+    for fast steals (spurious steals of healthy long units).  A
+    heartbeat renewing at ``lease_seconds / 3`` decouples them: the
+    window can be short, because a *live* worker keeps extending it —
+    only a dead or wedged one lets it lapse.
+
+    ``watch(unit)`` / ``unwatch(key)`` bracket each unit's execution.
+    When a renewal is refused (the unit was stolen), the key lands in
+    :attr:`lost` and is dropped from the watch set — the worker checks
+    :meth:`is_lost` before depositing to skip doomed work early (the
+    fence check in :meth:`WorkQueue.deposit` remains the authority).
+    """
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        owner: str,
+        lease_seconds: float = 60.0,
+    ):
+        self.queue = queue
+        self.owner = owner
+        self.lease_seconds = lease_seconds
+        self.interval = max(0.05, lease_seconds / 3.0)
+        #: Cumulative successful renewals (folded into run statistics).
+        self.renewed = 0
+        #: Heartbeats that raised (queue unreachable, lock storms);
+        #: the loop keeps beating — a missed renewal just means the
+        #: lease is not extended this round.
+        self.errors = 0
+        self.last_error: Optional[BaseException] = None
+        self._watched: Dict[str, int] = {}
+        self._lost: set = set()
+        self._mutex = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def watch(self, unit: WorkUnit) -> None:
+        with self._mutex:
+            self._watched[unit.key] = unit.fence
+            self._lost.discard(unit.key)
+
+    def unwatch(self, key: str) -> None:
+        with self._mutex:
+            self._watched.pop(key, None)
+
+    def is_lost(self, key: str) -> bool:
+        with self._mutex:
+            return key in self._lost
+
+    def _beat(self) -> None:
+        with self._mutex:
+            watched = dict(self._watched)
+        if not watched:
+            return
+        result = self.queue.renew(
+            self.owner, watched, self.lease_seconds
+        )
+        self.renewed += len(result["renewed"])
+        if result["lost"]:
+            with self._mutex:
+                for key in result["lost"]:
+                    if key in self._watched:
+                        self._watched.pop(key, None)
+                        self._lost.add(key)
+
+    def start(self) -> "LeaseHeartbeat":
+        self._thread = threading.Thread(
+            target=self._run, name="lease-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._beat()
+            except Exception as exc:
+                # A failed heartbeat must never kill the worker; the
+                # lease simply is not extended this round.
+                self.errors += 1
+                self.last_error = exc
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

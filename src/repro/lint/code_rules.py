@@ -23,6 +23,10 @@ generic linter can know:
 * ``RPR140``/``RPR141`` — every ``RunStatistics`` counter is rendered
   by ``cli._STATS_LINES``, and every backend snapshot field folded by
   ``fold_snapshot`` has a matching counter (the PR-3 ``zip`` bug class).
+* ``RPR150`` — every append-mode ``open()`` outside
+  :mod:`repro.core.journal` is a crash-safety bypass: durable appends
+  must go through the shared checksummed writer so torn-tail recovery,
+  CRCs, durability policy, and crash points cover them.
 
 Facts for the cross-file rules (and for the ``RPR203`` catalog-reference
 check in :mod:`repro.lint.model_rules`) are extracted here so they ride
@@ -49,6 +53,7 @@ from repro.lint.framework import (
 #: Modules that build content keys, serialize results, or persist caches.
 DETERMINISM_MODULES = (
     "core/cache.py",
+    "core/journal.py",
     "core/result.py",
     "core/experiment.py",
 )
@@ -147,6 +152,12 @@ RPR141 = register_rule(
     "unregistered-snapshot-field",
     SEVERITY_ERROR,
     "snapshot field has no RunStatistics counter for fold_snapshot",
+)
+RPR150 = register_rule(
+    "RPR150",
+    "raw-append-outside-journal",
+    SEVERITY_ERROR,
+    "append-mode open() bypasses the shared crash-safe journal writer",
 )
 
 
@@ -784,6 +795,64 @@ def check_stats_rendered(
                             ),
                         )
                     )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR150 — durable appends go through the shared journal writer
+# ---------------------------------------------------------------------------
+
+#: Append modes legal outside :mod:`repro.core.journal`: exactly the
+#: lock-file idiom — ``open(lock_path, "a+")`` creates the sibling lock
+#: without truncating it and never writes a byte through the handle.
+_ALLOWED_APPEND_MODES = frozenset({"a+"})
+
+
+@file_rule(RPR150)
+def check_raw_append(
+    path: str, tree: ast.AST, lines: Sequence[str]
+) -> List[Violation]:
+    """Flag append-mode ``open()`` calls outside the journal module.
+
+    An append that bypasses :func:`repro.core.journal.append_entry`
+    gets none of the crash-safety machinery — no per-line CRC, no
+    torn-tail self-healing, no durability policy, no crash points —
+    so a SIGKILL mid-write silently re-introduces the exact corruption
+    class PR 9 eliminated.
+    """
+    if path.endswith("core/journal.py"):
+        return []
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        parts = _dotted(node.func)
+        if not parts or parts[-1] != "open":
+            continue
+        mode: Optional[ast.AST] = (
+            node.args[1] if len(node.args) >= 2 else None
+        )
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if not (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+        ):
+            continue
+        if "a" not in mode.value:
+            continue
+        if mode.value in _ALLOWED_APPEND_MODES:
+            continue
+        violations.append(
+            _violation(
+                RPR150, path, node,
+                f"open(..., {mode.value!r}) appends outside "
+                "repro.core.journal; route durable appends through "
+                "journal.append_entry / quarantine_lines ('a+' lock "
+                "files are exempt)",
+            )
+        )
     return violations
 
 

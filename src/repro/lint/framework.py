@@ -44,7 +44,7 @@ from typing import (
 
 #: Bumped whenever a rule changes behaviour: invalidates every cache
 #: entry written by older rule sets.
-LINT_VERSION = "1"
+LINT_VERSION = "2"
 
 #: Severity tiers.  Both fail the run (exit 1); the tier tells a reader
 #: whether the finding is a broken contract (``error``) or a smell the

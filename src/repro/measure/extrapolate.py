@@ -24,17 +24,23 @@ older one.  The single exception is the non-pipelined divider, whose
 occupancy lets a younger µop (dispatched while the older's operands were
 still in flight) stall an older divider µop; divider forms therefore
 bypass extrapolation entirely (they are also the value-dependent case,
-Section 5.2.5, where periodicity itself is not guaranteed).  When no
-period is detected within the probe window the caller falls back to full
-simulation, so extrapolation is an optimization, never a semantic
-change.
+Section 5.2.5, where periodicity itself is not guaranteed).  A period
+detected on the probe window is additionally *verified* before use: the
+probe is doubled (capped at the longest unroll target) and the periodic
+prediction must reproduce the longer probe's per-copy signatures
+exactly.  A transient whose deltas merely look periodic for a while —
+e.g. a reservation-station fill pattern that repeats until the window
+drains — fails the check, and detection restarts on the longer probe.
+When no period survives within the longest target the caller falls back
+to full simulation, so extrapolation is an optimization, never a
+semantic change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import chain
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.pipeline.analytic import schedule_arrays
 from repro.pipeline.event_kernel import timing_event_arrays
@@ -300,54 +306,66 @@ def _analytic_unrolled(
         return results
 
     uarch_ports = core.uarch.ports
-    probe_copies = min(targets[-1], max(MIN_PROBE, targets[0] + 2))
-    order = _template_order(probe_copies, transient, period)
-    arrays = _synthesize(templates, order)
     closed_form = True
-    scheduled = schedule_arrays(core.uarch, *arrays)
-    if scheduled is None:
-        # No closed form (a per-port ready-order inversion) — but the
-        # synthesized stream is still exact, so run it through the
-        # array event kernel: no value emulation, no µop objects, and
-        # rename still bounded by the snapshot budget.
-        closed_form = False
-        ports_a, lat_a, mins_a, deps_a, boundaries_a = arrays
-        total_cycles, _counts, finishes, bound_arr = timing_event_arrays(
-            core.uarch, ports_a, lat_a, mins_a, deps_a,
-            [0] * len(lat_a), boundaries_a,
-        )
-        core.cycles_simulated += total_cycles
-        bounds = [b if b >= 0 else None for b in bound_arr]
-    else:
-        total_cycles, _counts, finishes, bounds = scheduled
 
-    per_ports: List[Dict[int, int]] = []
-    per_uops: List[int] = []
-    per_fused: List[int] = []
-    g = 0
-    for ti in order:
-        items, _fr, fused_delta = templates[ti]
-        counts: Dict[int, int] = {}
-        for _ in items:
-            bound = bounds[g]
-            if bound is not None:
-                counts[bound] = counts.get(bound, 0) + 1
-            g += 1
-        per_ports.append(counts)
-        per_uops.append(len(items))
-        per_fused.append(fused_delta)
-    probe = ProbeResult(
-        copies=probe_copies,
-        finish=list(finishes or []),
-        ports=per_ports,
-        uops=per_uops,
-        fused=per_fused,
-        total_cycles=total_cycles,
-    )
+    def build_probe(n: int) -> ProbeResult:
+        """Synthesize and schedule an ``n``-copy probe off the templates."""
+        nonlocal closed_form
+        order = _template_order(n, transient, period)
+        arrays = _synthesize(templates, order)
+        scheduled = (
+            schedule_arrays(core.uarch, *arrays) if closed_form else None
+        )
+        if scheduled is None:
+            # No closed form (a per-port ready-order inversion) — but
+            # the synthesized stream is still exact, so run it through
+            # the array event kernel: no value emulation, no µop
+            # objects, and rename still bounded by the snapshot budget.
+            closed_form = False
+            ports_a, lat_a, mins_a, deps_a, boundaries_a = arrays
+            total_cycles, _counts, finishes, bound_arr = timing_event_arrays(
+                core.uarch, ports_a, lat_a, mins_a, deps_a,
+                [0] * len(lat_a), boundaries_a,
+            )
+            core.cycles_simulated += total_cycles
+            bounds = [b if b >= 0 else None for b in bound_arr]
+        else:
+            total_cycles, _counts, finishes, bounds = scheduled
+
+        per_ports: List[Dict[int, int]] = []
+        per_uops: List[int] = []
+        per_fused: List[int] = []
+        g = 0
+        for ti in order:
+            items, _fr, fused_delta = templates[ti]
+            counts: Dict[int, int] = {}
+            for _ in items:
+                bound = bounds[g]
+                if bound is not None:
+                    counts[bound] = counts.get(bound, 0) + 1
+                g += 1
+            per_ports.append(counts)
+            per_uops.append(len(items))
+            per_fused.append(fused_delta)
+        return ProbeResult(
+            copies=n,
+            finish=list(finishes or []),
+            ports=per_ports,
+            uops=per_uops,
+            fused=per_fused,
+            total_cycles=total_cycles,
+        )
+
+    probe = build_probe(min(targets[-1], max(MIN_PROBE, targets[0] + 2)))
 
     results: Dict[int, CounterValues] = {}
-    beyond = [t for t in targets if t > probe_copies]
-    timing_period = _detect_period(_signatures(probe)) if beyond else None
+    beyond = [t for t in targets if t > probe.copies]
+    timing_period = None
+    if beyond:
+        probe, timing_period = _verified_period(
+            probe, build_probe, targets[-1]
+        )
+        beyond = [t for t in targets if t > probe.copies]
     if beyond and timing_period is None:
         # The schedule is not periodic within the probe window: extend
         # to each long target exactly (cost is O(µops), not O(cycles)).
@@ -384,7 +402,7 @@ def _analytic_unrolled(
     for t in targets:
         if t in results:
             continue
-        if t <= probe_copies:
+        if t <= probe.copies:
             results[t] = _prefix_counters(probe, t, block_len, uarch_ports)
         else:
             results[t] = _extrapolated_counters(
@@ -434,6 +452,47 @@ def _detect_period(signatures: List[Tuple]) -> Optional[int]:
         ):
             return period
     return None
+
+
+def _continuation_matches(
+    probe: ProbeResult, period: int, bigger: ProbeResult
+) -> bool:
+    """Does *probe*'s periodic tail predict *bigger*'s extra copies?"""
+    pattern = _signatures(probe)[probe.copies - period:]
+    signatures = _signatures(bigger)
+    return all(
+        signatures[k] == pattern[(k - probe.copies) % period]
+        for k in range(probe.copies, bigger.copies)
+    )
+
+
+def _verified_period(
+    probe: ProbeResult,
+    make_probe: Callable[[int], ProbeResult],
+    limit: int,
+) -> Tuple[ProbeResult, Optional[int]]:
+    """Detect a period and require it to survive a doubled probe.
+
+    :func:`_detect_period` can be fooled by a transient whose per-copy
+    deltas are themselves periodic for a stretch — a reservation-station
+    fill pattern, say — before the true steady state appears.  A
+    candidate period is therefore accepted only if its periodic
+    prediction reproduces, signature by signature, a probe twice as
+    long; on a mismatch detection restarts on the longer probe.  Growth
+    is geometric and capped at ``limit`` (the longest unroll target),
+    where every target becomes an exact prefix and periodicity is moot.
+
+    Returns ``(probe, period)``: the final — possibly grown — probe and
+    the verified period (``None`` when no period survived).
+    """
+    while True:
+        period = _detect_period(_signatures(probe))
+        if period is None or probe.copies >= limit:
+            return probe, period
+        bigger = make_probe(min(2 * probe.copies, limit))
+        if _continuation_matches(probe, period, bigger):
+            return bigger, period
+        probe = bigger
 
 
 def _prefix_counters(
@@ -510,7 +569,7 @@ def unrolled_counters(
     :class:`CounterValues` is bit-identical to
     ``core.run(list(code) * t, init)``.  Falls back to full simulation
     per target when extrapolation does not apply (reference kernel,
-    divider forms, no detected period).
+    divider forms, no period surviving verification).
     """
     stats = ExtrapolationStats()
     targets = sorted(set(targets))
@@ -538,17 +597,22 @@ def unrolled_counters(
     beyond = [t for t in targets if t > probe_copies]
     period = None
     if beyond:
-        period = _detect_period(_signatures(probe))
-        if period is None:
-            # No steady state within the probe window: simulate the
-            # long unrolls in full (the probe still serves the short
-            # ones as prefixes).
+        probe, period = _verified_period(
+            probe,
+            lambda n: core.run_instrumented(code, n, init),
+            targets[-1],
+        )
+        beyond = [t for t in targets if t > probe.copies]
+        if beyond and period is None:
+            # No steady state survived verification: simulate the long
+            # unrolls in full (the probe still serves the short ones as
+            # prefixes).
             for t in beyond:
                 results[t] = core.run(list(code) * t, init)
     for t in targets:
         if t in results:
             continue
-        if t <= probe_copies:
+        if t <= probe.copies:
             results[t] = _prefix_counters(probe, t, block_len, ports)
         else:
             counters = _extrapolated_counters(

@@ -62,6 +62,15 @@ Supported keys:
 Activation: the sweep engine and CLI consult ``REPRO_FAULTS`` (or the
 explicit ``--fault-spec`` flag) via :func:`maybe_faulty`; nothing is ever
 injected by default.
+
+Beyond backend faults, this module also hosts the **crash-point
+harness** of the persistence layer: ``REPRO_CRASH_POINT=site[:N]``
+SIGKILLs the process (no interpreter cleanup — exactly a power-loss or
+OOM-kill shape) the Nth time a named write site in
+:mod:`repro.core.journal` is reached.  The site registry is
+:data:`CRASH_SITES`; the crash-consistency suite proves ``repro doctor``
+plus a fault-free resume reconverges to byte-identical output from
+every one of them.
 """
 
 from __future__ import annotations
@@ -69,14 +78,83 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import os
+import signal
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import measure as _measure
 from repro.core.experiment import Experiment, ExperimentFailure
+from repro.core.journal import CRASH_POINT_ENV
 from repro.pipeline.core import CounterValues
 
 #: Environment variable holding the fault spec (never set by default).
 FAULTS_ENV = "REPRO_FAULTS"
+
+#: Every named crash point the persistence layer calls
+#: :func:`repro.core.journal.maybe_crash` with.  ``pre-append`` fires
+#: before the store is even opened, ``mid-append`` splits the one-line
+#: write to manufacture a torn tail, ``pre-fsync`` fires after the
+#: write but before durability, ``post-append`` after the lock is
+#: released; ``pre-rename``/``post-rename`` bracket the atomic publish
+#: of whole-file states (queue, manifest).
+CRASH_SITES = (
+    "cache.pre-append",
+    "cache.mid-append",
+    "cache.pre-fsync",
+    "cache.post-append",
+    "memo.pre-append",
+    "memo.mid-append",
+    "memo.pre-fsync",
+    "memo.post-append",
+    "queue.pre-rename",
+    "queue.post-rename",
+    "manifest.pre-rename",
+    "manifest.post-rename",
+)
+
+#: Per-site hit counters of this process (``site:N`` kills on the Nth
+#: hit, so earlier hits must be remembered).
+_crash_hits: Dict[str, int] = {}
+
+
+def parse_crash_spec(spec: str) -> Tuple[str, int]:
+    """``"site"`` or ``"site:N"`` -> ``(site, N)`` (default ``N=1``)."""
+    site, sep, nth = spec.partition(":")
+    count = int(nth) if sep and nth else 1
+    if count < 1:
+        raise ValueError(f"crash point count must be >= 1: {spec!r}")
+    return site, count
+
+
+def crash_site_armed(site: str, spec: Optional[str] = None) -> bool:
+    """Whether *site* is the armed crash site (ignoring the count)."""
+    spec = spec if spec is not None else os.environ.get(CRASH_POINT_ENV)
+    if not spec:
+        return False
+    return parse_crash_spec(spec)[0] == site
+
+
+def crash_point(site: str) -> None:
+    """SIGKILL this process when ``$REPRO_CRASH_POINT`` names *site*.
+
+    SIGKILL (not ``os._exit``) so no buffered I/O, no ``atexit``, no
+    ``finally`` blocks run — the harness models the harshest crash the
+    persistence layer claims to survive.  Deterministic: the Nth hit of
+    the named site kills, independent of timing.
+    """
+    spec = os.environ.get(CRASH_POINT_ENV)
+    if not spec:
+        return
+    target, nth = parse_crash_spec(spec)
+    if target != site:
+        return
+    _crash_hits[site] = _crash_hits.get(site, 0) + 1
+    if _crash_hits[site] >= nth:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def reset_crash_counters() -> None:
+    """Forget crash-point hits (test isolation between armed runs)."""
+    _crash_hits.clear()
 
 
 def _parse_uids(value: str) -> Tuple[str, ...]:

@@ -593,34 +593,43 @@ class TestCacheCorruption:
         return engine.sweep(_forms(db, ("ADD_R64_R64", "NOP")))
 
     @pytest.mark.parametrize(
-        "garbage",
+        "garbage, problem",
         [
-            "{truncated",                       # cut-off JSON
-            "[1, 2, 3]",                        # valid JSON, wrong shape
-            '{"key": 7, "data": {}}',           # non-string key
-            '{"key": "abc"}',                   # missing data field
-            "",                                 # blank line
+            # An unparsable *final* line is crash residue: classified
+            # as a torn tail, truncate-recoverable — not corruption.
+            ("{truncated", "torn"),
+            ("[1, 2, 3]", "corrupt"),          # valid JSON, wrong shape
+            ('{"key": 7, "data": {}}', "corrupt"),   # non-string key
+            ('{"key": "abc"}', "corrupt"),     # missing data field
+            # A well-formed envelope without (or with a wrong) CRC is
+            # corruption too: the body cannot be trusted.
+            ('{"key": "abc", "data": null, "salt": "s"}', "corrupt"),
+            ("", "clean"),                     # blank line
         ],
     )
     def test_corrupt_lines_skipped_and_counted(
-        self, db, memo_dir, tmp_path, garbage
+        self, db, memo_dir, tmp_path, garbage, problem
     ):
         cache_dir = str(tmp_path)
         seeded = self._seed_cache(db, memo_dir, cache_dir)
         cache = ResultCache(cache_dir)
-        with open(cache.path_for("SKL"), "a") as handle:
+        with open(cache.path_for("SKL"), "a+") as handle:
             handle.write(garbage + "\n")
         warm = _engine(db, memo_dir, cache=ResultCache(cache_dir))
         results = warm.sweep(_forms(db, ("ADD_R64_R64", "NOP")))
         assert results == seeded
-        expected = 0 if not garbage.strip() else 1
-        assert warm.statistics.corrupt_lines == expected
+        assert warm.statistics.corrupt_lines == (
+            1 if problem == "corrupt" else 0
+        )
+        assert warm.statistics.torn_tails == (
+            1 if problem == "torn" else 0
+        )
         assert warm.statistics.cache_hits == 2
 
     def test_malformed_payload_is_remeasured(
         self, db, memo_dir, tmp_path
     ):
-        import json
+        from repro.core.journal import encode_entry
 
         cache_dir = str(tmp_path)
         seeded = self._seed_cache(db, memo_dir, cache_dir)
@@ -629,10 +638,11 @@ class TestCacheCorruption:
             "NOP", "SKL",
             _engine(db, memo_dir).config,
         )
-        # A well-formed line whose payload is not a characterization:
-        # survives line-level checks, fails at decode time.
-        with open(cache.path_for("SKL"), "a") as handle:
-            handle.write(json.dumps({
+        # A well-formed, correctly checksummed line whose payload is
+        # not a characterization: survives line-level checks, fails at
+        # decode time.
+        with open(cache.path_for("SKL"), "a+") as handle:
+            handle.write(encode_entry({
                 "salt": cache.salt, "key": key, "uid": "NOP",
                 "uarch": "SKL", "data": {"nonsense": True},
             }) + "\n")

@@ -12,7 +12,6 @@ fingerprints flip — the sharpest possible probe of the diff logic.
 """
 
 import dataclasses
-import json
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -25,6 +24,7 @@ from repro.core.cache import (
     cache_salt,
     collect_garbage,
 )
+from repro.core.journal import encode_entry
 from repro.core.sweep import SweepEngine
 from repro.core.workqueue import WorkQueue, WorkUnit
 from repro.isa.database import InstructionDatabase
@@ -253,14 +253,14 @@ class TestGarbageCollection:
                                                str(tmp_path))
         cache = ResultCache(str(tmp_path))
         path = cache.path_for("SKL")
-        with open(path, "a", encoding="utf-8") as handle:
+        with open(path, "a+", encoding="utf-8") as handle:
             # An orphan: current salt, but no manifest references it.
-            handle.write(json.dumps({
+            handle.write(encode_entry({
                 "salt": cache_salt(), "key": "deadbeef" * 8,
                 "uid": "GHOST", "uarch": "SKL", "data": None,
             }) + "\n")
             # A stale line from another code version.
-            handle.write(json.dumps({
+            handle.write(encode_entry({
                 "salt": "old-version", "key": "cafebabe" * 8,
                 "uid": "OLD", "uarch": "SKL", "data": None,
             }) + "\n")
@@ -295,8 +295,8 @@ class TestGarbageCollection:
         _, forms, base_db = self._sweep(db, fast_skl, str(tmp_path))
         os.remove(SweepManifest(str(tmp_path)).path_for("SKL"))
         cache = ResultCache(str(tmp_path))
-        with open(cache.path_for("SKL"), "a", encoding="utf-8") as h:
-            h.write(json.dumps({
+        with open(cache.path_for("SKL"), "a+", encoding="utf-8") as h:
+            h.write(encode_entry({
                 "salt": cache_salt(), "key": "deadbeef" * 8,
                 "uid": "GHOST", "uarch": "SKL", "data": None,
             }) + "\n")
@@ -324,8 +324,8 @@ class TestGarbageCollection:
         self._sweep(db, fast_skl, str(tmp_path))
         memo = MeasurementMemo(str(tmp_path))
         path = memo.path_for("SKL")
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps({
+        with open(path, "a+", encoding="utf-8") as handle:
+            handle.write(encode_entry({
                 "salt": "old-version", "key": "k", "data": {},
             }) + "\n")
         before = len(open(path).readlines())

@@ -187,6 +187,20 @@ FILE_RULE_FIXTURES = {
                 failures.append(error)
         """,
     ),
+    "RPR150": (
+        "core/store.py",
+        """
+        def record(path, line):
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+        """,
+        """
+        from repro.core.journal import append_entry
+
+        def record(path, entry):
+            append_entry(path, entry)
+        """,
+    ),
 }
 
 #: Justified-suppression variants: same violation line, silenced.
@@ -214,6 +228,14 @@ SUPPRESSED_FIXTURES = {
         class ChaosBackend:
             def measure(self, code):
                 raise ValueError(code)  # repro-lint: disable=RPR130 (fixture: test-only backend)
+        """,
+    ),
+    "RPR150": (
+        "core/store.py",
+        """
+        def record(path, line):
+            with open(path, "a", encoding="utf-8") as handle:  # repro-lint: disable=RPR150 (fixture: scratch file, never recovered)
+                handle.write(line)
         """,
     ),
 }
@@ -251,6 +273,32 @@ class TestFileRules:
             """
             def make(uarch):
                 return Core(uarch, kernel="analytic")
+            """,
+        )
+        assert codes(report) == []
+
+    def test_rpr150_exempts_journal_module(self, tmp_path):
+        """The journal module owns durable appends and opens raw."""
+        report = lint_snippet(
+            str(tmp_path),
+            "core/journal.py",
+            """
+            def raw_append(path, payload):
+                with open(path, "ab") as handle:
+                    handle.write(payload)
+            """,
+        )
+        assert codes(report) == []
+
+    def test_rpr150_exempts_lockfile_idiom(self, tmp_path):
+        """``open(lock, "a+")`` creates a lock file without truncating
+        it and writes nothing — the one legal append mode elsewhere."""
+        report = lint_snippet(
+            str(tmp_path),
+            "core/store.py",
+            """
+            def ensure_lock(path):
+                return open(path, "a+")
             """,
         )
         assert codes(report) == []

@@ -353,13 +353,20 @@ class TestCache:
             forms
         )
         path = cache.path_for("SKL")
-        with open(path, "a") as handle:
+        with open(path, "a+") as handle:
             handle.write("{not json\n")
+        # A valid line after the garbage proves the damage is mid-file
+        # corruption; a second garbage line at EOF is a torn tail.
+        key = cache.key_for("NOP", "SKL", MeasurementConfig())
+        cache.put(key, "NOP", "SKL", cache.get(key, "SKL"))
+        with open(path, "a+") as handle:
+            handle.write('{"key": "trunc')
         warm = SweepEngine("SKL", db, cache=ResultCache(str(tmp_path)))
         warm.sweep(forms)
         assert warm.statistics.cache_hits == 1
         # Garbage is corruption, not a (salt/version) invalidation.
         assert warm.statistics.corrupt_lines == 1
+        assert warm.statistics.torn_tails == 1
         assert warm.statistics.cache_invalidations == 0
 
     def test_cache_dir_collides_with_file(self, tmp_path):

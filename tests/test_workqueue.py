@@ -236,6 +236,8 @@ class TestCounters:
             "units_stolen": 1,
             "units_acked": 3,
             "lease_expirations": 0,
+            "leases_renewed": 0,
+            "zombie_writes": 0,
         }
 
     def test_counters_survive_drain(self, tmp_path):
