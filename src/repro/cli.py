@@ -425,14 +425,22 @@ def _cmd_cache_gc(args) -> int:
     return 0
 
 
+def _emit_json(payload) -> None:
+    """The one JSON emitter of the CLI: every ``--json`` mode (doctor,
+    lint) prints through here, so the rendering (two-space indent,
+    sorted keys, trailing newline from ``print``) cannot drift apart
+    between subcommands."""
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_doctor(args) -> int:
     """Scan (and optionally repair) the persistent stores.
 
     Exit 0 when every store is healthy (after repair, if requested),
     1 when findings remain, 2 on an internal error.
     """
-    import json
-
     from repro.core.cache import LiveLeaseError
     from repro.core.doctor import diagnose, repair
 
@@ -455,15 +463,16 @@ def _cmd_doctor(args) -> int:
         print(f"repro doctor: internal error: {exc!r}", file=sys.stderr)
         return 2
     if args.json:
-        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        _emit_json(report.to_json())
     else:
         print(report.render_text())
     return 0 if report.healthy else 1
 
 
 def _cmd_lint(args) -> int:
-    """Run :mod:`repro.lint`.  0 = clean, 1 = findings, 2 = lint crash."""
-    from repro.lint import all_rules, run_lint
+    """Run :mod:`repro.lint`.  0 = clean, 1 = findings, 2 = lint crash
+    or usage error (a broken gate, distinct from a failing one)."""
+    from repro.lint import LintUsageError, all_rules, run_lint
 
     if args.list_rules:
         for rule in all_rules():
@@ -473,25 +482,54 @@ def _cmd_lint(args) -> int:
     def split(spec):
         return [c for c in spec.split(",") if c] if spec else None
 
+    paths = args.paths or None
+    if args.changed is not None:
+        from repro.lint import changed_paths
+
+        if args.paths:
+            print(
+                "repro lint: --changed and explicit paths are "
+                "mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            paths = changed_paths(args.changed)
+        except LintUsageError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(
+                "0 violation(s) in 0 file(s), 0 suppressed "
+                f"(no .py files changed vs {args.changed})"
+            )
+            return 0
     model = False if args.no_model else None
     try:
         report = run_lint(
-            paths=args.paths or None,
+            paths=paths,
             select=split(args.select),
             ignore=split(args.ignore),
             baseline_path=args.baseline,
             cache_path=args.cache,
             model=model,
+            jobs=args.jobs,
         )
     except (BrokenPipeError, SystemExit, KeyboardInterrupt):
         raise
+    except LintUsageError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
     except Exception as exc:
         # A crash of the linter itself must be distinguishable from
         # "the tree has findings" (exit 1), so CI can tell a broken
         # gate from a failing one.
         print(f"repro lint: internal error: {exc!r}", file=sys.stderr)
         return 2
-    print(report.to_json() if args.json else report.render_text())
+    if args.json:
+        _emit_json(report.to_payload())
+    else:
+        print(report.render_text())
     return 1 if report.violations else 0
 
 
@@ -657,6 +695,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "content hash) to speed up repeated runs")
     p.add_argument("--no-model", action="store_true",
                    help="skip the uarch model consistency pass")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="BASE",
+                   help="lint only .py files changed vs the given git "
+                        "ref (default HEAD); an empty diff exits 0 "
+                        "without linting anything")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="run per-file passes of cache misses in N "
+                        "worker processes (output is byte-identical "
+                        "to a serial run)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
     p.set_defaults(func=_cmd_lint)

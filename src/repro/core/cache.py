@@ -69,14 +69,11 @@ from repro.core.journal import (
     encode_entry,
     flock_bounded,
     publish_blob,
+    release_flock,
     scan_journal,
+    trace_event,
 )
 from repro.measure.backend import MeasurementConfig
-
-try:
-    import fcntl
-except ImportError:  # non-POSIX: appends are not locked
-    fcntl = None
 
 #: Bump to invalidate every cache entry written by older code — part of
 #: every cache key, together with the package version.  2: per-line
@@ -543,7 +540,7 @@ class SweepManifest:
         os.makedirs(self.cache_dir, exist_ok=True)
         path = self.path_for(uarch_name)
         with open(path + ".lock", "a+", encoding="utf-8") as lock:
-            locked, _ = flock_bounded(lock, salt=path)
+            locked, _ = flock_bounded(lock, salt=path, name="manifest")
             try:
                 state = self._load(uarch_name)
                 digest = self.config_digest(config)
@@ -554,8 +551,7 @@ class SweepManifest:
                 recorded["entries"].update(entries)
                 publish_blob(path, state, kind="manifest")
             finally:
-                if locked and fcntl is not None:
-                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+                release_flock(lock, locked, name="manifest")
 
     def prune(self, uarch_name: str, uids) -> int:
         """Drop *uids* from every recorded config of *uarch*.
@@ -573,7 +569,7 @@ class SweepManifest:
             return 0
         removed = 0
         with open(path + ".lock", "a+", encoding="utf-8") as lock:
-            locked, _ = flock_bounded(lock, salt=path)
+            locked, _ = flock_bounded(lock, salt=path, name="manifest")
             try:
                 state = self._load(uarch_name)
                 for recorded in state["configs"].values():
@@ -586,8 +582,7 @@ class SweepManifest:
                 if removed:
                     publish_blob(path, state, kind="manifest")
             finally:
-                if locked and fcntl is not None:
-                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+                release_flock(lock, locked, name="manifest")
         return removed
 
     def live_keys(self, uarch_name: str) -> Optional[set]:
@@ -671,8 +666,9 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
     damaged bytes for ``repro doctor``.
     """
     with open(path, "r+", encoding="utf-8") as handle:
-        locked, _ = flock_bounded(handle, salt=path)
+        locked, _ = flock_bounded(handle, salt=path, name="store")
         try:
+            trace_event("write", store="compact")
             raw_lines = handle.read().splitlines()
             last: Dict[str, Any] = {}
             order: Dict[str, int] = {}
@@ -717,8 +713,7 @@ def _compact_jsonl(path: str, keep, stats: GCStats, kind: str) -> None:
             if kept_lines:
                 handle.write("\n".join(kept_lines) + "\n")
         finally:
-            if locked and fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            release_flock(handle, locked, name="store")
 
 
 def collect_garbage(
@@ -780,7 +775,7 @@ def collect_garbage(
         live = []
         for path in queue_paths:
             lock = open(path + ".lock", "a+", encoding="utf-8")
-            locked, _ = flock_bounded(lock, salt=path)
+            locked, _ = flock_bounded(lock, salt=path, name="queue")
             held.append((lock, locked))
             count = live_lease_count(read_queue_state(path, salt))
             if count:
@@ -830,8 +825,7 @@ def collect_garbage(
                 tally(path, "bytes_after")
     finally:
         for lock, locked in held:
-            if locked and fcntl is not None:
-                fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+            release_flock(lock, locked, name="queue")
             lock.close()
         for lock_path in removed_locks:
             try:

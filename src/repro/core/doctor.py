@@ -52,7 +52,9 @@ from repro.core.cache import (
 from repro.core.journal import (
     flock_bounded,
     quarantine_lines,
+    release_flock,
     scan_journal,
+    trace_event,
 )
 from repro.core.workqueue import (
     WorkQueue,
@@ -60,11 +62,6 @@ from repro.core.workqueue import (
     live_lease_count,
     read_queue_state,
 )
-
-try:
-    import fcntl
-except ImportError:  # non-POSIX: repairs are not locked
-    fcntl = None
 
 
 @dataclasses.dataclass
@@ -329,8 +326,9 @@ def _repair_jsonl(path: str) -> None:
     except OSError:
         return
     with handle:
-        locked, _ = flock_bounded(handle, salt=path)
+        locked, _ = flock_bounded(handle, salt=path, name="store")
         try:
+            trace_event("write", store="repair")
             scan = scan_journal(path)
             damaged = [
                 record.raw for record in scan.records
@@ -353,8 +351,7 @@ def _repair_jsonl(path: str) -> None:
                 handle.flush()
                 os.fsync(handle.fileno())
         finally:
-            if locked and fcntl is not None:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            release_flock(handle, locked, name="store")
 
 
 def _apply(finding: Finding, cache_dir: str, salt: str) -> None:

@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 import zlib
 from typing import Any, Dict, List, NamedTuple, Optional, Tuple
@@ -63,6 +64,14 @@ DURABILITY_MODES = ("fsync", "batch", "off")
 #: SIGKILL on the Nth hit).  The site registry and the kill itself live
 #: in :mod:`repro.measure.faults`.
 CRASH_POINT_ENV = "REPRO_CRASH_POINT"
+
+#: Environment variable naming a JSONL file the lock/fence trace
+#: recorder appends to.  Unset (the default) the recorder is a no-op
+#: costing one ``os.environ`` lookup per event; set, every flock
+#: acquire/release, fence check, and durable write emits one line — the
+#: dynamic oracle the concurrency lint tier (RPR160–163) is validated
+#: against.
+LOCK_TRACE_ENV = "REPRO_LOCK_TRACE"
 
 #: Longest a writer waits for the advisory file lock before proceeding
 #: unlocked (single-line ``write()`` appends interleave at line
@@ -111,6 +120,52 @@ def _crash_armed(site: str) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Lock/fence trace recorder (the dynamic oracle of the concurrency lint)
+# ---------------------------------------------------------------------------
+
+#: Per-thread stack of lock-class names this thread currently holds, in
+#: acquisition order.  Lock *classes* ("queue", "store", "manifest",
+#: "quarantine"), not paths: the static model (RPR161) reasons about
+#: classes, so the trace does too.
+_TRACE_STATE = threading.local()
+
+
+def _held_locks() -> List[str]:
+    held = getattr(_TRACE_STATE, "held", None)
+    if held is None:
+        held = []
+        _TRACE_STATE.held = held
+    return held
+
+
+def trace_event(event: str, **fields) -> None:
+    """Append one trace line when ``REPRO_LOCK_TRACE`` names a file.
+
+    Each line is a self-contained JSON record carrying the event name,
+    the emitting pid/thread, and the lock classes held at that moment.
+    O_APPEND single-``write()`` lines keep concurrent processes from
+    interleaving mid-record (same argument as :func:`append_entry`); a
+    reader that hits a torn final line skips it.
+    """
+    path = os.environ.get(LOCK_TRACE_ENV)
+    if not path:
+        return
+    record = dict(fields)
+    record["event"] = event
+    record["held"] = list(_held_locks())
+    record["pid"] = os.getpid()
+    record["thread"] = threading.get_ident()
+    line = json.dumps(record, sort_keys=True) + "\n"
+    try:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+    except OSError:
+        # Tracing is observability, never control flow: a broken trace
+        # file must not take down the writer being observed.
+        pass
+
+
+# ---------------------------------------------------------------------------
 # Bounded, jittered flock
 # ---------------------------------------------------------------------------
 
@@ -130,6 +185,7 @@ def flock_bounded(
     handle,
     timeout: float = LOCK_TIMEOUT,
     salt: str = "",
+    name: str = "store",
 ) -> Tuple[bool, int]:
     """Try to take an exclusive flock, giving up after *timeout* seconds.
 
@@ -140,6 +196,13 @@ def flock_bounded(
     non-blocking attempt with capped exponential backoff (plus the
     deterministic jitter of :func:`_retry_delay`) bounds the damage
     without stampeding the lock.
+
+    *name* is the lock **class** ("queue", "store", "manifest",
+    "quarantine") recorded by the trace recorder and matched against
+    the static lock-order model (RPR161).  On success the acquire event
+    carries the classes already held — the edges of the observed
+    lock-order graph — and *name* is pushed onto this thread's held
+    stack until :func:`release_flock`.
     """
     if fcntl is None:
         return False, 0
@@ -148,6 +211,8 @@ def flock_bounded(
     while True:
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            trace_event("acquire", lock=name)
+            _held_locks().append(name)
             return True, attempt
         except OSError:
             now = time.monotonic()
@@ -157,6 +222,23 @@ def flock_bounded(
             time.sleep(
                 min(_retry_delay(attempt, salt), deadline - now)
             )
+
+
+def release_flock(handle, locked: bool, name: str = "store") -> None:
+    """Release an flock taken by :func:`flock_bounded` (no-op when the
+    acquisition failed), popping *name* from the held stack and tracing
+    the release.  Every ``finally`` block in the persistence layer goes
+    through here so the trace's held-stack bookkeeping cannot drift
+    from the real lock state."""
+    if not locked or fcntl is None:
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+    held = _held_locks()
+    for index in range(len(held) - 1, -1, -1):
+        if held[index] == name:
+            del held[index]
+            break
+    trace_event("release", lock=name)
 
 
 def _count(stats, field: str, amount: int) -> None:
@@ -364,11 +446,12 @@ def append_entry(
     mode = durability_mode(durability)
     maybe_crash(f"{kind}.pre-append")
     with open(path, "ab+") as handle:
-        locked, retries = flock_bounded(handle, salt=path)
+        locked, retries = flock_bounded(handle, salt=path, name="store")
         _count(stats, "lock_retries", retries)
         if not locked and fcntl is not None:
             _count(stats, "lock_timeouts", 1)
         try:
+            trace_event("write", store=kind)
             handle.seek(0, os.SEEK_END)
             if handle.tell() > 0:
                 handle.seek(-1, os.SEEK_END)
@@ -391,8 +474,7 @@ def append_entry(
             if mode == "fsync":
                 os.fsync(handle.fileno())
         finally:
-            if locked:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            release_flock(handle, locked, name="store")
     maybe_crash(f"{kind}.post-append")
 
 
@@ -400,28 +482,33 @@ def quarantine_lines(
     path: str,
     lines: List[bytes],
     durability: Optional[str] = None,
+    kind: str = "quarantine",
 ) -> None:
     """Append raw damaged lines to the quarantine sidecar at *path*.
 
     Quarantined bytes are preserved verbatim — they failed to decode,
     so they cannot be re-encoded through :func:`append_entry` — but the
     append still goes through this module (lint RPR150) so it shares
-    the flock and the durability policy with every other writer.
+    the flock, the durability policy, and the ``{kind}.pre-append`` /
+    ``{kind}.post-append`` crash points with every other writer (lint
+    RPR163 proves no durable write path escapes the registry).
     """
     if not lines:
         return
     mode = durability_mode(durability)
+    maybe_crash(f"{kind}.pre-append")
     with open(path, "ab+") as handle:
-        locked, _ = flock_bounded(handle, salt=path)
+        locked, _ = flock_bounded(handle, salt=path, name="quarantine")
         try:
+            trace_event("write", store=kind)
             handle.seek(0, os.SEEK_END)
             handle.write(b"\n".join(lines) + b"\n")
             handle.flush()
             if mode == "fsync":
                 os.fsync(handle.fileno())
         finally:
-            if locked:
-                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            release_flock(handle, locked, name="quarantine")
+    maybe_crash(f"{kind}.post-append")
 
 
 def publish_blob(
@@ -450,6 +537,7 @@ def publish_blob(
         handle.flush()
         if mode != "off":
             os.fsync(handle.fileno())
+    trace_event("write", store=kind)
     maybe_crash(f"{kind}.pre-rename")
     os.replace(tmp, path)
     maybe_crash(f"{kind}.post-rename")

@@ -51,7 +51,13 @@ import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.cache import cache_salt
-from repro.core.journal import decode_blob, flock_bounded, publish_blob
+from repro.core.journal import (
+    decode_blob,
+    flock_bounded,
+    publish_blob,
+    release_flock,
+    trace_event,
+)
 
 try:
     import fcntl
@@ -200,7 +206,9 @@ class WorkQueue:
         atomically when *mutate* returns ``(result, True)``."""
         os.makedirs(self.cache_dir, exist_ok=True)
         with open(self.lock_path, "a+", encoding="utf-8") as lock:
-            locked, retries = flock_bounded(lock, salt=self.lock_path)
+            locked, retries = flock_bounded(
+                lock, salt=self.lock_path, name="queue"
+            )
             self.lock_retries += retries
             if not locked and fcntl is not None:
                 self.lock_timeouts += 1
@@ -211,8 +219,7 @@ class WorkQueue:
                     self._write_state(state)
                 return result
             finally:
-                if locked:
-                    fcntl.flock(lock.fileno(), fcntl.LOCK_UN)
+                release_flock(lock, locked, name="queue")
 
     # -- unit helpers ---------------------------------------------------
 
@@ -430,7 +437,9 @@ class WorkQueue:
                 return "missing", False
             if raw["state"] == _ACKED:
                 return "duplicate", False
-            if raw.get("fence", 0) != fence:
+            fresh = raw.get("fence", 0) == fence
+            trace_event("fence-check", key=key, fresh=fresh)
+            if not fresh:
                 counters["zombie_writes"] += 1
                 return "fenced", True
             write()

@@ -8,11 +8,16 @@ microarchitecture has.  Two past bugs (the parallel-tuple ``zip`` in the
 stats fold, the dead-list iteration in ``_next_event``) were violations
 of exactly such contracts; this package encodes them as checkable rules.
 
-Two rule families:
+Three rule families:
 
 * **Code invariants** (``RPR1xx``, :mod:`repro.lint.code_rules`) —
   ``ast``-visitor checks over the source tree, with inline
   ``# repro-lint: disable=RPRnnn (justification)`` suppressions.
+* **Concurrency invariants** (``RPR160``–``RPR163``,
+  :mod:`repro.lint.concurrency_rules`) — lockset, lock-order,
+  fencing-token, and crash-site-coverage analysis of the persistence
+  layer, cross-validated against the dynamic ``REPRO_LOCK_TRACE``
+  recorder by the test suite.
 * **Model consistency** (``RPR2xx``, :mod:`repro.lint.model_rules`) — a
   data-driven pass that imports the ground-truth tables
   (:mod:`repro.uarch`) and the instruction catalog and cross-checks
@@ -26,10 +31,13 @@ Entry points: :func:`run_lint` (everything, as the CLI does it),
 from repro.lint.framework import (
     LINT_VERSION,
     LintReport,
+    LintUsageError,
     Rule,
     Violation,
     all_rules,
+    changed_paths,
     lint_paths,
+    rules_signature,
     run_lint,
 )
 from repro.lint.model_rules import model_violations
@@ -37,10 +45,13 @@ from repro.lint.model_rules import model_violations
 __all__ = [
     "LINT_VERSION",
     "LintReport",
+    "LintUsageError",
     "Rule",
     "Violation",
     "all_rules",
+    "changed_paths",
     "lint_paths",
     "model_violations",
+    "rules_signature",
     "run_lint",
 ]

@@ -1,0 +1,1217 @@
+"""Concurrency invariants of the persistence layer (RPR160–RPR163).
+
+The crash-safety story of PRs 7 and 9 — a flock-guarded work-stealing
+queue, checksummed journals with fenced leases, named crash-injection
+sites — rests on invariants the chaos tests can only *sample*:
+
+* every store mutation happens under its owning lock (RPR160);
+* the lock classes form an acyclic order, so ``cache gc``, drainers,
+  and ``doctor --repair`` cannot deadlock (RPR161);
+* every fenced write-through checks token freshness before touching a
+  store (RPR162);
+* every durable journal write site is named in the ``CRASH_SITES``
+  registry, so new write paths cannot escape the crash suite (RPR163).
+
+This module *proves* those invariants statically, the way
+``code_rules`` proves the determinism contracts.  The analysis is an
+intraprocedural lock-scope inference plus one level of call-graph
+reasoning, tuned to this repository's idioms:
+
+* ``flock_bounded(handle, salt=..., name="<class>")`` acquires a lock
+  **class** ("queue", "store", "manifest", "quarantine"); statements
+  after it in the function run under that class (locks are released in
+  ``finally`` blocks at function end — the *linear* model is sound for
+  that shape, and conservative otherwise).
+* A function that calls one of its parameters under a lock (e.g.
+  ``WorkQueue._transaction`` running ``mutate(state)``) is a *callback
+  runner*: a nested function passed to it inherits the runner's lock.
+* A naked store mutation in a helper is covered when **every**
+  in-module call site holds the required lock (the
+  ``_write_state``-under-``_transaction`` shape).
+* Same-class multi-acquisition (GC holding every queue lock) is legal
+  only when the acquiring loop's iterable is provably sorted — the
+  global-order argument that makes it deadlock-free.
+
+The statically inferred model is exported via :func:`build_lock_model`
+and cross-checked against the dynamic lock/fence trace recorder
+(``REPRO_LOCK_TRACE``, :mod:`repro.core.journal`) by the test suite:
+disagreement in either direction fails.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.code_rules import _dotted, _violation
+from repro.lint.framework import (
+    SEVERITY_ERROR,
+    Violation,
+    fact_extractor,
+    file_rule,
+    fileset_rule,
+    register_rule,
+)
+
+#: The modules owning durable state; everything else is "above" the
+#: persistence layer and may only mutate stores through their APIs.
+PERSISTENCE_SUFFIXES = (
+    "core/journal.py",
+    "core/workqueue.py",
+    "core/cache.py",
+    "core/doctor.py",
+)
+
+#: The trusted writer implementation: journal.py *is* the locking and
+#: crash-point machinery, so RPR160's lockset checks do not apply to it
+#: (RPR163 covers its write paths instead).
+JOURNAL_SUFFIX = "core/journal.py"
+
+#: Journal writer entry points -> 0-based positional index of the
+#: ``kind`` argument (for crash-site resolution at call sites).
+WRITER_KIND_ARG = {
+    "append_entry": 2,
+    "publish_blob": 2,
+    "quarantine_lines": 3,
+}
+
+#: ``publish_blob`` kinds whose callers must hold a transaction lock,
+#: and which lock class that is.
+PUBLISH_KIND_LOCK = {"queue": "queue", "manifest": "manifest"}
+
+#: Substrings marking a parameter as a fencing token.
+FENCE_HINTS = ("fence", "token")
+
+RPR160 = register_rule(
+    "RPR160",
+    "lockset-violation",
+    SEVERITY_ERROR,
+    "store mutation reachable outside its owning lock",
+)
+RPR161 = register_rule(
+    "RPR161",
+    "lock-order-cycle",
+    SEVERITY_ERROR,
+    "lock acquisition order admits a deadlock cycle",
+)
+RPR162 = register_rule(
+    "RPR162",
+    "unfenced-write-through",
+    SEVERITY_ERROR,
+    "deposit/write-through path lacks a dominating fence-token check",
+)
+RPR163 = register_rule(
+    "RPR163",
+    "uncovered-crash-site",
+    SEVERITY_ERROR,
+    "journal write site not named in the CRASH_SITES registry",
+)
+
+
+# ---------------------------------------------------------------------------
+# Expression helpers
+# ---------------------------------------------------------------------------
+
+
+def _expr_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """Every Call in *node*, without descending into nested function,
+    class, or lambda bodies (they run later, under their own locks)."""
+    stack = list(ast.iter_child_nodes(node))
+    if isinstance(node, ast.Call):
+        yield node
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _all_calls(tree: ast.AST) -> Iterable[ast.Call]:
+    """Every Call anywhere in *tree*, nested scopes included."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _const_kwarg(call: ast.Call, name: str) -> Optional[str]:
+    for keyword in call.keywords:
+        if keyword.arg == name and isinstance(keyword.value, ast.Constant):
+            if isinstance(keyword.value.value, str):
+                return keyword.value.value
+    return None
+
+
+def _has_kwarg(call: ast.Call, name: str) -> bool:
+    return any(keyword.arg == name for keyword in call.keywords)
+
+
+def _writer_kind(call: ast.Call, writer: str) -> Optional[str]:
+    """The literal ``kind`` a writer call passes: a string, ``None``
+    when omitted (the writer's default applies), or ``"?"`` when passed
+    but not a literal (unresolvable — skipped, never guessed)."""
+    for keyword in call.keywords:
+        if keyword.arg == "kind":
+            if isinstance(keyword.value, ast.Constant) and isinstance(
+                keyword.value.value, str
+            ):
+                return keyword.value.value
+            return "?"
+    index = WRITER_KIND_ARG[writer]
+    if len(call.args) > index:
+        node = call.args[index]
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return "?"
+    return None
+
+
+def _crash_site_template(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``maybe_crash(f"{kind}.suffix")`` -> ``(param_name, suffix)``;
+    ``maybe_crash("literal.site")`` -> ``("", full_site)``."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return "", arg.value
+    if isinstance(arg, ast.JoinedStr) and len(arg.values) == 2:
+        first, second = arg.values
+        if (
+            isinstance(first, ast.FormattedValue)
+            and isinstance(first.value, ast.Name)
+            and isinstance(second, ast.Constant)
+            and isinstance(second.value, str)
+            and second.value.startswith(".")
+        ):
+            return first.value.id, second.value[1:]
+    return None
+
+
+def _provably_sorted(
+    expr: Optional[ast.AST], assigns: Dict[str, ast.AST], depth: int = 4
+) -> bool:
+    """Whether *expr* provably iterates in one global order: a direct
+    ``sorted(...)`` call, or (through up to *depth* hops of local
+    assignments) a list comprehension over one."""
+    if expr is None or depth <= 0:
+        return False
+    if isinstance(expr, ast.Call):
+        dotted = _dotted(expr.func)
+        return bool(dotted) and dotted[-1] == "sorted"
+    if isinstance(expr, ast.Name):
+        return _provably_sorted(assigns.get(expr.id), assigns, depth - 1)
+    if isinstance(expr, ast.ListComp) and len(expr.generators) == 1:
+        return _provably_sorted(
+            expr.generators[0].iter, assigns, depth - 1
+        )
+    return False
+
+
+def _bails_out(body: Sequence[ast.stmt]) -> bool:
+    """Whether a branch body aborts the write path (return/raise/
+    continue at its top level)."""
+    return any(
+        isinstance(stmt, (ast.Return, ast.Raise, ast.Continue))
+        for stmt in body
+    )
+
+
+def _fence_params(names: Iterable[str]) -> Set[str]:
+    return {
+        name
+        for name in names
+        if any(hint in name.lower() for hint in FENCE_HINTS)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Per-function lock-scope analysis
+# ---------------------------------------------------------------------------
+
+
+class _FunctionScan:
+    """The linear lock model of one function body.
+
+    Tracks the ordered list of lock classes held after each statement
+    (acquisitions persist to function end — the repo releases in
+    ``finally`` blocks), and records every event the rules care about
+    with the held set at that point.
+    """
+
+    def __init__(
+        self,
+        node: ast.AST,
+        outer_params: Set[str],
+        base_held: Tuple[str, ...] = (),
+    ):
+        self.node = node
+        self.name = getattr(node, "name", "<lambda>")
+        self.params = {
+            arg.arg
+            for arg in itertools.chain(
+                node.args.posonlyargs, node.args.args, node.args.kwonlyargs
+            )
+        }
+        self.outer_params = set(outer_params)
+        self.param_chain = self.params | self.outer_params
+        self.fence_chain = _fence_params(self.param_chain)
+        self.base_held = tuple(base_held)
+        self.held: List[str] = list(base_held)
+        self.assigns: Dict[str, ast.AST] = {}
+        self.tainted: Set[str] = set(self.fence_chain)
+        self.guarded = False
+        #: (lock, line)
+        self.acquires: List[Tuple[str, int]] = []
+        #: (held, acquired, line)
+        self.edges: List[Tuple[str, str, int]] = []
+        #: (lock, line) — same-class multi-acquisition without a proof
+        self.unsorted: List[Tuple[str, int]] = []
+        #: locks whose loop acquisition is provably sorted
+        self.ordered: Set[str] = set()
+        #: (callee simple name, held, line, arg names)
+        self.calls: List[Tuple[str, Tuple[str, ...], int, Tuple[str, ...]]] = []
+        #: (param name, held, line, guarded, node)
+        self.param_calls: List[
+            Tuple[str, Tuple[str, ...], int, bool, ast.Call]
+        ] = []
+        #: (kind-or-None, held, line, node)
+        self.publishes: List[
+            Tuple[Optional[str], Tuple[str, ...], int, ast.Call]
+        ] = []
+        #: (writer, kind-or-None-or-"?", line)
+        self.write_calls: List[Tuple[str, Optional[str], int]] = []
+        #: (attr, held, line, node)
+        self.raw_writes: List[Tuple[str, Tuple[str, ...], int, ast.Call]] = []
+        #: (kind, held, line)
+        self.trace_writes: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: nested function definitions, by name
+        self.nested: Dict[str, ast.AST] = {}
+        self._walk(node.body, [])
+
+    # -- events --------------------------------------------------------
+
+    def _mentions_tainted(self, expr: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Name) and sub.id in self.tainted
+            for sub in ast.walk(expr)
+        )
+
+    def _acquire(self, call: ast.Call, loops: List[Optional[ast.AST]]) -> None:
+        lock = _const_kwarg(call, "name") or "store"
+        line = call.lineno
+        if loops:
+            if _provably_sorted(loops[-1], self.assigns):
+                self.ordered.add(lock)
+            else:
+                self.unsorted.append((lock, line))
+        elif lock in self.held:
+            self.unsorted.append((lock, line))
+        if lock not in self.held:
+            for held in self.held:
+                self.edges.append((held, lock, line))
+            self.held.append(lock)
+        self.acquires.append((lock, line))
+
+    def _handle_call(
+        self, call: ast.Call, loops: List[Optional[ast.AST]]
+    ) -> None:
+        held = tuple(self.held)
+        dotted = _dotted(call.func)
+        simple = dotted[-1] if dotted else None
+        if simple == "flock_bounded":
+            self._acquire(call, loops)
+            return
+        if simple in WRITER_KIND_ARG:
+            kind = _writer_kind(call, simple)
+            self.write_calls.append((simple, kind, call.lineno))
+            if simple == "publish_blob":
+                self.publishes.append((kind, held, call.lineno, call))
+        if simple == "trace_event" and call.args:
+            first = call.args[0]
+            store = _const_kwarg(call, "store")
+            if (
+                isinstance(first, ast.Constant)
+                and first.value == "write"
+                and store is not None
+            ):
+                self.trace_writes.append((store, held, call.lineno))
+        if isinstance(call.func, ast.Name):
+            if simple in self.param_chain:
+                self.param_calls.append(
+                    (simple, held, call.lineno, self.guarded, call)
+                )
+            else:
+                argnames = tuple(
+                    arg.id for arg in call.args if isinstance(arg, ast.Name)
+                )
+                self.calls.append((simple, held, call.lineno, argnames))
+        elif isinstance(call.func, ast.Attribute):
+            base = call.func.value
+            attr = call.func.attr
+            if attr in ("write", "writelines", "truncate") and isinstance(
+                base, ast.Name
+            ):
+                self.raw_writes.append((attr, held, call.lineno, call))
+            elif isinstance(base, ast.Name):
+                argnames = tuple(
+                    arg.id for arg in call.args if isinstance(arg, ast.Name)
+                )
+                self.calls.append((attr, held, call.lineno, argnames))
+
+    def _scan_value(
+        self, node: Optional[ast.AST], loops: List[Optional[ast.AST]]
+    ) -> None:
+        if node is None:
+            return
+        for call in _expr_calls(node):
+            self._handle_call(call, loops)
+
+    # -- statement walk ------------------------------------------------
+
+    def _walk(
+        self, stmts: Sequence[ast.stmt], loops: List[Optional[ast.AST]]
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.nested[stmt.name] = stmt
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                continue
+            if isinstance(stmt, ast.Assign):
+                self._scan_value(stmt.value, loops)
+                tainting = self._mentions_tainted(stmt.value)
+                for target in stmt.targets:
+                    elts = (
+                        target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target]
+                    )
+                    for elt in elts:
+                        if isinstance(elt, ast.Name):
+                            self.assigns[elt.id] = stmt.value
+                            if tainting:
+                                self.tainted.add(elt.id)
+                continue
+            if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                self._scan_value(stmt.value, loops)
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_value(stmt.test, loops)
+                if (
+                    self.fence_chain
+                    and self._mentions_tainted(stmt.test)
+                    and _bails_out(stmt.body)
+                ):
+                    self.guarded = True
+                self._walk(stmt.body, loops)
+                self._walk(stmt.orelse, loops)
+                continue
+            if isinstance(stmt, ast.For):
+                self._scan_value(stmt.iter, loops)
+                self._walk(stmt.body, loops + [stmt.iter])
+                self._walk(stmt.orelse, loops)
+                continue
+            if isinstance(stmt, ast.While):
+                self._scan_value(stmt.test, loops)
+                self._walk(stmt.body, loops + [None])
+                self._walk(stmt.orelse, loops)
+                continue
+            if isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    self._scan_value(item.context_expr, loops)
+                self._walk(stmt.body, loops)
+                continue
+            if isinstance(stmt, ast.Try):
+                self._walk(stmt.body, loops)
+                for handler in stmt.handlers:
+                    self._walk(handler.body, loops)
+                self._walk(stmt.orelse, loops)
+                self._walk(stmt.finalbody, loops)
+                continue
+            for child in ast.iter_child_nodes(stmt):
+                self._scan_value(child, loops)
+
+
+# ---------------------------------------------------------------------------
+# Module-level assembly: callbacks, caller coverage
+# ---------------------------------------------------------------------------
+
+
+class _ModuleScan:
+    """Every function of a module analyzed, with the two one-level
+    interprocedural refinements applied:
+
+    * nested functions passed to a *callback runner* (a function that
+      calls one of its parameters under a lock) are re-analyzed with
+      the runner's lock as their base held set;
+    * events with an empty held set inherit the **common** held set of
+      all in-module call sites of their enclosing function (``None``
+      when the function is never called locally).
+    """
+
+    def __init__(self, tree: ast.AST):
+        self.scans: List[_FunctionScan] = []
+        #: module-level function name -> scan (for the cross-module map)
+        self.module_functions: Dict[str, _FunctionScan] = {}
+        self._collect(tree, set(), top_level=True)
+        self._apply_runner_inheritance()
+        self.caller_held = self._common_caller_held()
+
+    def _collect(
+        self, root: ast.AST, outer_params: Set[str], top_level: bool
+    ) -> None:
+        for node in ast.iter_child_nodes(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scan = _FunctionScan(node, outer_params)
+                self.scans.append(scan)
+                if top_level:
+                    self.module_functions.setdefault(node.name, scan)
+                self._collect(
+                    node, outer_params | scan.params, top_level=False
+                )
+            elif isinstance(node, ast.ClassDef):
+                for method in ast.iter_child_nodes(node):
+                    if isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        scan = _FunctionScan(method, set())
+                        self.scans.append(scan)
+                        self._collect(
+                            method, scan.params, top_level=False
+                        )
+
+    def _apply_runner_inheritance(self) -> None:
+        runner_held: Dict[str, Tuple[str, ...]] = {}
+        for scan in self.scans:
+            for _pname, held, _line, _guarded, _node in scan.param_calls:
+                if held:
+                    runner_held.setdefault(scan.name, held)
+        if not runner_held:
+            return
+        replacements: Dict[ast.AST, _FunctionScan] = {}
+        for scan in self.scans:
+            for callee, _held, _line, argnames in scan.calls:
+                base = runner_held.get(callee)
+                if base is None:
+                    continue
+                for argname in argnames:
+                    nested = scan.nested.get(argname)
+                    if nested is not None:
+                        replacements[nested] = _FunctionScan(
+                            nested,
+                            scan.params | scan.outer_params,
+                            base_held=base,
+                        )
+        if replacements:
+            self.scans = [
+                replacements.get(scan.node, scan) for scan in self.scans
+            ]
+
+    def _common_caller_held(self) -> Dict[str, Optional[Set[str]]]:
+        sites: Dict[str, List[Set[str]]] = {}
+        for scan in self.scans:
+            for callee, held, _line, _argnames in scan.calls:
+                sites.setdefault(callee, []).append(set(held))
+        common: Dict[str, Optional[Set[str]]] = {}
+        for callee, helds in sites.items():
+            merged = set(helds[0])
+            for held in helds[1:]:
+                merged &= held
+            common[callee] = merged
+        return common
+
+    def effective_held(
+        self, scan: _FunctionScan, held: Tuple[str, ...]
+    ) -> Tuple[str, ...]:
+        """*held* itself when non-empty, else the locks every in-module
+        caller of the function provably holds."""
+        if held:
+            return held
+        inherited = self.caller_held.get(scan.name)
+        if inherited:
+            return tuple(sorted(inherited))
+        return ()
+
+
+def _scan_module(tree: ast.AST) -> _ModuleScan:
+    return _ModuleScan(tree)
+
+
+# ---------------------------------------------------------------------------
+# Journal writer + crash registry extraction
+# ---------------------------------------------------------------------------
+
+
+def _journal_writers(tree: ast.AST) -> Dict[str, Dict[str, Any]]:
+    """Per top-level function of journal.py: crash-site templates, the
+    ``kind`` parameter and its default, the internal flock class, and
+    whether the function writes durable bytes (binary-append open or an
+    atomic ``os.replace`` publish)."""
+    writers: Dict[str, Dict[str, Any]] = {}
+    for node in ast.iter_child_nodes(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        args = node.args
+        params = [
+            arg.arg
+            for arg in itertools.chain(args.posonlyargs, args.args)
+        ]
+        defaults = list(args.defaults)
+        default_by_param: Dict[str, Any] = {}
+        for param, default in zip(params[len(params) - len(defaults):],
+                                  defaults):
+            if isinstance(default, ast.Constant):
+                default_by_param[param] = default.value
+        suffixes: Set[str] = set()
+        fixed_sites: Set[str] = set()
+        kind_param = None
+        lock = None
+        durable = False
+        for call in _expr_calls(node):
+            dotted = _dotted(call.func)
+            simple = dotted[-1] if dotted else None
+            if simple in ("maybe_crash", "_crash_armed"):
+                template = _crash_site_template(call)
+                if template is None:
+                    continue
+                param, suffix = template
+                if param:
+                    kind_param = param
+                    suffixes.add(suffix)
+                else:
+                    fixed_sites.add(suffix)
+            elif simple == "flock_bounded":
+                lock = _const_kwarg(call, "name") or "store"
+            elif simple == "open" and len(call.args) >= 2:
+                mode = call.args[1]
+                if isinstance(mode, ast.Constant) and mode.value in (
+                    "ab", "ab+"
+                ):
+                    durable = True
+            elif simple == "replace" and dotted[:-1] == ["os"]:
+                durable = True
+        kind_default = default_by_param.get(kind_param or "kind")
+        writers[node.name] = {
+            "kind_param": kind_param,
+            "kind_default": (
+                kind_default if isinstance(kind_default, str) else None
+            ),
+            "suffixes": sorted(suffixes),
+            "fixed_sites": sorted(fixed_sites),
+            "lock": lock,
+            "durable": durable,
+            "line": node.lineno,
+        }
+    return writers
+
+
+def _crash_registry(tree: ast.AST) -> Optional[Dict[str, Any]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "CRASH_SITES"
+            for target in node.targets
+        ):
+            continue
+        if isinstance(node.value, (ast.Tuple, ast.List)):
+            sites = [
+                elt.value
+                for elt in node.value.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)
+            ]
+            return {"sites": sorted(sites), "line": node.lineno}
+    return None
+
+
+def _is_persistence(posix_path: str) -> bool:
+    return any(posix_path.endswith(s) for s in PERSISTENCE_SUFFIXES)
+
+
+# ---------------------------------------------------------------------------
+# Facts
+# ---------------------------------------------------------------------------
+
+
+@fact_extractor
+def extract_concurrency_facts(
+    posix_path: str, tree: ast.AST
+) -> Dict[str, Any]:
+    """Concurrency facts for the fileset rules and the exported model.
+
+    All values are JSON-serializable and deterministically ordered, so
+    they round-trip through the per-file lint cache.
+    """
+    facts: Dict[str, Any] = {}
+    write_calls: List[List[Any]] = []
+    for call in _all_calls(tree):
+        dotted = _dotted(call.func)
+        simple = dotted[-1] if dotted else None
+        if simple in WRITER_KIND_ARG:
+            write_calls.append(
+                [simple, _writer_kind(call, simple), call.lineno]
+            )
+    if write_calls:
+        facts["conc_write_calls"] = sorted(
+            write_calls, key=lambda item: (item[2], item[0])
+        )
+    registry = _crash_registry(tree)
+    if registry is not None:
+        facts["conc_crash_registry"] = registry
+    if posix_path.endswith(JOURNAL_SUFFIX):
+        facts["conc_writers"] = _journal_writers(tree)
+    if not _is_persistence(posix_path):
+        return facts
+
+    module = _scan_module(tree)
+    locks: Dict[str, List[str]] = {}
+    for name, scan in sorted(module.module_functions.items()):
+        acquired = sorted({lock for lock, _line in scan.acquires})
+        if acquired:
+            locks[name] = acquired
+    edges: Set[Tuple[str, str, int]] = set()
+    calls: List[List[Any]] = []
+    unsorted: List[List[Any]] = []
+    ordered: Set[str] = set()
+    publishes: List[List[Any]] = []
+    trace_writes: List[List[Any]] = []
+    for scan in module.scans:
+        edges.update(scan.edges)
+        ordered.update(scan.ordered)
+        for lock, line in scan.unsorted:
+            unsorted.append([lock, line])
+        for callee, held, line, _argnames in scan.calls:
+            if held:
+                calls.append([callee, list(held), line])
+        for pname, held, line, _guarded, _node in scan.param_calls:
+            # The fenced write-through contract: a callback run under a
+            # lock in a fence-carrying scope is a store append.
+            if held and scan.fence_chain:
+                edges.add((held[-1], "store", line))
+        for kind, held, line, _node in scan.publishes:
+            if kind in (None, "?"):
+                continue
+            effective = module.effective_held(scan, held)
+            publishes.append([kind, list(effective), line])
+        for kind, held, line in scan.trace_writes:
+            effective = module.effective_held(scan, held)
+            trace_writes.append([kind, list(effective), line])
+    if locks:
+        facts["conc_locks"] = locks
+    if edges:
+        facts["conc_edges"] = [
+            list(edge) for edge in sorted(edges)
+        ]
+    if calls:
+        facts["conc_calls"] = sorted(
+            calls, key=lambda item: (item[2], item[0])
+        )
+    if unsorted:
+        facts["conc_unsorted"] = sorted(
+            unsorted, key=lambda item: (item[1], item[0])
+        )
+    if ordered:
+        facts["conc_ordered"] = sorted(ordered)
+    if publishes:
+        facts["conc_publishes"] = sorted(
+            publishes, key=lambda item: (item[2], item[0])
+        )
+    if trace_writes:
+        facts["conc_trace_writes"] = sorted(
+            trace_writes, key=lambda item: (item[2], item[0])
+        )
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# RPR160 — lockset violations
+# ---------------------------------------------------------------------------
+
+
+@file_rule(RPR160)
+def check_locksets(
+    posix_path: str, tree: ast.AST, lines: Sequence[str]
+) -> Iterable[Violation]:
+    """Store mutations must happen under their owning lock.
+
+    In the persistence modules (journal.py excepted — it *implements*
+    the locking), a ``publish_blob`` of a queue/manifest state needs
+    the matching transaction lock held (directly, or by every in-module
+    caller), and raw ``write``/``truncate`` calls on store handles need
+    *some* flock.  Outside the persistence layer, calling
+    ``publish_blob`` at all is a layering violation: whole-file states
+    are queue/manifest internals (appends have a sanctioned public
+    path, ``journal.append_entry`` — see RPR150).
+    """
+    if posix_path.endswith(JOURNAL_SUFFIX):
+        return []
+    violations: List[Violation] = []
+    if not _is_persistence(posix_path):
+        for call in _all_calls(tree):
+            dotted = _dotted(call.func)
+            if dotted and dotted[-1] == "publish_blob":
+                violations.append(
+                    _violation(
+                        RPR160,
+                        posix_path,
+                        call,
+                        "publish_blob() outside the persistence layer: "
+                        "whole-file states are owned by WorkQueue / "
+                        "SweepManifest; mutate stores through their APIs",
+                    )
+                )
+        return violations
+    module = _scan_module(tree)
+    for scan in module.scans:
+        for kind, held, _line, node in scan.publishes:
+            required = PUBLISH_KIND_LOCK.get(kind or "")
+            if required is None:
+                continue
+            effective = module.effective_held(scan, held)
+            if required not in effective:
+                violations.append(
+                    _violation(
+                        RPR160,
+                        posix_path,
+                        node,
+                        f"publish_blob(kind={kind!r}) reachable without "
+                        f"the {required!r} lock: hold it here, or in "
+                        "every caller of this helper",
+                    )
+                )
+        for attr, held, _line, node in scan.raw_writes:
+            effective = module.effective_held(scan, held)
+            if not effective:
+                violations.append(
+                    _violation(
+                        RPR160,
+                        posix_path,
+                        node,
+                        f"raw .{attr}() on a store handle outside any "
+                        "flock: concurrent writers can interleave "
+                        "mid-record",
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR161 — lock-order graph and cycle detection
+# ---------------------------------------------------------------------------
+
+
+def _assemble_lock_graph(
+    facts_by_path: Dict[str, Dict[str, Any]],
+):
+    """The global lock-order graph: intra-file edges plus one level of
+    cross-file call resolution (a call under lock H to a module-level
+    function that acquires X contributes H -> X).
+
+    Returns ``(edges, same_class, unsorted, ordered)`` where *edges*
+    maps ``(held, acquired)`` to the first ``(path, line)`` witnessing
+    it, and *same_class* lists held-lock re-acquisitions through
+    callees.
+    """
+    function_locks: Dict[str, Set[str]] = {}
+    for path in sorted(facts_by_path):
+        for name, locks in (
+            facts_by_path[path].get("conc_locks") or {}
+        ).items():
+            function_locks.setdefault(name, set()).update(locks)
+    edges: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    same_class: List[Tuple[str, str, str, int]] = []
+    unsorted: List[Tuple[str, str, int]] = []
+    ordered: Set[str] = set()
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for held, acquired, line in facts.get("conc_edges") or ():
+            edges.setdefault((held, acquired), (path, line))
+        for lock, line in facts.get("conc_unsorted") or ():
+            unsorted.append((lock, path, line))
+        ordered.update(facts.get("conc_ordered") or ())
+        for callee, held, line in facts.get("conc_calls") or ():
+            for lock in sorted(function_locks.get(callee, ())):
+                for holder in held:
+                    if holder == lock:
+                        same_class.append((callee, lock, path, line))
+                    else:
+                        edges.setdefault((holder, lock), (path, line))
+    return edges, same_class, unsorted, ordered
+
+
+def _find_cycle_edges(
+    edges: Dict[Tuple[str, str], Tuple[str, int]],
+) -> List[Tuple[Tuple[str, str], List[str]]]:
+    """Every edge that closes a cycle, with one witnessing path back."""
+    adjacency: Dict[str, List[str]] = {}
+    for held, acquired in edges:
+        adjacency.setdefault(held, []).append(acquired)
+    for targets in adjacency.values():
+        targets.sort()
+
+    def path_back(start: str, goal: str) -> Optional[List[str]]:
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for target in reversed(adjacency.get(node, ())):
+                if target not in seen:
+                    seen.add(target)
+                    stack.append((target, path + [target]))
+        return None
+
+    closing = []
+    for held, acquired in sorted(edges):
+        back = path_back(acquired, held)
+        if back is not None:
+            closing.append(((held, acquired), back))
+    return closing
+
+
+@fileset_rule(RPR161)
+def check_lock_order(
+    facts_by_path: Dict[str, Dict[str, Any]],
+) -> Iterable[Violation]:
+    """The lock classes must form a partial order.
+
+    Any cycle in the assembled graph is a deadlock two concurrent
+    processes can realize (``cache gc`` vs. a drainer vs. ``doctor
+    --repair``); same-class multi-acquisition needs a provably sorted
+    acquisition order to be deadlock-free.
+    """
+    edges, same_class, unsorted, _ordered = _assemble_lock_graph(
+        facts_by_path
+    )
+    violations: List[Violation] = []
+
+    def anchored(path: str, line: int, message: str) -> Violation:
+        return Violation(
+            code=RPR161.code,
+            severity=RPR161.severity,
+            path=path,
+            line=line,
+            col=1,
+            message=message,
+        )
+
+    for lock, path, line in sorted(unsorted, key=lambda i: (i[1], i[2])):
+        violations.append(
+            anchored(
+                path,
+                line,
+                f"multiple {lock!r} locks acquired in an order that is "
+                "not provably sorted: concurrent multi-acquirers can "
+                "deadlock (iterate a sorted() listing)",
+            )
+        )
+    for callee, lock, path, line in sorted(
+        same_class, key=lambda i: (i[2], i[3])
+    ):
+        violations.append(
+            anchored(
+                path,
+                line,
+                f"{callee}() acquires the {lock!r} lock class while the "
+                "caller already holds it: same-class nesting deadlocks "
+                "when the two acquisitions hit different files",
+            )
+        )
+    for (held, acquired), back in _find_cycle_edges(edges):
+        path, line = edges[(held, acquired)]
+        cycle = " -> ".join([held, acquired] + back[1:])
+        violations.append(
+            anchored(
+                path,
+                line,
+                f"lock-order cycle: acquiring {acquired!r} while "
+                f"holding {held!r} closes the cycle {cycle}; two "
+                "processes taking these in opposite order deadlock",
+            )
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR162 — fencing-token flow
+# ---------------------------------------------------------------------------
+
+
+@file_rule(RPR162)
+def check_fencing(
+    posix_path: str, tree: ast.AST, lines: Sequence[str]
+) -> Iterable[Violation]:
+    """Every fenced write-through dominates on a freshness check.
+
+    A function whose parameter scope carries a fencing token and which
+    invokes a callable parameter (the store write-through) must test
+    the token (or a value derived from it) and bail out *before* the
+    call.  Call sites of ``.deposit(...)`` must pass a real token — a
+    name or attribute mentioning ``fence``/``token`` — not a constant.
+    """
+    quick = any(
+        any(hint in line for hint in FENCE_HINTS) for line in lines
+    )
+    violations: List[Violation] = []
+    if quick:
+        module = _scan_module(tree)
+        for scan in module.scans:
+            if not scan.fence_chain:
+                continue
+            fence_names = ", ".join(sorted(scan.fence_chain))
+            for pname, _held, _line, guarded, node in scan.param_calls:
+                if not guarded:
+                    violations.append(
+                        _violation(
+                            RPR162,
+                            posix_path,
+                            node,
+                            f"write-through callback {pname}() runs "
+                            "without a dominating freshness check of "
+                            f"the fencing token ({fence_names}): a "
+                            "zombie holder of a stolen lease can "
+                            "corrupt the store",
+                        )
+                    )
+    for call in _all_calls(tree):
+        if not (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "deposit"
+        ):
+            continue
+        fence_arg: Optional[ast.AST] = None
+        for keyword in call.keywords:
+            if keyword.arg == "fence":
+                fence_arg = keyword.value
+        if fence_arg is None and len(call.args) > 2:
+            fence_arg = call.args[2]
+        if fence_arg is None:
+            continue
+        dotted = _dotted(fence_arg)
+        token_like = bool(dotted) and any(
+            any(hint in part.lower() for hint in FENCE_HINTS)
+            for part in dotted
+        )
+        if not token_like:
+            violations.append(
+                _violation(
+                    RPR162,
+                    posix_path,
+                    fence_arg,
+                    "deposit() fence argument is not a fencing token "
+                    "(pass the unit's fence/token, never a constant "
+                    "or unrelated value)",
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# RPR163 — crash-site coverage
+# ---------------------------------------------------------------------------
+
+
+def _expected_sites(
+    facts_by_path: Dict[str, Dict[str, Any]],
+    writers: Dict[str, Dict[str, Any]],
+):
+    """Crash sites the tree's write calls actually reach: for every
+    call of a journal writer with resolvable kind K, the writer's
+    ``{K}.{suffix}`` templates (plus any literal sites)."""
+    expected: Set[str] = set()
+    per_call: List[Tuple[str, int, str, Set[str]]] = []
+    for path in sorted(facts_by_path):
+        for writer, kind, line in (
+            facts_by_path[path].get("conc_write_calls") or ()
+        ):
+            spec = writers.get(writer)
+            if spec is None or kind == "?":
+                continue
+            resolved = kind if kind is not None else spec["kind_default"]
+            if resolved is None:
+                continue
+            sites = {
+                f"{resolved}.{suffix}" for suffix in spec["suffixes"]
+            }
+            sites.update(spec["fixed_sites"])
+            if sites:
+                per_call.append((path, line, resolved, sites))
+                expected.update(sites)
+    for spec in writers.values():
+        expected.update(spec["fixed_sites"])
+        default = spec["kind_default"]
+        if default is not None:
+            expected.update(
+                f"{default}.{suffix}" for suffix in spec["suffixes"]
+            )
+    return expected, per_call
+
+
+@fileset_rule(RPR163)
+def check_crash_site_coverage(
+    facts_by_path: Dict[str, Dict[str, Any]],
+) -> Iterable[Violation]:
+    """The ``CRASH_SITES`` registry must match the real write sites.
+
+    Both directions: a journal write whose crash sites are not all
+    registered escapes the crash-chaos suite (flagged at the call); a
+    registry entry no write site can reach is stale (flagged at the
+    registry, only when the whole persistence layer is in the fileset);
+    and a durable journal writer with no crash points at all is
+    invisible to the harness (flagged at its definition).
+    """
+    registry = None
+    registry_path = None
+    writers: Dict[str, Dict[str, Any]] = {}
+    writer_paths: List[str] = []
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        if registry is None and "conc_crash_registry" in facts:
+            registry = facts["conc_crash_registry"]
+            registry_path = path
+        if "conc_writers" in facts:
+            writers.update(facts["conc_writers"])
+            writer_paths.append(path)
+    if registry is None or not writers:
+        return []
+    registered = set(registry["sites"])
+    violations: List[Violation] = []
+    expected, per_call = _expected_sites(facts_by_path, writers)
+    for path, line, kind, sites in per_call:
+        missing = sorted(sites - registered)
+        if missing:
+            violations.append(
+                Violation(
+                    code=RPR163.code,
+                    severity=RPR163.severity,
+                    path=path,
+                    line=line,
+                    col=1,
+                    message=(
+                        f"journal write of kind {kind!r} reaches crash "
+                        "sites missing from CRASH_SITES: "
+                        + ", ".join(missing)
+                        + " — register them so the crash-chaos suite "
+                        "covers this path"
+                    ),
+                )
+            )
+    for writer_path in writer_paths:
+        for name, spec in sorted(
+            (facts_by_path[writer_path].get("conc_writers") or {}).items()
+        ):
+            if (
+                spec["durable"]
+                and not spec["suffixes"]
+                and not spec["fixed_sites"]
+            ):
+                violations.append(
+                    Violation(
+                        code=RPR163.code,
+                        severity=RPR163.severity,
+                        path=writer_path,
+                        line=spec["line"],
+                        col=1,
+                        message=(
+                            f"durable writer {name}() declares no "
+                            "crash points: every journal write path "
+                            "must call maybe_crash() so the chaos "
+                            "suite can kill inside it"
+                        ),
+                    )
+                )
+    whole_layer = all(
+        any(path.endswith(suffix) for path in facts_by_path)
+        for suffix in PERSISTENCE_SUFFIXES
+    )
+    if whole_layer:
+        for stale in sorted(registered - expected):
+            violations.append(
+                Violation(
+                    code=RPR163.code,
+                    severity=RPR163.severity,
+                    path=registry_path,
+                    line=registry["line"],
+                    col=1,
+                    message=(
+                        f"CRASH_SITES entry {stale!r} matches no "
+                        "actual journal write site: stale registry "
+                        "entries hide coverage gaps"
+                    ),
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# The exported static model (checked against the dynamic trace)
+# ---------------------------------------------------------------------------
+
+
+def build_lock_model(root: Optional[str] = None) -> Dict[str, Any]:
+    """Assemble the static lock model from the real persistence layer.
+
+    Returns a dict with:
+
+    * ``edges`` — sorted ``[held, acquired]`` lock-order pairs;
+    * ``ordered_self`` — lock classes legally multi-acquired in a
+      provably sorted order;
+    * ``required_lock`` — store kind -> the lock class that must be
+      held when a durable write of that kind happens (derived from the
+      writers' internal flocks, publish call sites, and traced
+      in-place rewrites);
+    * ``locks`` — every known lock class.
+
+    The dynamic oracle (``REPRO_LOCK_TRACE``) is validated against this
+    in both directions by the test suite.
+    """
+    if root is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+    facts_by_path: Dict[str, Dict[str, Any]] = {}
+    for rel in itertools.chain(PERSISTENCE_SUFFIXES, ("measure/faults.py",)):
+        path = os.path.join(root, *rel.split("/"))
+        with open(path, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+        facts_by_path[rel] = extract_concurrency_facts(rel, tree)
+    edges, _same, _unsorted, ordered = _assemble_lock_graph(facts_by_path)
+    writers: Dict[str, Dict[str, Any]] = {}
+    for facts in facts_by_path.values():
+        writers.update(facts.get("conc_writers") or {})
+    required: Dict[str, str] = {}
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for writer, kind, _line in facts.get("conc_write_calls") or ():
+            spec = writers.get(writer)
+            if spec is None or spec["lock"] is None or kind == "?":
+                continue
+            resolved = kind if kind is not None else spec["kind_default"]
+            if resolved is not None:
+                required.setdefault(resolved, spec["lock"])
+        for kind, held, _line in facts.get("conc_publishes") or ():
+            if held:
+                required.setdefault(kind, held[-1])
+        for kind, held, _line in facts.get("conc_trace_writes") or ():
+            if held:
+                required.setdefault(kind, held[-1])
+    for spec in writers.values():
+        if spec["lock"] is not None and spec["kind_default"] is not None:
+            required.setdefault(spec["kind_default"], spec["lock"])
+    locks = set(ordered) | set(required.values())
+    for held, acquired in edges:
+        locks.update((held, acquired))
+    return {
+        "edges": sorted([held, acquired] for held, acquired in edges),
+        "ordered_self": sorted(ordered),
+        "required_lock": dict(sorted(required.items())),
+        "locks": sorted(locks),
+    }

@@ -42,9 +42,11 @@ from typing import (
     Tuple,
 )
 
-#: Bumped whenever a rule changes behaviour: invalidates every cache
-#: entry written by older rule sets.
-LINT_VERSION = "2"
+#: Bumped whenever the cache *format* changes.  Rule-behaviour changes
+#: no longer need a bump: the cache is additionally keyed on
+#: :func:`rules_signature`, a hash of the rule modules' sources, so any
+#: edit to the lint package invalidates stale entries automatically.
+LINT_VERSION = "3"
 
 #: Severity tiers.  Both fail the run (exit 1); the tier tells a reader
 #: whether the finding is a broken contract (``error``) or a smell the
@@ -54,6 +56,37 @@ SEVERITY_WARNING = "warning"
 
 #: The meta-rule for suppressions without a justification.
 RPR100 = "RPR100"
+
+
+class LintUsageError(Exception):
+    """A caller mistake (bad path, bad git base), as opposed to a lint
+    finding: the CLI reports it on stderr and exits 1 without a run."""
+
+
+_RULES_SIGNATURE: Optional[str] = None
+
+
+def rules_signature() -> str:
+    """A digest of every rule module's source (plus :data:`LINT_VERSION`).
+
+    Cache entries are keyed on this, so editing any file of the lint
+    package — a new rule, a changed message, a fixed false positive —
+    invalidates prior cached results without anyone remembering to bump
+    a version constant."""
+    global _RULES_SIGNATURE
+    if _RULES_SIGNATURE is None:
+        digest = hashlib.sha256()
+        digest.update(LINT_VERSION.encode("utf-8"))
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode("utf-8") + b"\x00")
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(handle.read())
+            digest.update(b"\x00")
+        _RULES_SIGNATURE = digest.hexdigest()
+    return _RULES_SIGNATURE
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*disable=("
@@ -191,6 +224,7 @@ def fileset_rule(rule: Rule) -> Callable:
 def _ensure_rules_loaded() -> None:
     """Import the rule modules (registration happens at import time)."""
     from repro.lint import code_rules  # noqa: F401
+    from repro.lint import concurrency_rules  # noqa: F401
 
 
 def all_rules() -> List[Rule]:
@@ -289,6 +323,15 @@ def _lint_one_file(
     facts: Dict[str, Any] = {}
     for extractor in _FACT_EXTRACTORS:
         facts.update(extractor(posix_path, tree))
+    if suppressed_lines:
+        # Fileset rules anchor violations back into files after the
+        # per-file pass; record the suppression map (JSON-safe string
+        # keys — facts round-trip through the cache) so those findings
+        # honor inline suppressions too.
+        facts["_suppressed_lines"] = {
+            str(line): sorted(codes)
+            for line, codes in suppressed_lines.items()
+        }
     return violations, facts, suppressed_count
 
 
@@ -298,12 +341,17 @@ def _lint_one_file(
 
 
 def collect_files(paths: Sequence[str]) -> List[str]:
-    """All ``.py`` files under *paths*, sorted, ``__pycache__`` skipped."""
+    """All ``.py`` files under *paths*, sorted, ``__pycache__`` skipped.
+
+    A path that does not exist raises :class:`LintUsageError`: a typo'd
+    target silently linting zero files would report a clean run."""
     found: Set[str] = set()
     for path in paths:
         if os.path.isfile(path):
             found.add(path)
             continue
+        if not os.path.isdir(path):
+            raise LintUsageError(f"no such file or directory: {path}")
         for dirpath, dirnames, filenames in os.walk(path):
             dirnames[:] = sorted(
                 d for d in dirnames
@@ -313,6 +361,61 @@ def collect_files(paths: Sequence[str]) -> List[str]:
                 if filename.endswith(".py"):
                     found.add(os.path.join(dirpath, filename))
     return sorted(found)
+
+
+def changed_paths(base: str = "HEAD", root: Optional[str] = None
+                  ) -> List[str]:
+    """The ``.py`` files changed relative to git ref *base* (deletions
+    excluded), for ``repro lint --changed``.
+
+    When the repo-wide gate's root (:func:`default_target`) lives inside
+    the diffed repository, only changed files under it are returned —
+    ``--changed`` approximates the full gate on a subset, and must never
+    be *stricter* than it (the gate does not lint ``tests/``).  Diffing
+    some other repository leaves every changed ``.py`` file in scope.
+
+    An unusable base or a non-repository raises :class:`LintUsageError`.
+    Files deleted from disk since the diff are dropped; an empty list is
+    a legitimate result (nothing to lint)."""
+    import subprocess
+
+    command = [
+        "git", "diff", "--name-only", "--diff-filter=d", base, "--",
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            cwd=root,
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError as error:
+        raise LintUsageError(f"cannot run git: {error}")
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise LintUsageError(
+            f"git diff against {base!r} failed: "
+            + (detail[0] if detail else "unknown error")
+        )
+    prefix = root or "."
+    gate_root = os.path.abspath(default_target())
+    repo_root = os.path.abspath(prefix)
+    gate_scoped = gate_root.startswith(repo_root + os.sep)
+    changed = []
+    for line in proc.stdout.splitlines():
+        if not line.endswith(".py"):
+            continue
+        path = os.path.join(prefix, line) if prefix != "." else line
+        if gate_scoped:
+            absolute = os.path.abspath(path)
+            if absolute != gate_root and not absolute.startswith(
+                gate_root + os.sep
+            ):
+                continue
+        if os.path.isfile(path):
+            changed.append(path)
+    return sorted(changed)
 
 
 def display_path(path: str) -> str:
@@ -341,6 +444,7 @@ class LintCache:
             if (
                 isinstance(stored, dict)
                 and stored.get("version") == LINT_VERSION
+                and stored.get("rules") == rules_signature()
                 and isinstance(stored.get("files"), dict)
             ):
                 self._entries = stored["files"]
@@ -375,7 +479,11 @@ class LintCache:
     def save(self) -> None:
         if not self.path:
             return
-        payload = {"version": LINT_VERSION, "files": self._entries}
+        payload = {
+            "version": LINT_VERSION,
+            "rules": rules_signature(),
+            "files": self._entries,
+        }
         with open(self.path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
             handle.write("\n")
@@ -402,14 +510,18 @@ class LintReport:
             totals[violation.code] = totals.get(violation.code, 0) + 1
         return totals
 
-    def to_json(self) -> str:
-        payload = {
+    def to_payload(self) -> Dict[str, Any]:
+        """The stable JSON shape of a run (shared by ``--json`` and the
+        ``--baseline`` loader)."""
+        return {
             "violations": [v.as_dict() for v in self.violations],
             "counts": self.counts(),
             "files": self.files,
             "suppressed": self.suppressed,
         }
-        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
 
     def render_text(self) -> str:
         lines = [v.render() for v in self.violations]
@@ -467,13 +579,26 @@ def filter_violations(
 # ---------------------------------------------------------------------------
 
 
+def _lint_worker(item: Tuple[str, str]):
+    """Process-pool entry: rule registration happens per worker (the
+    registries are module globals, rebuilt on child import)."""
+    posix_path, source = item
+    _ensure_rules_loaded()
+    return _lint_one_file(posix_path, source)
+
+
 def lint_paths(
     paths: Sequence[str],
     cache_path: Optional[str] = None,
     catalog_refs: bool = True,
+    jobs: Optional[int] = None,
 ) -> LintReport:
     """Run the code-invariant rules (and the catalog-reference fileset
     check, unless disabled) over every ``.py`` file under *paths*.
+
+    With ``jobs > 1`` the per-file passes of cache misses run in a
+    process pool; results are merged in sorted file order, so the
+    report is byte-identical to a serial run.
 
     Returns an **unfiltered** report; ``--select/--ignore/--baseline``
     are applied by :func:`run_lint` so the cache stores complete runs.
@@ -484,6 +609,8 @@ def lint_paths(
     facts_by_path: Dict[str, Dict[str, Any]] = {}
     suppressed = 0
     files = collect_files(paths)
+    results_by_path: Dict[str, Tuple[List[Violation], Dict[str, Any], int]] = {}
+    pending: List[Tuple[str, str, str]] = []  # (posix, source, sha)
     for path in files:
         posix_path = display_path(path)
         with open(path, "rb") as handle:
@@ -491,21 +618,57 @@ def lint_paths(
         sha = hashlib.sha256(blob).hexdigest()
         cached = cache.get(posix_path, sha)
         if cached is None:
-            result = _lint_one_file(
-                posix_path, blob.decode("utf-8", errors="replace")
+            pending.append(
+                (posix_path, blob.decode("utf-8", errors="replace"), sha)
             )
-            cache.put(posix_path, sha, *result)
-            cached = result
-        file_violations, facts, file_suppressed = cached
+        else:
+            results_by_path[posix_path] = cached
+    fresh = None
+    if jobs and jobs > 1 and len(pending) > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                fresh = list(
+                    pool.map(
+                        _lint_worker,
+                        [(posix, source) for posix, source, _sha in pending],
+                        chunksize=8,
+                    )
+                )
+        except (ImportError, OSError, PermissionError):
+            fresh = None  # no usable multiprocessing here: run serially
+    if fresh is None:
+        fresh = [
+            _lint_one_file(posix, source)
+            for posix, source, _sha in pending
+        ]
+    for (posix_path, _source, sha), result in zip(pending, fresh):
+        cache.put(posix_path, sha, *result)
+        results_by_path[posix_path] = result
+    for path in files:
+        posix_path = display_path(path)
+        file_violations, facts, file_suppressed = results_by_path[posix_path]
         violations.extend(file_violations)
         facts_by_path[posix_path] = facts
         suppressed += file_suppressed
+    crossfile: List[Violation] = []
     for rule, checker in _FILESET_RULES:
-        violations.extend(checker(facts_by_path))
+        crossfile.extend(checker(facts_by_path))
     if catalog_refs:
         from repro.lint.model_rules import catalog_reference_violations
 
-        violations.extend(catalog_reference_violations(facts_by_path))
+        crossfile.extend(catalog_reference_violations(facts_by_path))
+    for violation in crossfile:
+        at_line = (
+            facts_by_path.get(violation.path, {})
+            .get("_suppressed_lines", {})
+            .get(str(violation.line), ())
+        )
+        if violation.code in at_line:
+            suppressed += 1
+        else:
+            violations.append(violation)
     cache.save()
     return LintReport(
         violations=sorted(violations, key=Violation.sort_key),
@@ -530,6 +693,7 @@ def run_lint(
     baseline_path: Optional[str] = None,
     cache_path: Optional[str] = None,
     model: Optional[bool] = None,
+    jobs: Optional[int] = None,
 ) -> LintReport:
     """Everything ``repro lint`` does: code rules over *paths* (default:
     the installed ``repro`` package) plus — by default when linting the
@@ -537,7 +701,7 @@ def run_lint(
     if model is None:
         model = paths is None
     target = list(paths) if paths else [default_target()]
-    report = lint_paths(target, cache_path=cache_path)
+    report = lint_paths(target, cache_path=cache_path, jobs=jobs)
     violations = list(report.violations)
     if model:
         from repro.lint.model_rules import model_violations

@@ -95,7 +95,12 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: write to manufacture a torn tail, ``pre-fsync`` fires after the
 #: write but before durability, ``post-append`` after the lock is
 #: released; ``pre-rename``/``post-rename`` bracket the atomic publish
-#: of whole-file states (queue, manifest).
+#: of whole-file states (queue, manifest).  The quarantine sidecar
+#: appends raw (already-damaged) bytes in one write — no mid-append
+#: split to manufacture, no fsync barrier worth naming — so it carries
+#: only the ``pre-append``/``post-append`` bracket.  Lint RPR163
+#: cross-checks this tuple against the actual write sites in
+#: ``core/journal.py``.
 CRASH_SITES = (
     "cache.pre-append",
     "cache.mid-append",
@@ -105,6 +110,8 @@ CRASH_SITES = (
     "memo.mid-append",
     "memo.pre-fsync",
     "memo.post-append",
+    "quarantine.pre-append",
+    "quarantine.post-append",
     "queue.pre-rename",
     "queue.post-rename",
     "manifest.pre-rename",

@@ -1,0 +1,1067 @@
+"""Tests for the concurrency lint tier (RPR160–RPR163).
+
+Four layers:
+
+* per-rule fixture snippets — violating, clean, and suppressed
+  variants — for the lockset (RPR160), lock-order (RPR161), fencing
+  (RPR162), and crash-site-coverage (RPR163) rules;
+* the statically assembled lock model of the *real* persistence layer
+  (:func:`repro.lint.concurrency_rules.build_lock_model`), pinned
+  against the invariants the modules document;
+* the **dynamic oracle**: a two-drainer chaos sweep (plus GC, doctor
+  repair, and a serial sweep) run under ``REPRO_LOCK_TRACE``, whose
+  observed lock orders, write locksets, and fence checks are validated
+  against the static model *in both directions* — an edge the trace
+  realizes that the model forbids fails, and a model edge or store
+  kind the trace never witnesses fails too (a stale model is as wrong
+  as an unsound one);
+* the satellite machinery of this PR: rules-hash cache keying,
+  ``--changed``, ``--jobs`` determinism, CLI edge cases, and the
+  shared ``--json`` emitter.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import textwrap
+
+import pytest
+
+from repro import cli
+from repro.core.cache import (
+    MeasurementMemo,
+    ResultCache,
+    collect_garbage,
+)
+from repro.core.doctor import repair
+from repro.core.journal import LOCK_TRACE_ENV
+from repro.core.sweep import SweepEngine
+from repro.core.workqueue import WorkQueue, WorkUnit
+from repro.lint import (
+    LintUsageError,
+    changed_paths,
+    lint_paths,
+    run_lint,
+    rules_signature,
+)
+from repro.lint.concurrency_rules import build_lock_model
+from repro.lint.framework import collect_files
+
+_FORK = multiprocessing.get_context("fork")
+SIGKILLED = -signal.SIGKILL
+
+
+def lint_snippets(root, sources, **kwargs):
+    """Write ``{relpath: source}`` under *root* and lint the tree."""
+    for relpath, source in sources.items():
+        path = os.path.join(root, relpath)
+        os.makedirs(os.path.dirname(path) or root, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(textwrap.dedent(source))
+    kwargs.setdefault("catalog_refs", False)
+    return lint_paths([root], **kwargs)
+
+
+def codes(report):
+    return [violation.code for violation in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# RPR160 — lockset violations
+# ---------------------------------------------------------------------------
+
+
+class TestLocksetRule:
+    def test_naked_queue_publish_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import publish_blob
+
+
+            def save(path, state):
+                publish_blob(path, state, kind="queue")
+            """,
+        })
+        assert codes(report) == ["RPR160"]
+        assert "'queue' lock" in report.violations[0].message
+
+    def test_publish_outside_persistence_layer_is_flagged(
+        self, tmp_path
+    ):
+        report = lint_snippets(str(tmp_path), {
+            "measure/pipeline.py": """\
+            from repro.core.journal import publish_blob
+
+
+            def snapshot(path, state):
+                publish_blob(path, state, kind="queue")
+            """,
+        })
+        assert codes(report) == ["RPR160"]
+        assert "persistence layer" in report.violations[0].message
+
+    def test_raw_write_outside_flock_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/cache.py": """\
+            def scribble(handle, payload):
+                handle.write(payload)
+            """,
+        })
+        assert codes(report) == ["RPR160"]
+        assert ".write()" in report.violations[0].message
+
+    def test_publish_under_lock_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import (
+                flock_bounded,
+                publish_blob,
+                release_flock,
+            )
+
+
+            def save(path, lock, state):
+                locked, _ = flock_bounded(lock, name="queue")
+                try:
+                    publish_blob(path, state, kind="queue")
+                finally:
+                    release_flock(lock, locked, name="queue")
+            """,
+        })
+        assert codes(report) == []
+
+    def test_helper_covered_by_every_caller_is_clean(self, tmp_path):
+        """The ``_write_state``-under-``_transaction`` shape: the
+        publish helper holds nothing itself, but its only caller does."""
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import (
+                flock_bounded,
+                publish_blob,
+                release_flock,
+            )
+
+
+            def _write_state(path, state):
+                publish_blob(path, state, kind="queue")
+
+
+            def commit(path, lock, state):
+                locked, _ = flock_bounded(lock, name="queue")
+                try:
+                    _write_state(path, state)
+                finally:
+                    release_flock(lock, locked, name="queue")
+            """,
+        })
+        assert codes(report) == []
+
+    def test_journal_module_is_exempt(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": """\
+            def publisher(path, blob):
+                with open(path, "r+b") as handle:
+                    handle.write(blob)
+            """,
+        })
+        assert codes(report) == []
+
+    def test_suppression_is_honored(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import publish_blob
+
+
+            def save(path, state):
+                publish_blob(path, state, kind="queue")  # repro-lint: disable=RPR160 (fixture: single-process bootstrap, no concurrent writer)
+            """,
+        })
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR161 — lock-order cycles
+# ---------------------------------------------------------------------------
+
+
+class TestLockOrderRule:
+    def test_opposite_order_acquisitions_are_a_cycle(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import flock_bounded, release_flock
+
+
+            def queue_then_store(handle_a, handle_b):
+                locked_a, _ = flock_bounded(handle_a, name="queue")
+                locked_b, _ = flock_bounded(handle_b, name="store")
+                release_flock(handle_b, locked_b, name="store")
+                release_flock(handle_a, locked_a, name="queue")
+
+
+            def store_then_queue(handle_a, handle_b):
+                locked_b, _ = flock_bounded(handle_b, name="store")
+                locked_a, _ = flock_bounded(handle_a, name="queue")
+                release_flock(handle_a, locked_a, name="queue")
+                release_flock(handle_b, locked_b, name="store")
+            """,
+        })
+        assert codes(report) == ["RPR161", "RPR161"]
+        assert all(
+            "lock-order cycle" in v.message for v in report.violations
+        )
+
+    def test_cross_module_call_edge_closes_a_cycle(self, tmp_path):
+        """One level of call-graph reasoning: cache.py never takes the
+        queue lock directly, but calls a workqueue helper that does —
+        while holding store, against workqueue's queue-then-store."""
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import flock_bounded, release_flock
+
+
+            def drain(lock, handle):
+                locked, _ = flock_bounded(lock, name="queue")
+                inner, _ = flock_bounded(handle, name="store")
+                release_flock(handle, inner, name="store")
+                release_flock(lock, locked, name="queue")
+
+
+            def lock_queue(lock):
+                locked, _ = flock_bounded(lock, name="queue")
+                return locked
+            """,
+            "core/cache.py": """\
+            from repro.core.journal import flock_bounded, release_flock
+            from repro.core.workqueue import lock_queue
+
+
+            def compact(handle, lock):
+                locked, _ = flock_bounded(handle, name="store")
+                try:
+                    lock_queue(lock)
+                finally:
+                    release_flock(handle, locked, name="store")
+            """,
+        })
+        assert codes(report) == ["RPR161", "RPR161"]
+
+    def test_unsorted_multi_acquisition_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import flock_bounded
+
+
+            def lock_all(paths):
+                held = []
+                for path in paths:
+                    handle = open(path, "a+")
+                    locked, _ = flock_bounded(handle, name="queue")
+                    held.append((handle, locked))
+                return held
+            """,
+        })
+        assert codes(report) == ["RPR161"]
+        assert "not provably sorted" in report.violations[0].message
+
+    def test_sorted_multi_acquisition_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            import os
+
+            from repro.core.journal import flock_bounded
+
+
+            def lock_all(root):
+                queue_paths = sorted(os.listdir(root))
+                held = []
+                for path in queue_paths:
+                    handle = open(path, "a+")
+                    locked, _ = flock_bounded(handle, name="queue")
+                    held.append((handle, locked))
+                return held
+            """,
+        })
+        assert codes(report) == []
+
+    def test_consistent_order_across_modules_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import flock_bounded, release_flock
+
+
+            def drain(lock, handle):
+                locked, _ = flock_bounded(lock, name="queue")
+                inner, _ = flock_bounded(handle, name="store")
+                release_flock(handle, inner, name="store")
+                release_flock(lock, locked, name="queue")
+            """,
+            "core/doctor.py": """\
+            from repro.core.journal import flock_bounded, release_flock
+
+
+            def mend(handle, sidecar):
+                locked, _ = flock_bounded(handle, name="store")
+                inner, _ = flock_bounded(sidecar, name="quarantine")
+                release_flock(sidecar, inner, name="quarantine")
+                release_flock(handle, locked, name="store")
+            """,
+        })
+        assert codes(report) == []
+
+    def test_suppression_is_honored(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            from repro.core.journal import flock_bounded
+
+
+            def lock_all(paths):
+                held = []
+                for path in paths:
+                    handle = open(path, "a+")
+                    locked, _ = flock_bounded(handle, name="queue")  # repro-lint: disable=RPR161 (fixture: caller pre-sorts, proof is one frame up)
+                    held.append((handle, locked))
+                return held
+            """,
+        })
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR162 — fencing-token flow
+# ---------------------------------------------------------------------------
+
+
+class TestFencingRule:
+    def test_unguarded_write_through_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            def deposit(state, key, fence, write):
+                write()
+            """,
+        })
+        assert codes(report) == ["RPR162"]
+        assert "freshness check" in report.violations[0].message
+
+    def test_constant_fence_argument_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/sweep.py": """\
+            def publish(queue, key, payload):
+                queue.deposit(key, "owner", 7, payload)
+            """,
+        })
+        assert codes(report) == ["RPR162"]
+        assert "fencing token" in report.violations[0].message
+
+    def test_guarded_write_through_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            def deposit(state, key, fence, write):
+                if state.get("fence", 0) != fence:
+                    return "fenced"
+                write()
+            """,
+        })
+        assert codes(report) == []
+
+    def test_derived_freshness_flag_is_clean(self, tmp_path):
+        """The guard may test a value *derived* from the token (the
+        real deposit computes ``fresh`` first, for the trace)."""
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            def deposit(state, key, fence, write):
+                fresh = state.get("fence", 0) == fence
+                if not fresh:
+                    return "fenced"
+                write()
+            """,
+        })
+        assert codes(report) == []
+
+    def test_real_fence_argument_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/sweep.py": """\
+            def publish(queue, unit, payload):
+                queue.deposit(unit.key, "owner", unit.fence, payload)
+            """,
+        })
+        assert codes(report) == []
+
+    def test_suppression_is_honored(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/workqueue.py": """\
+            def deposit(state, key, fence, write):
+                write()  # repro-lint: disable=RPR162 (fixture: single-writer bootstrap path, leases cannot be stolen)
+            """,
+        })
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# RPR163 — crash-site coverage
+# ---------------------------------------------------------------------------
+
+#: A minimal journal: the real writer idioms (f-string crash templates,
+#: kind defaults, internal flock, durable opens) without the real code.
+JOURNAL_FIXTURE = """\
+import os
+
+from repro.measure.faults import maybe_crash
+
+
+def flock_bounded(handle, timeout=5.0, salt="", name="store"):
+    return True, 0
+
+
+def release_flock(handle, locked, name="store"):
+    return None
+
+
+def append_entry(path, entry, kind="cache"):
+    maybe_crash(f"{kind}.pre-append")
+    with open(path, "ab") as handle:
+        handle.write(entry)
+    maybe_crash(f"{kind}.post-append")
+
+
+def publish_blob(path, blob, kind="queue"):
+    maybe_crash(f"{kind}.pre-rename")
+    os.replace(path + ".tmp", path)
+"""
+
+
+class TestCrashSiteCoverageRule:
+    def test_unregistered_kind_is_flagged_at_the_call(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE,
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+            )
+            """,
+            "core/ledger.py": """\
+            from repro.core.journal import append_entry
+
+
+            def record(path, entry):
+                append_entry(path, entry, kind="ledger")
+            """,
+        })
+        assert codes(report) == ["RPR163"]
+        violation = report.violations[0]
+        assert violation.path.endswith("core/ledger.py")
+        assert "ledger.post-append" in violation.message
+        assert "ledger.pre-append" in violation.message
+
+    def test_stale_registry_entry_is_flagged(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE,
+            "core/workqueue.py": "",
+            "core/cache.py": "",
+            "core/doctor.py": "",
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+                "ghost.pre-append",
+            )
+            """,
+        })
+        assert codes(report) == ["RPR163"]
+        violation = report.violations[0]
+        assert violation.path.endswith("measure/faults.py")
+        assert "'ghost.pre-append'" in violation.message
+
+    def test_stale_check_needs_the_whole_layer(self, tmp_path):
+        """With only part of the persistence layer in the fileset, a
+        registry entry may be reached by an unseen file: no stale
+        finding (the missing-site direction still applies)."""
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE,
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+                "ghost.pre-append",
+            )
+            """,
+        })
+        assert codes(report) == []
+
+    def test_durable_writer_without_crash_points_is_flagged(
+        self, tmp_path
+    ):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE + """\
+
+
+def sneaky_write(path, blob):
+    with open(path, "ab") as handle:
+        handle.write(blob)
+""",
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+            )
+            """,
+        })
+        assert codes(report) == ["RPR163"]
+        assert "sneaky_write" in report.violations[0].message
+
+    def test_matching_registry_is_clean(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE,
+            "core/workqueue.py": "",
+            "core/cache.py": "",
+            "core/doctor.py": "",
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+            )
+            """,
+        })
+        assert codes(report) == []
+
+    def test_suppression_is_honored(self, tmp_path):
+        report = lint_snippets(str(tmp_path), {
+            "core/journal.py": JOURNAL_FIXTURE,
+            "measure/faults.py": """\
+            CRASH_SITES = (
+                "cache.pre-append",
+                "cache.post-append",
+                "queue.pre-rename",
+            )
+            """,
+            "core/ledger.py": """\
+            from repro.core.journal import append_entry
+
+
+            def record(path, entry):
+                append_entry(path, entry, kind="ledger")  # repro-lint: disable=RPR163 (fixture: scratch ledger, rebuilt from source on loss)
+            """,
+        })
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# The static model of the real tree
+# ---------------------------------------------------------------------------
+
+
+class TestStaticLockModel:
+    def test_current_tree_has_no_concurrency_findings(self):
+        report = run_lint(
+            select=["RPR160", "RPR161", "RPR162", "RPR163"]
+        )
+        assert [v.render() for v in report.violations] == []
+
+    def test_model_matches_the_documented_invariants(self):
+        model = build_lock_model()
+        assert ["queue", "store"] in model["edges"]
+        assert ["store", "quarantine"] in model["edges"]
+        assert model["ordered_self"] == ["queue"]
+        assert model["required_lock"] == {
+            "cache": "store",
+            "compact": "store",
+            "manifest": "manifest",
+            "memo": "store",
+            "quarantine": "quarantine",
+            "queue": "queue",
+            "repair": "store",
+        }
+        assert model["locks"] == [
+            "manifest", "quarantine", "queue", "store",
+        ]
+
+    def test_model_graph_is_acyclic(self):
+        model = build_lock_model()
+        adjacency = {}
+        for held, acquired in model["edges"]:
+            adjacency.setdefault(held, []).append(acquired)
+
+        def reaches(start, goal, seen):
+            for target in adjacency.get(start, ()):
+                if target == goal:
+                    return True
+                if target not in seen:
+                    seen.add(target)
+                    if reaches(target, goal, seen):
+                        return True
+            return False
+
+        for held, acquired in model["edges"]:
+            assert not reaches(acquired, held, {acquired}), (
+                f"cycle through {held} -> {acquired}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The dynamic oracle: REPRO_LOCK_TRACE vs. the static model
+# ---------------------------------------------------------------------------
+
+
+UIDS = ("ADD_R64_R64", "NOP", "SUB_R64_R64", "XOR_R64_R64")
+
+
+def _drain_child(root, db):
+    engine = SweepEngine(
+        "SKL", db,
+        cache=ResultCache(root),
+        measure_memo=MeasurementMemo(root),
+        lease_timeout=5.0,
+    )
+    engine.drain()
+
+
+def _run_child(target, args, timeout=300.0):
+    proc = _FORK.Process(target=target, args=args)
+    proc.start()
+    proc.join(timeout)
+    assert not proc.is_alive(), "oracle child wedged"
+    return proc.exitcode
+
+
+@pytest.mark.slow
+class TestDynamicOracle:
+    def _exercise(self, base, db):
+        """Drive every store kind and lock class of the real layer:
+        a two-drainer queue sweep, a GC over multiple queues, a doctor
+        repair of a corrupted store, and a serial (manifest-updating)
+        sweep — all with the trace recorder armed."""
+        forms = [db.by_uid(uid) for uid in UIDS]
+
+        # Two concurrent drainers over a shared queue.
+        drain_root = os.path.join(base, "drain")
+        os.makedirs(drain_root)
+        engine = SweepEngine(
+            "SKL", db,
+            cache=ResultCache(drain_root),
+            measure_memo=MeasurementMemo(drain_root),
+            lease_timeout=5.0,
+        )
+        engine.enqueue_pending(forms)
+        drainers = [
+            _FORK.Process(target=_drain_child, args=(drain_root, db))
+            for _ in range(2)
+        ]
+        for proc in drainers:
+            proc.start()
+        for proc in drainers:
+            proc.join(300.0)
+            assert proc.exitcode == 0
+
+        # GC: multiple queue locks (sorted multi-acquisition) plus a
+        # compaction (superseded cache line).
+        cache = ResultCache(drain_root)
+        key = "c" * 64
+        cache.put(key, "NOP", "SKL", {"i": 1})
+        cache.put(key, "NOP", "SKL", {"i": 2})
+        WorkQueue(drain_root, "HSW").enqueue(
+            [WorkUnit(key="a" * 64, uid="NOP")]
+        )
+        WorkQueue(drain_root, "ICL").enqueue(
+            [WorkUnit(key="b" * 64, uid="NOP")]
+        )
+        collect_garbage(drain_root)
+
+        # Doctor repair: a corrupt *mid-file* line (garbage followed
+        # by a valid append) gets quarantined under the
+        # store-then-quarantine lock pair; a trailing one would only
+        # be truncated as a torn tail.
+        repair_root = os.path.join(base, "repair")
+        os.makedirs(repair_root)
+        repair_cache = ResultCache(repair_root)
+        repair_cache.put("d" * 64, "NOP", "SKL", {"i": 1})
+        with open(
+            os.path.join(repair_root, "SKL.jsonl"), "ab"
+        ) as handle:
+            handle.write(b"definitely not a journal record\n")
+        repair_cache.put("e" * 64, "NOP", "SKL", {"i": 2})
+        assert repair(repair_root).healthy
+
+        # Serial sweep: the coordinator path that publishes the
+        # manifest.
+        serial_root = os.path.join(base, "serial")
+        os.makedirs(serial_root)
+        serial = SweepEngine(
+            "SKL", db,
+            cache=ResultCache(serial_root),
+            measure_memo=MeasurementMemo(serial_root),
+        )
+        serial.sweep(forms)
+
+    def test_trace_and_static_model_agree_both_ways(
+        self, tmp_path, db, monkeypatch
+    ):
+        trace = str(tmp_path / "lock-trace.jsonl")
+        monkeypatch.setenv(LOCK_TRACE_ENV, trace)
+        self._exercise(str(tmp_path), db)
+
+        with open(trace, "r", encoding="utf-8") as handle:
+            records = [
+                json.loads(line) for line in handle if line.strip()
+            ]
+        acquires = [r for r in records if r["event"] == "acquire"]
+        writes = [r for r in records if r["event"] == "write"]
+        fences = [r for r in records if r["event"] == "fence-check"]
+        assert acquires and writes and fences
+
+        model = build_lock_model()
+        model_edges = {tuple(edge) for edge in model["edges"]}
+        self_edges = {
+            (lock, lock) for lock in model["ordered_self"]
+        }
+
+        observed_edges = set()
+        for record in acquires:
+            for held in record["held"]:
+                observed_edges.add((held, record["lock"]))
+
+        # Dynamic ⊆ static: every realized ordering must be modeled.
+        unmodeled = observed_edges - model_edges - self_edges
+        assert not unmodeled, (
+            f"trace realized lock orders the static model forbids: "
+            f"{sorted(unmodeled)}"
+        )
+        # Static ⊆ dynamic: every modeled ordering must be realized —
+        # a model edge the trace never witnesses is stale.
+        unrealized = (model_edges | self_edges) - observed_edges
+        assert not unrealized, (
+            f"static model claims lock orders the trace never "
+            f"realized: {sorted(unrealized)}"
+        )
+
+        # Locksets: every durable write happened under the lock class
+        # the model requires, and every modeled kind was witnessed.
+        required = model["required_lock"]
+        for record in writes:
+            assert record["store"] in required, record
+            assert required[record["store"]] in record["held"], record
+        assert {r["store"] for r in writes} == set(required)
+
+        # Lock classes: exactly the model's, no unknown names.
+        assert {r["lock"] for r in acquires} == set(model["locks"])
+
+        # Fencing: every fence check ran under the queue lock, and
+        # every deposit write-through (a cache/memo write while the
+        # queue lock is held) was dominated by one in its process.
+        assert all("queue" in r["held"] for r in fences)
+        by_thread = {}
+        for record in records:
+            by_thread.setdefault(
+                (record["pid"], record["thread"]), []
+            ).append(record)
+        dominated = 0
+        for sequence in by_thread.values():
+            fence_live = False
+            for record in sequence:
+                if record["event"] == "fence-check":
+                    fence_live = True
+                elif (
+                    record["event"] == "release"
+                    and record["lock"] == "queue"
+                ):
+                    fence_live = False
+                elif (
+                    record["event"] == "write"
+                    and record["store"] in ("cache", "memo")
+                    and "queue" in record["held"]
+                ):
+                    assert fence_live, (
+                        "write-through without a dominating "
+                        f"fence check: {record}"
+                    )
+                    dominated += 1
+        assert dominated > 0
+
+
+# ---------------------------------------------------------------------------
+# Satellites: cache keying, --changed, --jobs, CLI edges, JSON emitter
+# ---------------------------------------------------------------------------
+
+
+CLEAN_SNIPPET = """\
+def double(value):
+    return value * 2
+"""
+
+
+class TestRulesHashCacheKeying:
+    def test_cache_hits_when_signature_matches(self, tmp_path):
+        cache_path = str(tmp_path / "lint-cache.json")
+        first = lint_snippets(
+            str(tmp_path / "tree"), {"mod.py": CLEAN_SNIPPET},
+            cache_path=cache_path,
+        )
+        assert first.cache_misses == 1 and first.cache_hits == 0
+        second = lint_paths(
+            [str(tmp_path / "tree")], cache_path=cache_path,
+            catalog_refs=False,
+        )
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)
+        assert stored["rules"] == rules_signature()
+
+    def test_stale_rules_signature_invalidates(self, tmp_path):
+        cache_path = str(tmp_path / "lint-cache.json")
+        lint_snippets(
+            str(tmp_path / "tree"), {"mod.py": CLEAN_SNIPPET},
+            cache_path=cache_path,
+        )
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            stored = json.load(handle)
+        stored["rules"] = "0" * 64  # an older rule set wrote this
+        with open(cache_path, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+        rerun = lint_paths(
+            [str(tmp_path / "tree")], cache_path=cache_path,
+            catalog_refs=False,
+        )
+        assert rerun.cache_misses == 1 and rerun.cache_hits == 0
+
+
+def _git(repo, *args):
+    subprocess.run(
+        ["git", "-C", repo, *args],
+        check=True,
+        capture_output=True,
+        env=dict(
+            os.environ,
+            GIT_AUTHOR_NAME="t", GIT_AUTHOR_EMAIL="t@t",
+            GIT_COMMITTER_NAME="t", GIT_COMMITTER_EMAIL="t@t",
+        ),
+    )
+
+
+class TestChangedFlag:
+    def test_changed_lints_only_the_diff(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        repo = str(tmp_path)
+        _git(repo, "init", "-q")
+        with open(os.path.join(repo, "clean.py"), "w") as handle:
+            handle.write(CLEAN_SNIPPET)
+        _git(repo, "add", "clean.py")
+        _git(repo, "commit", "-qm", "seed")
+        # A new staged file with an unjustified suppression (RPR100).
+        with open(os.path.join(repo, "dirty.py"), "w") as handle:
+            handle.write("x = 1  # repro-lint: disable=RPR101\n")
+        _git(repo, "add", "dirty.py")
+        monkeypatch.chdir(repo)
+        assert changed_paths("HEAD", root=repo) == [
+            os.path.join(repo, "dirty.py")
+        ]
+        assert cli.main(["lint", "--changed"]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out
+        assert "1 file(s)" in out  # clean.py was not linted
+
+    def test_changed_with_empty_diff_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        repo = str(tmp_path)
+        _git(repo, "init", "-q")
+        with open(os.path.join(repo, "clean.py"), "w") as handle:
+            handle.write(CLEAN_SNIPPET)
+        _git(repo, "add", "clean.py")
+        _git(repo, "commit", "-qm", "seed")
+        monkeypatch.chdir(repo)
+        assert cli.main(["lint", "--changed"]) == 0
+        assert "0 file(s)" in capsys.readouterr().out
+
+    def test_changed_outside_a_repo_exits_two(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(str(tmp_path))
+        assert cli.main(["lint", "--changed"]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_changed_conflicts_with_paths(self, tmp_path, capsys):
+        assert cli.main(
+            ["lint", "--changed=HEAD", str(tmp_path)]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_base_raises_usage_error(self, tmp_path):
+        repo = str(tmp_path)
+        _git(repo, "init", "-q")
+        with pytest.raises(LintUsageError):
+            changed_paths("no-such-ref", root=repo)
+
+    def test_changed_is_scoped_to_the_gate_root(
+        self, tmp_path, monkeypatch
+    ):
+        """--changed approximates the repo-wide gate on a subset: when
+        the gate's default root lives inside the diffed repository,
+        changed files outside it (e.g. tests/) stay out of scope."""
+        import repro.lint.framework as framework
+
+        repo = str(tmp_path)
+        _git(repo, "init", "-q")
+        os.makedirs(os.path.join(repo, "pkg"))
+        with open(os.path.join(repo, "seed.py"), "w") as handle:
+            handle.write(CLEAN_SNIPPET)
+        _git(repo, "add", "seed.py")
+        _git(repo, "commit", "-qm", "seed")
+        for relpath in ("pkg/in_scope.py", "tests_misc.py"):
+            with open(os.path.join(repo, relpath), "w") as handle:
+                handle.write(CLEAN_SNIPPET)
+        _git(repo, "add", "pkg/in_scope.py", "tests_misc.py")
+        monkeypatch.setattr(
+            framework, "default_target",
+            lambda: os.path.join(repo, "pkg"),
+        )
+        assert changed_paths("HEAD", root=repo) == [
+            os.path.join(repo, "pkg", "in_scope.py")
+        ]
+
+
+class TestParallelJobs:
+    def test_jobs_report_is_byte_identical_to_serial(self, tmp_path):
+        sources = {
+            "core/workqueue.py": """\
+            from repro.core.journal import publish_blob
+
+
+            def save(path, state):
+                publish_blob(path, state, kind="queue")
+            """,
+            "a.py": CLEAN_SNIPPET,
+            "b.py": "x = 1  # repro-lint: disable=RPR101\n",
+            "c.py": CLEAN_SNIPPET,
+        }
+        serial = lint_snippets(str(tmp_path / "one"), sources)
+        parallel = lint_snippets(
+            str(tmp_path / "two"), sources, jobs=2
+        )
+
+        def normalized(report, root):
+            return [
+                (
+                    os.path.relpath(v.path, root), v.line, v.col,
+                    v.code, v.message,
+                )
+                for v in report.violations
+            ]
+
+        assert normalized(
+            parallel, str(tmp_path / "two")
+        ) == normalized(serial, str(tmp_path / "one"))
+        assert parallel.files == serial.files
+        assert parallel.suppressed == serial.suppressed
+
+
+class TestCliEdgeCases:
+    def test_empty_path_list_is_a_clean_run(self):
+        report = lint_paths([])
+        assert report.files == 0
+        assert report.violations == []
+
+    def test_nonexistent_path_exits_two(self, tmp_path, capsys):
+        assert cli.main(
+            ["lint", str(tmp_path / "no-such-dir")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "no such file or directory" in err
+
+    def test_baseline_with_stale_entries_still_filters(
+        self, tmp_path, capsys
+    ):
+        root = str(tmp_path / "tree")
+        lint_snippets(root, {
+            "bad.py": "x = 1  # repro-lint: disable=RPR101\n",
+        })
+        assert cli.main(["lint", root, "--json"]) == 1
+        baseline_payload = json.loads(capsys.readouterr().out)
+        # A stale entry: accepted once, since fixed.  It must be
+        # ignored, not crash the run or resurrect anything.
+        baseline_payload["violations"].append({
+            "code": "RPR101", "severity": "error",
+            "path": "gone/forever.py", "line": 3, "col": 1,
+            "message": "a finding from a deleted file",
+        })
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(baseline_payload))
+        assert cli.main(
+            ["lint", root, "--baseline", str(baseline)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_broken_pipe_during_json_exits_one(
+        self, tmp_path, monkeypatch
+    ):
+        root = str(tmp_path / "tree")
+        lint_snippets(root, {"mod.py": CLEAN_SNIPPET})
+
+        class DeadPipe:
+            def write(self, _text):
+                raise BrokenPipeError()
+
+            def flush(self):
+                raise BrokenPipeError()
+
+            def fileno(self):
+                return 2  # not the real stdout: no fd surgery
+
+        import sys as _sys
+
+        monkeypatch.setattr(_sys, "stdout", DeadPipe())
+        assert cli.main(["lint", root, "--json"]) == 1
+
+
+class TestSharedJsonEmitter:
+    def test_doctor_and_lint_emit_through_one_helper(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        emitted = []
+        real = cli._emit_json
+
+        def recording(payload):
+            emitted.append(payload)
+            real(payload)
+
+        monkeypatch.setattr(cli, "_emit_json", recording)
+        root = str(tmp_path / "tree")
+        lint_snippets(root, {"mod.py": CLEAN_SNIPPET})
+        assert cli.main(["lint", root, "--json"]) == 0
+        lint_out = capsys.readouterr().out
+        cache_dir = str(tmp_path / "stores")
+        os.makedirs(cache_dir)
+        ResultCache(cache_dir).put("k" * 64, "NOP", "SKL", {})
+        assert cli.main(
+            ["doctor", "--cache-dir", cache_dir, "--json"]
+        ) == 0
+        doctor_out = capsys.readouterr().out
+        assert len(emitted) == 2
+        # Both render identically: the helper's formatting is the one
+        # JSON shape of the CLI.
+        assert lint_out == json.dumps(
+            emitted[0], indent=2, sort_keys=True
+        ) + "\n"
+        assert doctor_out == json.dumps(
+            emitted[1], indent=2, sort_keys=True
+        ) + "\n"
+
+
+class TestFrameworkHousekeeping:
+    def test_collect_files_rejects_missing_paths(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            collect_files([str(tmp_path / "missing")])
+
+    def test_rules_signature_is_stable(self):
+        assert rules_signature() == rules_signature()
+        assert len(rules_signature()) == 64

@@ -47,6 +47,7 @@ from repro.core.journal import (
     DURABILITY_ENV,
     append_entry,
     publish_blob,
+    quarantine_lines,
     scan_journal,
 )
 from repro.core.runner import CharacterizationRunner
@@ -117,6 +118,13 @@ def _append_child(root, kind, spec, count):
         )
 
 
+def _quarantine_child(root, spec, count):
+    _arm(spec)
+    path = os.path.join(root, "store.jsonl.quarantine")
+    for i in range(count):
+        quarantine_lines(path, [b"damaged %d" % i])
+
+
 def _publish_child(root, kind, spec):
     _arm(spec)
     path = os.path.join(root, "state.json")
@@ -185,6 +193,32 @@ class TestAppendCrashSites:
         assert not scan.torn
 
 
+class TestQuarantineCrashSites:
+    """The quarantine sidecar writer shares the append crash bracket
+    (it has no mid-append/pre-fsync: the payload is raw bytes, written
+    in one call, and fsync is the caller's durability choice)."""
+
+    def test_pre_append_first_hit_leaves_nothing(self, tmp_path):
+        code = _run_child(
+            _quarantine_child,
+            (str(tmp_path), "quarantine.pre-append", 2),
+        )
+        assert code == SIGKILLED
+        assert not os.path.exists(
+            str(tmp_path / "store.jsonl.quarantine")
+        )
+
+    def test_post_append_lines_are_durable(self, tmp_path):
+        code = _run_child(
+            _quarantine_child,
+            (str(tmp_path), "quarantine.post-append:2", 2),
+        )
+        assert code == SIGKILLED
+        with open(tmp_path / "store.jsonl.quarantine", "rb") as handle:
+            blob = handle.read()
+        assert blob == b"damaged 0\ndamaged 1\n"
+
+
 @pytest.mark.parametrize("kind", ["queue", "manifest"])
 class TestRenameCrashSites:
     def test_pre_rename_keeps_old_state_and_strands_tmp(
@@ -226,6 +260,7 @@ class TestEveryNamedSiteIsExercised:
                 f"{kind}.pre-append", f"{kind}.mid-append",
                 f"{kind}.pre-fsync", f"{kind}.post-append",
             }
+        covered |= {"quarantine.pre-append", "quarantine.post-append"}
         for kind in ("queue", "manifest"):
             covered |= {f"{kind}.pre-rename", f"{kind}.post-rename"}
         assert covered == set(CRASH_SITES)
@@ -416,9 +451,17 @@ def _sweep_child(root, spec, serial, db):
         engine.drain()
 
 
+#: Quarantine is only written by ``doctor --repair`` (never by a
+#: healthy sweep), so those sites cannot fire mid-drain; their unit
+#: proofs live in TestQuarantineCrashSites instead.
+SWEEP_SITES = tuple(
+    site for site in CRASH_SITES if not site.startswith("quarantine")
+)
+
+
 @pytest.mark.slow
 class TestSweepCrashRecovery:
-    @pytest.mark.parametrize("site", CRASH_SITES)
+    @pytest.mark.parametrize("site", SWEEP_SITES)
     def test_crashed_sweep_reconverges_to_reference(
         self, site, tmp_path, db, chaos_memo, reference_xml
     ):
